@@ -1,0 +1,90 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Each fig* binary regenerates one figure from the paper's evaluation
+// (§8), printing the series as tab-separated rows. Environment knobs:
+//   SB_QUICK=1     small sweep (CI-friendly)
+//   SB_MAX_NODES=N cap the cluster-size sweep
+//   SB_TRIALS=K    trials per data point (paper used 10; default 1)
+#ifndef SECUREBLOX_BENCH_BENCH_UTIL_H_
+#define SECUREBLOX_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace secureblox::bench {
+
+inline size_t EnvSize(const char* name, size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return def;
+  return static_cast<size_t>(std::strtoull(v, nullptr, 10));
+}
+
+inline bool QuickMode() { return EnvSize("SB_QUICK", 0) != 0; }
+
+inline size_t Trials() { return std::max<size_t>(1, EnvSize("SB_TRIALS", 1)); }
+
+/// Cluster sizes for the path-vector sweep (paper: 6..72 step 6).
+inline std::vector<size_t> PathVectorSizes() {
+  std::vector<size_t> sizes;
+  if (QuickMode()) {
+    sizes = {6, 12, 18};
+  } else {
+    sizes = {6, 12, 18, 24, 30, 36, 48, 60, 72};
+  }
+  size_t cap = EnvSize("SB_MAX_NODES", 72);
+  std::vector<size_t> out;
+  for (size_t s : sizes) {
+    if (s <= cap) out.push_back(s);
+  }
+  return out;
+}
+
+/// Cluster sizes for the hash-join overhead sweep (paper: 6..48).
+inline std::vector<size_t> HashJoinSizes() {
+  std::vector<size_t> sizes;
+  if (QuickMode()) {
+    sizes = {6, 12};
+  } else {
+    sizes = {6, 12, 18, 24, 30, 36, 42, 48};
+  }
+  size_t cap = EnvSize("SB_MAX_NODES", 48);
+  std::vector<size_t> out;
+  for (size_t s : sizes) {
+    if (s <= cap) out.push_back(s);
+  }
+  return out;
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("# %s\n", title.c_str());
+}
+
+inline void PrintHeader(const std::vector<std::string>& cols) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    std::printf("%s%s", i ? "\t" : "", cols[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::vector<double>& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    std::printf("%s%.4f", i ? "\t" : "", row[i]);
+  }
+  std::printf("\n");
+}
+
+/// Print a CDF as (x, fraction) steps from a sample vector.
+inline void PrintCdf(const std::string& series, std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::printf("%s\t%.4f\t%.4f\n", series.c_str(), samples[i],
+                static_cast<double>(i + 1) / samples.size());
+  }
+}
+
+}  // namespace secureblox::bench
+
+#endif  // SECUREBLOX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,50 @@
+// Figure 7: average transaction duration (ms) vs. cluster size. Series:
+// NoAuth, HMAC, RSA-AES.
+//
+// Paper observation: RSA-AES transactions cost several times NoAuth/HMAC
+// (computation-heavy signing dominates), and durations drift up with
+// cluster size as each transaction joins links against more paths.
+#include "apps/pathvector.h"
+#include "bench_util.h"
+
+using namespace secureblox;
+using namespace secureblox::bench;
+
+int main() {
+  PrintTitle("Figure 7: Average transaction duration (ms) — path-vector");
+  PrintHeader({"nodes", "NoAuth", "HMAC", "RSA-AES"});
+
+  struct Scheme {
+    policy::AuthScheme auth;
+    policy::EncScheme enc;
+  };
+  const std::vector<Scheme> schemes = {
+      {policy::AuthScheme::kNone, policy::EncScheme::kNone},
+      {policy::AuthScheme::kHmac, policy::EncScheme::kNone},
+      {policy::AuthScheme::kRsa, policy::EncScheme::kAes},
+  };
+
+  for (size_t n : PathVectorSizes()) {
+    std::vector<double> row = {static_cast<double>(n)};
+    for (const Scheme& s : schemes) {
+      double total = 0;
+      for (size_t trial = 0; trial < Trials(); ++trial) {
+        apps::PathVectorConfig config;
+        config.num_nodes = n;
+        config.auth = s.auth;
+        config.enc = s.enc;
+        config.graph_seed = 1000 + trial;
+        auto result = apps::RunPathVector(config);
+        if (!result.ok()) {
+          std::fprintf(stderr, "FAILED n=%zu: %s\n", n,
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        total += result->metrics.MeanTxDurationMs();
+      }
+      row.push_back(total / Trials());
+    }
+    PrintRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 12: per-node communication overhead (KB) of the secure hash join
+// vs. cluster size. Series: NoAuth, RSA-AES.
+//
+// Paper observations: greater parallelism spreads the fixed workload, so
+// per-node overhead falls with cluster size — but with diminishing returns
+// as messages shrink (framing and per-message security overhead amortize
+// worse over small batches).
+#include "apps/hashjoin.h"
+#include "bench_util.h"
+
+using namespace secureblox;
+using namespace secureblox::bench;
+
+int main() {
+  PrintTitle(
+      "Figure 12: Per-node communication overhead (KB) — secure hash join");
+  PrintHeader({"nodes", "NoAuth", "RSA-AES"});
+
+  struct Scheme {
+    policy::AuthScheme auth;
+    policy::EncScheme enc;
+  };
+  const std::vector<Scheme> schemes = {
+      {policy::AuthScheme::kNone, policy::EncScheme::kNone},
+      {policy::AuthScheme::kRsa, policy::EncScheme::kAes},
+  };
+
+  for (size_t n : HashJoinSizes()) {
+    std::vector<double> row = {static_cast<double>(n)};
+    for (const Scheme& s : schemes) {
+      double total = 0;
+      for (size_t trial = 0; trial < Trials(); ++trial) {
+        apps::HashJoinConfig config;
+        config.num_nodes = n;
+        config.auth = s.auth;
+        config.enc = s.enc;
+        config.seed = 5000 + trial;
+        auto result = apps::RunHashJoin(config);
+        if (!result.ok()) {
+          std::fprintf(stderr, "FAILED n=%zu: %s\n", n,
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        total += result->metrics.MeanPerNodeKb();
+      }
+      row.push_back(total / Trials());
+    }
+    PrintRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Microbenchmarks for the DatalogLB evaluation engine (google-benchmark):
+// fixpoint computation, incremental maintenance, constraint checking, and
+// the BloxGenerics compiler itself.
+#include <benchmark/benchmark.h>
+
+#include "datalog/parser.h"
+#include "engine/workspace.h"
+#include "generics/compiler.h"
+#include "policy/says_policy.h"
+
+namespace secureblox::engine {
+namespace {
+
+using datalog::Parse;
+using datalog::Value;
+
+const char* kTcProgram = R"(
+node(X) -> .
+link(X, Y) -> node(X), node(Y).
+reachable(X, Y) -> node(X), node(Y).
+reachable(X, Y) <- link(X, Y).
+reachable(X, Y) <- link(X, Z), reachable(Z, Y).
+)";
+
+void BM_TransitiveClosureChain(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    Workspace ws;
+    (void)ws.Install(Parse(kTcProgram).value());
+    std::vector<FactUpdate> links;
+    for (int64_t i = 0; i + 1 < n; ++i) {
+      links.push_back({"link",
+                       {Value::Str("v" + std::to_string(i)),
+                        Value::Str("v" + std::to_string(i + 1))}});
+    }
+    auto commit = ws.Apply(links);
+    benchmark::DoNotOptimize(commit);
+  }
+  state.SetItemsProcessed(state.iterations() * n * (n - 1) / 2);
+}
+BENCHMARK(BM_TransitiveClosureChain)->Arg(16)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalInsert(benchmark::State& state) {
+  Workspace ws;
+  (void)ws.Install(Parse(kTcProgram).value());
+  // Prime a chain; each iteration extends it by one edge (semi-naïve
+  // incremental maintenance).
+  int64_t next = 0;
+  for (int64_t i = 0; i < 64; ++i) {
+    (void)ws.Insert("link", {Value::Str("w" + std::to_string(i)),
+                             Value::Str("w" + std::to_string(i + 1))});
+    next = i + 1;
+  }
+  for (auto _ : state) {
+    auto commit = ws.Apply({{"link",
+                             {Value::Str("w" + std::to_string(next)),
+                              Value::Str("w" + std::to_string(next + 1))}}});
+    benchmark::DoNotOptimize(commit);
+    ++next;
+  }
+}
+BENCHMARK(BM_IncrementalInsert)->Unit(benchmark::kMillisecond);
+
+void BM_ConstraintCheckedInsert(benchmark::State& state) {
+  Workspace ws;
+  (void)ws.Install(Parse(R"(
+    node(X) -> .
+    allowed(X) -> node(X).
+    link(X, Y) -> node(X), node(Y).
+    link(X, Y) -> allowed(X).
+  )").value());
+  int64_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string src = "a" + std::to_string(i++);
+    (void)ws.Insert("allowed", {Value::Str(src)});
+    state.ResumeTiming();
+    auto commit = ws.Apply({{"link", {Value::Str(src), Value::Str("dst")}}});
+    benchmark::DoNotOptimize(commit);
+  }
+}
+BENCHMARK(BM_ConstraintCheckedInsert)->Unit(benchmark::kMicrosecond);
+
+void BM_AggregateMaintenance(benchmark::State& state) {
+  Workspace ws;
+  (void)ws.Install(Parse(R"(
+    sale(X, V) -> string(X), int(V).
+    total[X] = V -> string(X), int(V).
+    total[X] = V <- agg<< V = sum(S) >> sale(X, S).
+  )").value());
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto commit = ws.Apply({{"sale",
+                             {Value::Str("k" + std::to_string(i % 10)),
+                              Value::Int(i)}}});
+    benchmark::DoNotOptimize(commit);
+    ++i;
+  }
+}
+BENCHMARK(BM_AggregateMaintenance)->Unit(benchmark::kMicrosecond);
+
+void BM_GenericsExpansion(benchmark::State& state) {
+  // Full BloxGenerics compile of the says policy over `n` exportable
+  // predicates — the static meta-programming cost (compile-time only).
+  const int64_t n = state.range(0);
+  std::string src = policy::PreludeSource();
+  for (int64_t i = 0; i < n; ++i) {
+    std::string p = "pred" + std::to_string(i);
+    src += p + "(X, Y) -> int(X), int(Y).\n";
+    src += "exportable(`" + p + ").\n";
+  }
+  policy::SaysPolicyOptions opts;
+  opts.auth = policy::AuthScheme::kRsa;
+  src += policy::SaysPolicySource(opts);
+  auto program = Parse(src).value();
+  for (auto _ : state) {
+    generics::BloxGenericsCompiler compiler;
+    benchmark::DoNotOptimize(compiler.Compile(program));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GenericsExpansion)->Arg(1)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParseProgram(benchmark::State& state) {
+  std::string src = policy::PreludeSource();
+  policy::SaysPolicyOptions opts;
+  src += policy::SaysPolicySource(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Parse(src));
+  }
+}
+BENCHMARK(BM_ParseProgram)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace secureblox::engine
+
+BENCHMARK_MAIN();

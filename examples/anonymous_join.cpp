@@ -1,0 +1,44 @@
+// Anonymous join over an onion circuit (paper §7.3): a privacy-conscious
+// user joins her small local `interests` table against a public repository
+// without revealing her identity to the repository owner.
+//
+//   ./build/examples/anonymous_join
+#include <cstdio>
+
+#include "apps/anonjoin.h"
+
+using namespace secureblox;
+
+int main() {
+  apps::AnonJoinConfig config;
+  config.num_nodes = 4;  // initiator -> relay -> relay -> data owner
+  config.interests = 8;
+  config.publicdata = 150;
+  config.value_domain = 30;
+
+  std::printf("anonymous join through a %zu-hop onion circuit\n\n",
+              config.num_nodes - 1);
+
+  auto result = apps::RunAnonJoin(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("results at the initiator : %zu (expected %zu)\n",
+              result->results_at_initiator, result->expected_results);
+  std::printf("initiator identity hidden from the data owner: %s\n",
+              result->initiator_hidden_from_owner ? "yes" : "NO (bug!)");
+  std::printf("messages relayed          : %llu\n",
+              static_cast<unsigned long long>(
+                  result->metrics.total_messages));
+  std::printf(
+      "\nRequests left the initiator as layered AES ciphertexts; each relay "
+      "peeled\none layer and learned only its neighbours. The owner saw "
+      "requests keyed by\ncircuit id, answered by hash of the join key, and "
+      "replies were onion-wrapped\nback along the same circuit.\n");
+  return result->results_at_initiator == result->expected_results &&
+                 result->initiator_hidden_from_owner
+             ? 0
+             : 1;
+}

@@ -1,0 +1,77 @@
+// Quickstart: the paper's §3.1 motivating example — a secure distributed
+// transitive closure ("reachable") over three nodes, with HMAC-
+// authenticated `says` exchange.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "dist/cluster.h"
+#include "policy/says_policy.h"
+
+using namespace secureblox;
+using datalog::Value;
+
+int main() {
+  // 1. The application: plain Datalog. Security is NOT mentioned here.
+  const char* app = R"(
+    link(X, Y) -> principal(X), principal(Y).
+    reachable(X, Y) -> principal(X), principal(Y).
+    reachable(X, Y) <- link(X, Y).
+    reachable(X, Y) <- reachable(X, Z), reachable(Z, Y).
+    says[`reachable](S, U, X, Y) <- reachable(X, Y), link(S, U), self[] = S.
+    exportable(`reachable).
+  )";
+
+  // 2. The security policy: generated says construct with HMAC
+  //    authentication; facts accepted only from trustworthy principals.
+  policy::SaysPolicyOptions popts;
+  popts.auth = policy::AuthScheme::kHmac;
+  popts.accept = policy::AcceptMode::kBenign;
+
+  // 3. A three-node simulated cluster: p0 -> p1 -> p2.
+  dist::SimCluster::Config cfg;
+  cfg.num_nodes = 3;
+  cfg.sources = {policy::PreludeSource(), app,
+                 policy::SaysPolicySource(popts)};
+  cfg.batch_security.auth = policy::AuthScheme::kHmac;
+  cfg.credentials.rsa_bits = 512;
+  cfg.credentials.seed = "quickstart";
+
+  auto cluster = dist::SimCluster::Create(std::move(cfg));
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 cluster.status().ToString().c_str());
+    return 1;
+  }
+  (*cluster)->ScheduleInsert(
+      0, {{"link", {Value::Str("p0"), Value::Str("p1")}}});
+  (*cluster)->ScheduleInsert(
+      1, {{"link", {Value::Str("p1"), Value::Str("p2")}}});
+
+  auto metrics = (*cluster)->Run();
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 metrics.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("converged in %.3f ms simulated time, %llu messages\n",
+              metrics->fixpoint_latency_s * 1000.0,
+              static_cast<unsigned long long>(metrics->total_messages));
+  for (net::NodeIndex i = 0; i < 3; ++i) {
+    auto& ws = (*cluster)->node(i).workspace();
+    auto rows = ws.Query("reachable").value();
+    std::printf("node %u (%s) knows %zu reachable fact(s):\n", i,
+                (*cluster)->node(i).principal().c_str(), rows.size());
+    for (const auto& t : rows) {
+      std::printf("  reachable(%s, %s)\n",
+                  ws.catalog().ValueToString(t[0]).c_str(),
+                  ws.catalog().ValueToString(t[1]).c_str());
+    }
+  }
+  std::printf(
+      "\nEvery exchanged fact travelled as an HMAC-authenticated says "
+      "message;\nswap one line of policy to get RSA signatures or AES "
+      "encryption.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Authenticated + encrypted parallel hash join (paper §7.2): tables
+// partitioned across nodes are rehashed on the join attribute via `says`,
+// joined at the hash owners, and shipped to the initiator.
+//
+//   ./build/examples/secure_hashjoin [nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/hashjoin.h"
+
+using namespace secureblox;
+
+int main(int argc, char** argv) {
+  size_t nodes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+
+  std::printf("secure parallel hash join on %zu nodes "
+              "(|R|=900, |S|=800, 72 join values)\n\n", nodes);
+
+  struct Row {
+    const char* name;
+    policy::AuthScheme auth;
+    policy::EncScheme enc;
+  };
+  const Row rows[] = {
+      {"NoAuth", policy::AuthScheme::kNone, policy::EncScheme::kNone},
+      {"HMAC", policy::AuthScheme::kHmac, policy::EncScheme::kNone},
+      {"RSA-AES", policy::AuthScheme::kRsa, policy::EncScheme::kAes},
+  };
+
+  for (const Row& row : rows) {
+    apps::HashJoinConfig config;
+    config.num_nodes = nodes;
+    config.auth = row.auth;
+    config.enc = row.enc;
+    config.seed = 11;
+    auto result = apps::RunHashJoin(config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", row.name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    bool correct = result->results_at_initiator == result->expected_results;
+    std::printf("%-8s %zu/%zu join rows at initiator %s | %.3fs to "
+                "completion | %.1f KB/node\n",
+                row.name, result->results_at_initiator,
+                result->expected_results, correct ? "(correct)" : "(WRONG)",
+                result->metrics.fixpoint_latency_s,
+                result->metrics.MeanPerNodeKb());
+    if (!correct) return 1;
+  }
+
+  std::printf(
+      "\nRehashed tuples crossed the wire inside authenticated (and, for "
+      "RSA-AES,\nencrypted) says batches; switching schemes touched only "
+      "the policy text.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Secure path-vector routing (paper §7.1): authenticated, encrypted route
+// advertisements over a random 12-node topology. Prints node 0's converged
+// routing table and the cost of security.
+//
+//   ./build/examples/secure_routing [nodes]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "apps/pathvector.h"
+
+using namespace secureblox;
+
+int main(int argc, char** argv) {
+  size_t nodes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
+
+  std::printf("running the path-vector protocol on a %zu-node random graph "
+              "(avg degree 3)\n\n", nodes);
+
+  struct Row {
+    const char* name;
+    policy::AuthScheme auth;
+    policy::EncScheme enc;
+  };
+  const Row rows[] = {
+      {"NoAuth", policy::AuthScheme::kNone, policy::EncScheme::kNone},
+      {"RSA-AES", policy::AuthScheme::kRsa, policy::EncScheme::kAes},
+  };
+
+  apps::PathVectorResult last;
+  for (const Row& row : rows) {
+    apps::PathVectorConfig config;
+    config.num_nodes = nodes;
+    config.auth = row.auth;
+    config.enc = row.enc;
+    config.graph_seed = 7;
+    auto result = apps::RunPathVector(config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", row.name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-8s fixpoint %.3fs | %.1f KB/node | mean txn %.2f ms | "
+                "%llu messages\n",
+                row.name, result->metrics.fixpoint_latency_s,
+                result->metrics.MeanPerNodeKb(),
+                result->metrics.MeanTxDurationMs(),
+                static_cast<unsigned long long>(
+                    result->metrics.total_messages));
+    last = std::move(result).value();
+  }
+
+  std::printf("\nnode p0's routing table (with RSA-AES advertisements):\n");
+  std::map<size_t, int64_t> routes(last.best_costs[0].begin(),
+                                   last.best_costs[0].end());
+  for (const auto& [dst, cost] : routes) {
+    std::printf("  p0 -> p%-3zu : %lld hop(s)\n", dst,
+                static_cast<long long>(cost));
+  }
+
+  auto edges = apps::RandomConnectedGraph(nodes, 3.0, 7);
+  auto reference = apps::ReferenceHopCounts(nodes, edges);
+  bool all_match = true;
+  for (const auto& [dst, cost] : routes) {
+    all_match &= (reference[0][dst] == cost);
+  }
+  std::printf("\nroutes match the BFS reference: %s\n",
+              all_match ? "yes" : "NO (bug!)");
+  return all_match ? 0 : 1;
+}

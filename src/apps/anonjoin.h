@@ -1,0 +1,51 @@
+// Anonymous join over an onion-routed circuit (paper §7.3): an anonymous
+// user joins a small local `interests` table against a large remote
+// `publicdata` table without transferring either table wholesale and
+// without revealing her identity to the data owner.
+#ifndef SECUREBLOX_APPS_ANONJOIN_H_
+#define SECUREBLOX_APPS_ANONJOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/cluster.h"
+
+namespace secureblox::apps {
+
+/// The anonymous-join program (requests by hash, replies along the circuit).
+std::string AnonJoinSource();
+
+/// Install an onion circuit through `path` (node indices; front = initiator,
+/// back = endpoint): interns circuit entities, inserts the per-node
+/// forwarding state (`anon_path*` facts), and loads layer keys into each
+/// node's CircuitTable. `destination_principal` is what the initiator's
+/// anon_path[] maps to.
+Status BuildCircuit(dist::SimCluster* cluster,
+                    const std::vector<net::NodeIndex>& path,
+                    const std::string& destination_principal,
+                    uint64_t key_seed);
+
+struct AnonJoinConfig {
+  size_t num_nodes = 4;          // >= 3: initiator, >=1 relay, owner
+  size_t interests = 10;         // rows in the local table
+  size_t publicdata = 200;       // rows in the remote table
+  size_t value_domain = 40;      // join key domain
+  uint64_t seed = 1;
+  size_t rsa_bits = 512;
+};
+
+struct AnonJoinResult {
+  dist::SimCluster::Metrics metrics;
+  size_t results_at_initiator = 0;
+  size_t expected_results = 0;
+  /// The data owner must never learn the initiator's principal: true when
+  /// no says/anon fact at the owner mentions it.
+  bool initiator_hidden_from_owner = true;
+};
+
+Result<AnonJoinResult> RunAnonJoin(const AnonJoinConfig& config);
+
+}  // namespace secureblox::apps
+
+#endif  // SECUREBLOX_APPS_ANONJOIN_H_

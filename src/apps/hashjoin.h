@@ -1,0 +1,52 @@
+// Authenticated/encrypted parallel hash join (paper §7.2).
+//
+// Tables R and S are initially partitioned by their first (key) attribute;
+// joining on the second attribute requires rehashing: each node hashes the
+// join attribute, `says` the tuple to the principal whose hash range owns
+// it, joins co-located tuples, and says results back to the initiator.
+#ifndef SECUREBLOX_APPS_HASHJOIN_H_
+#define SECUREBLOX_APPS_HASHJOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "policy/says_policy.h"
+
+namespace secureblox::apps {
+
+/// The parallel hash join program.
+std::string HashJoinSource();
+
+struct HashJoinConfig {
+  size_t num_nodes = 6;
+  policy::AuthScheme auth = policy::AuthScheme::kNone;
+  policy::EncScheme enc = policy::EncScheme::kNone;
+  /// Paper workload: ~900 and ~800 tuples over 72 distinct join values.
+  size_t tuples_r = 900;
+  size_t tuples_s = 800;
+  size_t join_values = 72;
+  uint64_t seed = 1;
+  size_t rsa_bits = 1024;
+  double compute_scale = 1.0;
+  /// See PathVectorConfig::per_fact_policy (paper footnote 2).
+  bool per_fact_policy = false;
+};
+
+struct HashJoinResult {
+  dist::SimCluster::Metrics metrics;
+  /// Join rows collected at the initiator (node 0).
+  size_t results_at_initiator = 0;
+  /// Expected |R ⋈ S| from a reference nested-loop join.
+  size_t expected_results = 0;
+  /// Completion times (sim seconds) of accepted transactions at the
+  /// initiator — the Figure 10/11 CDF.
+  std::vector<double> initiator_completion_times_s;
+};
+
+Result<HashJoinResult> RunHashJoin(const HashJoinConfig& config);
+
+}  // namespace secureblox::apps
+
+#endif  // SECUREBLOX_APPS_HASHJOIN_H_

@@ -1,0 +1,163 @@
+#include "common/bytes.h"
+
+namespace secureblox {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string ToHex(const uint8_t* data, size_t len) {
+  std::string out;
+  out.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+std::string ToHex(const Bytes& data) { return ToHex(data.data(), data.size()); }
+
+Result<Bytes> FromHex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("non-hex character in hex string");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes BytesFromString(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string StringFromBytes(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+void ByteWriter::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v >> 8));
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  PutU16(static_cast<uint16_t>(v >> 16));
+  PutU16(static_cast<uint16_t>(v));
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v >> 32));
+  PutU32(static_cast<uint32_t>(v));
+}
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutRaw(const uint8_t* data, size_t len) {
+  out_.insert(out_.end(), data, data + len);
+}
+
+void ByteWriter::PutLengthPrefixed(const Bytes& data) {
+  PutVarint(data.size());
+  PutRaw(data);
+}
+
+void ByteWriter::PutLengthPrefixedString(const std::string& s) {
+  PutVarint(s.size());
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+Result<uint8_t> ByteReader::GetU8() {
+  if (remaining() < 1) return Status::InvalidArgument("buffer underflow (u8)");
+  return data_[pos_++];
+}
+
+Result<uint16_t> ByteReader::GetU16() {
+  if (remaining() < 2) return Status::InvalidArgument("buffer underflow (u16)");
+  uint16_t v = (static_cast<uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1];
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> ByteReader::GetU32() {
+  if (remaining() < 4) return Status::InvalidArgument("buffer underflow (u32)");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetU64() {
+  if (remaining() < 8) return Status::InvalidArgument("buffer underflow (u64)");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (remaining() < 1) {
+      return Status::InvalidArgument("buffer underflow (varint)");
+    }
+    uint8_t b = data_[pos_++];
+    if (shift >= 63 && (b & 0x7F) > 1) {
+      return Status::InvalidArgument("varint overflow");
+    }
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Result<Bytes> ByteReader::GetRaw(size_t len) {
+  if (remaining() < len) return Status::InvalidArgument("buffer underflow");
+  Bytes out(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+Result<Bytes> ByteReader::GetLengthPrefixed() {
+  SB_ASSIGN_OR_RETURN(uint64_t len, GetVarint());
+  if (len > remaining()) {
+    return Status::InvalidArgument("length prefix exceeds buffer");
+  }
+  return GetRaw(static_cast<size_t>(len));
+}
+
+Result<std::string> ByteReader::GetLengthPrefixedString() {
+  SB_ASSIGN_OR_RETURN(Bytes b, GetLengthPrefixed());
+  return StringFromBytes(b);
+}
+
+}  // namespace secureblox

@@ -1,0 +1,85 @@
+// Byte-buffer utilities: owned byte strings, hex codecs, and bounds-checked
+// big-endian readers/writers used by the wire format and crypto modules.
+#ifndef SECUREBLOX_COMMON_BYTES_H_
+#define SECUREBLOX_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace secureblox {
+
+/// Owned, growable byte sequence. A thin alias keeps call sites readable.
+using Bytes = std::vector<uint8_t>;
+
+/// Lowercase hex encoding of `data`.
+std::string ToHex(const Bytes& data);
+std::string ToHex(const uint8_t* data, size_t len);
+
+/// Decode lowercase/uppercase hex. Fails on odd length or non-hex chars.
+Result<Bytes> FromHex(const std::string& hex);
+
+/// Convert between Bytes and std::string payloads.
+Bytes BytesFromString(const std::string& s);
+std::string StringFromBytes(const Bytes& b);
+
+/// Constant-time equality for MAC/signature comparisons.
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b);
+
+/// Append-only big-endian serializer.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Unsigned LEB128 varint.
+  void PutVarint(uint64_t v);
+  /// Raw bytes, no length prefix.
+  void PutRaw(const uint8_t* data, size_t len);
+  void PutRaw(const Bytes& data) { PutRaw(data.data(), data.size()); }
+  /// Varint length prefix followed by the bytes.
+  void PutLengthPrefixed(const Bytes& data);
+  void PutLengthPrefixedString(const std::string& s);
+
+  const Bytes& bytes() const { return out_; }
+  Bytes Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+/// Bounds-checked big-endian deserializer over a borrowed buffer.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit ByteReader(const Bytes& data)
+      : data_(data.data()), len_(data.size()) {}
+  // ByteReader borrows the buffer; binding a temporary would dangle.
+  explicit ByteReader(Bytes&&) = delete;
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<uint64_t> GetVarint();
+  Result<Bytes> GetRaw(size_t len);
+  Result<Bytes> GetLengthPrefixed();
+  Result<std::string> GetLengthPrefixedString();
+
+  size_t remaining() const { return len_ - pos_; }
+  bool AtEnd() const { return pos_ == len_; }
+  size_t position() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace secureblox
+
+#endif  // SECUREBLOX_COMMON_BYTES_H_

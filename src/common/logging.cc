@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace secureblox {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < GetLogLevel()) return;
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace internal
+
+}  // namespace secureblox

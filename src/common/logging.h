@@ -1,0 +1,59 @@
+// Minimal leveled logging. Disabled below the global threshold at runtime;
+// meant for diagnostics, not hot paths.
+#ifndef SECUREBLOX_COMMON_LOGGING_H_
+#define SECUREBLOX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace secureblox {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Set / get the global minimum level that is emitted (default: kWarning).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is filtered out.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define SB_LOG(level)                                               \
+  (::secureblox::LogLevel::k##level < ::secureblox::GetLogLevel())  \
+      ? (void)0                                                     \
+      : (void)(::secureblox::internal::LogMessage(                  \
+            ::secureblox::LogLevel::k##level, __FILE__, __LINE__))
+
+// Streaming form: SB_LOG_STREAM(Info) << "x=" << x;
+#define SB_LOG_STREAM(level)                                 \
+  ::secureblox::internal::LogMessage(                        \
+      ::secureblox::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace secureblox
+
+#endif  // SECUREBLOX_COMMON_LOGGING_H_

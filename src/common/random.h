@@ -1,0 +1,50 @@
+// Deterministic pseudo-random generators for workloads and simulation.
+//
+// These are NOT cryptographic generators; crypto code uses HmacDrbg from
+// src/crypto/hmac_drbg.h. Workload generation must be reproducible across
+// runs, so everything here is seeded explicitly.
+#ifndef SECUREBLOX_COMMON_RANDOM_H_
+#define SECUREBLOX_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace secureblox {
+
+/// SplitMix64: tiny, high-quality seeding/stream generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: fast general-purpose PRNG for workload generation.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed);
+
+  uint64_t Next();
+  /// Uniform in [0, bound) without modulo bias (bound must be > 0).
+  uint64_t Uniform(uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+  /// Bernoulli trial with probability p.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace secureblox
+
+#endif  // SECUREBLOX_COMMON_RANDOM_H_

@@ -1,0 +1,26 @@
+// Small string helpers shared across modules.
+#ifndef SECUREBLOX_COMMON_STRINGS_H_
+#define SECUREBLOX_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace secureblox {
+
+/// Join `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Split `s` on character `sep` (no empty-trailing suppression).
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+}  // namespace secureblox
+
+#endif  // SECUREBLOX_COMMON_STRINGS_H_

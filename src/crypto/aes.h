@@ -1,0 +1,49 @@
+// AES-128 (FIPS 197) block cipher plus CTR-mode stream encryption.
+//
+// The paper encrypts serialized fact batches with AES under pairwise
+// 128-bit shared secrets. We use CTR mode with a random 16-byte nonce
+// prepended to the ciphertext; decryption is the same keystream XOR.
+#ifndef SECUREBLOX_CRYPTO_AES_H_
+#define SECUREBLOX_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace secureblox::crypto {
+
+/// AES-128 block cipher with a fixed expanded key schedule.
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+
+  /// Key must be exactly 16 bytes.
+  static Result<Aes128> Create(const Bytes& key);
+
+  /// Encrypt one 16-byte block in place.
+  void EncryptBlock(uint8_t block[kBlockSize]) const;
+  /// Decrypt one 16-byte block in place.
+  void DecryptBlock(uint8_t block[kBlockSize]) const;
+
+ private:
+  Aes128() = default;
+  void ExpandKey(const uint8_t key[kKeySize]);
+
+  // 11 round keys of 16 bytes.
+  std::array<uint8_t, 176> round_keys_{};
+};
+
+/// CTR-mode encryption: output = nonce(16) || plaintext XOR keystream.
+/// `nonce` must be 16 bytes; use a fresh random nonce per message.
+Result<Bytes> AesCtrEncrypt(const Bytes& key, const Bytes& nonce,
+                            const Bytes& plaintext);
+
+/// CTR-mode decryption of a nonce-prefixed ciphertext.
+Result<Bytes> AesCtrDecrypt(const Bytes& key, const Bytes& ciphertext);
+
+}  // namespace secureblox::crypto
+
+#endif  // SECUREBLOX_CRYPTO_AES_H_

@@ -1,0 +1,49 @@
+#include "crypto/hmac_drbg.h"
+
+#include "crypto/hmac.h"
+
+namespace secureblox::crypto {
+
+HmacDrbg::HmacDrbg(const Bytes& seed)
+    : key_(32, 0x00), v_(32, 0x01) {
+  Update(seed);
+}
+
+void HmacDrbg::Update(const Bytes& data) {
+  // K = HMAC(K, V || 0x00 || data); V = HMAC(K, V)
+  Bytes msg = v_;
+  msg.push_back(0x00);
+  msg.insert(msg.end(), data.begin(), data.end());
+  key_ = HmacSha256(key_, msg);
+  v_ = HmacSha256(key_, v_);
+  if (!data.empty()) {
+    msg = v_;
+    msg.push_back(0x01);
+    msg.insert(msg.end(), data.begin(), data.end());
+    key_ = HmacSha256(key_, msg);
+    v_ = HmacSha256(key_, v_);
+  }
+}
+
+Bytes HmacDrbg::Generate(size_t len) {
+  Bytes out;
+  out.reserve(len);
+  while (out.size() < len) {
+    v_ = HmacSha256(key_, v_);
+    size_t take = std::min(len - out.size(), v_.size());
+    out.insert(out.end(), v_.begin(), v_.begin() + take);
+  }
+  Update({});
+  return out;
+}
+
+void HmacDrbg::Reseed(const Bytes& seed) { Update(seed); }
+
+uint32_t HmacDrbg::NextU32() {
+  Bytes b = Generate(4);
+  return (static_cast<uint32_t>(b[0]) << 24) |
+         (static_cast<uint32_t>(b[1]) << 16) |
+         (static_cast<uint32_t>(b[2]) << 8) | b[3];
+}
+
+}  // namespace secureblox::crypto

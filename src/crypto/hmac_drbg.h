@@ -1,0 +1,39 @@
+// HMAC-DRBG (NIST SP 800-90A) over HMAC-SHA256.
+//
+// Deterministic random bit generator used for key generation and nonces.
+// Seeding is explicit so test/benchmark runs are reproducible; a production
+// deployment would seed from the OS entropy pool.
+#ifndef SECUREBLOX_CRYPTO_HMAC_DRBG_H_
+#define SECUREBLOX_CRYPTO_HMAC_DRBG_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace secureblox::crypto {
+
+/// Deterministic HMAC-SHA256 DRBG.
+class HmacDrbg {
+ public:
+  /// Instantiate from seed material (entropy || nonce || personalization).
+  explicit HmacDrbg(const Bytes& seed);
+
+  /// Generate `len` pseudo-random bytes.
+  Bytes Generate(size_t len);
+
+  /// Mix additional entropy into the state.
+  void Reseed(const Bytes& seed);
+
+  /// Uniform 32-bit word (convenience for BigNum::RandomBits).
+  uint32_t NextU32();
+
+ private:
+  void Update(const Bytes& data);
+
+  Bytes key_;  // K
+  Bytes v_;    // V
+};
+
+}  // namespace secureblox::crypto
+
+#endif  // SECUREBLOX_CRYPTO_HMAC_DRBG_H_

@@ -1,0 +1,46 @@
+// SHA-1 (FIPS 180-4). Used for HMAC-SHA1 message authentication, RSA
+// signature digests, and hash-partitioning in the parallel hash join —
+// matching the schemes evaluated in the SecureBlox paper (2010-era). Not
+// collision-resistant by modern standards; kept for fidelity to the paper.
+#ifndef SECUREBLOX_CRYPTO_SHA1_H_
+#define SECUREBLOX_CRYPTO_SHA1_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace secureblox::crypto {
+
+/// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  static constexpr size_t kDigestSize = 20;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha1();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+
+  /// Finalize and return the 20-byte digest. The hasher must not be reused
+  /// afterwards without Reset().
+  Bytes Finish();
+
+  void Reset();
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[5];
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+Bytes Sha1Digest(const Bytes& data);
+Bytes Sha1Digest(const uint8_t* data, size_t len);
+
+}  // namespace secureblox::crypto
+
+#endif  // SECUREBLOX_CRYPTO_SHA1_H_

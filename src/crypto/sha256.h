@@ -1,0 +1,39 @@
+// SHA-256 (FIPS 180-4). Used by the HMAC-DRBG deterministic random bit
+// generator that seeds key generation.
+#ifndef SECUREBLOX_CRYPTO_SHA256_H_
+#define SECUREBLOX_CRYPTO_SHA256_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace secureblox::crypto {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  Bytes Finish();
+  void Reset();
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[8];
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+Bytes Sha256Digest(const Bytes& data);
+
+}  // namespace secureblox::crypto
+
+#endif  // SECUREBLOX_CRYPTO_SHA256_H_

@@ -1,0 +1,180 @@
+// Abstract syntax for the DatalogLB dialect plus BloxGenerics extensions.
+//
+// One uniform atom/term representation serves object-level code, meta-level
+// (generic) code, and code templates:
+//   - object rules:        reachable(X,Y) <- link(X,Z), reachable(Z,Y).
+//   - functional atoms:    path[P,Src,Dst]=C, singletons self[]=P
+//   - parameterized atoms: says[`reachable](Z,S,Z,Y)   (quoted-pred param)
+//   - generic rules:       says[T]=ST, predicate(ST), `{ ... } <-- predicate(T).
+//   - templates:           atoms whose predicate name is a metavariable (ST)
+//                          and variable-length argument sequences (V*)
+//   - generic constraints: says(T,ST) --> exportable(T).
+#ifndef SECUREBLOX_DATALOG_AST_H_
+#define SECUREBLOX_DATALOG_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datalog/value.h"
+
+namespace secureblox::datalog {
+
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+  std::string ToString() const {
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+enum class TermKind {
+  kVar,         // X, Me, _  (parser renames each `_` to a fresh variable)
+  kConst,       // 42, "CA", true
+  kQuotedPred,  // `reachable
+  kVararg,      // V*  (templates only)
+  kArith,       // C + 1
+};
+
+struct Term;
+using TermPtr = std::shared_ptr<Term>;
+
+struct Term {
+  TermKind kind;
+  std::string name;  // variable / quoted predicate / vararg base name
+  Value constant;    // kConst payload
+  char op = 0;       // kArith: one of + - * /
+  TermPtr lhs, rhs;  // kArith operands
+
+  static TermPtr Var(std::string n);
+  static TermPtr Const(Value v);
+  static TermPtr QuotedPred(std::string n);
+  static TermPtr Vararg(std::string n);
+  static TermPtr Arith(char op, TermPtr l, TermPtr r);
+
+  std::string ToString() const;
+};
+
+/// Predicate reference: plain name, optionally with a parameter —
+/// `says[`reachable]` (quoted) or `says[T]` / `types[T]` (metavariable,
+/// inside templates).
+struct PredRef {
+  std::string name;
+  TermPtr param;  // null | kQuotedPred | kVar
+  // Inside templates the predicate name itself may be a metavariable bound
+  // by the enclosing generic rule, e.g. `ST(P1,P2,V*)` or `T(V*)`.
+  bool name_is_metavar = false;
+
+  bool parameterized() const { return param != nullptr; }
+  std::string ToString() const;
+};
+
+struct Atom {
+  PredRef pred;
+  // For functional atoms (p[k1..kn]=v) args = {k1..kn, v}; `functional`
+  // marks that the last arg is the value position.
+  std::vector<TermPtr> args;
+  bool functional = false;
+  bool negated = false;
+  SourceLoc loc;
+
+  size_t arity() const { return args.size(); }
+  /// True if any argument is a vararg (template atoms).
+  bool HasVararg() const;
+  std::string ToString() const;
+};
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+const char* CmpOpName(CmpOp op);
+
+struct Comparison {
+  TermPtr lhs;
+  CmpOp op;
+  TermPtr rhs;
+  SourceLoc loc;
+  std::string ToString() const;
+};
+
+/// A body element: positive/negated atom or comparison.
+struct Literal {
+  enum class Kind { kAtom, kCompare };
+  Kind kind;
+  Atom atom;       // valid when kind == kAtom
+  Comparison cmp;  // valid when kind == kCompare
+
+  static Literal MakeAtom(Atom a);
+  static Literal MakeCompare(Comparison c);
+  std::string ToString() const;
+};
+
+enum class AggFunc { kMin, kMax, kCount, kSum };
+const char* AggFuncName(AggFunc f);
+
+/// `agg<< C = min(Cx) >>` annotation on a rule.
+struct AggSpec {
+  std::string result_var;
+  AggFunc func;
+  std::string input_var;  // unused for count
+};
+
+struct Rule {
+  std::vector<Atom> heads;
+  std::vector<Literal> body;
+  std::optional<AggSpec> agg;
+  SourceLoc loc;
+
+  bool IsFact() const { return body.empty() && !agg.has_value(); }
+  std::string ToString() const;
+};
+
+/// Integrity constraint `lhs -> rhs`. Type declarations are constraints of
+/// a recognized shape (see typecheck.h); the rest are checked at runtime.
+struct ConstraintDecl {
+  std::vector<Literal> lhs;
+  std::vector<Literal> rhs;  // empty = entity-type declaration `t(x) -> .`
+  SourceLoc loc;
+
+  std::string ToString() const;
+};
+
+/// A `{ ... } code template inside a generic rule head.
+struct TemplateBlock {
+  std::vector<Rule> rules;
+  std::vector<ConstraintDecl> constraints;
+  SourceLoc loc;
+};
+
+/// Generic (meta) rule: head atoms over generic predicates plus templates,
+/// derived when the meta-level body holds. `says[T]=ST, predicate(ST),
+/// `{...} <-- predicate(T).`
+struct GenericRule {
+  std::vector<Atom> head_atoms;
+  std::vector<TemplateBlock> templates;
+  std::vector<Literal> body;
+  SourceLoc loc;
+};
+
+/// Generic constraint over the meta-database: `says(T,ST) --> exportable(T).`
+struct GenericConstraint {
+  std::vector<Literal> lhs;
+  std::vector<Literal> rhs;
+  SourceLoc loc;
+};
+
+/// A parsed compilation unit.
+struct Program {
+  std::vector<Rule> rules;  // object rules and facts
+  std::vector<ConstraintDecl> constraints;
+  std::vector<GenericRule> generic_rules;
+  std::vector<GenericConstraint> generic_constraints;
+  std::vector<Atom> meta_facts;  // e.g. exportable(`path).
+
+  /// Append all clauses of `other`.
+  void Merge(Program other);
+  std::string ToString() const;
+};
+
+}  // namespace secureblox::datalog
+
+#endif  // SECUREBLOX_DATALOG_AST_H_

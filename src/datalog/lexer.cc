@@ -1,0 +1,258 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+
+namespace secureblox::datalog {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kVararg: return "vararg";
+    case TokenKind::kQuotedIdent: return "quoted identifier";
+    case TokenKind::kTemplateOpen: return "`{";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBracket: return "[";
+    case TokenKind::kRBracket: return "]";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kBang: return "!";
+    case TokenKind::kEq: return "=";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kArrowRule: return "<-";
+    case TokenKind::kArrowConstraint: return "->";
+    case TokenKind::kArrowGenericRule: return "<--";
+    case TokenKind::kArrowGenericConstraint: return "-->";
+    case TokenKind::kAggOpen: return "<<";
+    case TokenKind::kAggClose: return ">>";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(const std::string& src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SB_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      SourceLoc loc{line_, col_};
+      if (AtEnd()) {
+        out.push_back({TokenKind::kEof, "", 0, loc});
+        return out;
+      }
+      auto tok = Next(loc);
+      if (!tok.ok()) return tok.status();
+      out.push_back(std::move(tok).value());
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at " + std::to_string(line_) + ":" +
+                              std::to_string(col_));
+  }
+
+  Status SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+        if (AtEnd()) return Error("unterminated block comment");
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  static bool IsIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$';
+  }
+
+  Result<Token> Next(SourceLoc loc) {
+    char c = Peek();
+
+    if (IsIdentStart(c)) {
+      std::string text;
+      while (!AtEnd() && IsIdentChar(Peek())) text.push_back(Advance());
+      bool is_var = std::isupper(static_cast<unsigned char>(text[0])) ||
+                    text[0] == '_';
+      if (is_var && Peek() == '*') {
+        Advance();
+        return Token{TokenKind::kVararg, text, 0, loc};
+      }
+      return Token{is_var ? TokenKind::kVariable : TokenKind::kIdent, text, 0,
+                   loc};
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits.push_back(Advance());
+      }
+      Token t{TokenKind::kInt, digits, 0, loc};
+      try {
+        t.int_value = std::stoll(digits);
+      } catch (...) {
+        return Error("integer literal out of range: " + digits);
+      }
+      return t;
+    }
+
+    switch (c) {
+      case '"': {
+        Advance();
+        std::string text;
+        while (!AtEnd() && Peek() != '"') {
+          char ch = Advance();
+          if (ch == '\\' && !AtEnd()) {
+            char esc = Advance();
+            switch (esc) {
+              case 'n': text.push_back('\n'); break;
+              case 't': text.push_back('\t'); break;
+              case '\\': text.push_back('\\'); break;
+              case '"': text.push_back('"'); break;
+              default: return Error(std::string("bad escape \\") + esc);
+            }
+          } else {
+            text.push_back(ch);
+          }
+        }
+        if (AtEnd()) return Error("unterminated string literal");
+        Advance();  // closing quote
+        return Token{TokenKind::kString, text, 0, loc};
+      }
+      case '`': {
+        Advance();
+        if (Peek() == '{') {
+          Advance();
+          return Token{TokenKind::kTemplateOpen, "`{", 0, loc};
+        }
+        if (!IsIdentStart(Peek())) {
+          return Error("expected identifier or { after `");
+        }
+        std::string text;
+        while (!AtEnd() && IsIdentChar(Peek())) text.push_back(Advance());
+        return Token{TokenKind::kQuotedIdent, text, 0, loc};
+      }
+      case '(': Advance(); return Token{TokenKind::kLParen, "(", 0, loc};
+      case ')': Advance(); return Token{TokenKind::kRParen, ")", 0, loc};
+      case '[': Advance(); return Token{TokenKind::kLBracket, "[", 0, loc};
+      case ']': Advance(); return Token{TokenKind::kRBracket, "]", 0, loc};
+      case '}': Advance(); return Token{TokenKind::kRBrace, "}", 0, loc};
+      case ',': Advance(); return Token{TokenKind::kComma, ",", 0, loc};
+      case '.': Advance(); return Token{TokenKind::kDot, ".", 0, loc};
+      case '+': Advance(); return Token{TokenKind::kPlus, "+", 0, loc};
+      case '*': Advance(); return Token{TokenKind::kStar, "*", 0, loc};
+      case '/': Advance(); return Token{TokenKind::kSlash, "/", 0, loc};
+      case '=': Advance(); return Token{TokenKind::kEq, "=", 0, loc};
+      case '!':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          return Token{TokenKind::kNe, "!=", 0, loc};
+        }
+        return Token{TokenKind::kBang, "!", 0, loc};
+      case '<':
+        Advance();
+        if (Peek() == '-' && Peek(1) == '-') {
+          Advance(); Advance();
+          return Token{TokenKind::kArrowGenericRule, "<--", 0, loc};
+        }
+        if (Peek() == '-') {
+          Advance();
+          return Token{TokenKind::kArrowRule, "<-", 0, loc};
+        }
+        if (Peek() == '<') {
+          Advance();
+          return Token{TokenKind::kAggOpen, "<<", 0, loc};
+        }
+        if (Peek() == '=') {
+          Advance();
+          return Token{TokenKind::kLe, "<=", 0, loc};
+        }
+        return Token{TokenKind::kLt, "<", 0, loc};
+      case '>':
+        Advance();
+        if (Peek() == '>') {
+          Advance();
+          return Token{TokenKind::kAggClose, ">>", 0, loc};
+        }
+        if (Peek() == '=') {
+          Advance();
+          return Token{TokenKind::kGe, ">=", 0, loc};
+        }
+        return Token{TokenKind::kGt, ">", 0, loc};
+      case '-':
+        Advance();
+        if (Peek() == '-' && Peek(1) == '>') {
+          Advance(); Advance();
+          return Token{TokenKind::kArrowGenericConstraint, "-->", 0, loc};
+        }
+        if (Peek() == '>') {
+          Advance();
+          return Token{TokenKind::kArrowConstraint, "->", 0, loc};
+        }
+        return Token{TokenKind::kMinus, "-", 0, loc};
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  return LexerImpl(source).Run();
+}
+
+}  // namespace secureblox::datalog

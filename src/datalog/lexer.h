@@ -1,0 +1,56 @@
+// Tokenizer for the DatalogLB + BloxGenerics surface syntax.
+//
+// The paper's typographic left-quote (‘) is written as ASCII backquote:
+//   `reachable     quoted predicate
+//   `{ ... }       code template
+// Longest-match disambiguates the arrow family: `<--` (generic rule),
+// `<-` (rule), `<<`/`>>` (aggregation), `-->` (generic constraint),
+// `->` (constraint), and the comparison operators.
+#ifndef SECUREBLOX_DATALOG_LEXER_H_
+#define SECUREBLOX_DATALOG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace secureblox::datalog {
+
+enum class TokenKind {
+  kIdent,        // lowercase-initial identifier: predicate / keyword
+  kVariable,     // uppercase-initial identifier or _
+  kVararg,       // V*  (variable immediately followed by *)
+  kQuotedIdent,  // `reachable
+  kTemplateOpen, // `{
+  kInt,          // 123
+  kString,       // "abc"
+  kLParen, kRParen, kLBracket, kRBracket, kRBrace,
+  kComma, kDot, kBang,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kStar, kSlash,
+  kArrowRule,          // <-
+  kArrowConstraint,    // ->
+  kArrowGenericRule,   // <--
+  kArrowGenericConstraint,  // -->
+  kAggOpen,            // <<
+  kAggClose,           // >>
+  kEof,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier text / string payload
+  int64_t int_value = 0;
+  SourceLoc loc;
+};
+
+/// Tokenize `source`; returns all tokens ending with kEof, or a ParseError
+/// naming the offending line:column.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace secureblox::datalog
+
+#endif  // SECUREBLOX_DATALOG_LEXER_H_

@@ -1,0 +1,540 @@
+#include "datalog/parser.h"
+
+#include <utility>
+
+#include "datalog/lexer.h"
+
+namespace secureblox::datalog {
+
+namespace {
+
+// A head element is either a literal or a code template.
+struct HeadElement {
+  bool is_template = false;
+  Literal literal;
+  TemplateBlock tmpl;
+};
+
+class ParserImpl {
+ public:
+  ParserImpl(std::vector<Token> tokens, std::string unit)
+      : tokens_(std::move(tokens)), unit_(std::move(unit)) {}
+
+  Result<Program> Run() {
+    Program program;
+    while (!Check(TokenKind::kEof)) {
+      SB_RETURN_IF_ERROR(ParseClause(&program, /*in_template=*/nullptr));
+    }
+    return program;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenKind k) const { return Peek().kind == k; }
+  bool Match(TokenKind k) {
+    if (!Check(k)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(const std::string& msg) const {
+    const Token& t = Peek();
+    return Status::ParseError(unit_ + ":" + t.loc.ToString() + ": " + msg +
+                              " (found " + TokenKindName(t.kind) +
+                              (t.text.empty() ? "" : " '" + t.text + "'") +
+                              ")");
+  }
+
+  Status Expect(TokenKind k, const std::string& what) {
+    if (!Match(k)) return Error("expected " + what);
+    return Status::OK();
+  }
+
+  std::string FreshVar(const char* prefix) {
+    return std::string("_") + prefix + std::to_string(fresh_counter_++);
+  }
+
+  // --- terms ---------------------------------------------------------------
+
+  // term := factor (('+'|'-') factor)*
+  // factor := primary (('*'|'/') primary)*
+  Result<TermPtr> ParseTerm(std::vector<Literal>* desugar) {
+    SB_ASSIGN_OR_RETURN(TermPtr lhs, ParseFactor(desugar));
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      char op = Check(TokenKind::kPlus) ? '+' : '-';
+      Advance();
+      SB_ASSIGN_OR_RETURN(TermPtr rhs, ParseFactor(desugar));
+      lhs = Term::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<TermPtr> ParseFactor(std::vector<Literal>* desugar) {
+    SB_ASSIGN_OR_RETURN(TermPtr lhs, ParsePrimary(desugar));
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash)) {
+      char op = Check(TokenKind::kStar) ? '*' : '/';
+      Advance();
+      SB_ASSIGN_OR_RETURN(TermPtr rhs, ParsePrimary(desugar));
+      lhs = Term::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<TermPtr> ParsePrimary(std::vector<Literal>* desugar) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt:
+        Advance();
+        return Term::Const(Value::Int(t.int_value));
+      case TokenKind::kString:
+        Advance();
+        return Term::Const(Value::Str(t.text));
+      case TokenKind::kVariable: {
+        Advance();
+        std::string name = t.text;
+        if (name == "_") name = FreshVar("anon");
+        return Term::Var(std::move(name));
+      }
+      case TokenKind::kVararg:
+        Advance();
+        return Term::Vararg(t.text);
+      case TokenKind::kQuotedIdent:
+        Advance();
+        return Term::QuotedPred(t.text);
+      case TokenKind::kIdent: {
+        if (t.text == "true" || t.text == "false") {
+          Advance();
+          return Term::Const(Value::Bool(t.text == "true"));
+        }
+        // Singleton lookup sugar: name[] becomes a fresh variable plus the
+        // body literal `name[] = _Sn`.
+        if (Peek(1).kind == TokenKind::kLBracket &&
+            Peek(2).kind == TokenKind::kRBracket &&
+            Peek(3).kind != TokenKind::kEq) {
+          if (desugar == nullptr) {
+            return Error("singleton lookup not allowed in this position");
+          }
+          Advance();  // name
+          Advance();  // [
+          Advance();  // ]
+          std::string fresh = FreshVar("sgl");
+          Atom lookup;
+          lookup.pred.name = t.text;
+          lookup.functional = true;
+          lookup.args.push_back(Term::Var(fresh));
+          lookup.loc = t.loc;
+          desugar->push_back(Literal::MakeAtom(std::move(lookup)));
+          return Term::Var(fresh);
+        }
+        return Error("unexpected identifier in term position (predicates "
+                     "are not values; quote with ` to reference one)");
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        SB_ASSIGN_OR_RETURN(TermPtr inner, ParseTerm(desugar));
+        SB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+        return inner;
+      }
+      default:
+        return Error("expected term");
+    }
+  }
+
+  // Argument term inside an atom: a full term, but arithmetic results are
+  // replaced by fresh variables bound via a desugar comparison.
+  Result<TermPtr> ParseAtomArg(std::vector<Literal>* desugar) {
+    SB_ASSIGN_OR_RETURN(TermPtr term, ParseTerm(desugar));
+    if (term->kind == TermKind::kArith) {
+      if (desugar == nullptr) {
+        return Error("arithmetic not allowed in this position");
+      }
+      std::string fresh = FreshVar("arith");
+      Comparison c;
+      c.lhs = Term::Var(fresh);
+      c.op = CmpOp::kEq;
+      c.rhs = term;
+      desugar->push_back(Literal::MakeCompare(std::move(c)));
+      return Term::Var(fresh);
+    }
+    return term;
+  }
+
+  // --- atoms ---------------------------------------------------------------
+
+  // atom := name params? '(' args ')'            plain
+  //       | name '[' keys ']' '=' term           functional
+  //       | name '[' param ']' '(' args ')'      parameterized
+  //       | name '[' param ']' '=' term          parameterized singleton? no:
+  //                                              bracket-with-one-var + '='
+  //                                              parses as functional.
+  // `name` is an identifier, or a metavariable inside templates.
+  Result<Atom> ParseAtom(std::vector<Literal>* desugar) {
+    Atom atom;
+    atom.loc = Peek().loc;
+    if (Check(TokenKind::kBang)) {
+      Advance();
+      atom.negated = true;
+    }
+
+    if (Check(TokenKind::kVariable)) {
+      // Template atom with metavariable predicate: T(V*).
+      atom.pred.name = Advance().text;
+      atom.pred.name_is_metavar = true;
+    } else if (Check(TokenKind::kIdent)) {
+      atom.pred.name = Advance().text;
+    } else {
+      return Error("expected predicate name");
+    }
+
+    if (Match(TokenKind::kLBracket)) {
+      // Either functional keys or a predicate parameter.
+      if (Check(TokenKind::kRBracket)) {
+        // Zero-key functional: p[] = v
+        Advance();
+        SB_RETURN_IF_ERROR(Expect(TokenKind::kEq, "= after []"));
+        SB_ASSIGN_OR_RETURN(TermPtr v, ParseAtomArg(desugar));
+        atom.functional = true;
+        atom.args.push_back(std::move(v));
+        return atom;
+      }
+      if (Check(TokenKind::kQuotedIdent)) {
+        // Parameterized: says[`reachable](...) — quoted predicate param.
+        atom.pred.param = Term::QuotedPred(Advance().text);
+        SB_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "]"));
+        return ParseAtomArgsParen(std::move(atom), desugar);
+      }
+      // Could be functional keys or a metavariable parameter; decide by
+      // what follows the closing bracket.
+      std::vector<TermPtr> keys;
+      SB_ASSIGN_OR_RETURN(TermPtr first, ParseAtomArg(desugar));
+      keys.push_back(std::move(first));
+      while (Match(TokenKind::kComma)) {
+        SB_ASSIGN_OR_RETURN(TermPtr k, ParseAtomArg(desugar));
+        keys.push_back(std::move(k));
+      }
+      SB_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "]"));
+      if (Check(TokenKind::kLParen)) {
+        // Parameterized with metavariable: says[T](...), types[T](V*).
+        if (keys.size() != 1 || keys[0]->kind != TermKind::kVar) {
+          return Error("predicate parameter must be a single metavariable "
+                       "or quoted predicate");
+        }
+        atom.pred.param = keys[0];
+        return ParseAtomArgsParen(std::move(atom), desugar);
+      }
+      SB_RETURN_IF_ERROR(Expect(TokenKind::kEq, "= after functional keys"));
+      SB_ASSIGN_OR_RETURN(TermPtr v, ParseAtomArg(desugar));
+      atom.functional = true;
+      atom.args = std::move(keys);
+      atom.args.push_back(std::move(v));
+      return atom;
+    }
+
+    return ParseAtomArgsParen(std::move(atom), desugar);
+  }
+
+  Result<Atom> ParseAtomArgsParen(Atom atom, std::vector<Literal>* desugar) {
+    SB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+    if (!Check(TokenKind::kRParen)) {
+      do {
+        SB_ASSIGN_OR_RETURN(TermPtr a, ParseAtomArg(desugar));
+        atom.args.push_back(std::move(a));
+      } while (Match(TokenKind::kComma));
+    }
+    SB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    return atom;
+  }
+
+  // --- literals ------------------------------------------------------------
+
+  // literal := atom | '!' atom | term cmp term
+  Result<Literal> ParseLiteral(std::vector<Literal>* desugar) {
+    // Negation and ident-headed constructs are atoms; so are metavariable-
+    // headed atoms `T(...)`. Everything else must be a comparison.
+    if (Check(TokenKind::kBang) && Peek(1).kind != TokenKind::kEq) {
+      SB_ASSIGN_OR_RETURN(Atom a, ParseAtom(desugar));
+      return Literal::MakeAtom(std::move(a));
+    }
+    bool ident_atom =
+        Check(TokenKind::kIdent) && Peek().text != "true" &&
+        Peek().text != "false" &&
+        (Peek(1).kind == TokenKind::kLParen ||
+         Peek(1).kind == TokenKind::kLBracket);
+    // `self[] = X` must parse as a functional atom, not as sugar.
+    bool var_atom = Check(TokenKind::kVariable) &&
+                    Peek(1).kind == TokenKind::kLParen;
+    if (ident_atom) {
+      // Disambiguate `p[] = v` (atom) from `p[]`-sugar inside a comparison:
+      // `p[...]` followed by `=`/`(` after the bracket closes is an atom.
+      // The simple cases below cover the dialect: an identifier followed by
+      // `(` or `[` begins an atom.
+      SB_ASSIGN_OR_RETURN(Atom a, ParseAtom(desugar));
+      return Literal::MakeAtom(std::move(a));
+    }
+    if (var_atom) {
+      SB_ASSIGN_OR_RETURN(Atom a, ParseAtom(desugar));
+      return Literal::MakeAtom(std::move(a));
+    }
+
+    Comparison c;
+    c.loc = Peek().loc;
+    SB_ASSIGN_OR_RETURN(c.lhs, ParseTerm(desugar));
+    switch (Peek().kind) {
+      case TokenKind::kEq: c.op = CmpOp::kEq; break;
+      case TokenKind::kNe: c.op = CmpOp::kNe; break;
+      case TokenKind::kLt: c.op = CmpOp::kLt; break;
+      case TokenKind::kLe: c.op = CmpOp::kLe; break;
+      case TokenKind::kGt: c.op = CmpOp::kGt; break;
+      case TokenKind::kGe: c.op = CmpOp::kGe; break;
+      default:
+        return Error("expected comparison operator");
+    }
+    Advance();
+    SB_ASSIGN_OR_RETURN(c.rhs, ParseTerm(desugar));
+    return Literal::MakeCompare(std::move(c));
+  }
+
+  Result<std::vector<Literal>> ParseLiteralList(
+      std::vector<Literal>* desugar) {
+    std::vector<Literal> out;
+    do {
+      SB_ASSIGN_OR_RETURN(Literal l, ParseLiteral(desugar));
+      out.push_back(std::move(l));
+    } while (Match(TokenKind::kComma));
+    return out;
+  }
+
+  // --- aggregation ---------------------------------------------------------
+
+  Result<std::optional<AggSpec>> TryParseAgg() {
+    if (!(Check(TokenKind::kIdent) && Peek().text == "agg" &&
+          Peek(1).kind == TokenKind::kAggOpen)) {
+      return std::optional<AggSpec>();
+    }
+    Advance();  // agg
+    Advance();  // <<
+    AggSpec spec;
+    if (!Check(TokenKind::kVariable)) return Error("expected aggregate result variable");
+    spec.result_var = Advance().text;
+    SB_RETURN_IF_ERROR(Expect(TokenKind::kEq, "="));
+    if (!Check(TokenKind::kIdent)) return Error("expected aggregate function");
+    std::string func = Advance().text;
+    if (func == "min") spec.func = AggFunc::kMin;
+    else if (func == "max") spec.func = AggFunc::kMax;
+    else if (func == "count") spec.func = AggFunc::kCount;
+    else if (func == "sum") spec.func = AggFunc::kSum;
+    else return Error("unknown aggregate function '" + func + "'");
+    SB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+    if (spec.func == AggFunc::kCount && Check(TokenKind::kRParen)) {
+      // count() takes no input variable
+    } else {
+      if (!Check(TokenKind::kVariable)) return Error("expected aggregate input variable");
+      spec.input_var = Advance().text;
+    }
+    SB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    SB_RETURN_IF_ERROR(Expect(TokenKind::kAggClose, ">>"));
+    return std::optional<AggSpec>(std::move(spec));
+  }
+
+  // --- clauses -------------------------------------------------------------
+
+  Result<TemplateBlock> ParseTemplate() {
+    TemplateBlock block;
+    block.loc = Peek().loc;
+    SB_RETURN_IF_ERROR(Expect(TokenKind::kTemplateOpen, "`{"));
+    Program scratch;
+    while (!Check(TokenKind::kRBrace)) {
+      if (Check(TokenKind::kEof)) return Error("unterminated template");
+      SB_RETURN_IF_ERROR(ParseClause(&scratch, &block));
+    }
+    Advance();  // }
+    if (!scratch.generic_rules.empty() || !scratch.meta_facts.empty()) {
+      return Error("generic clauses are not allowed inside templates");
+    }
+    return block;
+  }
+
+  // Parse one clause into `program`, or into `tmpl` when inside a template.
+  Status ParseClause(Program* program, TemplateBlock* tmpl) {
+    std::vector<HeadElement> heads;
+    std::vector<Literal> head_desugar;
+    SourceLoc loc = Peek().loc;
+
+    do {
+      if (Check(TokenKind::kTemplateOpen)) {
+        if (tmpl != nullptr) return Error("templates cannot nest");
+        SB_ASSIGN_OR_RETURN(TemplateBlock block, ParseTemplate());
+        HeadElement he;
+        he.is_template = true;
+        he.tmpl = std::move(block);
+        heads.push_back(std::move(he));
+      } else {
+        SB_ASSIGN_OR_RETURN(Literal lit, ParseLiteral(&head_desugar));
+        HeadElement he;
+        he.literal = std::move(lit);
+        heads.push_back(std::move(he));
+      }
+    } while (Match(TokenKind::kComma));
+
+    auto head_atoms = [&]() -> Result<std::vector<Atom>> {
+      std::vector<Atom> atoms;
+      for (auto& he : heads) {
+        if (he.is_template) continue;
+        if (he.literal.kind != Literal::Kind::kAtom || he.literal.atom.negated) {
+          return Error("rule/fact heads must be positive atoms");
+        }
+        atoms.push_back(std::move(he.literal.atom));
+      }
+      return atoms;
+    };
+    auto head_literals = [&]() -> Result<std::vector<Literal>> {
+      std::vector<Literal> lits;
+      for (auto& he : heads) {
+        if (he.is_template) return Error("templates not allowed here");
+        lits.push_back(std::move(he.literal));
+      }
+      // Desugared lookups join the constraint's lhs conjunction.
+      for (auto& d : head_desugar) lits.push_back(std::move(d));
+      return lits;
+    };
+    bool has_template = false;
+    for (const auto& he : heads) has_template |= he.is_template;
+
+    switch (Peek().kind) {
+      case TokenKind::kDot: {
+        Advance();
+        if (has_template) return Error("template requires a generic rule (<--)");
+        if (!head_desugar.empty()) {
+          return Error("singleton/arithmetic sugar not allowed in facts");
+        }
+        SB_ASSIGN_OR_RETURN(std::vector<Atom> atoms, head_atoms());
+        for (auto& a : atoms) {
+          bool is_meta = false;
+          for (const auto& arg : a.args) {
+            is_meta |= (arg->kind == TermKind::kQuotedPred);
+          }
+          if (is_meta) {
+            program->meta_facts.push_back(std::move(a));
+          } else {
+            Rule fact;
+            fact.heads.push_back(std::move(a));
+            fact.loc = loc;
+            program->rules.push_back(std::move(fact));
+          }
+        }
+        return Status::OK();
+      }
+
+      case TokenKind::kArrowRule: {
+        Advance();
+        if (has_template) return Error("template requires a generic rule (<--)");
+        Rule rule;
+        rule.loc = loc;
+        SB_ASSIGN_OR_RETURN(std::vector<Atom> atoms, head_atoms());
+        rule.heads = std::move(atoms);
+        SB_ASSIGN_OR_RETURN(rule.agg, TryParseAgg());
+        std::vector<Literal> body_desugar;
+        SB_ASSIGN_OR_RETURN(rule.body, ParseLiteralList(&body_desugar));
+        for (auto& d : head_desugar) rule.body.push_back(std::move(d));
+        for (auto& d : body_desugar) rule.body.push_back(std::move(d));
+        SB_RETURN_IF_ERROR(Expect(TokenKind::kDot, "."));
+        if (tmpl != nullptr) {
+          tmpl->rules.push_back(std::move(rule));
+        } else {
+          program->rules.push_back(std::move(rule));
+        }
+        return Status::OK();
+      }
+
+      case TokenKind::kArrowConstraint: {
+        Advance();
+        if (has_template) return Error("template requires a generic rule (<--)");
+        ConstraintDecl c;
+        c.loc = loc;
+        SB_ASSIGN_OR_RETURN(c.lhs, head_literals());
+        if (!Check(TokenKind::kDot)) {
+          std::vector<Literal> rhs_desugar;
+          SB_ASSIGN_OR_RETURN(c.rhs, ParseLiteralList(&rhs_desugar));
+          for (auto& d : rhs_desugar) c.rhs.push_back(std::move(d));
+        }
+        SB_RETURN_IF_ERROR(Expect(TokenKind::kDot, "."));
+        if (tmpl != nullptr) {
+          tmpl->constraints.push_back(std::move(c));
+        } else {
+          program->constraints.push_back(std::move(c));
+        }
+        return Status::OK();
+      }
+
+      case TokenKind::kArrowGenericRule: {
+        Advance();
+        if (tmpl != nullptr) return Error("generic rules cannot appear in templates");
+        GenericRule gr;
+        gr.loc = loc;
+        for (auto& he : heads) {
+          if (he.is_template) {
+            gr.templates.push_back(std::move(he.tmpl));
+          } else {
+            if (he.literal.kind != Literal::Kind::kAtom) {
+              return Error("generic rule heads must be atoms or templates");
+            }
+            gr.head_atoms.push_back(std::move(he.literal.atom));
+          }
+        }
+        if (!head_desugar.empty()) {
+          return Error("sugar not allowed in generic rule heads");
+        }
+        std::vector<Literal> body_desugar;
+        SB_ASSIGN_OR_RETURN(gr.body, ParseLiteralList(&body_desugar));
+        if (!body_desugar.empty()) {
+          return Error("sugar not allowed in generic rule bodies");
+        }
+        SB_RETURN_IF_ERROR(Expect(TokenKind::kDot, "."));
+        program->generic_rules.push_back(std::move(gr));
+        return Status::OK();
+      }
+
+      case TokenKind::kArrowGenericConstraint: {
+        Advance();
+        if (tmpl != nullptr) {
+          return Error("generic constraints cannot appear in templates");
+        }
+        if (has_template) return Error("templates not allowed in generic constraints");
+        GenericConstraint gc;
+        gc.loc = loc;
+        SB_ASSIGN_OR_RETURN(gc.lhs, head_literals());
+        std::vector<Literal> rhs_desugar;
+        SB_ASSIGN_OR_RETURN(gc.rhs, ParseLiteralList(&rhs_desugar));
+        if (!rhs_desugar.empty()) {
+          return Error("sugar not allowed in generic constraints");
+        }
+        SB_RETURN_IF_ERROR(Expect(TokenKind::kDot, "."));
+        program->generic_constraints.push_back(std::move(gc));
+        return Status::OK();
+      }
+
+      default:
+        return Error("expected '.', '<-', '->', '<--', or '-->'");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::string unit_;
+  size_t pos_ = 0;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Parse(const std::string& source, const std::string& unit_name) {
+  SB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return ParserImpl(std::move(tokens), unit_name).Run();
+}
+
+}  // namespace secureblox::datalog

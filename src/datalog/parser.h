@@ -1,0 +1,26 @@
+// Recursive-descent parser producing a Program from DatalogLB+BloxGenerics
+// source text.
+//
+// Desugaring performed here (so later stages see a small core language):
+//   - `_` anonymous variables get fresh unique names,
+//   - singleton lookups in argument position (`p(self[], X)`) become a fresh
+//     variable plus a body literal `self[] = _S0`,
+//   - arithmetic in atom arguments (`p(C + 1)`) becomes a fresh variable
+//     plus a body comparison `_A0 = C + 1`.
+#ifndef SECUREBLOX_DATALOG_PARSER_H_
+#define SECUREBLOX_DATALOG_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace secureblox::datalog {
+
+/// Parse a full compilation unit. `unit_name` labels error messages.
+Result<Program> Parse(const std::string& source,
+                      const std::string& unit_name = "<input>");
+
+}  // namespace secureblox::datalog
+
+#endif  // SECUREBLOX_DATALOG_PARSER_H_

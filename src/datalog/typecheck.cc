@@ -1,0 +1,527 @@
+#include "datalog/typecheck.h"
+
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace secureblox::datalog {
+
+namespace {
+
+// --- schema extraction -------------------------------------------------
+
+// Is this constraint `t(x) -> .` — an entity type declaration?
+bool IsEntityTypeDecl(const ConstraintDecl& c) {
+  return c.rhs.empty() && c.lhs.size() == 1 &&
+         c.lhs[0].kind == Literal::Kind::kAtom && !c.lhs[0].atom.negated &&
+         !c.lhs[0].atom.functional && c.lhs[0].atom.arity() == 1 &&
+         c.lhs[0].atom.args[0]->kind == TermKind::kVar &&
+         !c.lhs[0].atom.pred.parameterized() &&
+         !c.lhs[0].atom.pred.name_is_metavar;
+}
+
+// Does the constraint lhs consist of a single positive atom whose args are
+// all distinct variables? Returns the atom if so.
+const Atom* SingleDistinctVarAtom(const ConstraintDecl& c) {
+  if (c.lhs.size() != 1 || c.lhs[0].kind != Literal::Kind::kAtom) {
+    return nullptr;
+  }
+  const Atom& a = c.lhs[0].atom;
+  if (a.negated || a.pred.parameterized() || a.pred.name_is_metavar) {
+    return nullptr;
+  }
+  std::set<std::string> seen;
+  for (const auto& arg : a.args) {
+    if (arg->kind != TermKind::kVar) return nullptr;
+    if (!seen.insert(arg->name).second) return nullptr;
+  }
+  return &a;
+}
+
+// If the rhs is a conjunction of unary type atoms t(x) with every lhs
+// variable typed exactly once, produce name->type map.
+std::optional<std::unordered_map<std::string, std::string>> RhsAsTypeMap(
+    const ConstraintDecl& c) {
+  std::unordered_map<std::string, std::string> types;
+  for (const auto& lit : c.rhs) {
+    if (lit.kind != Literal::Kind::kAtom) return std::nullopt;
+    const Atom& a = lit.atom;
+    if (a.negated || a.functional || a.arity() != 1 ||
+        a.pred.parameterized() || a.pred.name_is_metavar ||
+        a.args[0]->kind != TermKind::kVar) {
+      return std::nullopt;
+    }
+    if (!types.emplace(a.args[0]->name, a.pred.name).second) {
+      return std::nullopt;  // variable typed twice: treat as runtime check
+    }
+  }
+  return types;
+}
+
+// --- type checking -------------------------------------------------------
+
+class Checker {
+ public:
+  Checker(Catalog* catalog, const BuiltinSignatureMap& builtins)
+      : catalog_(*catalog), builtins_(builtins) {}
+
+  Status CheckRule(const Rule& rule) {
+    var_types_.clear();
+    bound_.clear();
+    where_ = "rule at " + rule.loc.ToString();
+
+    // Bind and type variables from positive body atoms / builtins.
+    SB_RETURN_IF_ERROR(BindFromBody(rule.body));
+
+    // Aggregation: input variable must be bound and integer-typed; the
+    // result variable becomes a bound int.
+    if (rule.agg.has_value()) {
+      const AggSpec& agg = *rule.agg;
+      if (agg.func != AggFunc::kCount) {
+        if (!bound_.count(agg.input_var)) {
+          return Err("aggregate input '" + agg.input_var + "' is not bound");
+        }
+        SB_RETURN_IF_ERROR(Unify(agg.input_var, catalog_.int_type()));
+      }
+      bound_.insert(agg.result_var);
+      SB_RETURN_IF_ERROR(Unify(agg.result_var, catalog_.int_type()));
+    }
+
+    // Comparisons and negation over bound variables only; `=` with exactly
+    // one unbound side acts as an assignment (iterate to a fixpoint since
+    // assignments may chain).
+    SB_RETURN_IF_ERROR(CheckGuards(rule.body));
+
+    // Heads.
+    if (rule.heads.empty()) return Err("rule has no head");
+    for (const Atom& head : rule.heads) {
+      SB_RETURN_IF_ERROR(CheckHeadAtom(head, rule));
+    }
+    return Status::OK();
+  }
+
+  Status CheckFact(const Rule& fact) {
+    where_ = "fact at " + fact.loc.ToString();
+    for (const Atom& a : fact.heads) {
+      SB_ASSIGN_OR_RETURN(const PredicateDecl* decl, ResolveAtom(a));
+      for (size_t i = 0; i < a.args.size(); ++i) {
+        if (a.args[i]->kind != TermKind::kConst) {
+          return Err("fact arguments must be constants in " + a.ToString());
+        }
+        SB_RETURN_IF_ERROR(
+            CheckConstAgainstType(a.args[i]->constant, decl->arg_types[i]));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status CheckConstraint(const ConstraintDecl& c) {
+    var_types_.clear();
+    bound_.clear();
+    where_ = "constraint at " + c.loc.ToString();
+    // lhs binds; rhs may bind additional (existential) variables.
+    SB_RETURN_IF_ERROR(BindFromBody(c.lhs));
+    SB_RETURN_IF_ERROR(CheckGuards(c.lhs));
+    SB_RETURN_IF_ERROR(BindFromBody(c.rhs));
+    SB_RETURN_IF_ERROR(CheckGuards(c.rhs));
+    return Status::OK();
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::TypeError(where_ + ": " + msg);
+  }
+
+  Result<const PredicateDecl*> ResolveAtom(const Atom& a) {
+    if (a.pred.parameterized() || a.pred.name_is_metavar) {
+      return Err("unresolved parameterized atom " + a.ToString() +
+                 " (generics must be expanded first)");
+    }
+    auto id = catalog_.Lookup(a.pred.name);
+    if (!id.ok()) return Err("undeclared predicate '" + a.pred.name + "'");
+    const PredicateDecl& decl = catalog_.decl(id.value());
+    if (a.arity() != decl.arity()) {
+      return Err("arity mismatch for '" + a.pred.name + "': got " +
+                 std::to_string(a.arity()) + ", declared " +
+                 std::to_string(decl.arity()));
+    }
+    if (a.functional != decl.functional) {
+      return Err("functional shape mismatch for '" + a.pred.name + "'");
+    }
+    return &decl;
+  }
+
+  Status Unify(const std::string& var, PredId type) {
+    auto it = var_types_.find(var);
+    if (it == var_types_.end()) {
+      var_types_[var] = type;
+      return Status::OK();
+    }
+    PredId existing = it->second;
+    if (existing == type) return Status::OK();
+    // Allow refinement along the subtype lattice; keep the more specific.
+    if (catalog_.IsSubtype(existing, type)) return Status::OK();
+    if (catalog_.IsSubtype(type, existing)) {
+      it->second = type;
+      return Status::OK();
+    }
+    return Err("variable '" + var + "' used with incompatible types '" +
+               catalog_.decl(existing).name + "' and '" +
+               catalog_.decl(type).name + "'");
+  }
+
+  Status CheckConstAgainstType(const Value& v, PredId type) {
+    const PredicateDecl& t = catalog_.decl(type);
+    if (t.is_primitive) {
+      if (v.kind() != t.primitive_kind) {
+        return Err("constant " + v.ToString() + " does not have type " +
+                   t.name);
+      }
+      return Status::OK();
+    }
+    if (t.is_entity_type) {
+      // String constants name entities by label (refmode); interning
+      // happens at load time.
+      if (v.kind() == ValueKind::kString || v.is_entity()) return Status::OK();
+      return Err("constant " + v.ToString() +
+                 " cannot name an entity of type " + t.name);
+    }
+    return Err("'" + t.name + "' is not a type");
+  }
+
+  // One pass binding variables from positive atoms (relations enumerate) and
+  // builtin outputs. Builtin *inputs* are checked for boundness later in
+  // CheckGuards, once assignments have been resolved.
+  Status BindFromBody(const std::vector<Literal>& body) {
+    for (const Literal& lit : body) {
+      if (lit.kind != Literal::Kind::kAtom) continue;
+      const Atom& a = lit.atom;
+      auto bsig = builtins_.find(a.pred.name);
+      if (bsig != builtins_.end()) {
+        SB_RETURN_IF_ERROR(CheckBuiltinAtom(a, bsig->second));
+        continue;
+      }
+      SB_ASSIGN_OR_RETURN(const PredicateDecl* decl, ResolveAtom(a));
+      for (size_t i = 0; i < a.args.size(); ++i) {
+        const TermPtr& arg = a.args[i];
+        if (arg->kind == TermKind::kVar) {
+          if (!a.negated) bound_.insert(arg->name);
+          SB_RETURN_IF_ERROR(Unify(arg->name, decl->arg_types[i]));
+        } else if (arg->kind == TermKind::kConst) {
+          SB_RETURN_IF_ERROR(
+              CheckConstAgainstType(arg->constant, decl->arg_types[i]));
+        } else {
+          return Err("unexpected term " + arg->ToString() + " in atom " +
+                     a.ToString());
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status CheckBuiltinAtom(const Atom& a, const BuiltinSignature& sig) {
+    if (a.negated) return Err("builtins cannot be negated: " + a.ToString());
+    if (a.arity() != sig.arg_types.size()) {
+      return Err("builtin '" + a.pred.name + "' expects " +
+                 std::to_string(sig.arg_types.size()) + " args, got " +
+                 std::to_string(a.arity()));
+    }
+    for (size_t i = 0; i < a.args.size(); ++i) {
+      const TermPtr& arg = a.args[i];
+      const std::string& tname = sig.arg_types[i];
+      PredId type = kInvalidPred;
+      if (tname != "any") {
+        auto id = catalog_.Lookup(tname);
+        if (!id.ok()) {
+          return Err("builtin '" + a.pred.name + "' references unknown type '" +
+                     tname + "'");
+        }
+        type = id.value();
+      }
+      if (arg->kind == TermKind::kVar) {
+        if (static_cast<int>(i) >= sig.num_inputs) bound_.insert(arg->name);
+        if (type != kInvalidPred) SB_RETURN_IF_ERROR(Unify(arg->name, type));
+      } else if (arg->kind == TermKind::kConst) {
+        if (type != kInvalidPred) {
+          SB_RETURN_IF_ERROR(CheckConstAgainstType(arg->constant, type));
+        }
+      } else {
+        return Err("unexpected term in builtin atom " + a.ToString());
+      }
+    }
+    return Status::OK();
+  }
+
+  // All variables reachable in a term.
+  static void TermVars(const TermPtr& t, std::vector<std::string>* out) {
+    if (t->kind == TermKind::kVar) out->push_back(t->name);
+    if (t->kind == TermKind::kArith) {
+      TermVars(t->lhs, out);
+      TermVars(t->rhs, out);
+    }
+  }
+
+  bool AllBound(const TermPtr& t) const {
+    std::vector<std::string> vars;
+    TermVars(t, &vars);
+    for (const auto& v : vars) {
+      if (!bound_.count(v)) return false;
+    }
+    return true;
+  }
+
+  Status TypeArith(const TermPtr& t) {
+    if (t->kind == TermKind::kArith) {
+      std::vector<std::string> vars;
+      TermVars(t, &vars);
+      for (const auto& v : vars) {
+        SB_RETURN_IF_ERROR(Unify(v, catalog_.int_type()));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status CheckGuards(const std::vector<Literal>& body) {
+    // Assignments (`X = <expr>` with X unbound) may chain; iterate.
+    bool changed = true;
+    std::unordered_set<const Literal*> satisfied;
+    while (changed) {
+      changed = false;
+      for (const Literal& lit : body) {
+        if (lit.kind != Literal::Kind::kCompare) continue;
+        if (satisfied.count(&lit)) continue;
+        const Comparison& c = lit.cmp;
+        SB_RETURN_IF_ERROR(TypeArith(c.lhs));
+        SB_RETURN_IF_ERROR(TypeArith(c.rhs));
+        if (c.op == CmpOp::kEq) {
+          bool lb = AllBound(c.lhs);
+          bool rb = AllBound(c.rhs);
+          if (lb && rb) {
+            satisfied.insert(&lit);
+            changed = true;
+          } else if (lb && c.rhs->kind == TermKind::kVar) {
+            bound_.insert(c.rhs->name);
+            SB_RETURN_IF_ERROR(PropagateEqType(c.rhs, c.lhs));
+            satisfied.insert(&lit);
+            changed = true;
+          } else if (rb && c.lhs->kind == TermKind::kVar) {
+            bound_.insert(c.lhs->name);
+            SB_RETURN_IF_ERROR(PropagateEqType(c.lhs, c.rhs));
+            satisfied.insert(&lit);
+            changed = true;
+          }
+        } else {
+          if (AllBound(c.lhs) && AllBound(c.rhs)) {
+            satisfied.insert(&lit);
+            changed = true;
+          }
+        }
+      }
+    }
+    for (const Literal& lit : body) {
+      if (lit.kind == Literal::Kind::kCompare && !satisfied.count(&lit)) {
+        return Err("comparison " + lit.cmp.ToString() +
+                   " uses unbound variables");
+      }
+      if (lit.kind == Literal::Kind::kAtom && lit.atom.negated) {
+        for (const auto& arg : lit.atom.args) {
+          if (arg->kind == TermKind::kVar && !bound_.count(arg->name) &&
+              !IsAnonymous(arg->name)) {
+            return Err("negated atom " + lit.atom.ToString() +
+                       " uses unbound variable '" + arg->name + "'");
+          }
+        }
+      }
+      // Builtin inputs must be bound by now.
+      if (lit.kind == Literal::Kind::kAtom) {
+        auto bsig = builtins_.find(lit.atom.pred.name);
+        if (bsig != builtins_.end()) {
+          for (int i = 0; i < bsig->second.num_inputs &&
+                          i < static_cast<int>(lit.atom.args.size());
+               ++i) {
+            const TermPtr& arg = lit.atom.args[i];
+            if (arg->kind == TermKind::kVar && !bound_.count(arg->name)) {
+              return Err("builtin '" + lit.atom.pred.name +
+                         "' input variable '" + arg->name + "' is unbound");
+            }
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  static bool IsAnonymous(const std::string& name) {
+    return name.rfind("_anon", 0) == 0;
+  }
+
+  // var (just bound) gets the type of the expression it was assigned from.
+  Status PropagateEqType(const TermPtr& var, const TermPtr& expr) {
+    if (expr->kind == TermKind::kVar) {
+      auto it = var_types_.find(expr->name);
+      if (it != var_types_.end()) return Unify(var->name, it->second);
+      return Status::OK();
+    }
+    if (expr->kind == TermKind::kConst) {
+      switch (expr->constant.kind()) {
+        case ValueKind::kInt:
+          return Unify(var->name, catalog_.int_type());
+        case ValueKind::kString:
+          // May also name an entity by refmode; leave untyped unless later
+          // unified. Strings are the default reading.
+          return Status::OK();
+        case ValueKind::kBool:
+          return Unify(var->name, catalog_.bool_type());
+        case ValueKind::kBlob:
+          return Unify(var->name, catalog_.blob_type());
+        case ValueKind::kEntity:
+          return Status::OK();
+      }
+    }
+    if (expr->kind == TermKind::kArith) {
+      return Unify(var->name, catalog_.int_type());
+    }
+    return Status::OK();
+  }
+
+  Status CheckHeadAtom(const Atom& head, const Rule& rule) {
+    if (head.negated) return Err("head atoms cannot be negated");
+    SB_ASSIGN_OR_RETURN(const PredicateDecl* decl, ResolveAtom(head));
+    for (size_t i = 0; i < head.args.size(); ++i) {
+      const TermPtr& arg = head.args[i];
+      PredId want = decl->arg_types[i];
+      if (arg->kind == TermKind::kConst) {
+        SB_RETURN_IF_ERROR(CheckConstAgainstType(arg->constant, want));
+        continue;
+      }
+      if (arg->kind != TermKind::kVar) {
+        return Err("unexpected head term " + arg->ToString());
+      }
+      if (!bound_.count(arg->name)) {
+        // Head existential: only entity-typed positions may create values.
+        const PredicateDecl& t = catalog_.decl(want);
+        if (!t.is_entity_type) {
+          return Err("head variable '" + arg->name +
+                     "' is unbound and position type '" + t.name +
+                     "' is not an entity type (rule is unsafe)");
+        }
+        SB_RETURN_IF_ERROR(Unify(arg->name, want));
+        continue;
+      }
+      auto it = var_types_.find(arg->name);
+      if (it != var_types_.end()) {
+        if (!catalog_.IsSubtype(it->second, want)) {
+          return Err("head argument '" + arg->name + "' has type '" +
+                     catalog_.decl(it->second).name +
+                     "' which is not contained in '" +
+                     catalog_.decl(want).name + "' (not type-safe)");
+        }
+      } else {
+        SB_RETURN_IF_ERROR(Unify(arg->name, want));
+      }
+    }
+    (void)rule;
+    return Status::OK();
+  }
+
+  Catalog& catalog_;
+  const BuiltinSignatureMap& builtins_;
+  std::unordered_map<std::string, PredId> var_types_;
+  std::unordered_set<std::string> bound_;
+  std::string where_;
+};
+
+}  // namespace
+
+Result<std::vector<ConstraintDecl>> BuildSchema(const Program& program,
+                                                Catalog* catalog) {
+  std::vector<ConstraintDecl> runtime;
+
+  // Pass 1: entity type declarations.
+  for (const ConstraintDecl& c : program.constraints) {
+    if (IsEntityTypeDecl(c)) {
+      auto declared = catalog->DeclareEntityType(c.lhs[0].atom.pred.name);
+      if (!declared.ok()) return declared.status();
+    }
+  }
+
+  // Pass 2: predicate declarations and subtype edges.
+  for (const ConstraintDecl& c : program.constraints) {
+    if (IsEntityTypeDecl(c)) continue;
+    const Atom* atom = SingleDistinctVarAtom(c);
+    auto type_map = atom ? RhsAsTypeMap(c) : std::nullopt;
+    bool declared = false;
+    if (atom && type_map.has_value() &&
+        type_map->size() == atom->args.size()) {
+      // All rhs type names must resolve to type predicates and cover all
+      // lhs variables.
+      std::vector<PredId> arg_types;
+      bool ok = true;
+      for (const auto& arg : atom->args) {
+        auto it = type_map->find(arg->name);
+        if (it == type_map->end()) {
+          ok = false;
+          break;
+        }
+        auto type_id = catalog->Lookup(it->second);
+        if (!type_id.ok() || !catalog->decl(type_id.value()).is_type) {
+          ok = false;
+          break;
+        }
+        arg_types.push_back(type_id.value());
+      }
+      if (ok) {
+        // Subtype edge when the lhs predicate is itself an entity type.
+        auto existing = catalog->Lookup(atom->pred.name);
+        if (existing.ok() && catalog->decl(existing.value()).is_entity_type &&
+            atom->args.size() == 1) {
+          SB_RETURN_IF_ERROR(
+              catalog->AddSubtype(existing.value(), arg_types[0]));
+          declared = true;
+        } else {
+          auto id = catalog->DeclarePredicate(atom->pred.name, arg_types,
+                                              atom->functional);
+          if (id.ok()) {
+            declared = true;
+          } else if (id.status().code() == StatusCode::kAlreadyExists) {
+            return id.status();
+          }
+        }
+      }
+    }
+    if (!declared) runtime.push_back(c);
+  }
+  return runtime;
+}
+
+Result<AnalyzedProgram> AnalyzeProgram(const Program& program,
+                                       Catalog* catalog,
+                                       const BuiltinSignatureMap& builtins) {
+  if (!program.generic_rules.empty() || !program.generic_constraints.empty() ||
+      !program.meta_facts.empty()) {
+    return Status::CompileError(
+        "program contains generic clauses; run the BloxGenerics compiler "
+        "before analysis");
+  }
+
+  AnalyzedProgram out;
+  SB_ASSIGN_OR_RETURN(out.runtime_constraints, BuildSchema(program, catalog));
+
+  Checker checker(catalog, builtins);
+  for (const Rule& r : program.rules) {
+    if (r.IsFact()) {
+      SB_RETURN_IF_ERROR(checker.CheckFact(r));
+      out.facts.push_back(r);
+    } else {
+      SB_RETURN_IF_ERROR(checker.CheckRule(r));
+      out.rules.push_back(r);
+    }
+  }
+  for (const ConstraintDecl& c : out.runtime_constraints) {
+    SB_RETURN_IF_ERROR(checker.CheckConstraint(c));
+  }
+  return out;
+}
+
+}  // namespace secureblox::datalog

@@ -1,0 +1,61 @@
+// Static analysis of object-level DatalogLB programs (post-generics):
+//
+//  1. Schema extraction — constraints of recognized shapes become
+//     declarations rather than runtime checks:
+//       t(x) -> .                       entity type
+//       p(x,y) -> t1(x), t2(y).        predicate declaration (type-based
+//                                       constraint, verified statically)
+//       s(x) -> t(x).                  subtype edge when s is an entity type
+//  2. Type checking — every rule must be type-safe for all possible schema
+//     instantiations (the paper's compile-time guarantee): argument types
+//     of body bindings must be subtypes of head positions, negation and
+//     comparisons must be over bound variables, and unbound head variables
+//     are only admitted as entity-creating head existentials.
+#ifndef SECUREBLOX_DATALOG_TYPECHECK_H_
+#define SECUREBLOX_DATALOG_TYPECHECK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/catalog.h"
+
+namespace secureblox::datalog {
+
+/// Signature of a builtin function usable as a body atom: the first
+/// `num_inputs` arguments are inputs (must be bound), the rest are outputs
+/// (bound by the builtin). Types are by name ("int", "blob", "principal",
+/// ...); "any" skips checking for that position.
+struct BuiltinSignature {
+  std::vector<std::string> arg_types;
+  int num_inputs = 0;
+};
+
+using BuiltinSignatureMap = std::map<std::string, BuiltinSignature>;
+
+/// Output of analysis: the program split into installable pieces.
+struct AnalyzedProgram {
+  std::vector<Rule> rules;  // non-fact rules, typechecked
+  std::vector<Rule> facts;  // ground facts
+  std::vector<ConstraintDecl> runtime_constraints;
+};
+
+/// Extract declarations from `program`'s constraints into `catalog` and
+/// return the remaining constraints that must be checked at runtime.
+/// (Exposed separately because the generics compiler needs schema info
+/// before expansion.)
+Result<std::vector<ConstraintDecl>> BuildSchema(const Program& program,
+                                                Catalog* catalog);
+
+/// Full analysis: BuildSchema + typecheck of rules, facts, and runtime
+/// constraints. The program must contain no generic clauses and no
+/// unresolved parameterized atoms.
+Result<AnalyzedProgram> AnalyzeProgram(const Program& program,
+                                       Catalog* catalog,
+                                       const BuiltinSignatureMap& builtins);
+
+}  // namespace secureblox::datalog
+
+#endif  // SECUREBLOX_DATALOG_TYPECHECK_H_

@@ -1,0 +1,120 @@
+// Runtime values for DatalogLB tuples.
+//
+// Value kinds mirror the paper's data model: primitives (bool, int, string,
+// blob) plus *entities* — members of declared entity types such as
+// `principal`, `node`, `pathvar`. An entity is (type predicate id, local
+// intern id); the Catalog maps intern ids to globally-unique string labels
+// so entities can be shipped between nodes.
+#ifndef SECUREBLOX_DATALOG_VALUE_H_
+#define SECUREBLOX_DATALOG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace secureblox::datalog {
+
+/// Identifier of a predicate in a Catalog. Negative = invalid.
+using PredId = int32_t;
+constexpr PredId kInvalidPred = -1;
+
+enum class ValueKind : uint8_t {
+  kBool = 0,
+  kInt = 1,
+  kString = 2,
+  kBlob = 3,
+  kEntity = 4,
+};
+
+const char* ValueKindName(ValueKind kind);
+
+/// Immutable tagged value. Cheap to copy for primitives; strings/blobs copy
+/// their payload (tuples are small in this workload).
+class Value {
+ public:
+  Value() : kind_(ValueKind::kInt), num_(0) {}
+
+  static Value Bool(bool v) {
+    Value x;
+    x.kind_ = ValueKind::kBool;
+    x.num_ = v ? 1 : 0;
+    return x;
+  }
+  static Value Int(int64_t v) {
+    Value x;
+    x.kind_ = ValueKind::kInt;
+    x.num_ = v;
+    return x;
+  }
+  static Value Str(std::string v) {
+    Value x;
+    x.kind_ = ValueKind::kString;
+    x.str_ = std::move(v);
+    return x;
+  }
+  static Value MakeBlob(Bytes v) {
+    Value x;
+    x.kind_ = ValueKind::kBlob;
+    x.str_.assign(v.begin(), v.end());
+    return x;
+  }
+  static Value Entity(PredId type, int64_t id) {
+    Value x;
+    x.kind_ = ValueKind::kEntity;
+    x.etype_ = type;
+    x.num_ = id;
+    return x;
+  }
+
+  ValueKind kind() const { return kind_; }
+  bool is_entity() const { return kind_ == ValueKind::kEntity; }
+
+  bool AsBool() const { return num_ != 0; }
+  int64_t AsInt() const { return num_; }
+  const std::string& AsString() const { return str_; }
+  Bytes AsBlob() const { return Bytes(str_.begin(), str_.end()); }
+  const std::string& BlobRef() const { return str_; }
+  PredId entity_type() const { return etype_; }
+  int64_t entity_id() const { return num_; }
+
+  bool operator==(const Value& o) const {
+    if (kind_ != o.kind_) return false;
+    switch (kind_) {
+      case ValueKind::kBool:
+      case ValueKind::kInt:
+        return num_ == o.num_;
+      case ValueKind::kString:
+      case ValueKind::kBlob:
+        return str_ == o.str_;
+      case ValueKind::kEntity:
+        return etype_ == o.etype_ && num_ == o.num_;
+    }
+    return false;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// Total order across kinds (kind first, then payload) so values can key
+  /// ordered containers and aggregates can compare.
+  bool operator<(const Value& o) const;
+
+  size_t Hash() const;
+
+  /// Debug rendering; entities print as `type#id` (label-aware printing
+  /// lives in Catalog::ValueToString).
+  std::string ToString() const;
+
+ private:
+  ValueKind kind_;
+  PredId etype_ = kInvalidPred;
+  int64_t num_ = 0;
+  std::string str_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace secureblox::datalog
+
+#endif  // SECUREBLOX_DATALOG_VALUE_H_

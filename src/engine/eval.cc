@@ -1,0 +1,1011 @@
+#include "engine/eval.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace secureblox::engine {
+
+using datalog::Atom;
+using datalog::Catalog;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::PredicateDecl;
+using datalog::PredId;
+using datalog::Rule;
+using datalog::Term;
+using datalog::TermKind;
+using datalog::TermPtr;
+using datalog::Value;
+using datalog::ValueKind;
+
+namespace {
+
+bool IsAnonymous(const std::string& name) {
+  return name.rfind("_anon", 0) == 0;
+}
+
+void CollectTermVars(const TermPtr& t, std::vector<std::string>* out) {
+  if (t == nullptr) return;
+  if (t->kind == TermKind::kVar) out->push_back(t->name);
+  if (t->kind == TermKind::kArith) {
+    CollectTermVars(t->lhs, out);
+    CollectTermVars(t->rhs, out);
+  }
+}
+
+// Slot assignment for all variables in a rule/constraint.
+class SlotMap {
+ public:
+  int SlotOf(const std::string& name) {
+    auto it = map_.find(name);
+    if (it != map_.end()) return it->second;
+    int slot = static_cast<int>(names_.size());
+    map_[name] = slot;
+    names_.push_back(name);
+    return slot;
+  }
+  int Find(const std::string& name) const {
+    auto it = map_.find(name);
+    return it == map_.end() ? -1 : it->second;
+  }
+  size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, int> map_;
+  std::vector<std::string> names_;
+};
+
+std::shared_ptr<CExpr> CompileExpr(const TermPtr& t, SlotMap* slots) {
+  auto e = std::make_shared<CExpr>();
+  switch (t->kind) {
+    case TermKind::kVar:
+      e->kind = CExpr::Kind::kSlot;
+      e->slot = slots->SlotOf(t->name);
+      break;
+    case TermKind::kConst:
+      e->kind = CExpr::Kind::kConst;
+      e->constant = t->constant;
+      break;
+    case TermKind::kArith:
+      e->kind = CExpr::Kind::kArith;
+      e->op = t->op;
+      e->lhs = CompileExpr(t->lhs, slots);
+      e->rhs = CompileExpr(t->rhs, slots);
+      break;
+    default:
+      // Quoted predicates / varargs never reach the evaluator.
+      e->kind = CExpr::Kind::kConst;
+      break;
+  }
+  return e;
+}
+
+bool ExprBound(const CExpr& e, const std::vector<bool>& bound) {
+  switch (e.kind) {
+    case CExpr::Kind::kConst:
+      return true;
+    case CExpr::Kind::kSlot:
+      return bound[e.slot];
+    case CExpr::Kind::kArith:
+      return ExprBound(*e.lhs, bound) && ExprBound(*e.rhs, bound);
+  }
+  return false;
+}
+
+// Planner for one body (rule body, constraint lhs, or constraint rhs).
+class BodyPlanner {
+ public:
+  BodyPlanner(const Catalog& catalog, const BuiltinRegistry& builtins,
+              SlotMap* slots, std::vector<bool>* bound)
+      : catalog_(catalog), builtins_(builtins), slots_(*slots),
+        bound_(*bound) {}
+
+  Result<std::vector<Step>> Plan(const std::vector<Literal>& body,
+                                 int* scan_occurrences,
+                                 std::vector<PredId>* scan_preds) {
+    std::vector<Step> steps;
+    std::vector<bool> used(body.size(), false);
+    size_t remaining = body.size();
+
+    // Pre-register all variable slots so the environment is sized once.
+    for (const Literal& lit : body) {
+      std::vector<std::string> vars;
+      if (lit.kind == Literal::Kind::kAtom) {
+        for (const auto& a : lit.atom.args) CollectTermVars(a, &vars);
+      } else {
+        CollectTermVars(lit.cmp.lhs, &vars);
+        CollectTermVars(lit.cmp.rhs, &vars);
+      }
+      for (const auto& v : vars) slots_.SlotOf(v);
+    }
+    if (bound_.size() < slots_.size()) bound_.resize(slots_.size(), false);
+
+    while (remaining > 0) {
+      int pick = PickNext(body, used);
+      if (pick < 0) {
+        return Status::Internal(
+            "cannot order body literals (unsafe rule slipped past the type "
+            "checker)");
+      }
+      used[pick] = true;
+      --remaining;
+      SB_ASSIGN_OR_RETURN(Step step,
+                          CompileLiteral(body[pick], scan_occurrences,
+                                         scan_preds));
+      steps.push_back(std::move(step));
+      if (bound_.size() < slots_.size()) bound_.resize(slots_.size(), false);
+    }
+    return steps;
+  }
+
+ private:
+  bool TermsBound(const TermPtr& t) const {
+    std::vector<std::string> vars;
+    CollectTermVars(t, &vars);
+    for (const auto& v : vars) {
+      int s = slots_.Find(v);
+      if (s < 0 || static_cast<size_t>(s) >= bound_.size() || !bound_[s]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool IsBoundVar(const std::string& name) const {
+    int s = slots_.Find(name);
+    return s >= 0 && static_cast<size_t>(s) < bound_.size() && bound_[s];
+  }
+
+  bool IsBuiltin(const Atom& a) const {
+    return builtins_.Find(a.pred.name) != nullptr;
+  }
+
+  bool IsPrimitiveType(const Atom& a) const {
+    auto id = catalog_.Lookup(a.pred.name);
+    return id.ok() && catalog_.decl(id.value()).is_primitive;
+  }
+
+  // Priority: compare > assign > typecheck > lookup > negcheck > builtin >
+  // scan (max bound args).
+  int PickNext(const std::vector<Literal>& body,
+               const std::vector<bool>& used) const {
+    int best_scan = -1;
+    int best_scan_bound = -1;
+    int builtin_ready = -1;
+    int neg_ready = -1;
+    int lookup_ready = -1;
+    int typecheck_ready = -1;
+
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (used[i]) continue;
+      const Literal& lit = body[i];
+      if (lit.kind == Literal::Kind::kCompare) {
+        const auto& c = lit.cmp;
+        bool lb = TermsBound(c.lhs);
+        bool rb = TermsBound(c.rhs);
+        if (lb && rb) return static_cast<int>(i);  // pure filter
+        if (c.op == CmpOp::kEq &&
+            ((lb && c.rhs->kind == TermKind::kVar) ||
+             (rb && c.lhs->kind == TermKind::kVar))) {
+          return static_cast<int>(i);  // assignment
+        }
+        continue;
+      }
+      const Atom& a = lit.atom;
+      if (IsBuiltin(a)) {
+        const BuiltinImpl* impl = builtins_.Find(a.pred.name);
+        bool inputs_ready = true;
+        for (int j = 0; j < impl->sig.num_inputs &&
+                        j < static_cast<int>(a.args.size());
+             ++j) {
+          if (a.args[j]->kind == TermKind::kVar &&
+              !IsBoundVar(a.args[j]->name)) {
+            inputs_ready = false;
+          }
+        }
+        if (inputs_ready && builtin_ready < 0) {
+          builtin_ready = static_cast<int>(i);
+        }
+        continue;
+      }
+      if (IsPrimitiveType(a)) {
+        if (a.args[0]->kind != TermKind::kVar || IsBoundVar(a.args[0]->name)) {
+          if (typecheck_ready < 0) typecheck_ready = static_cast<int>(i);
+        }
+        continue;
+      }
+      // Relation atom.
+      int bound_args = 0;
+      bool all_nonanon_bound = true;
+      bool keys_bound = true;
+      for (size_t j = 0; j < a.args.size(); ++j) {
+        const TermPtr& arg = a.args[j];
+        bool b = arg->kind == TermKind::kConst ||
+                 (arg->kind == TermKind::kVar && IsBoundVar(arg->name));
+        if (b) ++bound_args;
+        if (!b && arg->kind == TermKind::kVar && !IsAnonymous(arg->name)) {
+          all_nonanon_bound = false;
+        }
+        if (!b && a.functional && j + 1 < a.args.size()) keys_bound = false;
+      }
+      if (a.negated) {
+        if (all_nonanon_bound && neg_ready < 0) neg_ready = static_cast<int>(i);
+        continue;
+      }
+      if (a.functional && keys_bound && lookup_ready < 0) {
+        lookup_ready = static_cast<int>(i);
+      }
+      if (bound_args > best_scan_bound) {
+        best_scan_bound = bound_args;
+        best_scan = static_cast<int>(i);
+      }
+    }
+    if (typecheck_ready >= 0) return typecheck_ready;
+    if (lookup_ready >= 0) return lookup_ready;
+    if (neg_ready >= 0) return neg_ready;
+    if (builtin_ready >= 0) return builtin_ready;
+    return best_scan;
+  }
+
+  Result<ArgPat> PatFor(const TermPtr& arg, bool binds, bool wild_anon) {
+    ArgPat pat;
+    if (arg->kind == TermKind::kConst) {
+      pat.kind = ArgPat::Kind::kConst;
+      pat.constant = arg->constant;
+      return pat;
+    }
+    if (arg->kind != TermKind::kVar) {
+      return Status::Internal("non-variable term in compiled atom: " +
+                              arg->ToString());
+    }
+    int slot = slots_.SlotOf(arg->name);
+    if (static_cast<size_t>(slot) >= bound_.size()) {
+      bound_.resize(slot + 1, false);
+    }
+    pat.slot = slot;
+    if (bound_[slot]) {
+      pat.kind = ArgPat::Kind::kBound;
+    } else if (wild_anon && IsAnonymous(arg->name)) {
+      pat.kind = ArgPat::Kind::kWild;
+    } else if (binds) {
+      pat.kind = ArgPat::Kind::kBind;
+      bound_[slot] = true;
+    } else {
+      return Status::Internal("unbound variable '" + arg->name +
+                              "' in non-binding position");
+    }
+    return pat;
+  }
+
+  Result<Step> CompileLiteral(const Literal& lit, int* scan_occurrences,
+                              std::vector<PredId>* scan_preds) {
+    Step step;
+    if (lit.kind == Literal::Kind::kCompare) {
+      const auto& c = lit.cmp;
+      bool lb = TermsBound(c.lhs);
+      bool rb = TermsBound(c.rhs);
+      if (lb && rb) {
+        step.kind = Step::Kind::kCompare;
+        step.cmp_op = c.op;
+        step.lhs = CompileExpr(c.lhs, &slots_);
+        step.rhs = CompileExpr(c.rhs, &slots_);
+        return step;
+      }
+      // Assignment.
+      step.kind = Step::Kind::kAssign;
+      const TermPtr& var = lb ? c.rhs : c.lhs;
+      const TermPtr& expr = lb ? c.lhs : c.rhs;
+      step.assign_slot = slots_.SlotOf(var->name);
+      if (static_cast<size_t>(step.assign_slot) >= bound_.size()) {
+        bound_.resize(step.assign_slot + 1, false);
+      }
+      bound_[step.assign_slot] = true;
+      step.rhs = CompileExpr(expr, &slots_);
+      return step;
+    }
+
+    const Atom& a = lit.atom;
+    if (const BuiltinImpl* impl = builtins_.Find(a.pred.name)) {
+      step.kind = Step::Kind::kBuiltin;
+      step.builtin = impl;
+      step.builtin_name = a.pred.name;
+      for (size_t j = 0; j < a.args.size(); ++j) {
+        bool is_output = static_cast<int>(j) >= impl->sig.num_inputs;
+        SB_ASSIGN_OR_RETURN(ArgPat pat, PatFor(a.args[j], is_output, false));
+        step.args.push_back(std::move(pat));
+      }
+      return step;
+    }
+
+    SB_ASSIGN_OR_RETURN(PredId pred, catalog_.Lookup(a.pred.name));
+    const PredicateDecl& decl = catalog_.decl(pred);
+    step.pred = pred;
+
+    if (decl.is_primitive) {
+      step.kind = Step::Kind::kTypeCheck;
+      step.check_kind = decl.primitive_kind;
+      SB_ASSIGN_OR_RETURN(ArgPat pat, PatFor(a.args[0], false, false));
+      step.args.push_back(std::move(pat));
+      return step;
+    }
+
+    if (a.negated) {
+      step.kind = Step::Kind::kNegCheck;
+      for (const auto& arg : a.args) {
+        SB_ASSIGN_OR_RETURN(ArgPat pat, PatFor(arg, false, true));
+        step.args.push_back(std::move(pat));
+      }
+      return step;
+    }
+
+    // Functional lookup when all keys bound?
+    bool keys_bound = decl.functional;
+    if (decl.functional) {
+      for (size_t j = 0; j + 1 < a.args.size(); ++j) {
+        const TermPtr& arg = a.args[j];
+        if (arg->kind == TermKind::kVar && !IsBoundVar(arg->name)) {
+          keys_bound = false;
+        }
+      }
+    }
+    if (keys_bound) {
+      step.kind = Step::Kind::kLookup;
+      // Lookups still get a delta occurrence so semi-naïve re-runs the rule
+      // when the looked-up relation (e.g. a singleton) changes.
+      step.occurrence = (*scan_occurrences)++;
+      scan_preds->push_back(pred);
+      for (size_t j = 0; j < a.args.size(); ++j) {
+        SB_ASSIGN_OR_RETURN(ArgPat pat,
+                            PatFor(a.args[j], j + 1 == a.args.size(), false));
+        step.args.push_back(std::move(pat));
+      }
+      return step;
+    }
+
+    step.kind = Step::Kind::kScan;
+    step.occurrence = (*scan_occurrences)++;
+    scan_preds->push_back(pred);
+    for (const auto& arg : a.args) {
+      SB_ASSIGN_OR_RETURN(ArgPat pat, PatFor(arg, true, false));
+      step.args.push_back(std::move(pat));
+    }
+    return step;
+  }
+
+  const Catalog& catalog_;
+  const BuiltinRegistry& builtins_;
+  SlotMap& slots_;
+  std::vector<bool>& bound_;
+};
+
+}  // namespace
+
+// --- RuleCompiler ----------------------------------------------------------
+
+Result<CompiledRule> RuleCompiler::CompileRule(const Rule& rule,
+                                               int id) const {
+  CompiledRule out;
+  out.source = rule;
+  out.id = id;
+
+  SlotMap slots;
+  std::vector<bool> bound;
+  BodyPlanner planner(catalog_, builtins_, &slots, &bound);
+  SB_ASSIGN_OR_RETURN(out.steps,
+                      planner.Plan(rule.body, &out.num_scan_occurrences,
+                                   &out.scan_preds));
+  if (out.num_scan_occurrences == 0) {
+    return Status::CompileError("rule body must reference at least one "
+                                "predicate: " + rule.ToString());
+  }
+
+  if (rule.agg.has_value()) {
+    if (rule.heads.size() != 1 || !rule.heads[0].functional) {
+      return Status::CompileError(
+          "aggregate rules must have a single functional head: " +
+          rule.ToString());
+    }
+    CompiledAgg agg;
+    agg.func = rule.agg->func;
+    if (rule.agg->func == datalog::AggFunc::kCount) {
+      agg.input_slot = -1;
+    } else {
+      agg.input_slot = slots.Find(rule.agg->input_var);
+      if (agg.input_slot < 0) {
+        return Status::CompileError("aggregate input variable '" +
+                                    rule.agg->input_var + "' not in body");
+      }
+    }
+    const Atom& head = rule.heads[0];
+    SB_ASSIGN_OR_RETURN(agg.head_pred, catalog_.Lookup(head.pred.name));
+    // Value position must be exactly the result variable.
+    const TermPtr& value_arg = head.args.back();
+    if (value_arg->kind != TermKind::kVar ||
+        value_arg->name != rule.agg->result_var) {
+      return Status::CompileError(
+          "aggregate head value must be the aggregate result variable");
+    }
+    for (size_t j = 0; j + 1 < head.args.size(); ++j) {
+      const TermPtr& arg = head.args[j];
+      ArgPat pat;
+      if (arg->kind == TermKind::kConst) {
+        pat.kind = ArgPat::Kind::kConst;
+        pat.constant = arg->constant;
+      } else if (arg->kind == TermKind::kVar) {
+        int slot = slots.Find(arg->name);
+        if (slot < 0 || !bound[slot]) {
+          return Status::CompileError("aggregate key variable '" + arg->name +
+                                      "' is not bound by the body");
+        }
+        pat.kind = ArgPat::Kind::kBound;
+        pat.slot = slot;
+      } else {
+        return Status::CompileError("bad aggregate key term");
+      }
+      agg.key_args.push_back(std::move(pat));
+    }
+    out.agg = std::move(agg);
+    out.num_slots = slots.size();
+    out.slot_names = slots.names();
+    return out;
+  }
+
+  // Normal heads (with possible existentials).
+  std::set<int> memo_slots;
+  std::unordered_map<int, PredId> existential_types;
+  for (const Atom& head : rule.heads) {
+    CompiledHead ch;
+    SB_ASSIGN_OR_RETURN(ch.pred, catalog_.Lookup(head.pred.name));
+    const PredicateDecl& decl = catalog_.decl(ch.pred);
+    for (size_t j = 0; j < head.args.size(); ++j) {
+      const TermPtr& arg = head.args[j];
+      ArgPat pat;
+      if (arg->kind == TermKind::kConst) {
+        pat.kind = ArgPat::Kind::kConst;
+        pat.constant = arg->constant;
+      } else if (arg->kind == TermKind::kVar) {
+        int slot = slots.SlotOf(arg->name);
+        pat.slot = slot;
+        if (static_cast<size_t>(slot) < bound.size() && bound[slot]) {
+          pat.kind = ArgPat::Kind::kBound;
+          memo_slots.insert(slot);
+        } else {
+          // Head existential: entity creation (typecheck verified type).
+          pat.kind = ArgPat::Kind::kBind;
+          if (!existential_types.count(slot)) {
+            existential_types[slot] = decl.arg_types[j];
+          }
+        }
+      } else {
+        return Status::CompileError("bad head term " + arg->ToString());
+      }
+      ch.args.push_back(std::move(pat));
+    }
+    out.heads.push_back(std::move(ch));
+  }
+  for (const auto& [slot, type] : existential_types) {
+    out.existential_slots.push_back(slot);
+    out.existential_types.push_back(type);
+  }
+  out.memo_key_slots.assign(memo_slots.begin(), memo_slots.end());
+  out.num_slots = slots.size();
+  out.slot_names = slots.names();
+  return out;
+}
+
+Result<CompiledConstraint> RuleCompiler::CompileConstraint(
+    const datalog::ConstraintDecl& c, int id) const {
+  CompiledConstraint out;
+  out.source = c;
+  out.id = id;
+
+  SlotMap slots;
+  std::vector<bool> bound;
+  BodyPlanner lhs_planner(catalog_, builtins_, &slots, &bound);
+  SB_ASSIGN_OR_RETURN(out.lhs_steps,
+                      lhs_planner.Plan(c.lhs, &out.num_scan_occurrences,
+                                       &out.scan_preds));
+  // rhs: existence check with lhs bindings in scope. Extra rhs scans are
+  // not delta candidates (occurrence counter is separate and unused).
+  int rhs_occurrences = 0;
+  std::vector<PredId> rhs_scan_preds;
+  BodyPlanner rhs_planner(catalog_, builtins_, &slots, &bound);
+  SB_ASSIGN_OR_RETURN(out.rhs_steps,
+                      rhs_planner.Plan(c.rhs, &rhs_occurrences,
+                                       &rhs_scan_preds));
+  out.num_slots = slots.size();
+  out.slot_names = slots.names();
+  return out;
+}
+
+// --- Executor ----------------------------------------------------------------
+
+Result<Value> Executor::Eval(const CExpr& e, const Env& env) {
+  switch (e.kind) {
+    case CExpr::Kind::kConst:
+      return e.constant;
+    case CExpr::Kind::kSlot:
+      if (!env[e.slot].has_value()) {
+        return Status::Internal("evaluating unbound slot");
+      }
+      return *env[e.slot];
+    case CExpr::Kind::kArith: {
+      SB_ASSIGN_OR_RETURN(Value l, Eval(*e.lhs, env));
+      SB_ASSIGN_OR_RETURN(Value r, Eval(*e.rhs, env));
+      if (l.kind() != ValueKind::kInt || r.kind() != ValueKind::kInt) {
+        return Status::TypeError("arithmetic on non-integer values");
+      }
+      switch (e.op) {
+        case '+':
+          return Value::Int(l.AsInt() + r.AsInt());
+        case '-':
+          return Value::Int(l.AsInt() - r.AsInt());
+        case '*':
+          return Value::Int(l.AsInt() * r.AsInt());
+        case '/':
+          if (r.AsInt() == 0) return Status::InvalidArgument("division by zero");
+          return Value::Int(l.AsInt() / r.AsInt());
+      }
+      return Status::Internal("bad arithmetic operator");
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+Result<bool> Executor::Compare(const Value& a, CmpOp op, const Value& b) {
+  // Entity-vs-string comparisons go through the entity's label (refmode).
+  if (a.is_entity() && b.kind() == ValueKind::kString) {
+    SB_ASSIGN_OR_RETURN(std::string label, ctx_.catalog->EntityLabel(a));
+    return Compare(Value::Str(label), op, b);
+  }
+  if (b.is_entity() && a.kind() == ValueKind::kString) {
+    SB_ASSIGN_OR_RETURN(std::string label, ctx_.catalog->EntityLabel(b));
+    return Compare(a, op, Value::Str(label));
+  }
+  if (a.kind() != b.kind()) {
+    switch (op) {
+      case CmpOp::kEq:
+        return false;
+      case CmpOp::kNe:
+        return true;
+      default:
+        return Status::TypeError("ordered comparison between incompatible "
+                                 "kinds");
+    }
+  }
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return !(b < a);
+    case CmpOp::kGt:
+      return b < a;
+    case CmpOp::kGe:
+      return !(a < b);
+  }
+  return Status::Internal("bad comparison operator");
+}
+
+namespace {
+
+// Does `tuple` match the bound/const positions of `pats`?
+bool TupleMatches(const std::vector<ArgPat>& pats, const Tuple& tuple,
+                  const Env& env) {
+  for (size_t i = 0; i < pats.size(); ++i) {
+    const ArgPat& p = pats[i];
+    if (p.kind == ArgPat::Kind::kConst && !(tuple[i] == p.constant)) {
+      return false;
+    }
+    if (p.kind == ArgPat::Kind::kBound && !(tuple[i] == *env[p.slot])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
+                         const DeltaOverride* delta,
+                         const std::function<Status(Env&)>& on_match) {
+  if (idx == steps.size()) return on_match(env);
+  const Step& step = steps[idx];
+
+  switch (step.kind) {
+    case Step::Kind::kScan: {
+      Relation* rel = store_.GetRelation(step.pred);
+      auto try_tuple = [&](const Tuple& t) -> Status {
+        if (!TupleMatches(step.args, t, env)) return Status::OK();
+        std::vector<int> bound_here;
+        for (size_t i = 0; i < step.args.size(); ++i) {
+          if (step.args[i].kind == ArgPat::Kind::kBind) {
+            env[step.args[i].slot] = t[i];
+            bound_here.push_back(step.args[i].slot);
+          }
+        }
+        Status st = RunFrom(steps, idx + 1, env, delta, on_match);
+        for (int s : bound_here) env[s].reset();
+        return st;
+      };
+
+      if (delta != nullptr && delta->occurrence == step.occurrence) {
+        for (const Tuple& t : *delta->tuples) {
+          SB_RETURN_IF_ERROR(try_tuple(t));
+        }
+        return Status::OK();
+      }
+      if (rel == nullptr) return Status::OK();  // no facts yet
+      // Probe a secondary index on the bound columns when possible.
+      uint32_t mask = 0;
+      Tuple key;
+      for (size_t i = 0; i < step.args.size() && i < 32; ++i) {
+        const ArgPat& p = step.args[i];
+        if (p.kind == ArgPat::Kind::kConst) {
+          mask |= 1u << i;
+          key.push_back(p.constant);
+        } else if (p.kind == ArgPat::Kind::kBound) {
+          mask |= 1u << i;
+          key.push_back(*env[p.slot]);
+        }
+      }
+      if (mask != 0) {
+        // NOTE: callbacks must not mutate relations (fixpoint drivers buffer
+        // head insertions), so the probe result stays valid.
+        const std::vector<size_t>& rows = rel->Probe(mask, key);
+        for (size_t row : rows) {
+          SB_RETURN_IF_ERROR(try_tuple(rel->tuples()[row]));
+        }
+      } else {
+        for (const Tuple& t : rel->tuples()) {
+          SB_RETURN_IF_ERROR(try_tuple(t));
+        }
+      }
+      return Status::OK();
+    }
+
+    case Step::Kind::kLookup: {
+      // Delta variant: iterate the delta like a scan (keys are bound, so
+      // this is a cheap filter).
+      if (delta != nullptr && delta->occurrence == step.occurrence) {
+        for (const Tuple& t : *delta->tuples) {
+          if (!TupleMatches(step.args, t, env)) continue;
+          const ArgPat& vp = step.args.back();
+          std::optional<int> bound_slot;
+          if (vp.kind == ArgPat::Kind::kBind) {
+            env[vp.slot] = t.back();
+            bound_slot = vp.slot;
+          }
+          Status st = RunFrom(steps, idx + 1, env, delta, on_match);
+          if (bound_slot.has_value()) env[*bound_slot].reset();
+          SB_RETURN_IF_ERROR(st);
+        }
+        return Status::OK();
+      }
+      Relation* rel = store_.GetRelation(step.pred);
+      if (rel == nullptr) return Status::OK();
+      Tuple keys;
+      for (size_t i = 0; i + 1 < step.args.size(); ++i) {
+        const ArgPat& p = step.args[i];
+        keys.push_back(p.kind == ArgPat::Kind::kConst ? p.constant
+                                                      : *env[p.slot]);
+      }
+      const Tuple* t = rel->LookupByKeys(keys);
+      if (t == nullptr) return Status::OK();
+      const ArgPat& vp = step.args.back();
+      const Value& v = t->back();
+      if (vp.kind == ArgPat::Kind::kConst) {
+        if (!(v == vp.constant)) return Status::OK();
+        return RunFrom(steps, idx + 1, env, delta, on_match);
+      }
+      if (vp.kind == ArgPat::Kind::kBound) {
+        if (!(v == *env[vp.slot])) return Status::OK();
+        return RunFrom(steps, idx + 1, env, delta, on_match);
+      }
+      env[vp.slot] = v;
+      Status st = RunFrom(steps, idx + 1, env, delta, on_match);
+      env[vp.slot].reset();
+      return st;
+    }
+
+    case Step::Kind::kNegCheck: {
+      Relation* rel = store_.GetRelation(step.pred);
+      if (rel == nullptr || rel->empty()) {
+        return RunFrom(steps, idx + 1, env, delta, on_match);
+      }
+      uint32_t mask = 0;
+      Tuple key;
+      for (size_t i = 0; i < step.args.size() && i < 32; ++i) {
+        const ArgPat& p = step.args[i];
+        if (p.kind == ArgPat::Kind::kConst) {
+          mask |= 1u << i;
+          key.push_back(p.constant);
+        } else if (p.kind == ArgPat::Kind::kBound) {
+          mask |= 1u << i;
+          key.push_back(*env[p.slot]);
+        }
+      }
+      bool exists;
+      if (mask == 0) {
+        exists = !rel->empty();
+      } else {
+        exists = !rel->Probe(mask, key).empty();
+      }
+      if (exists) return Status::OK();  // negation fails
+      return RunFrom(steps, idx + 1, env, delta, on_match);
+    }
+
+    case Step::Kind::kCompare: {
+      SB_ASSIGN_OR_RETURN(Value l, Eval(*step.lhs, env));
+      SB_ASSIGN_OR_RETURN(Value r, Eval(*step.rhs, env));
+      SB_ASSIGN_OR_RETURN(bool pass, Compare(l, step.cmp_op, r));
+      if (!pass) return Status::OK();
+      return RunFrom(steps, idx + 1, env, delta, on_match);
+    }
+
+    case Step::Kind::kAssign: {
+      SB_ASSIGN_OR_RETURN(Value v, Eval(*step.rhs, env));
+      env[step.assign_slot] = std::move(v);
+      Status st = RunFrom(steps, idx + 1, env, delta, on_match);
+      env[step.assign_slot].reset();
+      return st;
+    }
+
+    case Step::Kind::kBuiltin: {
+      const auto& sig = step.builtin->sig;
+      std::vector<Value> inputs;
+      for (int i = 0; i < sig.num_inputs; ++i) {
+        const ArgPat& p = step.args[i];
+        inputs.push_back(p.kind == ArgPat::Kind::kConst ? p.constant
+                                                        : *env[p.slot]);
+      }
+      std::vector<Value> outputs;
+      SB_ASSIGN_OR_RETURN(bool produced,
+                          step.builtin->fn(ctx_, inputs, &outputs));
+      if (!produced) return Status::OK();
+      size_t num_outputs = step.args.size() - sig.num_inputs;
+      if (outputs.size() != num_outputs) {
+        return Status::Internal("builtin '" + step.builtin_name +
+                                "' produced wrong number of outputs");
+      }
+      std::vector<int> bound_here;
+      bool ok = true;
+      for (size_t i = 0; i < num_outputs; ++i) {
+        const ArgPat& p = step.args[sig.num_inputs + i];
+        if (p.kind == ArgPat::Kind::kBind) {
+          env[p.slot] = outputs[i];
+          bound_here.push_back(p.slot);
+        } else {
+          const Value& want =
+              p.kind == ArgPat::Kind::kConst ? p.constant : *env[p.slot];
+          if (!(outputs[i] == want)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      Status st = Status::OK();
+      if (ok) st = RunFrom(steps, idx + 1, env, delta, on_match);
+      for (int s : bound_here) env[s].reset();
+      return st;
+    }
+
+    case Step::Kind::kTypeCheck: {
+      const ArgPat& p = step.args[0];
+      const Value& v =
+          p.kind == ArgPat::Kind::kConst ? p.constant : *env[p.slot];
+      if (v.kind() != step.check_kind) return Status::OK();
+      return RunFrom(steps, idx + 1, env, delta, on_match);
+    }
+  }
+  return Status::Internal("bad step kind");
+}
+
+Status Executor::Run(const std::vector<Step>& steps, Env* env,
+                     const DeltaOverride* delta,
+                     const std::function<Status(Env&)>& on_match) {
+  return RunFrom(steps, 0, *env, delta, on_match);
+}
+
+Result<bool> Executor::Exists(const std::vector<Step>& steps, Env* env) {
+  bool found = false;
+  // A sentinel "error" short-circuits enumeration after the first match.
+  Status st = RunFrom(steps, 0, *env, nullptr, [&](Env&) -> Status {
+    found = true;
+    return Status(StatusCode::kInternal, "__found__");
+  });
+  if (!st.ok() && st.message() != "__found__") return st;
+  return found;
+}
+
+// --- Stratification ----------------------------------------------------------
+
+namespace {
+
+// Tarjan SCC over predicate ids.
+class Scc {
+ public:
+  explicit Scc(const std::map<PredId, std::set<PredId>>& edges)
+      : edges_(edges) {
+    for (const auto& [n, _] : edges_) {
+      if (!index_.count(n)) Visit(n);
+    }
+  }
+
+  int ComponentOf(PredId n) const {
+    auto it = comp_.find(n);
+    return it == comp_.end() ? -1 : it->second;
+  }
+  int num_components() const { return num_comps_; }
+
+ private:
+  void Visit(PredId n) {
+    index_[n] = low_[n] = counter_++;
+    stack_.push_back(n);
+    on_stack_.insert(n);
+    auto it = edges_.find(n);
+    if (it != edges_.end()) {
+      for (PredId m : it->second) {
+        if (!index_.count(m)) {
+          Visit(m);
+          low_[n] = std::min(low_[n], low_[m]);
+        } else if (on_stack_.count(m)) {
+          low_[n] = std::min(low_[n], index_[m]);
+        }
+      }
+    }
+    if (low_[n] == index_[n]) {
+      while (true) {
+        PredId m = stack_.back();
+        stack_.pop_back();
+        on_stack_.erase(m);
+        comp_[m] = num_comps_;
+        if (m == n) break;
+      }
+      ++num_comps_;
+    }
+  }
+
+  const std::map<PredId, std::set<PredId>>& edges_;
+  std::unordered_map<PredId, int> index_, low_, comp_;
+  std::vector<PredId> stack_;
+  std::unordered_set<PredId> on_stack_;
+  int counter_ = 0;
+  int num_comps_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<int>> Stratify(const std::vector<CompiledRule*>& rules,
+                                  const datalog::Catalog& catalog,
+                                  std::vector<bool>* lattice_flags,
+                                  bool allow_unstratified_negation) {
+  // Dependency edges head -> body pred, with negation/aggregation marked.
+  std::map<PredId, std::set<PredId>> edges;
+  struct MarkedEdge {
+    PredId from, to;
+    const CompiledRule* rule;
+  };
+  std::vector<MarkedEdge> negative_edges;
+
+  auto body_preds = [](const CompiledRule& r) {
+    std::vector<std::pair<PredId, bool>> out;  // (pred, negated)
+    for (const Step& s : r.steps) {
+      if (s.kind == Step::Kind::kScan || s.kind == Step::Kind::kLookup) {
+        out.emplace_back(s.pred, false);
+      } else if (s.kind == Step::Kind::kNegCheck) {
+        out.emplace_back(s.pred, true);
+      }
+    }
+    return out;
+  };
+
+  auto head_preds = [](const CompiledRule& r) {
+    std::vector<PredId> out;
+    if (r.agg.has_value()) {
+      out.push_back(r.agg->head_pred);
+    } else {
+      for (const auto& h : r.heads) out.push_back(h.pred);
+    }
+    return out;
+  };
+
+  for (const CompiledRule* r : rules) {
+    for (PredId h : head_preds(*r)) {
+      edges[h];  // ensure node
+      for (const auto& [b, negated] : body_preds(*r)) {
+        edges[h].insert(b);
+        edges[b];  // ensure node
+        if (negated || r->agg.has_value()) {
+          negative_edges.push_back({h, b, r});
+        }
+      }
+    }
+  }
+
+  Scc scc(edges);
+
+  // Longest-path levels over the condensation: positive edges weight 0,
+  // negative/aggregate edges weight 1. Iterate to fixpoint (few preds).
+  std::vector<int> level(scc.num_components(), 0);
+  bool changed = true;
+  int guard = 0;
+  while (changed) {
+    changed = false;
+    if (++guard > scc.num_components() + 2) break;  // cycles handled below
+    for (const auto& [from, tos] : edges) {
+      int cf = scc.ComponentOf(from);
+      for (PredId to : tos) {
+        int ct = scc.ComponentOf(to);
+        if (cf == ct) continue;
+        if (level[cf] < level[ct]) {
+          level[cf] = level[ct];
+          changed = true;
+        }
+      }
+    }
+    for (const auto& e : negative_edges) {
+      int cf = scc.ComponentOf(e.from);
+      int ct = scc.ComponentOf(e.to);
+      if (cf == ct) continue;  // recursive: validated below
+      if (level[cf] < level[ct] + 1) {
+        level[cf] = level[ct] + 1;
+        changed = true;
+      }
+    }
+  }
+
+  // Validate negation / aggregation.
+  lattice_flags->assign(rules.size(), false);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const CompiledRule& r = *rules[i];
+    for (const Step& s : r.steps) {
+      if (s.kind != Step::Kind::kNegCheck) continue;
+      for (PredId h : head_preds(r)) {
+        if (scc.ComponentOf(h) == scc.ComponentOf(s.pred) &&
+            !allow_unstratified_negation) {
+          return Status::CompileError(
+              "unstratified negation through predicate '" +
+              catalog.decl(s.pred).name + "' in rule: " + r.source.ToString());
+        }
+      }
+    }
+    if (r.agg.has_value()) {
+      bool recursive = false;
+      for (const auto& [b, negated] : body_preds(r)) {
+        (void)negated;
+        if (scc.ComponentOf(r.agg->head_pred) == scc.ComponentOf(b)) {
+          recursive = true;
+        }
+      }
+      if (recursive) {
+        if (r.agg->func != datalog::AggFunc::kMin &&
+            r.agg->func != datalog::AggFunc::kMax) {
+          return Status::CompileError(
+              "recursive aggregation must be min or max (lattice mode): " +
+              r.source.ToString());
+        }
+        (*lattice_flags)[i] = true;
+      }
+    }
+  }
+
+  std::vector<int> strata(rules.size(), 0);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    int s = 0;
+    for (PredId h : head_preds(*rules[i])) {
+      s = std::max(s, level[scc.ComponentOf(h)]);
+    }
+    strata[i] = s;
+  }
+  return strata;
+}
+
+}  // namespace secureblox::engine

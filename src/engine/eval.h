@@ -1,0 +1,197 @@
+// Rule/constraint compilation and body execution.
+//
+// A rule body compiles to an ordered list of steps (greedy ordering: cheap
+// filters first, then functional lookups, negation probes, builtins, and
+// scans by descending boundness). Execution enumerates bindings over an
+// environment of value slots. Semi-naïve evaluation re-runs each rule once
+// per scan occurrence with that occurrence reading the round's delta.
+//
+// Head existentials (unbound head variables in entity-typed positions)
+// create fresh entities, memoized per (rule, binding of head-relevant
+// variables) so re-evaluation is idempotent.
+#ifndef SECUREBLOX_ENGINE_EVAL_H_
+#define SECUREBLOX_ENGINE_EVAL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/catalog.h"
+#include "engine/builtins.h"
+#include "engine/relation.h"
+
+namespace secureblox::engine {
+
+/// Source of relations during execution (implemented by Workspace).
+class RelationStore {
+ public:
+  virtual ~RelationStore() = default;
+  virtual Relation* GetRelation(datalog::PredId pred) = 0;
+};
+
+/// Environment: one optional value slot per rule variable.
+using Env = std::vector<std::optional<datalog::Value>>;
+
+/// Compiled term: variable slots resolved.
+struct CExpr {
+  enum class Kind { kSlot, kConst, kArith };
+  Kind kind = Kind::kConst;
+  int slot = -1;
+  datalog::Value constant;
+  char op = 0;
+  std::shared_ptr<CExpr> lhs, rhs;
+};
+
+/// Compiled atom argument pattern.
+struct ArgPat {
+  enum class Kind {
+    kBound,  // slot already holds a value: match/compare
+    kBind,   // slot unbound: bind from the tuple / builtin output
+    kConst,  // literal constant: match
+    kWild,   // anonymous variable in a negation probe: matches anything
+  };
+  Kind kind = Kind::kConst;
+  int slot = -1;
+  datalog::Value constant;
+};
+
+struct Step {
+  enum class Kind {
+    kScan,      // enumerate relation (or the round's delta) by pattern
+    kLookup,    // functional atom with all keys bound: one probe
+    kNegCheck,  // negated atom: probe by bound columns, fail if any match
+    kCompare,   // comparison over bound expressions
+    kAssign,    // bind a slot from an expression
+    kBuiltin,   // builtin function call
+    kTypeCheck, // primitive type predicate over a bound slot
+  };
+  Kind kind;
+  datalog::PredId pred = datalog::kInvalidPred;
+  std::vector<ArgPat> args;
+  int occurrence = -1;  // kScan: index among this body's scan occurrences
+  datalog::CmpOp cmp_op = datalog::CmpOp::kEq;
+  std::shared_ptr<CExpr> lhs, rhs;  // kCompare: both; kAssign: rhs
+  int assign_slot = -1;
+  const BuiltinImpl* builtin = nullptr;
+  std::string builtin_name;
+  datalog::ValueKind check_kind = datalog::ValueKind::kInt;  // kTypeCheck
+};
+
+struct CompiledHead {
+  datalog::PredId pred = datalog::kInvalidPred;
+  std::vector<ArgPat> args;  // kBind entries are existential slots
+};
+
+struct CompiledAgg {
+  datalog::AggFunc func;
+  int input_slot = -1;  // -1 for count
+  // Head (single, functional): key arg patterns; value is the agg result.
+  datalog::PredId head_pred = datalog::kInvalidPred;
+  std::vector<ArgPat> key_args;
+  bool lattice = false;  // recursive min/max: monotone improvement semantics
+};
+
+struct CompiledRule {
+  datalog::Rule source;
+  int id = 0;
+  int stratum = 0;
+  size_t num_slots = 0;
+  std::vector<std::string> slot_names;
+  std::vector<Step> steps;
+  std::vector<CompiledHead> heads;            // empty for aggregate rules
+  std::optional<CompiledAgg> agg;
+  int num_scan_occurrences = 0;
+  std::vector<datalog::PredId> scan_preds;    // indexed by occurrence
+  // Head existentials.
+  std::vector<int> existential_slots;
+  std::vector<datalog::PredId> existential_types;
+  std::vector<int> memo_key_slots;  // bound slots used anywhere in heads
+};
+
+struct CompiledConstraint {
+  datalog::ConstraintDecl source;
+  int id = 0;
+  size_t num_slots = 0;
+  std::vector<std::string> slot_names;
+  std::vector<Step> lhs_steps;
+  std::vector<Step> rhs_steps;
+  int num_scan_occurrences = 0;               // lhs only
+  std::vector<datalog::PredId> scan_preds;    // lhs scans by occurrence
+};
+
+/// Compiles analyzed rules/constraints against a catalog + builtin registry.
+class RuleCompiler {
+ public:
+  RuleCompiler(const datalog::Catalog& catalog,
+               const BuiltinRegistry& builtins)
+      : catalog_(catalog), builtins_(builtins) {}
+
+  Result<CompiledRule> CompileRule(const datalog::Rule& rule, int id) const;
+  Result<CompiledConstraint> CompileConstraint(
+      const datalog::ConstraintDecl& c, int id) const;
+
+ private:
+  const datalog::Catalog& catalog_;
+  const BuiltinRegistry& builtins_;
+};
+
+/// Delta override: scan occurrence `occurrence` reads `tuples` instead of
+/// the full relation (semi-naïve variants, constraint delta checks).
+struct DeltaOverride {
+  int occurrence = -1;
+  const std::vector<Tuple>* tuples = nullptr;
+};
+
+/// Executes compiled step lists.
+class Executor {
+ public:
+  Executor(EvalContext* ctx, RelationStore* store)
+      : ctx_(*ctx), store_(*store) {}
+
+  /// Enumerate all bindings of `steps`; invoke `on_match` for each.
+  /// `on_match` returning an error aborts enumeration.
+  Status Run(const std::vector<Step>& steps, Env* env,
+             const DeltaOverride* delta,
+             const std::function<Status(Env&)>& on_match);
+
+  /// Existence check: do `steps` admit at least one binding, starting from
+  /// the (partially bound) environment? Used for constraint rhs.
+  Result<bool> Exists(const std::vector<Step>& steps, Env* env);
+
+  /// Compare two values under `op`, coercing entity-vs-string comparisons
+  /// through entity labels.
+  Result<bool> Compare(const datalog::Value& a, datalog::CmpOp op,
+                       const datalog::Value& b);
+
+  Result<datalog::Value> Eval(const CExpr& e, const Env& env);
+
+ private:
+  Status RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
+                 const DeltaOverride* delta,
+                 const std::function<Status(Env&)>& on_match);
+
+  EvalContext& ctx_;
+  RelationStore& store_;
+};
+
+/// Dependency stratification. Returns per-rule stratum assignment and
+/// verifies that negation and non-lattice aggregation are stratified.
+/// `lattice_flags` receives rule ids whose aggregation is recursive
+/// (lattice min/max mode).
+///
+/// `allow_unstratified_negation` enables the declarative-networking
+/// semantics used by distributed protocols (NDlog, and the paper's
+/// path-vector loop check `!pathlink[P,N]=_`): negation through a recursive
+/// predicate is evaluated against the state at derivation time, without
+/// retraction. Off by default (classic stratified Datalog).
+Result<std::vector<int>> Stratify(const std::vector<CompiledRule*>& rules,
+                                  const datalog::Catalog& catalog,
+                                  std::vector<bool>* lattice_flags,
+                                  bool allow_unstratified_negation = false);
+
+}  // namespace secureblox::engine
+
+#endif  // SECUREBLOX_ENGINE_EVAL_H_

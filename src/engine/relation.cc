@@ -1,0 +1,84 @@
+#include "engine/relation.h"
+
+namespace secureblox::engine {
+
+InsertOutcome Relation::Insert(const Tuple& t) {
+  if (index_.count(t)) return InsertOutcome::kDuplicate;
+  if (decl_->functional) {
+    Tuple keys(t.begin(), t.end() - 1);
+    auto it = fd_index_.find(keys);
+    if (it != fd_index_.end()) return InsertOutcome::kFdConflict;
+    fd_index_[std::move(keys)] = tuples_.size();
+  }
+  index_[t] = tuples_.size();
+  tuples_.push_back(t);
+  ++version_;
+  return InsertOutcome::kInserted;
+}
+
+bool Relation::Erase(const Tuple& t) {
+  auto it = index_.find(t);
+  if (it == index_.end()) return false;
+  size_t slot = it->second;
+  index_.erase(it);
+  if (decl_->functional) {
+    fd_index_.erase(Tuple(t.begin(), t.end() - 1));
+  }
+  // Swap-remove; fix the moved tuple's slots.
+  size_t last = tuples_.size() - 1;
+  if (slot != last) {
+    tuples_[slot] = std::move(tuples_[last]);
+    index_[tuples_[slot]] = slot;
+    if (decl_->functional) {
+      fd_index_[Tuple(tuples_[slot].begin(), tuples_[slot].end() - 1)] = slot;
+    }
+  }
+  tuples_.pop_back();
+  ++version_;
+  return true;
+}
+
+std::optional<Tuple> Relation::ReplaceFunctional(const Tuple& t) {
+  Tuple keys(t.begin(), t.end() - 1);
+  auto it = fd_index_.find(keys);
+  std::optional<Tuple> displaced;
+  if (it != fd_index_.end()) {
+    displaced = tuples_[it->second];
+    if (*displaced == t) return std::nullopt;  // no change
+    Erase(*displaced);
+  }
+  Insert(t);
+  return displaced;
+}
+
+bool Relation::Contains(const Tuple& t) const { return index_.count(t) > 0; }
+
+const Tuple* Relation::LookupByKeys(const Tuple& keys) const {
+  auto it = fd_index_.find(keys);
+  if (it == fd_index_.end()) return nullptr;
+  return &tuples_[it->second];
+}
+
+Tuple Relation::Project(const Tuple& t, uint32_t mask) {
+  Tuple out;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (mask & (1u << i)) out.push_back(t[i]);
+  }
+  return out;
+}
+
+const std::vector<size_t>& Relation::Probe(uint32_t mask, const Tuple& key) {
+  static const std::vector<size_t> kEmpty;
+  SecondaryIndex& idx = secondary_[mask];
+  if (idx.built_at_version != version_) {
+    idx.buckets.clear();
+    for (size_t i = 0; i < tuples_.size(); ++i) {
+      idx.buckets[Project(tuples_[i], mask)].push_back(i);
+    }
+    idx.built_at_version = version_;
+  }
+  auto it = idx.buckets.find(key);
+  return it == idx.buckets.end() ? kEmpty : it->second;
+}
+
+}  // namespace secureblox::engine

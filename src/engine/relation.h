@@ -1,0 +1,77 @@
+// Relation storage: a dense tuple vector with a full-tuple hash index for
+// set semantics, a key index enforcing functional dependencies, and lazily
+// built secondary hash indexes keyed by bound-column masks for joins.
+#ifndef SECUREBLOX_ENGINE_RELATION_H_
+#define SECUREBLOX_ENGINE_RELATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/catalog.h"
+#include "engine/tuple.h"
+
+namespace secureblox::engine {
+
+/// Result of an insertion attempt.
+enum class InsertOutcome {
+  kInserted,     // new tuple
+  kDuplicate,    // already present (set semantics)
+  kFdConflict,   // functional dependency violated (same keys, other value)
+};
+
+class Relation {
+ public:
+  explicit Relation(const datalog::PredicateDecl* decl) : decl_(decl) {}
+
+  const datalog::PredicateDecl& decl() const { return *decl_; }
+
+  /// Insert with set semantics and FD checking.
+  InsertOutcome Insert(const Tuple& t);
+
+  /// Remove a tuple; returns true if it was present.
+  bool Erase(const Tuple& t);
+
+  /// For functional predicates: replace any existing tuple with the same
+  /// keys. Returns the displaced tuple if one existed.
+  /// (Used by lattice aggregates, which monotonically improve values.)
+  std::optional<Tuple> ReplaceFunctional(const Tuple& t);
+
+  bool Contains(const Tuple& t) const;
+
+  /// Functional lookup: full tuple for `keys` (arity-1 values) or nullptr.
+  const Tuple* LookupByKeys(const Tuple& keys) const;
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Monotonically increasing change counter (secondary index freshness).
+  uint64_t version() const { return version_; }
+
+  /// Rows whose columns selected by `mask` (bit i = column i) equal `key`
+  /// (the bound values in column order). Returns indices into tuples().
+  const std::vector<size_t>& Probe(uint32_t mask, const Tuple& key);
+
+ private:
+  struct SecondaryIndex {
+    uint64_t built_at_version = 0;
+    std::unordered_map<Tuple, std::vector<size_t>, TupleHash> buckets;
+  };
+
+  static Tuple Project(const Tuple& t, uint32_t mask);
+
+  const datalog::PredicateDecl* decl_;
+  std::vector<Tuple> tuples_;
+  std::unordered_map<Tuple, size_t, TupleHash> index_;     // tuple -> slot
+  std::unordered_map<Tuple, size_t, TupleHash> fd_index_;  // keys -> slot
+  std::unordered_map<uint32_t, SecondaryIndex> secondary_;
+  uint64_t version_ = 1;
+};
+
+}  // namespace secureblox::engine
+
+#endif  // SECUREBLOX_ENGINE_RELATION_H_

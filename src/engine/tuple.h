@@ -1,0 +1,39 @@
+// Tuples and tuple hashing.
+#ifndef SECUREBLOX_ENGINE_TUPLE_H_
+#define SECUREBLOX_ENGINE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/catalog.h"
+#include "datalog/value.h"
+
+namespace secureblox::engine {
+
+using datalog::Value;
+
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 0x811C9DC5;
+    for (const Value& v : t) {
+      h ^= v.Hash() + 0x9E3779B9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+inline std::string TupleToString(const Tuple& t,
+                                 const datalog::Catalog& catalog) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += catalog.ValueToString(t[i]);
+  }
+  return out + ")";
+}
+
+}  // namespace secureblox::engine
+
+#endif  // SECUREBLOX_ENGINE_TUPLE_H_

@@ -1,0 +1,654 @@
+#include "engine/workspace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "datalog/typecheck.h"
+
+namespace secureblox::engine {
+
+using datalog::Catalog;
+using datalog::PredicateDecl;
+using datalog::PredId;
+using datalog::Value;
+using datalog::ValueKind;
+
+Workspace::Workspace() : catalog_(std::make_unique<Catalog>()) {
+  ctx_.catalog = catalog_.get();
+  RegisterCoreBuiltins(&builtins_);
+}
+
+Relation* Workspace::GetRelation(PredId pred) {
+  if (pred < 0) return nullptr;
+  if (static_cast<size_t>(pred) >= relations_.size()) {
+    relations_.resize(pred + 1);
+  }
+  if (relations_[pred] == nullptr) {
+    relations_[pred] = std::make_unique<Relation>(&catalog_->decl(pred));
+  }
+  return relations_[pred].get();
+}
+
+const Relation* Workspace::GetRelationIfExists(PredId pred) const {
+  if (pred < 0 || static_cast<size_t>(pred) >= relations_.size()) {
+    return nullptr;
+  }
+  return relations_[pred].get();
+}
+
+Status Workspace::Install(const datalog::Program& program) {
+  SB_ASSIGN_OR_RETURN(
+      datalog::AnalyzedProgram analyzed,
+      datalog::AnalyzeProgram(program, catalog_.get(), builtins_.Signatures()));
+  for (auto& r : analyzed.rules) installed_rules_.push_back(std::move(r));
+  for (auto& c : analyzed.runtime_constraints) {
+    installed_constraints_.push_back(std::move(c));
+  }
+  SB_RETURN_IF_ERROR(Recompile());
+
+  // Apply ground facts through a transaction.
+  std::vector<FactUpdate> inserts;
+  for (const datalog::Rule& fact : analyzed.facts) {
+    for (const datalog::Atom& atom : fact.heads) {
+      FactUpdate u;
+      u.pred = atom.pred.name;
+      for (const auto& arg : atom.args) u.values.push_back(arg->constant);
+      inserts.push_back(std::move(u));
+    }
+  }
+  if (!inserts.empty()) {
+    auto commit = Apply(inserts);
+    if (!commit.ok()) return commit.status();
+  }
+  return Status::OK();
+}
+
+Status Workspace::Recompile() {
+  RuleCompiler compiler(*catalog_, builtins_);
+  compiled_rules_.clear();
+  for (size_t i = 0; i < installed_rules_.size(); ++i) {
+    SB_ASSIGN_OR_RETURN(
+        CompiledRule cr,
+        compiler.CompileRule(installed_rules_[i], static_cast<int>(i)));
+    compiled_rules_.push_back(std::move(cr));
+  }
+  std::vector<CompiledRule*> ptrs;
+  for (auto& r : compiled_rules_) ptrs.push_back(&r);
+  SB_ASSIGN_OR_RETURN(std::vector<int> strata,
+                      Stratify(ptrs, *catalog_, &lattice_flags_,
+                               allow_unstratified_negation_));
+  negated_preds_.clear();
+  for (const CompiledRule& r : compiled_rules_) {
+    for (const Step& s : r.steps) {
+      if (s.kind == Step::Kind::kNegCheck) negated_preds_.insert(s.pred);
+    }
+  }
+  max_stratum_ = 0;
+  for (size_t i = 0; i < compiled_rules_.size(); ++i) {
+    compiled_rules_[i].stratum = strata[i];
+    max_stratum_ = std::max(max_stratum_, strata[i]);
+  }
+  rules_by_stratum_.assign(max_stratum_ + 1, {});
+  for (size_t i = 0; i < compiled_rules_.size(); ++i) {
+    rules_by_stratum_[strata[i]].push_back(i);
+  }
+
+  compiled_constraints_.clear();
+  for (size_t i = 0; i < installed_constraints_.size(); ++i) {
+    SB_ASSIGN_OR_RETURN(CompiledConstraint cc,
+                        compiler.CompileConstraint(installed_constraints_[i],
+                                                   static_cast<int>(i)));
+    compiled_constraints_.push_back(std::move(cc));
+  }
+  return Status::OK();
+}
+
+Result<Tuple> Workspace::NormalizeTuple(PredId pred,
+                                        const std::vector<Value>& values) {
+  const PredicateDecl& decl = catalog_->decl(pred);
+  if (values.size() != decl.arity()) {
+    return Status::InvalidArgument(
+        "arity mismatch for '" + decl.name + "': got " +
+        std::to_string(values.size()) + ", declared " +
+        std::to_string(decl.arity()));
+  }
+  Tuple out;
+  out.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    PredId type = decl.arg_types[i];
+    const PredicateDecl& t = catalog_->decl(type);
+    const Value& v = values[i];
+    if (t.is_entity_type) {
+      if (v.kind() == ValueKind::kString) {
+        SB_ASSIGN_OR_RETURN(Value e, catalog_->InternEntity(type, v.AsString()));
+        out.push_back(std::move(e));
+        continue;
+      }
+      if (v.is_entity() && catalog_->IsSubtype(v.entity_type(), type)) {
+        out.push_back(v);
+        continue;
+      }
+      return Status::TypeError("value " + catalog_->ValueToString(v) +
+                               " does not inhabit entity type '" + t.name +
+                               "' (arg " + std::to_string(i) + " of " +
+                               decl.name + ")");
+    }
+    if (t.is_primitive) {
+      if (v.kind() != t.primitive_kind) {
+        return Status::TypeError("value " + v.ToString() +
+                                 " does not have type '" + t.name +
+                                 "' (arg " + std::to_string(i) + " of " +
+                                 decl.name + ")");
+      }
+      out.push_back(v);
+      continue;
+    }
+    return Status::TypeError("argument type of '" + decl.name +
+                             "' is not a type predicate");
+  }
+  return out;
+}
+
+Status Workspace::EnsureEntityMembership(const Value& v, TxState* tx) {
+  if (!v.is_entity()) return Status::OK();
+  std::vector<PredId> types = {v.entity_type()};
+  for (PredId up : catalog_->SupertypesOf(v.entity_type())) types.push_back(up);
+  for (PredId type : types) {
+    Relation* rel = GetRelation(type);
+    Tuple membership = {v};
+    if (rel->Contains(membership)) continue;
+    rel->Insert(membership);
+    tx->undo.push_back({UndoOp::Kind::kInserted, type, membership});
+    // Membership facts are base: they persist across delete-and-rederive.
+    base_tuples_[type].insert(membership);
+    tx->undo.push_back({UndoOp::Kind::kBaseAdded, type, membership});
+    tx->inserted[type].push_back(membership);
+    for (auto& queue : tx->unseen) queue[type].push_back(membership);
+  }
+  return Status::OK();
+}
+
+Result<bool> Workspace::InsertTuple(PredId pred, const Tuple& tuple,
+                                    bool is_base, TxState* tx) {
+  Relation* rel = GetRelation(pred);
+  InsertOutcome outcome = rel->Insert(tuple);
+  if (outcome == InsertOutcome::kFdConflict) {
+    const Tuple* existing = rel->LookupByKeys(
+        Tuple(tuple.begin(), tuple.end() - 1));
+    return Status::ConstraintViolation(
+        "functional dependency violation on '" + catalog_->decl(pred).name +
+        "': keys map to " +
+        (existing ? catalog_->ValueToString(existing->back()) : "?") +
+        " but derived " + catalog_->ValueToString(tuple.back()));
+  }
+  if (outcome == InsertOutcome::kDuplicate) {
+    if (is_base && !base_tuples_[pred].count(tuple)) {
+      base_tuples_[pred].insert(tuple);
+      tx->undo.push_back({UndoOp::Kind::kBaseAdded, pred, tuple});
+    }
+    return false;
+  }
+  tx->undo.push_back({UndoOp::Kind::kInserted, pred, tuple});
+  if (is_base) {
+    base_tuples_[pred].insert(tuple);
+    tx->undo.push_back({UndoOp::Kind::kBaseAdded, pred, tuple});
+  } else {
+    ++tx->num_derived;
+  }
+  tx->inserted[pred].push_back(tuple);
+  for (auto& queue : tx->unseen) queue[pred].push_back(tuple);
+  for (const Value& v : tuple) {
+    SB_RETURN_IF_ERROR(EnsureEntityMembership(v, tx));
+  }
+  return true;
+}
+
+void Workspace::RemoveFromDeltas(PredId pred, const Tuple& tuple,
+                                 TxState* tx) {
+  auto remove_from = [&](std::map<PredId, std::vector<Tuple>>& m) {
+    auto it = m.find(pred);
+    if (it == m.end()) return;
+    auto& vec = it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), tuple), vec.end());
+  };
+  remove_from(tx->inserted);
+  for (auto& queue : tx->unseen) remove_from(queue);
+}
+
+Status Workspace::EraseTuple(PredId pred, const Tuple& tuple, TxState* tx) {
+  Relation* rel = GetRelation(pred);
+  if (!rel->Erase(tuple)) return Status::OK();
+  tx->undo.push_back({UndoOp::Kind::kErased, pred, tuple});
+  auto base_it = base_tuples_.find(pred);
+  if (base_it != base_tuples_.end() && base_it->second.erase(tuple)) {
+    tx->undo.push_back({UndoOp::Kind::kBaseRemoved, pred, tuple});
+  }
+  RemoveFromDeltas(pred, tuple, tx);
+  return Status::OK();
+}
+
+Status Workspace::InstantiateHeads(
+    const CompiledRule& rule, Env& env,
+    std::vector<std::pair<PredId, Tuple>>* pending) {
+  std::vector<int> bound_here;
+  if (!rule.existential_slots.empty()) {
+    Tuple memo_key;
+    for (int slot : rule.memo_key_slots) memo_key.push_back(*env[slot]);
+    auto key = std::make_pair(rule.id, std::move(memo_key));
+    auto it = existential_memo_.find(key);
+    if (it == existential_memo_.end()) {
+      std::vector<Value> entities;
+      for (size_t k = 0; k < rule.existential_slots.size(); ++k) {
+        PredId type = rule.existential_types[k];
+        SB_ASSIGN_OR_RETURN(
+            Value e,
+            catalog_->CreateAnonymousEntity(type, catalog_->decl(type).name));
+        entities.push_back(std::move(e));
+      }
+      it = existential_memo_.emplace(std::move(key), std::move(entities)).first;
+    }
+    for (size_t k = 0; k < rule.existential_slots.size(); ++k) {
+      env[rule.existential_slots[k]] = it->second[k];
+      bound_here.push_back(rule.existential_slots[k]);
+    }
+  }
+
+  for (const CompiledHead& head : rule.heads) {
+    Tuple t;
+    t.reserve(head.args.size());
+    for (const ArgPat& p : head.args) {
+      if (p.kind == ArgPat::Kind::kConst) {
+        t.push_back(p.constant);
+      } else {
+        t.push_back(*env[p.slot]);
+      }
+    }
+    pending->emplace_back(head.pred, std::move(t));
+  }
+  for (int s : bound_here) env[s].reset();
+  return Status::OK();
+}
+
+Status Workspace::RunRuleVariants(
+    const CompiledRule& rule,
+    const std::map<PredId, std::vector<Tuple>>& delta, TxState* tx) {
+  Executor executor(&ctx_, this);
+  std::vector<std::pair<PredId, Tuple>> pending;
+
+  for (int occ = 0; occ < rule.num_scan_occurrences; ++occ) {
+    auto it = delta.find(rule.scan_preds[occ]);
+    if (it == delta.end() || it->second.empty()) continue;
+    DeltaOverride override{occ, &it->second};
+    Env env(rule.num_slots);
+    SB_RETURN_IF_ERROR(executor.Run(
+        rule.steps, &env, &override, [&](Env& e) -> Status {
+          return InstantiateHeads(rule, e, &pending);
+        }));
+  }
+
+  for (auto& [pred, tuple] : pending) {
+    SB_ASSIGN_OR_RETURN(Tuple normalized, NormalizeTuple(pred, tuple));
+    auto inserted = InsertTuple(pred, normalized, /*is_base=*/false, tx);
+    if (!inserted.ok()) return inserted.status();
+  }
+  return Status::OK();
+}
+
+Status Workspace::RecomputeAggregate(const CompiledRule& rule, bool lattice,
+                                     TxState* tx) {
+  const CompiledAgg& agg = *rule.agg;
+  Executor executor(&ctx_, this);
+
+  // Group body bindings by the head keys.
+  std::map<Tuple, int64_t> groups;
+  Env env(rule.num_slots);
+  SB_RETURN_IF_ERROR(executor.Run(
+      rule.steps, &env, nullptr, [&](Env& e) -> Status {
+        Tuple key;
+        for (const ArgPat& p : agg.key_args) {
+          key.push_back(p.kind == ArgPat::Kind::kConst ? p.constant
+                                                       : *e[p.slot]);
+        }
+        int64_t v = 0;
+        if (agg.input_slot >= 0) {
+          const Value& val = *e[agg.input_slot];
+          if (val.kind() != ValueKind::kInt) {
+            return Status::TypeError("aggregate input is not an integer");
+          }
+          v = val.AsInt();
+        }
+        auto [it, fresh] = groups.try_emplace(std::move(key), 0);
+        switch (agg.func) {
+          case datalog::AggFunc::kMin:
+            it->second = fresh ? v : std::min(it->second, v);
+            break;
+          case datalog::AggFunc::kMax:
+            it->second = fresh ? v : std::max(it->second, v);
+            break;
+          case datalog::AggFunc::kSum:
+            it->second += v;
+            break;
+          case datalog::AggFunc::kCount:
+            it->second += 1;
+            break;
+        }
+        return Status::OK();
+      }));
+
+  Relation* rel = GetRelation(agg.head_pred);
+
+  if (!lattice) {
+    // Full recompute: drop stale groups first.
+    std::vector<Tuple> existing = rel->tuples();
+    for (const Tuple& t : existing) {
+      Tuple keys(t.begin(), t.end() - 1);
+      if (!groups.count(keys)) {
+        SB_RETURN_IF_ERROR(EraseTuple(agg.head_pred, t, tx));
+      }
+    }
+  }
+
+  for (const auto& [keys, v] : groups) {
+    Tuple desired = keys;
+    desired.push_back(Value::Int(v));
+    const Tuple* current = rel->LookupByKeys(keys);
+    if (current != nullptr) {
+      int64_t cur = current->back().AsInt();
+      bool improve;
+      if (lattice) {
+        improve = agg.func == datalog::AggFunc::kMin ? v < cur : v > cur;
+      } else {
+        improve = v != cur;
+      }
+      if (!improve) continue;
+      SB_RETURN_IF_ERROR(EraseTuple(agg.head_pred, *current, tx));
+    }
+    auto inserted = InsertTuple(agg.head_pred, desired, /*is_base=*/false, tx);
+    if (!inserted.ok()) return inserted.status();
+  }
+  return Status::OK();
+}
+
+Status Workspace::RunStratum(int stratum, TxState* tx) {
+  // Stratified aggregates recompute on stratum entry (their inputs are
+  // complete); lattice aggregates re-run after every round.
+  for (size_t idx : rules_by_stratum_[stratum]) {
+    const CompiledRule& rule = compiled_rules_[idx];
+    if (rule.agg.has_value() && !lattice_flags_[idx]) {
+      SB_RETURN_IF_ERROR(RecomputeAggregate(rule, /*lattice=*/false, tx));
+    }
+  }
+  int guard = 0;
+  while (true) {
+    if (++guard > 1000000) {
+      return Status::Internal("fixpoint did not converge (guard tripped)");
+    }
+    std::map<PredId, std::vector<Tuple>> delta =
+        std::move(tx->unseen[stratum]);
+    tx->unseen[stratum].clear();
+    if (delta.empty()) break;
+    for (size_t idx : rules_by_stratum_[stratum]) {
+      const CompiledRule& rule = compiled_rules_[idx];
+      if (rule.agg.has_value()) continue;
+      SB_RETURN_IF_ERROR(RunRuleVariants(rule, delta, tx));
+    }
+    for (size_t idx : rules_by_stratum_[stratum]) {
+      const CompiledRule& rule = compiled_rules_[idx];
+      if (rule.agg.has_value() && lattice_flags_[idx]) {
+        SB_RETURN_IF_ERROR(RecomputeAggregate(rule, /*lattice=*/true, tx));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Workspace::RunFixpoint(TxState* tx) {
+  // Strata in order; repeat if cross-stratum feedback (multi-head rules)
+  // left unconsumed deltas in earlier strata.
+  while (true) {
+    for (int s = 0; s <= max_stratum_; ++s) {
+      SB_RETURN_IF_ERROR(RunStratum(s, tx));
+    }
+    bool more = false;
+    for (const auto& queue : tx->unseen) {
+      for (const auto& [pred, tuples] : queue) {
+        more |= !tuples.empty();
+      }
+    }
+    if (!more) return Status::OK();
+  }
+}
+
+Status Workspace::CheckConstraints(TxState* tx) {
+  Executor executor(&ctx_, this);
+  for (const CompiledConstraint& c : compiled_constraints_) {
+    auto check_binding = [&](Env& env) -> Status {
+      ++stats_.constraint_checks;
+      Env probe = env;  // rhs may bind additional slots
+      SB_ASSIGN_OR_RETURN(bool ok, executor.Exists(c.rhs_steps, &probe));
+      if (ok) return Status::OK();
+      std::string binding;
+      for (size_t s = 0; s < env.size(); ++s) {
+        if (!env[s].has_value()) continue;
+        if (!binding.empty()) binding += ", ";
+        binding += c.slot_names[s] + "=" + catalog_->ValueToString(*env[s]);
+      }
+      return Status::ConstraintViolation("integrity constraint violated: " +
+                                         c.source.ToString() + " [" + binding +
+                                         "]");
+    };
+
+    if (tx->full_constraint_check) {
+      Env env(c.num_slots);
+      SB_RETURN_IF_ERROR(executor.Run(c.lhs_steps, &env, nullptr,
+                                      check_binding));
+      continue;
+    }
+    for (int occ = 0; occ < c.num_scan_occurrences; ++occ) {
+      auto it = tx->inserted.find(c.scan_preds[occ]);
+      if (it == tx->inserted.end() || it->second.empty()) continue;
+      // Filter tuples that were later erased (aggregate replacement).
+      std::vector<Tuple> live;
+      Relation* rel = GetRelation(c.scan_preds[occ]);
+      for (const Tuple& t : it->second) {
+        if (rel->Contains(t)) live.push_back(t);
+      }
+      if (live.empty()) continue;
+      DeltaOverride override{occ, &live};
+      Env env(c.num_slots);
+      SB_RETURN_IF_ERROR(executor.Run(c.lhs_steps, &env, &override,
+                                      check_binding));
+    }
+  }
+  return Status::OK();
+}
+
+void Workspace::Rollback(TxState* tx) {
+  for (auto it = tx->undo.rbegin(); it != tx->undo.rend(); ++it) {
+    switch (it->kind) {
+      case UndoOp::Kind::kInserted:
+        GetRelation(it->pred)->Erase(it->tuple);
+        break;
+      case UndoOp::Kind::kErased:
+        GetRelation(it->pred)->Insert(it->tuple);
+        break;
+      case UndoOp::Kind::kBaseAdded:
+        base_tuples_[it->pred].erase(it->tuple);
+        break;
+      case UndoOp::Kind::kBaseRemoved:
+        base_tuples_[it->pred].insert(it->tuple);
+        break;
+    }
+  }
+  ++stats_.aborts;
+}
+
+Status Workspace::OverDeleteAndReseed(TxState* tx) {
+  // Over-delete every derived tuple (DRed with a maximal overestimate).
+  std::unordered_set<PredId> idb;
+  for (const CompiledRule& r : compiled_rules_) {
+    if (r.agg.has_value()) {
+      idb.insert(r.agg->head_pred);
+    } else {
+      for (const auto& h : r.heads) idb.insert(h.pred);
+    }
+  }
+  for (PredId pred : idb) {
+    Relation* rel = GetRelation(pred);
+    std::vector<Tuple> copy = rel->tuples();
+    const auto& base = base_tuples_[pred];
+    for (const Tuple& t : copy) {
+      if (!base.count(t)) {
+        SB_RETURN_IF_ERROR(EraseTuple(pred, t, tx));
+      }
+    }
+  }
+  // Rederive from everything that remains.
+  for (size_t pred = 0; pred < relations_.size(); ++pred) {
+    if (relations_[pred] == nullptr) continue;
+    for (const Tuple& t : relations_[pred]->tuples()) {
+      for (auto& queue : tx->unseen) {
+        queue[static_cast<PredId>(pred)].push_back(t);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
+                                  const std::vector<FactUpdate>& deletes) {
+  auto start = std::chrono::steady_clock::now();
+  TxState tx;
+  tx.unseen.resize(max_stratum_ + 1);
+
+  auto fail = [&](Status st) -> Result<TxCommit> {
+    Rollback(&tx);
+    // Aborted transactions still consumed processing time (Figure 7 counts
+    // them).
+    tx_durations_us_.push_back(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    return st;
+  };
+
+  // Base insertions into negated predicates can invalidate existing
+  // derivations; such transactions also go through rederivation.
+  bool needs_rederive = !deletes.empty();
+  if (!needs_rederive) {
+    for (const FactUpdate& ins : inserts) {
+      auto pred = catalog_->Lookup(ins.pred);
+      if (pred.ok() && negated_preds_.count(pred.value())) {
+        needs_rederive = true;
+        break;
+      }
+    }
+  }
+  tx.full_constraint_check = needs_rederive;
+
+  // Deletions: remove base facts, over-delete all derived tuples, reseed.
+  if (!deletes.empty()) {
+    for (const FactUpdate& d : deletes) {
+      auto pred = catalog_->Lookup(d.pred);
+      if (!pred.ok()) return fail(pred.status());
+      auto normalized = NormalizeTuple(pred.value(), d.values);
+      if (!normalized.ok()) return fail(normalized.status());
+      Relation* rel = GetRelation(pred.value());
+      if (!rel->Contains(*normalized)) continue;
+      if (!base_tuples_[pred.value()].count(*normalized)) {
+        return fail(Status::InvalidArgument(
+            "cannot delete derived fact from '" + d.pred + "'"));
+      }
+      Status st = EraseTuple(pred.value(), *normalized, &tx);
+      if (!st.ok()) return fail(st);
+    }
+  }
+  if (needs_rederive) {
+    Status st = OverDeleteAndReseed(&tx);
+    if (!st.ok()) return fail(st);
+  }
+
+  for (const FactUpdate& ins : inserts) {
+    auto pred = catalog_->Lookup(ins.pred);
+    if (!pred.ok()) return fail(pred.status());
+    auto normalized = NormalizeTuple(pred.value(), ins.values);
+    if (!normalized.ok()) return fail(normalized.status());
+    auto inserted = InsertTuple(pred.value(), *normalized, /*is_base=*/true,
+                                &tx);
+    if (!inserted.ok()) return fail(inserted.status());
+  }
+
+  Status fixpoint = RunFixpoint(&tx);
+  if (!fixpoint.ok()) return fail(fixpoint);
+
+  Status constraints = CheckConstraints(&tx);
+  if (!constraints.ok()) return fail(constraints);
+
+  // Commit.
+  TxCommit commit;
+  for (auto& [pred, tuples] : tx.inserted) {
+    Relation* rel = GetRelation(pred);
+    std::vector<Tuple> live;
+    for (Tuple& t : tuples) {
+      if (rel->Contains(t)) live.push_back(std::move(t));
+    }
+    if (!live.empty()) commit.inserted[pred] = std::move(live);
+  }
+  commit.num_derived = tx.num_derived;
+  commit.duration_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  ++stats_.transactions;
+  stats_.derived_tuples += tx.num_derived;
+  tx_durations_us_.push_back(commit.duration_us);
+  return commit;
+}
+
+Status Workspace::Insert(const std::string& pred,
+                         std::vector<Value> values) {
+  auto commit = Apply({FactUpdate{pred, std::move(values)}});
+  return commit.ok() ? Status::OK() : commit.status();
+}
+
+Result<std::vector<Tuple>> Workspace::Query(const std::string& pred) const {
+  SB_ASSIGN_OR_RETURN(PredId id, catalog_->Lookup(pred));
+  const Relation* rel = GetRelationIfExists(id);
+  if (rel == nullptr) return std::vector<Tuple>{};
+  return rel->tuples();
+}
+
+Result<bool> Workspace::ContainsFact(
+    const std::string& pred, const std::vector<Value>& values) const {
+  SB_ASSIGN_OR_RETURN(PredId id, catalog_->Lookup(pred));
+  const Relation* rel = GetRelationIfExists(id);
+  if (rel == nullptr) return false;
+  // Normalization requires mutability (interning); look up by finding
+  // existing entities instead.
+  const PredicateDecl& decl = catalog_->decl(id);
+  Tuple t;
+  for (size_t i = 0; i < values.size() && i < decl.arity(); ++i) {
+    const Value& v = values[i];
+    PredId type = decl.arg_types[i];
+    if (catalog_->decl(type).is_entity_type &&
+        v.kind() == ValueKind::kString) {
+      auto e = catalog_->FindEntity(type, v.AsString());
+      if (!e.ok()) return false;
+      t.push_back(e.value());
+    } else {
+      t.push_back(v);
+    }
+  }
+  if (t.size() != decl.arity()) return false;
+  return rel->Contains(t);
+}
+
+Result<Value> Workspace::SingletonValue(const std::string& pred) const {
+  SB_ASSIGN_OR_RETURN(PredId id, catalog_->Lookup(pred));
+  const Relation* rel = GetRelationIfExists(id);
+  if (rel == nullptr || rel->empty()) {
+    return Status::NotFound("singleton '" + pred + "' has no value");
+  }
+  return rel->tuples()[0].back();
+}
+
+}  // namespace secureblox::engine

@@ -1,0 +1,187 @@
+// Workspace: the LogicBlox-style database instance.
+//
+// A workspace holds a catalog (predicate definitions), relations, installed
+// rules, and integrity constraints. Data is modified through ACID
+// transactions that encapsulate a fixpoint computation (paper §2, §5.2):
+// the batch of updates is applied, installed rules run to fixpoint
+// (stratified semi-naïve evaluation, with lattice-mode recursive min/max
+// aggregation), runtime constraints are checked against the transaction's
+// delta, and on any violation the whole transaction — including the input
+// tuples — rolls back.
+//
+// Deletions use delete-and-rederive: requested base facts are removed, all
+// derived tuples are over-deleted, and the rederivation phase recomputes
+// them from the remaining base facts (DRed with a maximal overestimate).
+#ifndef SECUREBLOX_ENGINE_WORKSPACE_H_
+#define SECUREBLOX_ENGINE_WORKSPACE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/catalog.h"
+#include "engine/builtins.h"
+#include "engine/eval.h"
+#include "engine/relation.h"
+
+namespace secureblox::engine {
+
+/// One fact insertion/deletion request. Values in entity-typed positions may
+/// be strings; they are interned as entity labels (refmode).
+struct FactUpdate {
+  std::string pred;
+  std::vector<datalog::Value> values;
+};
+
+/// Committed transaction summary.
+struct TxCommit {
+  /// New tuples per predicate (base + derived) that survived the commit.
+  std::map<datalog::PredId, std::vector<Tuple>> inserted;
+  int64_t duration_us = 0;
+  size_t num_derived = 0;
+};
+
+class Workspace : public RelationStore {
+ public:
+  Workspace();
+  ~Workspace() override = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  datalog::Catalog& catalog() { return *catalog_; }
+  const datalog::Catalog& catalog() const { return *catalog_; }
+  BuiltinRegistry& builtins() { return builtins_; }
+  /// Opaque pointer handed to builtin functions (e.g. the node's KeyStore).
+  void set_user_context(void* user) { ctx_.user = user; }
+
+  /// Declarative-networking mode: permit negation through recursive
+  /// predicates with derivation-time semantics (see Stratify). Must be set
+  /// before Install.
+  void set_allow_unstratified_negation(bool allow) {
+    allow_unstratified_negation_ = allow;
+  }
+
+  /// Analyze (schema + typecheck), compile, and install a program. Ground
+  /// facts in the program are applied through a transaction. May be called
+  /// multiple times; rules accumulate.
+  Status Install(const datalog::Program& program);
+
+  /// Run one ACID transaction: apply updates, fixpoint, constraint check.
+  /// On violation returns ConstraintViolation and the workspace is
+  /// unchanged.
+  Result<TxCommit> Apply(const std::vector<FactUpdate>& inserts,
+                         const std::vector<FactUpdate>& deletes = {});
+
+  /// Convenience single-fact insert.
+  Status Insert(const std::string& pred, std::vector<datalog::Value> values);
+
+  // -- queries ---------------------------------------------------------------
+
+  Result<std::vector<Tuple>> Query(const std::string& pred) const;
+  Result<bool> ContainsFact(const std::string& pred,
+                            const std::vector<datalog::Value>& values) const;
+  /// Value of a singleton predicate `p[] = v`.
+  Result<datalog::Value> SingletonValue(const std::string& pred) const;
+  /// Normalize raw values against a predicate's declared types (interning
+  /// entity labels). Public for the distribution layer.
+  Result<Tuple> NormalizeTuple(datalog::PredId pred,
+                               const std::vector<datalog::Value>& values);
+
+  Relation* GetRelation(datalog::PredId pred) override;
+  const Relation* GetRelationIfExists(datalog::PredId pred) const;
+
+  // -- stats -----------------------------------------------------------------
+
+  struct Stats {
+    uint64_t transactions = 0;
+    uint64_t aborts = 0;
+    uint64_t derived_tuples = 0;
+    uint64_t constraint_checks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const std::vector<int64_t>& tx_durations_us() const {
+    return tx_durations_us_;
+  }
+
+ private:
+  struct UndoOp {
+    enum class Kind { kInserted, kErased, kBaseAdded, kBaseRemoved };
+    Kind kind;
+    datalog::PredId pred;
+    Tuple tuple;
+  };
+
+  struct TxState {
+    std::vector<UndoOp> undo;
+    std::map<datalog::PredId, std::vector<Tuple>> inserted;
+    // Per-stratum unconsumed delta queues.
+    std::vector<std::map<datalog::PredId, std::vector<Tuple>>> unseen;
+    size_t num_derived = 0;
+    bool full_constraint_check = false;
+  };
+
+  Status Recompile();
+
+  // Insert a normalized tuple; logs undo, updates deltas, auto-inserts
+  // entity type membership. Returns true if newly inserted.
+  Result<bool> InsertTuple(datalog::PredId pred, const Tuple& tuple,
+                           bool is_base, TxState* tx);
+  Status EraseTuple(datalog::PredId pred, const Tuple& tuple, TxState* tx);
+  Status EnsureEntityMembership(const datalog::Value& v, TxState* tx);
+
+  Status RunFixpoint(TxState* tx);
+  Status RunStratum(int stratum, TxState* tx);
+  Status RunRuleVariants(const CompiledRule& rule,
+                         const std::map<datalog::PredId, std::vector<Tuple>>&
+                             delta,
+                         TxState* tx);
+  Status InstantiateHeads(const CompiledRule& rule, Env& env,
+                          std::vector<std::pair<datalog::PredId, Tuple>>*
+                              pending);
+  Status RecomputeAggregate(const CompiledRule& rule, bool lattice,
+                            TxState* tx);
+  Status CheckConstraints(TxState* tx);
+  void Rollback(TxState* tx);
+  void RemoveFromDeltas(datalog::PredId pred, const Tuple& tuple, TxState* tx);
+  // Over-delete every derived tuple and reseed the delta queues with all
+  // remaining tuples (DRed's maximal overestimate + rederivation setup).
+  Status OverDeleteAndReseed(TxState* tx);
+
+  std::unique_ptr<datalog::Catalog> catalog_;
+  BuiltinRegistry builtins_;
+  EvalContext ctx_;
+
+  std::vector<std::unique_ptr<Relation>> relations_;  // by PredId
+  std::unordered_map<datalog::PredId,
+                     std::unordered_set<Tuple, TupleHash>>
+      base_tuples_;
+
+  // Installed program (sources kept for recompilation on later installs).
+  std::vector<datalog::Rule> installed_rules_;
+  std::vector<datalog::ConstraintDecl> installed_constraints_;
+
+  std::vector<CompiledRule> compiled_rules_;
+  std::vector<bool> lattice_flags_;
+  std::vector<CompiledConstraint> compiled_constraints_;
+  int max_stratum_ = 0;
+  std::vector<std::vector<size_t>> rules_by_stratum_;
+  // Predicates appearing under negation in some rule: base insertions into
+  // these trigger over-delete-and-rederive so stale derivations retract.
+  std::unordered_set<datalog::PredId> negated_preds_;
+  bool allow_unstratified_negation_ = false;
+
+  // Head-existential memoization: (rule id, key binding) -> entity values.
+  std::map<std::pair<int, Tuple>, std::vector<datalog::Value>> existential_memo_;
+
+  Stats stats_;
+  std::vector<int64_t> tx_durations_us_;
+};
+
+}  // namespace secureblox::engine
+
+#endif  // SECUREBLOX_ENGINE_WORKSPACE_H_

@@ -1,0 +1,67 @@
+// The BloxGenerics compiler (paper §4): static meta-programming over
+// DatalogLB programs.
+//
+// Pipeline (mirrors Figure 3):
+//   1. Build the relational representation of the input program (MetaDb).
+//   2. Evaluate generic rules (`<--`) to fixpoint. Head-existential
+//      variables create fresh predicates, memoized per body binding; a
+//      round/size cap turns non-termination into a compile error
+//      (paper §4.1.1).
+//   3. Verify generic constraints (`-->`) over the meta fixpoint — before
+//      any code generation, so ill-formed programs are rejected at compile
+//      time (paper §4.1.4).
+//   4. Expand code templates: metavariables substitute to concrete
+//      predicate names, `V*` varargs expand to the subject predicate's
+//      arity, and `types[T](V*)` expands to the subject's type atoms.
+//   5. Resolve parameterized atoms (`says[`reachable]`) everywhere via the
+//      meta-database; unresolvable parameters on non-generic names mangle
+//      to builtin-family names (`serialize$path`).
+//
+// The output is a plain DatalogLB program ready for AnalyzeProgram/Install.
+#ifndef SECUREBLOX_GENERICS_COMPILER_H_
+#define SECUREBLOX_GENERICS_COMPILER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/catalog.h"
+#include "generics/meta_db.h"
+
+namespace secureblox::generics {
+
+struct ExpansionResult {
+  /// The expanded, generics-free program.
+  datalog::Program program;
+  /// Names of predicates created by head existentials (e.g. says$path).
+  std::vector<std::string> generated_predicates;
+  /// Final meta-database (introspection / tests / compile_dump).
+  MetaDb meta;
+};
+
+class BloxGenericsCompiler {
+ public:
+  struct Options {
+    /// Fixpoint round cap; exceeding it is a compile error (the paper's
+    /// compile-time timeout for head-existential non-termination).
+    int max_rounds = 64;
+    /// Cap on generated predicates.
+    size_t max_generated = 4096;
+  };
+
+  BloxGenericsCompiler() : options_(Options()) {}
+  explicit BloxGenericsCompiler(Options options) : options_(options) {}
+
+  /// Compile `input` (object clauses + generic clauses + meta facts) into a
+  /// plain object-level program.
+  Result<ExpansionResult> Compile(const datalog::Program& input) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace secureblox::generics
+
+#endif  // SECUREBLOX_GENERICS_COMPILER_H_

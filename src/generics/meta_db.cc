@@ -1,0 +1,102 @@
+#include "generics/meta_db.h"
+
+#include "common/strings.h"
+
+namespace secureblox::generics {
+
+Status MetaDb::Declare(const std::string& name, size_t arity,
+                       bool functional) {
+  auto it = preds_.find(name);
+  if (it != preds_.end()) {
+    if (it->second.arity != arity) {
+      return Status::CompileError(
+          "generic predicate '" + name +
+          "' used with inconsistent arity (" +
+          std::to_string(it->second.arity) + " vs " + std::to_string(arity) +
+          ")");
+    }
+    // `says(T, ST)` may reference the functional `says[T]=ST` in paren form
+    // (paper §4.1.4); the functional declaration wins.
+    if (functional && !it->second.functional) {
+      it->second.functional = true;
+      for (const MetaTuple& t : it->second.tuples) {
+        it->second.fd[MetaTuple(t.begin(), t.end() - 1)] = t.back();
+      }
+    }
+    return Status::OK();
+  }
+  GenericPred p;
+  p.arity = arity;
+  p.functional = functional;
+  preds_[name] = std::move(p);
+  return Status::OK();
+}
+
+bool MetaDb::IsDeclared(const std::string& name) const {
+  return preds_.count(name) > 0;
+}
+
+bool MetaDb::IsFunctional(const std::string& name) const {
+  auto it = preds_.find(name);
+  return it != preds_.end() && it->second.functional;
+}
+
+size_t MetaDb::Arity(const std::string& name) const {
+  auto it = preds_.find(name);
+  return it == preds_.end() ? 0 : it->second.arity;
+}
+
+Result<bool> MetaDb::Insert(const std::string& name, MetaTuple tuple) {
+  auto it = preds_.find(name);
+  if (it == preds_.end()) {
+    return Status::CompileError("undeclared generic predicate '" + name + "'");
+  }
+  GenericPred& p = it->second;
+  if (tuple.size() != p.arity) {
+    return Status::CompileError("arity mismatch inserting into generic "
+                                "predicate '" + name + "'");
+  }
+  if (p.index.count(tuple)) return false;
+  if (p.functional) {
+    MetaTuple keys(tuple.begin(), tuple.end() - 1);
+    auto fd_it = p.fd.find(keys);
+    if (fd_it != p.fd.end() && fd_it->second != tuple.back()) {
+      return Status::CompileError(
+          "generic predicate '" + name + "' derived conflicting values for [" +
+          Join(keys, ", ") + "]: '" + fd_it->second + "' vs '" + tuple.back() +
+          "'");
+    }
+    p.fd[keys] = tuple.back();
+  }
+  p.index.insert(tuple);
+  p.tuples.push_back(std::move(tuple));
+  return true;
+}
+
+const std::vector<MetaTuple>& MetaDb::Tuples(const std::string& name) const {
+  static const std::vector<MetaTuple> kEmpty;
+  auto it = preds_.find(name);
+  return it == preds_.end() ? kEmpty : it->second.tuples;
+}
+
+Result<std::string> MetaDb::LookupValue(const std::string& name,
+                                        const MetaTuple& keys) const {
+  auto it = preds_.find(name);
+  if (it == preds_.end() || !it->second.functional) {
+    return Status::NotFound("no functional generic predicate '" + name + "'");
+  }
+  auto fd_it = it->second.fd.find(keys);
+  if (fd_it == it->second.fd.end()) {
+    return Status::NotFound("no instance of " + name + "[" + Join(keys, ", ") +
+                            "]");
+  }
+  return fd_it->second;
+}
+
+std::vector<std::string> MetaDb::RelationNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : preds_) out.push_back(name);
+  return out;
+}
+
+}  // namespace secureblox::generics

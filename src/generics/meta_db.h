@@ -1,0 +1,63 @@
+// The meta-database: a relational representation of DatalogLB programs.
+//
+// BloxGenerics rules compute over *program elements*. The meta-universe is
+// string-identified: predicate names and rule ids. Built-in generic
+// predicates (paper §4.1.1):
+//   predicate(p)   — all declared predicates
+//   rule(r)        — all rules (ids rule$0, rule$1, ...)
+//   ruleHead(r, p) — rule r derives predicate p
+//   ruleBody(r, p) — rule r reads predicate p
+// User-declared generic predicates (`says[T]=ST`, `exportable(T)`, ...) are
+// registered implicitly on first use.
+#ifndef SECUREBLOX_GENERICS_META_DB_H_
+#define SECUREBLOX_GENERICS_META_DB_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace secureblox::generics {
+
+/// A tuple in the meta-database: a vector of program-element names.
+using MetaTuple = std::vector<std::string>;
+
+class MetaDb {
+ public:
+  /// Register (or verify) a generic predicate's shape. Functional generic
+  /// predicates (`says[T]=ST`) enforce an FD from keys to the value.
+  Status Declare(const std::string& name, size_t arity, bool functional);
+
+  bool IsDeclared(const std::string& name) const;
+  bool IsFunctional(const std::string& name) const;
+  size_t Arity(const std::string& name) const;
+
+  /// Insert a tuple. Returns true if new. FD conflicts are CompileErrors
+  /// (two generic rules derived different instances for the same keys).
+  Result<bool> Insert(const std::string& name, MetaTuple tuple);
+
+  const std::vector<MetaTuple>& Tuples(const std::string& name) const;
+
+  /// Functional lookup: value for `keys`, or NotFound.
+  Result<std::string> LookupValue(const std::string& name,
+                                  const MetaTuple& keys) const;
+
+  /// All relation names (for debugging / introspection).
+  std::vector<std::string> RelationNames() const;
+
+ private:
+  struct GenericPred {
+    size_t arity = 0;
+    bool functional = false;
+    std::vector<MetaTuple> tuples;
+    std::set<MetaTuple> index;
+    std::map<MetaTuple, std::string> fd;  // keys -> value
+  };
+  std::map<std::string, GenericPred> preds_;
+};
+
+}  // namespace secureblox::generics
+
+#endif  // SECUREBLOX_GENERICS_META_DB_H_

@@ -1,0 +1,31 @@
+#include "net/sim_net.h"
+
+namespace secureblox::net {
+
+void SimNet::Send(NodeIndex src, NodeIndex dst, Bytes payload, double now_s) {
+  size_t size = payload.size();
+  double delay = config_.base_latency_s +
+                 static_cast<double>(size) / config_.bandwidth_bytes_per_s;
+  delay += config_.base_latency_s * config_.jitter_frac * rng_.UniformDouble();
+
+  Delivery d;
+  d.time_s = now_s + delay;
+  d.src = src;
+  d.dst = dst;
+  d.seq = seq_++;
+  Bump(&sent_bytes_, src, size);
+  Bump(&recv_bytes_, dst, size);
+  Bump(&sent_msgs_, src, 1);
+  total_bytes_ += size;
+  d.payload = std::move(payload);
+  queue_.push(std::move(d));
+}
+
+std::optional<SimNet::Delivery> SimNet::PopNext() {
+  if (queue_.empty()) return std::nullopt;
+  Delivery d = queue_.top();
+  queue_.pop();
+  return d;
+}
+
+}  // namespace secureblox::net

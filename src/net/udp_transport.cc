@@ -1,0 +1,126 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace secureblox::net {
+
+namespace {
+constexpr size_t kMaxDatagram = 65507;  // UDP payload limit
+
+Result<sockaddr_in> ToSockaddr(const UdpEndpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::IoError("bad IPv4 address '" + ep.host + "'");
+  }
+  return addr;
+}
+}  // namespace
+
+Result<UdpTransport> UdpTransport::Bind(NodeIndex self,
+                                        std::vector<UdpEndpoint> endpoints) {
+  if (self >= endpoints.size()) {
+    return Status::InvalidArgument("self index out of range");
+  }
+  UdpTransport t;
+  t.self_ = self;
+  t.endpoints_ = std::move(endpoints);
+
+  t.fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (t.fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  SB_ASSIGN_OR_RETURN(sockaddr_in addr, ToSockaddr(t.endpoints_[self]));
+  if (::bind(t.fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(t.fd_);
+    t.fd_ = -1;
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(t.fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    t.local_port_ = ntohs(bound.sin_port);
+    t.endpoints_[self].port = t.local_port_;
+  }
+  int flags = ::fcntl(t.fd_, F_GETFL, 0);
+  ::fcntl(t.fd_, F_SETFL, flags | O_NONBLOCK);
+  return t;
+}
+
+UdpTransport::UdpTransport(UdpTransport&& o) noexcept { *this = std::move(o); }
+
+UdpTransport& UdpTransport::operator=(UdpTransport&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = o.fd_;
+    o.fd_ = -1;
+    self_ = o.self_;
+    local_port_ = o.local_port_;
+    endpoints_ = std::move(o.endpoints_);
+    bytes_sent_ = o.bytes_sent_;
+    bytes_received_ = o.bytes_received_;
+  }
+  return *this;
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpTransport::SetEndpoint(NodeIndex peer, UdpEndpoint ep) {
+  if (peer >= endpoints_.size()) endpoints_.resize(peer + 1);
+  endpoints_[peer] = std::move(ep);
+}
+
+Status UdpTransport::Send(NodeIndex dst, const Bytes& payload) {
+  if (dst >= endpoints_.size()) {
+    return Status::InvalidArgument("unknown peer " + std::to_string(dst));
+  }
+  if (payload.size() > kMaxDatagram) {
+    return Status::IoError("payload exceeds UDP datagram limit (" +
+                           std::to_string(payload.size()) + " bytes)");
+  }
+  SB_ASSIGN_OR_RETURN(sockaddr_in addr, ToSockaddr(endpoints_[dst]));
+  ssize_t sent = ::sendto(fd_, payload.data(), payload.size(), 0,
+                          reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (sent < 0 || static_cast<size_t>(sent) != payload.size()) {
+    return Status::IoError(std::string("sendto: ") + std::strerror(errno));
+  }
+  bytes_sent_ += payload.size();
+  return Status::OK();
+}
+
+Result<std::optional<Bytes>> UdpTransport::Poll() {
+  Bytes buf(kMaxDatagram);
+  ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0, nullptr, nullptr);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return std::optional<Bytes>();
+    }
+    return Status::IoError(std::string("recvfrom: ") + std::strerror(errno));
+  }
+  buf.resize(static_cast<size_t>(n));
+  bytes_received_ += buf.size();
+  return std::optional<Bytes>(std::move(buf));
+}
+
+Result<std::optional<Bytes>> UdpTransport::PollFor(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) {
+    return Status::IoError(std::string("poll: ") + std::strerror(errno));
+  }
+  if (rc == 0) return std::optional<Bytes>();
+  return Poll();
+}
+
+}  // namespace secureblox::net

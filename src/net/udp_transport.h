@@ -1,0 +1,69 @@
+// Real UDP transport (POSIX sockets) for live deployments.
+//
+// The paper's SecureBlox instances "exchange messages over UDP"; this
+// transport provides the same datagram semantics for running nodes as
+// separate endpoints (the examples use localhost).
+#ifndef SECUREBLOX_NET_UDP_TRANSPORT_H_
+#define SECUREBLOX_NET_UDP_TRANSPORT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace secureblox::net {
+
+/// IPv4 endpoint.
+struct UdpEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// One node's UDP socket plus the address book of all peers.
+class UdpTransport {
+ public:
+  /// Bind a socket for node `self` at `endpoints[self]`. A port of 0 in
+  /// the self endpoint picks an ephemeral port (readable via local_port()).
+  static Result<UdpTransport> Bind(NodeIndex self,
+                                   std::vector<UdpEndpoint> endpoints);
+
+  UdpTransport(UdpTransport&& o) noexcept;
+  UdpTransport& operator=(UdpTransport&& o) noexcept;
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+  ~UdpTransport();
+
+  /// Datagram to peer `dst`.
+  Status Send(NodeIndex dst, const Bytes& payload);
+
+  /// Non-blocking receive; nullopt when no datagram is pending.
+  Result<std::optional<Bytes>> Poll();
+
+  /// Blocking receive with timeout; nullopt on timeout.
+  Result<std::optional<Bytes>> PollFor(int timeout_ms);
+
+  /// Update a peer's endpoint (e.g. after it bound an ephemeral port).
+  void SetEndpoint(NodeIndex peer, UdpEndpoint ep);
+
+  uint16_t local_port() const { return local_port_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  UdpTransport() = default;
+
+  int fd_ = -1;
+  NodeIndex self_ = 0;
+  uint16_t local_port_ = 0;
+  std::vector<UdpEndpoint> endpoints_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace secureblox::net
+
+#endif  // SECUREBLOX_NET_UDP_TRANSPORT_H_

@@ -1,0 +1,148 @@
+#include "net/wire.h"
+
+namespace secureblox::net {
+
+using datalog::Value;
+using datalog::ValueKind;
+
+Status SerializeValue(ByteWriter* w, const Value& v,
+                      const datalog::Catalog& catalog) {
+  w->PutU8(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case ValueKind::kBool:
+      w->PutU8(v.AsBool() ? 1 : 0);
+      return Status::OK();
+    case ValueKind::kInt:
+      w->PutU64(static_cast<uint64_t>(v.AsInt()));
+      return Status::OK();
+    case ValueKind::kString:
+    case ValueKind::kBlob:
+      w->PutLengthPrefixedString(v.BlobRef());
+      return Status::OK();
+    case ValueKind::kEntity: {
+      SB_ASSIGN_OR_RETURN(std::string label, catalog.EntityLabel(v));
+      w->PutLengthPrefixedString(catalog.decl(v.entity_type()).name);
+      w->PutLengthPrefixedString(label);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad value kind");
+}
+
+Result<Value> DeserializeValue(ByteReader* r, datalog::Catalog* catalog) {
+  SB_ASSIGN_OR_RETURN(uint8_t kind_byte, r->GetU8());
+  if (kind_byte > static_cast<uint8_t>(ValueKind::kEntity)) {
+    return Status::InvalidArgument("bad value kind tag on wire");
+  }
+  switch (static_cast<ValueKind>(kind_byte)) {
+    case ValueKind::kBool: {
+      SB_ASSIGN_OR_RETURN(uint8_t b, r->GetU8());
+      return Value::Bool(b != 0);
+    }
+    case ValueKind::kInt: {
+      SB_ASSIGN_OR_RETURN(uint64_t v, r->GetU64());
+      return Value::Int(static_cast<int64_t>(v));
+    }
+    case ValueKind::kString: {
+      SB_ASSIGN_OR_RETURN(std::string s, r->GetLengthPrefixedString());
+      return Value::Str(std::move(s));
+    }
+    case ValueKind::kBlob: {
+      SB_ASSIGN_OR_RETURN(Bytes b, r->GetLengthPrefixed());
+      return Value::MakeBlob(std::move(b));
+    }
+    case ValueKind::kEntity: {
+      SB_ASSIGN_OR_RETURN(std::string type_name, r->GetLengthPrefixedString());
+      SB_ASSIGN_OR_RETURN(std::string label, r->GetLengthPrefixedString());
+      SB_ASSIGN_OR_RETURN(datalog::PredId type, catalog->Lookup(type_name));
+      if (!catalog->decl(type).is_entity_type) {
+        return Status::InvalidArgument("wire entity type '" + type_name +
+                                       "' is not an entity type here");
+      }
+      return catalog->InternEntity(type, label);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status SerializeTuple(ByteWriter* w, const engine::Tuple& t,
+                      const datalog::Catalog& catalog) {
+  w->PutVarint(t.size());
+  for (const Value& v : t) {
+    SB_RETURN_IF_ERROR(SerializeValue(w, v, catalog));
+  }
+  return Status::OK();
+}
+
+Result<engine::Tuple> DeserializeTuple(ByteReader* r,
+                                       datalog::Catalog* catalog) {
+  SB_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > 1 << 20) return Status::InvalidArgument("tuple too large on wire");
+  engine::Tuple t;
+  t.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SB_ASSIGN_OR_RETURN(Value v, DeserializeValue(r, catalog));
+    t.push_back(std::move(v));
+  }
+  return t;
+}
+
+Result<Bytes> EncodeBatch(const WireBatch& batch,
+                          const datalog::Catalog& catalog) {
+  ByteWriter w;
+  w.PutU8('S');
+  w.PutU8('B');
+  w.PutU16(kWireVersion);
+  w.PutU32(batch.src);
+  w.PutU32(batch.dst);
+  w.PutVarint(batch.entries.size());
+  for (const auto& entry : batch.entries) {
+    w.PutLengthPrefixedString(entry.pred);
+    w.PutVarint(entry.tuples.size());
+    for (const auto& t : entry.tuples) {
+      SB_RETURN_IF_ERROR(SerializeTuple(&w, t, catalog));
+    }
+  }
+  return w.Take();
+}
+
+Result<WireBatch> DecodeBatch(const Bytes& payload,
+                              datalog::Catalog* catalog) {
+  ByteReader r(payload);
+  SB_ASSIGN_OR_RETURN(uint8_t m1, r.GetU8());
+  SB_ASSIGN_OR_RETURN(uint8_t m2, r.GetU8());
+  if (m1 != 'S' || m2 != 'B') {
+    return Status::InvalidArgument("bad wire magic");
+  }
+  SB_ASSIGN_OR_RETURN(uint16_t version, r.GetU16());
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(version));
+  }
+  WireBatch batch;
+  SB_ASSIGN_OR_RETURN(batch.src, r.GetU32());
+  SB_ASSIGN_OR_RETURN(batch.dst, r.GetU32());
+  SB_ASSIGN_OR_RETURN(uint64_t num_entries, r.GetVarint());
+  if (num_entries > 1 << 20) {
+    return Status::InvalidArgument("batch too large on wire");
+  }
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    WireBatch::Entry entry;
+    SB_ASSIGN_OR_RETURN(entry.pred, r.GetLengthPrefixedString());
+    SB_ASSIGN_OR_RETURN(uint64_t num_tuples, r.GetVarint());
+    if (num_tuples > 1 << 20) {
+      return Status::InvalidArgument("entry too large on wire");
+    }
+    for (uint64_t j = 0; j < num_tuples; ++j) {
+      SB_ASSIGN_OR_RETURN(engine::Tuple t, DeserializeTuple(&r, catalog));
+      entry.tuples.push_back(std::move(t));
+    }
+    batch.entries.push_back(std::move(entry));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after wire batch");
+  }
+  return batch;
+}
+
+}  // namespace secureblox::net

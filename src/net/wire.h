@@ -1,0 +1,67 @@
+// Wire format for inter-node fact batches and for value serialization.
+//
+// Values serialize with a kind tag; entities serialize as (type name,
+// label) so the receiving node can re-intern them in its own catalog —
+// entity intern ids are node-local, labels are global.
+//
+// Batch layout (all integers big-endian, strings/blobs varint-length
+// prefixed):
+//   magic "SB" | version u16 | src u32 | dst u32 | #entries varint
+//   entry: pred name | #tuples varint | tuple: #values varint | values...
+#ifndef SECUREBLOX_NET_WIRE_H_
+#define SECUREBLOX_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "datalog/catalog.h"
+#include "engine/tuple.h"
+
+namespace secureblox::net {
+
+/// Logical node index within a deployment (maps to an address).
+using NodeIndex = uint32_t;
+
+constexpr uint16_t kWireVersion = 1;
+
+/// Serialize one value (catalog needed for entity labels).
+Status SerializeValue(ByteWriter* w, const datalog::Value& v,
+                      const datalog::Catalog& catalog);
+
+/// Deserialize one value; entities are interned into `catalog`.
+Result<datalog::Value> DeserializeValue(ByteReader* r,
+                                        datalog::Catalog* catalog);
+
+Status SerializeTuple(ByteWriter* w, const engine::Tuple& t,
+                      const datalog::Catalog& catalog);
+Result<engine::Tuple> DeserializeTuple(ByteReader* r,
+                                       datalog::Catalog* catalog);
+
+/// A batch of fact insertions shipped to one node.
+struct WireBatch {
+  NodeIndex src = 0;
+  NodeIndex dst = 0;
+  struct Entry {
+    std::string pred;
+    std::vector<engine::Tuple> tuples;
+  };
+  std::vector<Entry> entries;
+
+  size_t TotalTuples() const {
+    size_t n = 0;
+    for (const auto& e : entries) n += e.tuples.size();
+    return n;
+  }
+};
+
+Result<Bytes> EncodeBatch(const WireBatch& batch,
+                          const datalog::Catalog& catalog);
+Result<WireBatch> DecodeBatch(const Bytes& payload,
+                              datalog::Catalog* catalog);
+
+}  // namespace secureblox::net
+
+#endif  // SECUREBLOX_NET_WIRE_H_

@@ -1,0 +1,366 @@
+#include "policy/builtins.h"
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "crypto/rsa.h"
+#include "net/wire.h"
+
+namespace secureblox::policy {
+
+using datalog::BuiltinSignature;
+using datalog::Value;
+using datalog::ValueKind;
+using engine::EvalContext;
+
+namespace {
+
+Result<NodeSecurityState*> StateOf(EvalContext& ctx) {
+  if (ctx.user == nullptr) {
+    return Status::Internal(
+        "crypto builtin invoked without NodeSecurityState");
+  }
+  return static_cast<NodeSecurityState*>(ctx.user);
+}
+
+// Deterministic AES-CTR nonce (SIV-style): HMAC-SHA1(key, pt) truncated.
+// Determinism keeps rule re-evaluation idempotent; uniqueness follows from
+// distinct plaintexts under the same key.
+Bytes SivNonce(const Bytes& key, const Bytes& pt) {
+  Bytes mac = crypto::HmacSha1(key, pt);
+  return Bytes(mac.begin(), mac.begin() + 16);
+}
+
+Result<Bytes> AesWrap(const Bytes& key, const Bytes& pt) {
+  return crypto::AesCtrEncrypt(key, SivNonce(key, pt), pt);
+}
+
+}  // namespace
+
+Bytes PrivateKeyHandle(const std::string& principal) {
+  return BytesFromString("priv:" + principal);
+}
+
+Status RegisterCryptoBuiltins(engine::Workspace* ws) {
+  engine::BuiltinRegistry& reg = ws->builtins();
+
+  reg.RegisterOrReplace(
+      "rsa_sign", BuiltinSignature{{"blob", "blob", "blob"}, 2},
+      [](EvalContext& ctx, const std::vector<Value>& in,
+         std::vector<Value>* out) -> Result<bool> {
+        SB_ASSIGN_OR_RETURN(NodeSecurityState * state, StateOf(ctx));
+        std::string handle = in[0].BlobRef();
+        if (handle != "priv:" + state->creds.principal) {
+          return Status::CryptoError(
+              "rsa_sign: private key handle does not belong to this node");
+        }
+        SB_ASSIGN_OR_RETURN(
+            Bytes sig, crypto::RsaSign(state->creds.keypair, in[1].AsBlob()));
+        out->push_back(Value::MakeBlob(std::move(sig)));
+        return true;
+      });
+
+  reg.RegisterOrReplace(
+      "rsa_verify", BuiltinSignature{{"blob", "blob", "blob"}, 3},
+      [](EvalContext&, const std::vector<Value>& in,
+         std::vector<Value>*) -> Result<bool> {
+        auto pub = crypto::RsaPublicKey::Deserialize(in[0].AsBlob());
+        if (!pub.ok()) return false;
+        return crypto::RsaVerify(pub.value(), in[1].AsBlob(), in[2].AsBlob());
+      });
+
+  reg.RegisterOrReplace(
+      "hmac_sign", BuiltinSignature{{"blob", "blob", "blob"}, 2},
+      [](EvalContext&, const std::vector<Value>& in,
+         std::vector<Value>* out) -> Result<bool> {
+        out->push_back(
+            Value::MakeBlob(crypto::HmacSha1(in[0].AsBlob(), in[1].AsBlob())));
+        return true;
+      });
+
+  reg.RegisterOrReplace(
+      "hmac_verify", BuiltinSignature{{"blob", "blob", "blob"}, 3},
+      [](EvalContext&, const std::vector<Value>& in,
+         std::vector<Value>*) -> Result<bool> {
+        return crypto::HmacSha1Verify(in[0].AsBlob(), in[1].AsBlob(),
+                                      in[2].AsBlob());
+      });
+
+  reg.RegisterOrReplace(
+      "aesencrypt", BuiltinSignature{{"blob", "blob", "blob"}, 2},
+      [](EvalContext&, const std::vector<Value>& in,
+         std::vector<Value>* out) -> Result<bool> {
+        SB_ASSIGN_OR_RETURN(Bytes ct, AesWrap(in[1].AsBlob(), in[0].AsBlob()));
+        out->push_back(Value::MakeBlob(std::move(ct)));
+        return true;
+      });
+
+  reg.RegisterOrReplace(
+      "aesdecrypt", BuiltinSignature{{"blob", "blob", "blob"}, 2},
+      [](EvalContext&, const std::vector<Value>& in,
+         std::vector<Value>* out) -> Result<bool> {
+        auto pt = crypto::AesCtrDecrypt(in[1].AsBlob(), in[0].AsBlob());
+        if (!pt.ok()) return false;
+        out->push_back(Value::MakeBlob(std::move(pt).value()));
+        return true;
+      });
+
+  // Layered (onion) encryption over a circuit's keys. The initiator holds
+  // all hop keys and wraps them in reverse path order; relays hold exactly
+  // one key and add/peel a single layer.
+  reg.RegisterOrReplace(
+      "anon_encrypt", BuiltinSignature{{"circuit", "blob", "blob"}, 2},
+      [](EvalContext& ctx, const std::vector<Value>& in,
+         std::vector<Value>* out) -> Result<bool> {
+        SB_ASSIGN_OR_RETURN(NodeSecurityState * state, StateOf(ctx));
+        SB_ASSIGN_OR_RETURN(std::string label,
+                            ctx.catalog->EntityLabel(in[0]));
+        auto it = state->circuits.layer_keys_by_label.find(label);
+        if (it == state->circuits.layer_keys_by_label.end()) return false;
+        Bytes ct = in[1].AsBlob();
+        for (auto key = it->second.rbegin(); key != it->second.rend(); ++key) {
+          SB_ASSIGN_OR_RETURN(ct, AesWrap(*key, ct));
+        }
+        out->push_back(Value::MakeBlob(std::move(ct)));
+        return true;
+      });
+
+  reg.RegisterOrReplace(
+      "anon_decrypt", BuiltinSignature{{"circuit", "blob", "blob"}, 2},
+      [](EvalContext& ctx, const std::vector<Value>& in,
+         std::vector<Value>* out) -> Result<bool> {
+        SB_ASSIGN_OR_RETURN(NodeSecurityState * state, StateOf(ctx));
+        SB_ASSIGN_OR_RETURN(std::string label,
+                            ctx.catalog->EntityLabel(in[0]));
+        auto it = state->circuits.layer_keys_by_label.find(label);
+        if (it == state->circuits.layer_keys_by_label.end()) return false;
+        Bytes pt = in[1].AsBlob();
+        for (const Bytes& key : it->second) {
+          auto peeled = crypto::AesCtrDecrypt(key, pt);
+          if (!peeled.ok()) return false;
+          pt = std::move(peeled).value();
+        }
+        out->push_back(Value::MakeBlob(std::move(pt)));
+        return true;
+      });
+
+  return Status::OK();
+}
+
+namespace {
+
+// Canonical payload encoding shared by serialize/sign families:
+//   pred | sender label | receiver label | sig? | values...
+Result<Bytes> EncodePayload(EvalContext& ctx, const std::string& pred,
+                            const Value* sender, const Value* receiver,
+                            const Bytes* sig,
+                            const std::vector<Value>& values, size_t offset) {
+  ByteWriter w;
+  w.PutLengthPrefixedString(pred);
+  auto put_principal = [&](const Value& v) -> Status {
+    SB_ASSIGN_OR_RETURN(std::string label, ctx.catalog->EntityLabel(v));
+    w.PutLengthPrefixedString(label);
+    return Status::OK();
+  };
+  w.PutU8(sender != nullptr ? 1 : 0);
+  if (sender != nullptr) {
+    SB_RETURN_IF_ERROR(put_principal(*sender));
+    SB_RETURN_IF_ERROR(put_principal(*receiver));
+  }
+  w.PutU8(sig != nullptr ? 1 : 0);
+  if (sig != nullptr) w.PutLengthPrefixed(*sig);
+  w.PutVarint(values.size() - offset);
+  for (size_t i = offset; i < values.size(); ++i) {
+    SB_RETURN_IF_ERROR(net::SerializeValue(&w, values[i], *ctx.catalog));
+  }
+  return w.Take();
+}
+
+struct DecodedPayload {
+  std::optional<Value> sender, receiver;
+  std::optional<Bytes> sig;
+  std::vector<Value> values;
+};
+
+Result<DecodedPayload> DecodePayload(EvalContext& ctx,
+                                     const std::string& expected_pred,
+                                     const Bytes& payload) {
+  ByteReader r(payload);
+  DecodedPayload out;
+  SB_ASSIGN_OR_RETURN(std::string pred, r.GetLengthPrefixedString());
+  if (pred != expected_pred) {
+    return Status::InvalidArgument("payload is for predicate '" + pred +
+                                   "', expected '" + expected_pred + "'");
+  }
+  SB_ASSIGN_OR_RETURN(datalog::PredId principal_type,
+                      ctx.catalog->Lookup("principal"));
+  SB_ASSIGN_OR_RETURN(uint8_t has_principals, r.GetU8());
+  if (has_principals) {
+    SB_ASSIGN_OR_RETURN(std::string s, r.GetLengthPrefixedString());
+    SB_ASSIGN_OR_RETURN(std::string rr, r.GetLengthPrefixedString());
+    SB_ASSIGN_OR_RETURN(Value sv, ctx.catalog->InternEntity(principal_type, s));
+    SB_ASSIGN_OR_RETURN(Value rv,
+                        ctx.catalog->InternEntity(principal_type, rr));
+    out.sender = sv;
+    out.receiver = rv;
+  }
+  SB_ASSIGN_OR_RETURN(uint8_t has_sig, r.GetU8());
+  if (has_sig) {
+    SB_ASSIGN_OR_RETURN(Bytes sig, r.GetLengthPrefixed());
+    out.sig = std::move(sig);
+  }
+  SB_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    SB_ASSIGN_OR_RETURN(Value v, net::DeserializeValue(&r, ctx.catalog));
+    out.values.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status RegisterSerdeBuiltins(engine::Workspace* ws, const std::string& pred,
+                             const std::vector<std::string>& arg_type_names) {
+  engine::BuiltinRegistry& reg = ws->builtins();
+  const size_t arity = arg_type_names.size();
+
+  // serialize$P(S, R, V*) -> payload
+  {
+    BuiltinSignature sig;
+    sig.arg_types = {"principal", "principal"};
+    for (const auto& t : arg_type_names) sig.arg_types.push_back(t);
+    sig.arg_types.push_back("blob");
+    sig.num_inputs = static_cast<int>(2 + arity);
+    reg.RegisterOrReplace(
+        "serialize$" + pred, sig,
+        [pred](EvalContext& ctx, const std::vector<Value>& in,
+               std::vector<Value>* out) -> Result<bool> {
+          SB_ASSIGN_OR_RETURN(
+              Bytes payload,
+              EncodePayload(ctx, pred, &in[0], &in[1], nullptr, in, 2));
+          out->push_back(Value::MakeBlob(std::move(payload)));
+          return true;
+        });
+  }
+  // deserialize$P(payload) -> S, R, V*
+  {
+    BuiltinSignature sig;
+    sig.arg_types = {"blob", "principal", "principal"};
+    for (const auto& t : arg_type_names) sig.arg_types.push_back(t);
+    sig.num_inputs = 1;
+    reg.RegisterOrReplace(
+        "deserialize$" + pred, sig,
+        [pred, arity](EvalContext& ctx, const std::vector<Value>& in,
+                      std::vector<Value>* out) -> Result<bool> {
+          auto decoded = DecodePayload(ctx, pred, in[0].AsBlob());
+          if (!decoded.ok()) return false;  // malformed: no binding
+          if (!decoded->sender.has_value() || decoded->sig.has_value() ||
+              decoded->values.size() != arity) {
+            return false;
+          }
+          out->push_back(*decoded->sender);
+          out->push_back(*decoded->receiver);
+          for (auto& v : decoded->values) out->push_back(std::move(v));
+          return true;
+        });
+  }
+  // serialize_signed$P(S, R, G, V*) -> payload
+  {
+    BuiltinSignature sig;
+    sig.arg_types = {"principal", "principal", "blob"};
+    for (const auto& t : arg_type_names) sig.arg_types.push_back(t);
+    sig.arg_types.push_back("blob");
+    sig.num_inputs = static_cast<int>(3 + arity);
+    reg.RegisterOrReplace(
+        "serialize_signed$" + pred, sig,
+        [pred](EvalContext& ctx, const std::vector<Value>& in,
+               std::vector<Value>* out) -> Result<bool> {
+          Bytes g = in[2].AsBlob();
+          SB_ASSIGN_OR_RETURN(
+              Bytes payload,
+              EncodePayload(ctx, pred, &in[0], &in[1], &g, in, 3));
+          out->push_back(Value::MakeBlob(std::move(payload)));
+          return true;
+        });
+  }
+  // deserialize_signed$P(payload) -> S, R, G, V*
+  {
+    BuiltinSignature sig;
+    sig.arg_types = {"blob", "principal", "principal", "blob"};
+    for (const auto& t : arg_type_names) sig.arg_types.push_back(t);
+    sig.num_inputs = 1;
+    reg.RegisterOrReplace(
+        "deserialize_signed$" + pred, sig,
+        [pred, arity](EvalContext& ctx, const std::vector<Value>& in,
+                      std::vector<Value>* out) -> Result<bool> {
+          auto decoded = DecodePayload(ctx, pred, in[0].AsBlob());
+          if (!decoded.ok()) return false;
+          if (!decoded->sender.has_value() || !decoded->sig.has_value() ||
+              decoded->values.size() != arity) {
+            return false;
+          }
+          out->push_back(*decoded->sender);
+          out->push_back(*decoded->receiver);
+          out->push_back(Value::MakeBlob(*decoded->sig));
+          for (auto& v : decoded->values) out->push_back(std::move(v));
+          return true;
+        });
+  }
+  // sign_payload$P(S, R, V*) -> canonical bytes (what gets signed/MACed).
+  {
+    BuiltinSignature sig;
+    sig.arg_types = {"principal", "principal"};
+    for (const auto& t : arg_type_names) sig.arg_types.push_back(t);
+    sig.arg_types.push_back("blob");
+    sig.num_inputs = static_cast<int>(2 + arity);
+    reg.RegisterOrReplace(
+        "sign_payload$" + pred, sig,
+        [pred](EvalContext& ctx, const std::vector<Value>& in,
+               std::vector<Value>* out) -> Result<bool> {
+          SB_ASSIGN_OR_RETURN(
+              Bytes payload,
+              EncodePayload(ctx, pred, &in[0], &in[1], nullptr, in, 2));
+          out->push_back(Value::MakeBlob(std::move(payload)));
+          return true;
+        });
+  }
+  // anon_serialize$P(V*) -> payload (no sender identity — paper footnote 3).
+  {
+    BuiltinSignature sig;
+    for (const auto& t : arg_type_names) sig.arg_types.push_back(t);
+    sig.arg_types.push_back("blob");
+    sig.num_inputs = static_cast<int>(arity);
+    reg.RegisterOrReplace(
+        "anon_serialize$" + pred, sig,
+        [pred](EvalContext& ctx, const std::vector<Value>& in,
+               std::vector<Value>* out) -> Result<bool> {
+          SB_ASSIGN_OR_RETURN(
+              Bytes payload,
+              EncodePayload(ctx, pred, nullptr, nullptr, nullptr, in, 0));
+          out->push_back(Value::MakeBlob(std::move(payload)));
+          return true;
+        });
+  }
+  // anon_deserialize$P(payload) -> V*
+  {
+    BuiltinSignature sig;
+    sig.arg_types = {"blob"};
+    for (const auto& t : arg_type_names) sig.arg_types.push_back(t);
+    sig.num_inputs = 1;
+    reg.RegisterOrReplace(
+        "anon_deserialize$" + pred, sig,
+        [pred, arity](EvalContext& ctx, const std::vector<Value>& in,
+                      std::vector<Value>* out) -> Result<bool> {
+          auto decoded = DecodePayload(ctx, pred, in[0].AsBlob());
+          if (!decoded.ok()) return false;
+          if (decoded->sender.has_value() || decoded->sig.has_value() ||
+              decoded->values.size() != arity) {
+            return false;
+          }
+          for (auto& v : decoded->values) out->push_back(std::move(v));
+          return true;
+        });
+  }
+  return Status::OK();
+}
+
+}  // namespace secureblox::policy

@@ -1,0 +1,57 @@
+// Cryptographic and serialization builtins hooked into query execution —
+// the paper's "user-defined functions" (`rsa_sign`, `rsa_verify`,
+// `hmac_sign`, `hmac_verify`, `aesencrypt`, `serialize`, `anon_encrypt`,
+// ...). They read key material from the node's NodeSecurityState, which the
+// workspace passes as the opaque EvalContext::user pointer.
+#ifndef SECUREBLOX_POLICY_BUILTINS_H_
+#define SECUREBLOX_POLICY_BUILTINS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/workspace.h"
+#include "policy/keystore.h"
+
+namespace secureblox::policy {
+
+/// Per-node onion-circuit state (anonymity, paper §6.2). Each node stores,
+/// per circuit entity label, the AES layer keys it may apply:
+/// the initiator holds every hop key in path order; an intermediate or
+/// endpoint holds exactly its own key.
+struct CircuitTable {
+  std::map<std::string, std::vector<Bytes>> layer_keys_by_label;
+};
+
+/// Everything security-related a node's builtins can reach.
+struct NodeSecurityState {
+  Credentials creds;
+  CircuitTable circuits;
+};
+
+/// Handle stored in the private_key[] singleton: an opaque token naming the
+/// local principal; the actual key never enters the database.
+Bytes PrivateKeyHandle(const std::string& principal);
+
+/// Register the scheme-independent crypto builtins on a workspace:
+///   rsa_sign(handle, payload) -> sig        rsa_verify(pub, payload, sig)
+///   hmac_sign(secret, payload) -> mac       hmac_verify(secret, payload, mac)
+///   aesencrypt(pt, key) -> ct               aesdecrypt(ct, key) -> pt
+///   anon_encrypt(circuit, pt) -> ct         anon_decrypt(circuit, ct) -> pt
+/// AES-CTR nonces are derived SIV-style (HMAC of key and plaintext) so
+/// evaluation is deterministic and re-derivation is idempotent.
+Status RegisterCryptoBuiltins(engine::Workspace* ws);
+
+/// Register the per-predicate serialization families for `pred`:
+///   serialize$P(S, R, V*) -> payload        deserialize$P(payload) -> S,R,V*
+///   serialize_signed$P(S, R, sig, V*) -> payload   (and its deserializer)
+///   sign_payload$P(S, R, V*) -> payload      canonical bytes for signing
+///   anon_serialize$P(V*) -> payload          anon_deserialize$P(payload)->V*
+/// `arg_type_names` are P's argument type names (for typechecking).
+Status RegisterSerdeBuiltins(engine::Workspace* ws, const std::string& pred,
+                             const std::vector<std::string>& arg_type_names);
+
+}  // namespace secureblox::policy
+
+#endif  // SECUREBLOX_POLICY_BUILTINS_H_

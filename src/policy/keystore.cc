@@ -1,0 +1,83 @@
+#include "policy/keystore.h"
+
+#include <mutex>
+
+#include "crypto/hmac.h"
+#include "crypto/hmac_drbg.h"
+
+namespace secureblox::policy {
+
+namespace {
+
+// Process-wide RSA keypair cache (keyed by seed/bits/slot). Generation of a
+// 1024-bit key costs ~seconds with the from-scratch bignum; benchmarks
+// re-use slots across cluster sizes.
+const crypto::RsaKeyPair* CachedKeyPair(const std::string& seed, size_t bits,
+                                        size_t slot) {
+  static std::mutex mu;
+  static std::map<std::string, std::unique_ptr<crypto::RsaKeyPair>>* cache =
+      new std::map<std::string, std::unique_ptr<crypto::RsaKeyPair>>();
+  std::string key =
+      seed + "/" + std::to_string(bits) + "/" + std::to_string(slot);
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second.get();
+  crypto::HmacDrbg drbg(BytesFromString(key));
+  auto kp = crypto::RsaGenerateKeyPair(bits, [&] { return drbg.NextU32(); });
+  auto owned = std::make_unique<crypto::RsaKeyPair>(std::move(kp).value());
+  const crypto::RsaKeyPair* ptr = owned.get();
+  (*cache)[key] = std::move(owned);
+  return ptr;
+}
+
+}  // namespace
+
+CredentialAuthority::CredentialAuthority(std::vector<std::string> principals,
+                                         Options options)
+    : principals_(std::move(principals)), options_(options) {
+  size_t slots = options_.distinct_keypairs == 0
+                     ? principals_.size()
+                     : std::min(options_.distinct_keypairs, principals_.size());
+  for (size_t i = 0; i < principals_.size(); ++i) {
+    keys_[principals_[i]] =
+        CachedKeyPair(options_.seed, options_.rsa_bits, i % slots);
+  }
+}
+
+Bytes CredentialAuthority::SecretBetween(const std::string& a,
+                                         const std::string& b) const {
+  const std::string& lo = a < b ? a : b;
+  const std::string& hi = a < b ? b : a;
+  Bytes material =
+      BytesFromString(options_.seed + "|secret|" + lo + "|" + hi);
+  // Derive the 128-bit secret via HMAC-SHA256 of the pair identity.
+  Bytes mac = crypto::HmacSha256(BytesFromString(options_.seed), material);
+  return Bytes(mac.begin(), mac.begin() + 16);
+}
+
+Result<const crypto::RsaKeyPair*> CredentialAuthority::KeyPairOf(
+    const std::string& principal) const {
+  auto it = keys_.find(principal);
+  if (it == keys_.end()) {
+    return Status::NotFound("unknown principal '" + principal + "'");
+  }
+  return it->second;
+}
+
+Result<Credentials> CredentialAuthority::IssueFor(
+    const std::string& principal) const {
+  SB_ASSIGN_OR_RETURN(const crypto::RsaKeyPair* own, KeyPairOf(principal));
+  Credentials creds;
+  creds.principal = principal;
+  creds.keypair = *own;
+  for (const std::string& peer : principals_) {
+    SB_ASSIGN_OR_RETURN(const crypto::RsaKeyPair* pk, KeyPairOf(peer));
+    creds.peer_public_keys[peer] = pk->pub.Serialize();
+    if (peer != principal) {
+      creds.shared_secrets[peer] = SecretBetween(principal, peer);
+    }
+  }
+  return creds;
+}
+
+}  // namespace secureblox::policy

@@ -1,0 +1,64 @@
+// Credential management: per-principal RSA keypairs and pairwise shared
+// secrets (HMAC/AES keys), distributed by a deterministic credential
+// authority so simulations and benchmarks are reproducible.
+//
+// Paper configuration: 1024-bit RSA, 128-bit random shared secrets (§8.1).
+#ifndef SECUREBLOX_POLICY_KEYSTORE_H_
+#define SECUREBLOX_POLICY_KEYSTORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/rsa.h"
+
+namespace secureblox::policy {
+
+/// One principal's secrets and peer knowledge.
+struct Credentials {
+  std::string principal;
+  crypto::RsaKeyPair keypair;
+  /// Serialized public key of every peer (distributed as public_key facts).
+  std::map<std::string, Bytes> peer_public_keys;
+  /// 128-bit pairwise shared secrets (HMAC + AES), per peer.
+  std::map<std::string, Bytes> shared_secrets;
+};
+
+/// Deterministic credential issuer for a set of principals.
+///
+/// RSA keypairs are drawn from a process-wide cache keyed by
+/// (seed, bits, slot) and assigned round-robin over `distinct_keypairs`
+/// slots: generating 72 fresh 1024-bit keys per benchmark run would
+/// dominate setup time, and key *identity* does not affect the measured
+/// sign/verify costs. Set distinct_keypairs == #principals for fully
+/// distinct keys.
+class CredentialAuthority {
+ public:
+  struct Options {
+    size_t rsa_bits = 1024;
+    size_t distinct_keypairs = 4;
+    std::string seed = "secureblox-ca";
+  };
+
+  CredentialAuthority(std::vector<std::string> principals, Options options);
+
+  Result<Credentials> IssueFor(const std::string& principal) const;
+
+  const std::vector<std::string>& principals() const { return principals_; }
+  /// 16-byte secret shared by a and b (symmetric in its arguments).
+  Bytes SecretBetween(const std::string& a, const std::string& b) const;
+  Result<const crypto::RsaKeyPair*> KeyPairOf(
+      const std::string& principal) const;
+
+ private:
+  std::vector<std::string> principals_;
+  Options options_;
+  std::map<std::string, const crypto::RsaKeyPair*> keys_;  // cached, unowned
+};
+
+}  // namespace secureblox::policy
+
+#endif  // SECUREBLOX_POLICY_KEYSTORE_H_

@@ -1,0 +1,273 @@
+#include "policy/says_policy.h"
+
+#include "common/strings.h"
+#include "datalog/parser.h"
+#include "datalog/typecheck.h"
+#include "policy/builtins.h"
+
+namespace secureblox::policy {
+
+const char* AuthSchemeName(AuthScheme scheme) {
+  switch (scheme) {
+    case AuthScheme::kNone:
+      return "NoAuth";
+    case AuthScheme::kHmac:
+      return "HMAC";
+    case AuthScheme::kRsa:
+      return "RSA";
+  }
+  return "?";
+}
+
+const char* EncSchemeName(EncScheme scheme) {
+  switch (scheme) {
+    case EncScheme::kNone:
+      return "";
+    case EncScheme::kAes:
+      return "AES";
+  }
+  return "?";
+}
+
+std::string PreludeSource() {
+  return R"(
+// --- SecureBlox prelude: built-in types and infrastructure (paper §5.1) ---
+node(X) -> .
+principal(X) -> .
+principal_node[P] = N -> principal(P), node(N).
+self[] = P -> principal(P).
+local_node[] = N -> node(N).
+export(N, L, T) -> node(N), node(L), blob(T).
+public_key(P, K) -> principal(P), blob(K).
+secret(P, K) -> principal(P), blob(K).
+private_key[] = K -> blob(K).
+trustworthy(P) -> principal(P).
+)";
+}
+
+std::string SaysPolicySource(const SaysPolicyOptions& o) {
+  std::vector<std::string> heads;   // generic rule head atoms
+  std::vector<std::string> lines;   // template body
+
+  heads.push_back("says[T] = ST");
+  heads.push_back("predicate(ST)");
+  lines.push_back(
+      "ST(P1, P2, V*) -> principal(P1), principal(P2), types[T](V*).");
+
+  const bool signed_scheme = o.auth != AuthScheme::kNone;
+  if (signed_scheme) {
+    heads.push_back("sig[T] = GT");
+    heads.push_back("predicate(GT)");
+    lines.push_back(
+        "GT(P1, P2, V*, G) -> principal(P1), principal(P2), types[T](V*), "
+        "blob(G).");
+    // Signature generation at the sender (§3.2).
+    if (o.auth == AuthScheme::kRsa) {
+      lines.push_back(
+          "GT(S, R, V*, G) <- ST(S, R, V*), self[] = S, "
+          "sign_payload[T](S, R, V*, PL), private_key[] = K, "
+          "rsa_sign(K, PL, G).");
+      // Verification constraint at the receiver: any fact said to me by a
+      // remote principal must carry a valid signature under P's public key.
+      lines.push_back(
+          "ST(P, R, V*), self[] = R, P != R -> GT(P, R, V*, G), "
+          "public_key(P, K), sign_payload[T](P, R, V*, PL), "
+          "rsa_verify(K, PL, G).");
+    } else {
+      lines.push_back(
+          "GT(S, R, V*, G) <- ST(S, R, V*), self[] = S, "
+          "sign_payload[T](S, R, V*, PL), secret(R, K), hmac_sign(K, PL, G).");
+      lines.push_back(
+          "ST(P, R, V*), self[] = R, P != R -> GT(P, R, V*, G), "
+          "secret(P, K), sign_payload[T](P, R, V*, PL), "
+          "hmac_verify(K, PL, G).");
+    }
+  }
+
+  if (o.write_access) {
+    heads.push_back("writeAccess[T] = WT");
+    heads.push_back("predicate(WT)");
+    lines.push_back("WT(P) -> principal(P).");
+    lines.push_back("ST(P1, P2, V*) -> WT(P1).");
+  }
+
+  if (o.distribute) {
+    // Export: serialize the said fact (plus signature when authenticated),
+    // optionally AES-encrypt under the pairwise secret, and derive export
+    // at the receiver's location (§5.1).
+    std::string serialize_body =
+        signed_scheme
+            ? "GT(S, R, V*, G), serialize_signed[T](S, R, G, V*, PL0)"
+            : "serialize[T](S, R, V*, PL0)";
+    std::string wrap =
+        o.enc == EncScheme::kAes
+            ? ", secret(R, EK), aesencrypt(PL0, EK, PL)"
+            : ", PL = PL0";
+    lines.push_back("export(N, L, PL) <- ST(S, R, V*), self[] = S, " +
+                    serialize_body + wrap +
+                    ", principal_node[R] = N, principal_node[S] = L, "
+                    "N != L.");
+
+    // Import: decrypt (sender resolved from the source node), deserialize,
+    // and re-derive the said fact (and its signature) locally.
+    std::string unwrap =
+        o.enc == EncScheme::kAes
+            ? "principal_node[U0] = L, secret(U0, EK), "
+              "aesdecrypt(PL, EK, PL0), "
+            : "PL0 = PL, ";
+    if (signed_scheme) {
+      lines.push_back(
+          "ST(U, RR, V*), GT(U, RR, V*, G) <- export(N, L, PL), "
+          "local_node[] = N, " + unwrap +
+          "deserialize_signed[T](PL0, U, RR, G, V*), self[] = RR.");
+    } else {
+      lines.push_back(
+          "ST(U, RR, V*) <- export(N, L, PL), local_node[] = N, " + unwrap +
+          "deserialize[T](PL0, U, RR, V*), self[] = RR.");
+    }
+  }
+
+  switch (o.accept) {
+    case AcceptMode::kNone:
+      break;
+    case AcceptMode::kBenign:
+      lines.push_back("T(V*) <- ST(P, R, V*), self[] = R.");
+      break;
+    case AcceptMode::kTrustworthy:
+      lines.push_back("T(V*) <- ST(P, R, V*), self[] = R, trustworthy(P).");
+      break;
+    case AcceptMode::kPerPredicate:
+      heads.push_back("trustworthyPerPred[T] = DT");
+      heads.push_back("predicate(DT)");
+      lines.push_back("DT(P) -> principal(P).");
+      lines.push_back("T(V*) <- ST(P, R, V*), self[] = R, DT(P).");
+      break;
+  }
+
+  std::string out = "// --- says policy: " +
+                    std::string(AuthSchemeName(o.auth)) +
+                    (o.enc == EncScheme::kAes ? "-AES" : "") + " ---\n";
+  out += Join(heads, ", ") + ",\n`{\n";
+  for (const auto& line : lines) out += "  " + line + "\n";
+  out += "}\n<-- predicate(T), exportable(T).\n";
+  if (o.exportable_constraint) {
+    out += "says(T, ST) --> exportable(T).\n";
+  }
+  return out;
+}
+
+std::string AnonPreludeSource() {
+  return R"(
+// --- anonymity prelude: onion circuits (paper §6.2) ---
+circuit(C) -> .
+anon_path[P] = C -> principal(P), circuit(C).
+anon_path_forward_id[C] = I -> circuit(C), int(I).
+anon_path_backward_id[C] = I -> circuit(C), int(I).
+anon_path_nexthop[C] = N -> circuit(C), node(N).
+anon_path_prevhop[C] = N -> circuit(C), node(N).
+anon_path_endpoint(C) -> circuit(C).
+anon_path_initiator(C) -> circuit(C).
+anon_export(N, L, I, CT) -> node(N), node(L), int(I), blob(CT).
+anon_export_back(N, L, I, CT) -> node(N), node(L), int(I), blob(CT).
+
+// Forward relay: peel one layer and pass to the next hop.
+anon_export(N2, N, I2, CT2) <-
+    anon_export(N, L, I, CT), local_node[] = N,
+    anon_path_backward_id[C] = I, !anon_path_endpoint(C),
+    anon_path_forward_id[C] = I2, anon_path_nexthop[C] = N2,
+    anon_decrypt(C, CT, CT2).
+
+// Backward relay: add one layer and pass toward the initiator.
+anon_export_back(N0, N, I0, CT2) <-
+    anon_export_back(N, L, I, CT), local_node[] = N,
+    anon_path_forward_id[C] = I, !anon_path_initiator(C),
+    anon_path_backward_id[C] = I0, anon_path_prevhop[C] = N0,
+    anon_encrypt(C, CT, CT2).
+)";
+}
+
+std::string AnonSaysPolicySource() {
+  return R"(
+// --- anon_says policy (paper §6.2) ---
+anon_says[T] = AST, predicate(AST),
+anon_in[T] = AIT, predicate(AIT),
+anon_out[T] = AOT, predicate(AOT),
+anon_reply[T] = ART, predicate(ART),
+`{
+  AST(P1, P2, V*) -> principal(P1), principal(P2), types[T](V*).
+  AIT(C, V*) -> circuit(C), types[T](V*).
+  AOT(C, V*) -> circuit(C), types[T](V*).
+  ART(C, V*) -> circuit(C), types[T](V*).
+
+  // Initiator: serialize (no sender identity — footnote 3), wrap all layers,
+  // send to the first hop.
+  anon_export(N, LN, I, CT) <-
+      AST(S, R, V*), self[] = S, anon_serialize[T](V*, PT),
+      anon_path[R] = C, anon_path_forward_id[C] = I,
+      anon_path_nexthop[C] = N, local_node[] = LN,
+      anon_encrypt(C, PT, CT).
+
+  // Endpoint: peel the final layer; the sender is known only as circuit C.
+  AIT(C, V*) <-
+      anon_export(N, L, I, CT), local_node[] = N,
+      anon_path_backward_id[C] = I, anon_path_endpoint(C),
+      anon_decrypt(C, CT, PT), anon_deserialize[T](PT, V*).
+
+  // Endpoint reply: send back along the circuit.
+  anon_export_back(NP, LN, IB, CT) <-
+      AOT(C, V*), anon_path_endpoint(C), anon_serialize[T](V*, PT),
+      anon_path_backward_id[C] = IB, anon_path_prevhop[C] = NP,
+      local_node[] = LN, anon_encrypt(C, PT, CT).
+
+  // Initiator receives the reply: peel all layers.
+  ART(C, V*) <-
+      anon_export_back(N, L, I, CT), local_node[] = N,
+      anon_path_forward_id[C] = I, anon_path_initiator(C),
+      anon_decrypt(C, CT, PT), anon_deserialize[T](PT, V*).
+}
+<-- predicate(T), anon_exportable(T).
+)";
+}
+
+Result<generics::ExpansionResult> CompileWithPolicies(
+    engine::Workspace* ws, const std::vector<std::string>& sources) {
+  datalog::Program merged;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    SB_ASSIGN_OR_RETURN(
+        datalog::Program p,
+        datalog::Parse(sources[i], "unit" + std::to_string(i)));
+    merged.Merge(std::move(p));
+  }
+
+  generics::BloxGenericsCompiler compiler;
+  SB_ASSIGN_OR_RETURN(generics::ExpansionResult expanded,
+                      compiler.Compile(merged));
+
+  // Register serde builtin families for every exportable predicate before
+  // installation (the typechecker needs their signatures). Argument type
+  // names come from the schema of the merged program.
+  datalog::Catalog schema;
+  {
+    datalog::Program schema_only;
+    schema_only.constraints = expanded.program.constraints;
+    auto runtime = datalog::BuildSchema(schema_only, &schema);
+    if (!runtime.ok()) return runtime.status();
+  }
+  auto register_for = [&](const std::string& pred_name) -> Status {
+    SB_ASSIGN_OR_RETURN(datalog::PredId pred, schema.Lookup(pred_name));
+    std::vector<std::string> type_names;
+    for (datalog::PredId t : schema.decl(pred).arg_types) {
+      type_names.push_back(schema.decl(t).name);
+    }
+    return RegisterSerdeBuiltins(ws, pred_name, type_names);
+  };
+  for (const char* marker : {"exportable", "anon_exportable"}) {
+    for (const auto& tuple : expanded.meta.Tuples(marker)) {
+      SB_RETURN_IF_ERROR(register_for(tuple[0]));
+    }
+  }
+  SB_RETURN_IF_ERROR(RegisterCryptoBuiltins(ws));
+  return expanded;
+}
+
+}  // namespace secureblox::policy

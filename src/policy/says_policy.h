@@ -1,0 +1,82 @@
+// Security policy library, expressed as BloxGenerics source text.
+//
+// This is the paper's central idea: `says` is NOT baked into the runtime.
+// Each policy below is a meta-program over `predicate(T), exportable(T)`
+// that generates the said predicate, signature predicate, sign rule,
+// verification constraint, export/import rules, and acceptance rules for
+// every exportable predicate. Swapping authentication (none/HMAC/RSA) or
+// adding encryption changes only this generated text — applications are
+// untouched (§3.2, §8.1).
+#ifndef SECUREBLOX_POLICY_SAYS_POLICY_H_
+#define SECUREBLOX_POLICY_SAYS_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/workspace.h"
+#include "generics/compiler.h"
+
+namespace secureblox::policy {
+
+/// Per-fact authentication scheme for the `says` construct.
+enum class AuthScheme {
+  kNone,  // cleartext principal header only
+  kHmac,  // HMAC-SHA1 with pairwise shared secrets
+  kRsa,   // RSA-1024 signature over a SHA-1 digest
+};
+const char* AuthSchemeName(AuthScheme scheme);
+
+/// Payload confidentiality for exported facts.
+enum class EncScheme {
+  kNone,
+  kAes,  // AES-128 (CTR) under the pairwise shared secret
+};
+const char* EncSchemeName(EncScheme scheme);
+
+/// How received `says` facts flow into the local predicate.
+enum class AcceptMode {
+  kNone,         // application handles says facts itself
+  kBenign,       // accept everything (trusted environment, §3.2)
+  kTrustworthy,  // accept only from trustworthy(P) principals (§6.1)
+  kPerPredicate, // accept from trustworthyPerPred[T](P) (§6.1)
+};
+
+struct SaysPolicyOptions {
+  AuthScheme auth = AuthScheme::kNone;
+  EncScheme enc = EncScheme::kNone;
+  AcceptMode accept = AcceptMode::kBenign;
+  /// Generate the export/import distribution rules (§5.1). Disable for
+  /// single-workspace (local) use of says.
+  bool distribute = true;
+  /// Add the writeAccess authorization constraint (§3.2).
+  bool write_access = false;
+  /// Add the paper's §4.1.4 generic constraint says(T,ST) --> exportable(T).
+  bool exportable_constraint = true;
+};
+
+/// Built-in type/infrastructure declarations every SecureBlox program needs
+/// (node, principal, self, principal_node, export, key predicates, ...).
+std::string PreludeSource();
+
+/// The says meta-program for the given options.
+std::string SaysPolicySource(const SaysPolicyOptions& options);
+
+/// Onion-routing prelude: circuit types, link-local forwarding state and
+/// relay rules (§6.2).
+std::string AnonPreludeSource();
+
+/// The anon_says meta-program: anonymous send, endpoint receive
+/// (anon_in[T]), endpoint reply (anon_out[T]), initiator reply receipt
+/// (anon_reply[T]). Applies to predicates marked `anon_exportable`.
+std::string AnonSaysPolicySource();
+
+/// Expand app+policy sources through BloxGenerics and register the serde
+/// builtin families for every exportable/anon_exportable predicate.
+/// The returned program is ready for ws->Install().
+Result<generics::ExpansionResult> CompileWithPolicies(
+    engine::Workspace* ws, const std::vector<std::string>& sources);
+
+}  // namespace secureblox::policy
+
+#endif  // SECUREBLOX_POLICY_SAYS_POLICY_H_

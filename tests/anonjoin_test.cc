@@ -1,0 +1,51 @@
+// Anonymous join over onion circuits: correctness of the join, of the
+// layered encryption relay, and of the anonymity property (owner never
+// sees the initiator's identity).
+#include <gtest/gtest.h>
+
+#include "apps/anonjoin.h"
+
+namespace secureblox::apps {
+namespace {
+
+TEST(AnonJoinTest, JoinMatchesReferenceThroughOneRelay) {
+  AnonJoinConfig config;
+  config.num_nodes = 3;  // initiator, relay, owner
+  auto result = RunAnonJoin(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->expected_results, 0u);
+  EXPECT_EQ(result->results_at_initiator, result->expected_results);
+  EXPECT_TRUE(result->initiator_hidden_from_owner);
+  EXPECT_EQ(result->metrics.rejected_batches, 0u);
+}
+
+TEST(AnonJoinTest, WorksThroughLongerCircuits) {
+  for (size_t nodes : {4u, 5u}) {
+    AnonJoinConfig config;
+    config.num_nodes = nodes;
+    config.interests = 5;
+    config.publicdata = 60;
+    config.value_domain = 20;
+    auto result = RunAnonJoin(config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->results_at_initiator, result->expected_results)
+        << nodes << " nodes";
+    EXPECT_TRUE(result->initiator_hidden_from_owner);
+  }
+}
+
+TEST(AnonJoinTest, DifferentSeedsDifferentWorkloads) {
+  AnonJoinConfig a;
+  a.seed = 1;
+  AnonJoinConfig b;
+  b.seed = 2;
+  auto ra = RunAnonJoin(a);
+  auto rb = RunAnonJoin(b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->results_at_initiator, ra->expected_results);
+  EXPECT_EQ(rb->results_at_initiator, rb->expected_results);
+}
+
+}  // namespace
+}  // namespace secureblox::apps

@@ -1,0 +1,293 @@
+// BloxGenerics compiler: says generation, V* expansion, types[T],
+// generic constraints (the paper's exportable example), non-termination
+// caps, meta relations, and end-to-end execution of generated code.
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "engine/workspace.h"
+#include "generics/compiler.h"
+
+namespace secureblox::generics {
+namespace {
+
+using datalog::Parse;
+using datalog::Program;
+using datalog::Value;
+
+Result<ExpansionResult> Expand(const std::string& src) {
+  auto program = Parse(src);
+  if (!program.ok()) return program.status();
+  BloxGenericsCompiler compiler;
+  return compiler.Compile(program.value());
+}
+
+ExpansionResult ExpandOrDie(const std::string& src) {
+  auto r = Expand(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : ExpansionResult{};
+}
+
+// The paper's §3.2 says declaration, guarded by exportable (§4.1.4).
+const char* kSaysPolicy = R"(
+says[T] = ST, predicate(ST),
+`{
+  ST(P1, P2, V*) -> principal(P1), principal(P2), types[T](V*).
+}
+<-- predicate(T), exportable(T).
+)";
+
+const char* kGraphSchema = R"(
+node(X) -> .
+principal(X) -> .
+link(X, Y) -> node(X), node(Y).
+reachable(X, Y) -> node(X), node(Y).
+reachable(X, Y) <- link(X, Y).
+)";
+
+TEST(GenericsTest, SaysGeneratesSaidPredicate) {
+  ExpansionResult r = ExpandOrDie(std::string(kGraphSchema) + kSaysPolicy +
+                                  "exportable(`reachable).\n");
+  ASSERT_EQ(r.generated_predicates.size(), 1u);
+  EXPECT_EQ(r.generated_predicates[0], "says$reachable");
+  // The declaring constraint for says$reachable was generated with V*
+  // expanded to reachable's arity (2) and its types (node, node).
+  std::string text = r.program.ToString();
+  EXPECT_NE(text.find("says$reachable(P1, P2, V$0, V$1) -> principal(P1), "
+                      "principal(P2), node(V$0), node(V$1)"),
+            std::string::npos)
+      << text;
+  // Meta database records says[reachable] = says$reachable.
+  EXPECT_EQ(r.meta.LookupValue("says", {"reachable"}).value(),
+            "says$reachable");
+}
+
+TEST(GenericsTest, VarargArityTracksSubjectPredicate) {
+  ExpansionResult r = ExpandOrDie(R"(
+    principal(X) -> .
+    triple(X, Y, Z) -> int(X), int(Y), int(Z).
+    exportable(`triple).
+  )" + std::string(kSaysPolicy));
+  std::string text = r.program.ToString();
+  EXPECT_NE(text.find("says$triple(P1, P2, V$0, V$1, V$2)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("int(V$0), int(V$1), int(V$2)"), std::string::npos);
+}
+
+TEST(GenericsTest, OneTemplatePerExportablePredicate) {
+  ExpansionResult r = ExpandOrDie(R"(
+    principal(X) -> .
+    a(X) -> int(X).
+    b(X, Y) -> int(X), int(Y).
+    c(X) -> int(X).
+    exportable(`a).
+    exportable(`b).
+  )" + std::string(kSaysPolicy));
+  // Only the exportable predicates get said versions.
+  EXPECT_EQ(r.generated_predicates.size(), 2u);
+  auto says_a = r.meta.LookupValue("says", {"a"});
+  auto says_b = r.meta.LookupValue("says", {"b"});
+  auto says_c = r.meta.LookupValue("says", {"c"});
+  EXPECT_TRUE(says_a.ok());
+  EXPECT_TRUE(says_b.ok());
+  EXPECT_FALSE(says_c.ok());
+}
+
+TEST(GenericsTest, PaperExportableConstraintRejectsUnguardedSays) {
+  // Paper §4.1.4: with the generic constraint `says(T,ST) --> exportable(T)`
+  // and an unguarded says rule, the compiler must reject the program.
+  auto r = Expand(std::string(kGraphSchema) + R"(
+    says[T] = ST, predicate(ST) <-- predicate(T), user_pred(T).
+    user_pred(`reachable).
+    user_pred(`link).
+    exportable(`reachable).
+    says(T, ST) --> exportable(T).
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCompileError);
+  EXPECT_NE(r.status().message().find("generic constraint violated"),
+            std::string::npos)
+      << r.status().message();
+}
+
+TEST(GenericsTest, PaperExportableConstraintAcceptsGuardedSays) {
+  // The fix from the paper: guard the rule body with exportable(T).
+  auto r = Expand(std::string(kGraphSchema) + R"(
+    says[T] = ST, predicate(ST) <-- predicate(T), exportable(T).
+    exportable(`reachable).
+    says(T, ST) --> exportable(T).
+  )");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(GenericsTest, NonTerminatingMetaProgramHitsCompileTimeCap) {
+  // says of says of says ... — predicate(ST) feeds the rule's own body.
+  auto r = Expand(R"(
+    p(X) -> int(X).
+    says[T] = ST, predicate(ST) <-- predicate(T).
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCompileError);
+}
+
+TEST(GenericsTest, ParameterizedAtomResolution) {
+  ExpansionResult r = ExpandOrDie(std::string(kGraphSchema) + kSaysPolicy + R"(
+    exportable(`reachable).
+    reachable(X, Y) <- says[`reachable](Z, S, X, Y), link(Z, S).
+  )");
+  std::string text = r.program.ToString();
+  EXPECT_NE(text.find("says$reachable(Z, S, X, Y)"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("says["), std::string::npos);  // nothing unresolved
+}
+
+TEST(GenericsTest, UnresolvableParameterizedAtomFails) {
+  auto r = Expand(std::string(kGraphSchema) + kSaysPolicy + R"(
+    reachable(X, Y) <- says[`reachable](Z, S, X, Y), link(Z, S).
+  )");  // note: no exportable(`reachable) fact
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("exportable"), std::string::npos);
+}
+
+TEST(GenericsTest, BuiltinFamilyMangling) {
+  // Parameterized atoms over non-generic names mangle to $-joined names
+  // (per-predicate builtin families like serialize).
+  ExpansionResult r = ExpandOrDie(R"(
+    p(X) -> int(X).
+    out(X) -> blob(X).
+    out(B) <- p(X), serialize[`p](X, B).
+  )");
+  std::string text = r.program.ToString();
+  EXPECT_NE(text.find("serialize$p(X, B)"), std::string::npos) << text;
+}
+
+TEST(GenericsTest, TemplateRulesGenerateAcceptance) {
+  // Paper §6.1 trust delegation: accept facts from trustworthy principals.
+  ExpansionResult r = ExpandOrDie(std::string(kGraphSchema) + R"(
+    trustworthy(P) -> principal(P).
+    says[T] = ST, predicate(ST),
+    `{
+      ST(P1, P2, V*) -> principal(P1), principal(P2), types[T](V*).
+      T(V*) <- ST(P, S, V*), trustworthy(P).
+    }
+    <-- predicate(T), exportable(T).
+    exportable(`reachable).
+  )");
+  std::string text = r.program.ToString();
+  EXPECT_NE(
+      text.find(
+          "reachable(V$0, V$1) <- says$reachable(P, S, V$0, V$1), "
+          "trustworthy(P)."),
+      std::string::npos)
+      << text;
+}
+
+TEST(GenericsTest, EndToEndGeneratedCodeRuns) {
+  ExpansionResult r = ExpandOrDie(std::string(kGraphSchema) + R"(
+    trustworthy(P) -> principal(P).
+    says[T] = ST, predicate(ST),
+    `{
+      ST(P1, P2, V*) -> principal(P1), principal(P2), types[T](V*).
+      T(V*) <- ST(P, S, V*), trustworthy(P).
+    }
+    <-- predicate(T), exportable(T).
+    exportable(`reachable).
+  )");
+  engine::Workspace ws;
+  Status st = ws.Install(r.program);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // A fact said by an untrusted principal is stored but not accepted.
+  ASSERT_TRUE(ws.Insert("says$reachable",
+                        {Value::Str("mallory"), Value::Str("me"),
+                         Value::Str("n1"), Value::Str("n2")})
+                  .ok());
+  EXPECT_EQ(ws.Query("reachable").value().size(), 0u);
+
+  // Once the principal is trusted, the same said fact is accepted.
+  ASSERT_TRUE(ws.Insert("trustworthy", {Value::Str("mallory")}).ok());
+  EXPECT_EQ(ws.Query("reachable").value().size(), 1u);
+}
+
+TEST(GenericsTest, GeneratedConstraintEnforcedAtRuntime) {
+  // writeAccess authorization (paper §3.2): a said fact from a principal
+  // without write access aborts the transaction.
+  ExpansionResult r = ExpandOrDie(std::string(kGraphSchema) + R"(
+    says[T] = ST, predicate(ST), writeAccess[T] = WT, predicate(WT),
+    `{
+      ST(P1, P2, V*) -> principal(P1), principal(P2), types[T](V*).
+      WT(P) -> principal(P).
+      ST(P1, P2, V*) -> WT(P1).
+    }
+    <-- predicate(T), exportable(T).
+    exportable(`reachable).
+  )");
+  engine::Workspace ws;
+  Status st = ws.Install(r.program);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_TRUE(
+      ws.Insert("writeAccess$reachable", {Value::Str("alice")}).ok());
+
+  EXPECT_TRUE(ws.Insert("says$reachable",
+                        {Value::Str("alice"), Value::Str("me"),
+                         Value::Str("n1"), Value::Str("n2")})
+                  .ok());
+  auto denied = ws.Apply({{"says$reachable",
+                           {Value::Str("mallory"), Value::Str("me"),
+                            Value::Str("n1"), Value::Str("n3")}}});
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(ws.Query("says$reachable").value().size(), 1u);
+}
+
+TEST(GenericsTest, RuleMetaRelationsPopulated) {
+  ExpansionResult r = ExpandOrDie(std::string(kGraphSchema));
+  EXPECT_EQ(r.meta.Tuples("rule").size(), 1u);  // the reachable rule
+  ASSERT_EQ(r.meta.Tuples("ruleHead").size(), 1u);
+  EXPECT_EQ(r.meta.Tuples("ruleHead")[0][1], "reachable");
+  ASSERT_EQ(r.meta.Tuples("ruleBody").size(), 1u);
+  EXPECT_EQ(r.meta.Tuples("ruleBody")[0][1], "link");
+}
+
+TEST(GenericsTest, MetaRelationsOverRules) {
+  // Generic rules can compute over the rule structure: flag predicates
+  // that are derived by some rule.
+  ExpansionResult r = ExpandOrDie(std::string(kGraphSchema) + R"(
+    derived(P) <-- rule(R), ruleHead(R, P).
+  )");
+  ASSERT_EQ(r.meta.Tuples("derived").size(), 1u);
+  EXPECT_EQ(r.meta.Tuples("derived")[0][0], "reachable");
+}
+
+TEST(GenericsTest, InconsistentGenericPredicateShapeRejected) {
+  auto r = Expand(R"(
+    p(X) -> int(X).
+    exportable(`p).
+    exportable(`p, `p).
+  )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GenericsTest, ExpansionIsDeterministicAndDeduplicated) {
+  std::string src = std::string(kGraphSchema) + kSaysPolicy +
+                    "exportable(`reachable).\n";
+  ExpansionResult a = ExpandOrDie(src);
+  ExpansionResult b = ExpandOrDie(src);
+  EXPECT_EQ(a.program.ToString(), b.program.ToString());
+  // Same constraint generated once despite fixpoint revisits.
+  std::string text = a.program.ToString();
+  size_t first = text.find("says$reachable(P1, P2");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("says$reachable(P1, P2", first + 1), std::string::npos);
+}
+
+TEST(GenericsTest, ProgramWithoutGenericsPassesThrough) {
+  ExpansionResult r = ExpandOrDie(std::string(kGraphSchema));
+  EXPECT_TRUE(r.generated_predicates.empty());
+  auto parsed = Parse(kGraphSchema).value();
+  EXPECT_EQ(r.program.rules.size(), parsed.rules.size());
+  EXPECT_EQ(r.program.constraints.size(), parsed.constraints.size());
+}
+
+}  // namespace
+}  // namespace secureblox::generics

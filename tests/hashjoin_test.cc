@@ -1,0 +1,84 @@
+// Parallel hash join: distributed result must equal the reference
+// nested-loop join, across schemes and cluster sizes (property sweep).
+#include <gtest/gtest.h>
+
+#include "apps/hashjoin.h"
+
+namespace secureblox::apps {
+namespace {
+
+using policy::AuthScheme;
+using policy::EncScheme;
+
+HashJoinConfig SmallConfig() {
+  HashJoinConfig config;
+  config.num_nodes = 3;
+  config.tuples_r = 60;
+  config.tuples_s = 50;
+  config.join_values = 12;
+  config.rsa_bits = 512;
+  return config;
+}
+
+TEST(HashJoinTest, MatchesReferenceJoinNoAuth) {
+  auto result = RunHashJoin(SmallConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->expected_results, 0u);
+  EXPECT_EQ(result->results_at_initiator, result->expected_results);
+  EXPECT_EQ(result->metrics.rejected_batches, 0u);
+}
+
+TEST(HashJoinTest, MatchesReferenceJoinRsaAes) {
+  HashJoinConfig config = SmallConfig();
+  config.auth = AuthScheme::kRsa;
+  config.enc = EncScheme::kAes;
+  auto result = RunHashJoin(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->results_at_initiator, result->expected_results);
+}
+
+class HashJoinSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(HashJoinSweep, CorrectAcrossSizesAndSeeds) {
+  auto [nodes, seed] = GetParam();
+  HashJoinConfig config = SmallConfig();
+  config.num_nodes = nodes;
+  config.seed = seed;
+  auto result = RunHashJoin(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->results_at_initiator, result->expected_results)
+      << "nodes=" << nodes << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HashJoinSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5),
+                       ::testing::Values(1, 17, 99)));
+
+TEST(HashJoinTest, InitiatorCompletionTimesRecorded) {
+  auto result = RunHashJoin(SmallConfig());
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->initiator_completion_times_s.empty());
+  // Times are monotone (they come from an ordered event log).
+  for (size_t i = 1; i < result->initiator_completion_times_s.size(); ++i) {
+    EXPECT_GE(result->initiator_completion_times_s[i],
+              result->initiator_completion_times_s[i - 1]);
+  }
+}
+
+TEST(HashJoinTest, MoreNodesLessPerNodeTraffic) {
+  // Figure 12's shape: greater parallelism implies less per-node overhead.
+  HashJoinConfig small = SmallConfig();
+  small.num_nodes = 2;
+  HashJoinConfig large = SmallConfig();
+  large.num_nodes = 6;
+  auto a = RunHashJoin(small);
+  auto b = RunHashJoin(large);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a->metrics.MeanPerNodeKb(), b->metrics.MeanPerNodeKb());
+}
+
+}  // namespace
+}  // namespace secureblox::apps

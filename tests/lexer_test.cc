@@ -1,0 +1,123 @@
+// Tokenizer: arrow family disambiguation, quoting, varargs, comments,
+// error positions.
+#include <gtest/gtest.h>
+
+#include "datalog/lexer.h"
+
+namespace secureblox::datalog {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& src) {
+  auto toks = Tokenize(src).value();
+  std::vector<TokenKind> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, SimpleRule) {
+  auto kinds = Kinds("reachable(X,Y) <- link(X,Y).");
+  std::vector<TokenKind> expect = {
+      TokenKind::kIdent,  TokenKind::kLParen, TokenKind::kVariable,
+      TokenKind::kComma,  TokenKind::kVariable, TokenKind::kRParen,
+      TokenKind::kArrowRule, TokenKind::kIdent, TokenKind::kLParen,
+      TokenKind::kVariable, TokenKind::kComma, TokenKind::kVariable,
+      TokenKind::kRParen, TokenKind::kDot, TokenKind::kEof};
+  EXPECT_EQ(kinds, expect);
+}
+
+TEST(LexerTest, ArrowFamilyLongestMatch) {
+  EXPECT_EQ(Kinds("<--")[0], TokenKind::kArrowGenericRule);
+  EXPECT_EQ(Kinds("<-")[0], TokenKind::kArrowRule);
+  EXPECT_EQ(Kinds("-->")[0], TokenKind::kArrowGenericConstraint);
+  EXPECT_EQ(Kinds("->")[0], TokenKind::kArrowConstraint);
+  EXPECT_EQ(Kinds("<<")[0], TokenKind::kAggOpen);
+  EXPECT_EQ(Kinds(">>")[0], TokenKind::kAggClose);
+  EXPECT_EQ(Kinds("<=")[0], TokenKind::kLe);
+  EXPECT_EQ(Kinds(">=")[0], TokenKind::kGe);
+  EXPECT_EQ(Kinds("<")[0], TokenKind::kLt);
+  EXPECT_EQ(Kinds(">")[0], TokenKind::kGt);
+  EXPECT_EQ(Kinds("-")[0], TokenKind::kMinus);
+  EXPECT_EQ(Kinds("!=")[0], TokenKind::kNe);
+  EXPECT_EQ(Kinds("!")[0], TokenKind::kBang);
+}
+
+TEST(LexerTest, QuotedPredicateAndTemplate) {
+  auto toks = Tokenize("says[`reachable] `{ T(V*) }").value();
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[1].kind, TokenKind::kLBracket);
+  EXPECT_EQ(toks[2].kind, TokenKind::kQuotedIdent);
+  EXPECT_EQ(toks[2].text, "reachable");
+  EXPECT_EQ(toks[3].kind, TokenKind::kRBracket);
+  EXPECT_EQ(toks[4].kind, TokenKind::kTemplateOpen);
+  EXPECT_EQ(toks[5].kind, TokenKind::kVariable);  // T
+  EXPECT_EQ(toks[6].kind, TokenKind::kLParen);
+  EXPECT_EQ(toks[7].kind, TokenKind::kVararg);
+  EXPECT_EQ(toks[7].text, "V");
+  EXPECT_EQ(toks[8].kind, TokenKind::kRParen);
+  EXPECT_EQ(toks[9].kind, TokenKind::kRBrace);
+}
+
+TEST(LexerTest, VarargRequiresAdjacentStar) {
+  // `V *` with a space is variable then star (multiplication).
+  auto toks = Tokenize("V * 2").value();
+  EXPECT_EQ(toks[0].kind, TokenKind::kVariable);
+  EXPECT_EQ(toks[1].kind, TokenKind::kStar);
+  EXPECT_EQ(toks[2].kind, TokenKind::kInt);
+}
+
+TEST(LexerTest, VariablesVsIdentifiers) {
+  auto toks = Tokenize("link Photo _x X1 p2p").value();
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(toks[2].kind, TokenKind::kVariable);  // _x
+  EXPECT_EQ(toks[3].kind, TokenKind::kVariable);  // X1
+  EXPECT_EQ(toks[4].kind, TokenKind::kIdent);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto toks = Tokenize(R"("hello \"world\"\n")").value();
+  EXPECT_EQ(toks[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks[0].text, "hello \"world\"\n");
+}
+
+TEST(LexerTest, Comments) {
+  auto toks = Tokenize(
+      "a // line comment <- with arrow\n"
+      "/* block\n comment */ b").value();
+  EXPECT_EQ(toks.size(), 3u);  // a, b, EOF
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto toks = Tokenize("0 42 123456789").value();
+  EXPECT_EQ(toks[0].int_value, 0);
+  EXPECT_EQ(toks[1].int_value, 42);
+  EXPECT_EQ(toks[2].int_value, 123456789);
+}
+
+TEST(LexerTest, LocationTracking) {
+  auto toks = Tokenize("a\n  b").value();
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[0].loc.col, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.col, 3);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("/* unterminated").ok());
+  EXPECT_FALSE(Tokenize("@").ok());
+  EXPECT_FALSE(Tokenize("` ").ok());
+  EXPECT_FALSE(Tokenize("99999999999999999999999").ok());
+}
+
+TEST(LexerTest, DollarInGeneratedNames) {
+  // Generated predicates use $ in names (says$reachable).
+  auto toks = Tokenize("says$reachable(X)").value();
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[0].text, "says$reachable");
+}
+
+}  // namespace
+}  // namespace secureblox::datalog

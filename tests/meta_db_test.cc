@@ -1,0 +1,70 @@
+// MetaDb: the relational program representation backing BloxGenerics.
+#include <gtest/gtest.h>
+
+#include "generics/meta_db.h"
+
+namespace secureblox::generics {
+namespace {
+
+TEST(MetaDbTest, DeclareAndInsert) {
+  MetaDb db;
+  ASSERT_TRUE(db.Declare("predicate", 1, false).ok());
+  EXPECT_TRUE(db.IsDeclared("predicate"));
+  EXPECT_FALSE(db.IsDeclared("rule"));
+  EXPECT_EQ(db.Arity("predicate"), 1u);
+
+  EXPECT_TRUE(db.Insert("predicate", {"link"}).value());
+  EXPECT_FALSE(db.Insert("predicate", {"link"}).value());  // dup
+  EXPECT_TRUE(db.Insert("predicate", {"path"}).value());
+  EXPECT_EQ(db.Tuples("predicate").size(), 2u);
+}
+
+TEST(MetaDbTest, UndeclaredInsertFails) {
+  MetaDb db;
+  EXPECT_FALSE(db.Insert("ghost", {"x"}).ok());
+}
+
+TEST(MetaDbTest, ArityMismatchFails) {
+  MetaDb db;
+  ASSERT_TRUE(db.Declare("says", 2, true).ok());
+  EXPECT_FALSE(db.Insert("says", {"only-one"}).ok());
+  EXPECT_FALSE(db.Declare("says", 3, true).ok());  // inconsistent redeclare
+}
+
+TEST(MetaDbTest, FunctionalLookupAndConflict) {
+  MetaDb db;
+  ASSERT_TRUE(db.Declare("says", 2, true).ok());
+  ASSERT_TRUE(db.Insert("says", {"path", "says$path"}).ok());
+  EXPECT_EQ(db.LookupValue("says", {"path"}).value(), "says$path");
+  EXPECT_FALSE(db.LookupValue("says", {"other"}).ok());
+  // Same keys, same value: duplicate, fine.
+  EXPECT_FALSE(db.Insert("says", {"path", "says$path"}).value());
+  // Same keys, different value: FD conflict at compile time.
+  auto conflict = db.Insert("says", {"path", "says$path2"});
+  EXPECT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), StatusCode::kCompileError);
+}
+
+TEST(MetaDbTest, ParenFormUpgradesToFunctional) {
+  MetaDb db;
+  // First seen in paren form (non-functional), then declared functional —
+  // the paper uses says(T,ST) and says[T]=ST interchangeably.
+  ASSERT_TRUE(db.Declare("says", 2, false).ok());
+  ASSERT_TRUE(db.Insert("says", {"a", "sa"}).ok());
+  ASSERT_TRUE(db.Declare("says", 2, true).ok());
+  EXPECT_TRUE(db.IsFunctional("says"));
+  // The FD map was backfilled from existing tuples.
+  EXPECT_EQ(db.LookupValue("says", {"a"}).value(), "sa");
+  EXPECT_FALSE(db.Insert("says", {"a", "other"}).ok());
+}
+
+TEST(MetaDbTest, RelationNamesEnumerates) {
+  MetaDb db;
+  ASSERT_TRUE(db.Declare("a", 1, false).ok());
+  ASSERT_TRUE(db.Declare("b", 2, true).ok());
+  auto names = db.RelationNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+}  // namespace
+}  // namespace secureblox::generics

@@ -1,0 +1,246 @@
+// Parser: rule/constraint/fact shapes, functional atoms, parameterized
+// atoms, generics syntax, desugaring, and error reporting.
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace secureblox::datalog {
+namespace {
+
+Program P(const std::string& src) {
+  auto r = Parse(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Program{};
+}
+
+TEST(ParserTest, TransitiveClosure) {
+  Program p = P(
+      "reachable(X,Y) <- link(X,Y).\n"
+      "reachable(X,Y) <- link(X,Z), reachable(Z,Y).\n");
+  ASSERT_EQ(p.rules.size(), 2u);
+  EXPECT_EQ(p.rules[0].heads[0].pred.name, "reachable");
+  EXPECT_EQ(p.rules[1].body.size(), 2u);
+  EXPECT_EQ(p.rules[1].body[1].atom.pred.name, "reachable");
+}
+
+TEST(ParserTest, TypeDeclConstraint) {
+  Program p = P("link(X,Y) -> node(X), node(Y).");
+  ASSERT_EQ(p.constraints.size(), 1u);
+  EXPECT_EQ(p.constraints[0].lhs.size(), 1u);
+  EXPECT_EQ(p.constraints[0].rhs.size(), 2u);
+}
+
+TEST(ParserTest, EntityTypeDecl) {
+  Program p = P("pathvar(P) -> .");
+  ASSERT_EQ(p.constraints.size(), 1u);
+  EXPECT_TRUE(p.constraints[0].rhs.empty());
+}
+
+TEST(ParserTest, FunctionalAtomForms) {
+  Program p = P(
+      "path[P,Src,Dst] = C -> pathvar(P), node(Src), node(Dst), int(C).\n"
+      "bestcost[Me,N] = C <- agg<< C = min(Cx) >> path[Q,Me,N] = Cx.\n"
+      "self[] = P -> principal(P).\n");
+  ASSERT_EQ(p.constraints.size(), 2u);
+  const Atom& decl = p.constraints[0].lhs[0].atom;
+  EXPECT_TRUE(decl.functional);
+  EXPECT_EQ(decl.arity(), 4u);
+  ASSERT_EQ(p.rules.size(), 1u);
+  ASSERT_TRUE(p.rules[0].agg.has_value());
+  EXPECT_EQ(p.rules[0].agg->func, AggFunc::kMin);
+  EXPECT_EQ(p.rules[0].agg->result_var, "C");
+  EXPECT_EQ(p.rules[0].agg->input_var, "Cx");
+  const Atom& singleton = p.constraints[1].lhs[0].atom;
+  EXPECT_TRUE(singleton.functional);
+  EXPECT_EQ(singleton.arity(), 1u);
+}
+
+TEST(ParserTest, Facts) {
+  Program p = P(
+      "link(\"a\", \"b\").\n"
+      "cost(3).\n"
+      "flag(true).\n");
+  ASSERT_EQ(p.rules.size(), 3u);
+  for (const auto& r : p.rules) EXPECT_TRUE(r.IsFact());
+  EXPECT_EQ(p.rules[0].heads[0].args[0]->constant.AsString(), "a");
+  EXPECT_EQ(p.rules[1].heads[0].args[0]->constant.AsInt(), 3);
+  EXPECT_TRUE(p.rules[2].heads[0].args[0]->constant.AsBool());
+}
+
+TEST(ParserTest, MetaFactVsObjectFact) {
+  Program p = P(
+      "exportable(`path).\n"
+      "trusted(\"CA\").\n");
+  ASSERT_EQ(p.meta_facts.size(), 1u);
+  EXPECT_EQ(p.meta_facts[0].pred.name, "exportable");
+  EXPECT_EQ(p.meta_facts[0].args[0]->kind, TermKind::kQuotedPred);
+  EXPECT_EQ(p.meta_facts[0].args[0]->name, "path");
+  ASSERT_EQ(p.rules.size(), 1u);
+}
+
+TEST(ParserTest, ParameterizedAtomQuoted) {
+  Program p = P("reachable(X,Y) <- says[`reachable](Z, S, Z, Y), link(X,Z).");
+  const Atom& a = p.rules[0].body[0].atom;
+  EXPECT_EQ(a.pred.name, "says");
+  ASSERT_TRUE(a.pred.parameterized());
+  EXPECT_EQ(a.pred.param->kind, TermKind::kQuotedPred);
+  EXPECT_EQ(a.pred.param->name, "reachable");
+  EXPECT_EQ(a.arity(), 4u);
+}
+
+TEST(ParserTest, SingletonSugarInArgs) {
+  Program p = P("r(X) <- says[`r](Z, self[], X).");
+  // Sugar adds `self[] = _sgl0` to the body.
+  ASSERT_EQ(p.rules[0].body.size(), 2u);
+  const Atom& says = p.rules[0].body[0].atom;
+  EXPECT_EQ(says.args[1]->kind, TermKind::kVar);
+  const Atom& lookup = p.rules[0].body[1].atom;
+  EXPECT_EQ(lookup.pred.name, "self");
+  EXPECT_TRUE(lookup.functional);
+  EXPECT_EQ(lookup.args[0]->name, says.args[1]->name);
+}
+
+TEST(ParserTest, ArithmeticDesugarInHead) {
+  Program p = P("cost(C + 1) <- base(C).");
+  // Head arg replaced by fresh var; body gains `_arithN = C + 1`.
+  const Rule& r = p.rules[0];
+  EXPECT_EQ(r.heads[0].args[0]->kind, TermKind::kVar);
+  ASSERT_EQ(r.body.size(), 2u);
+  EXPECT_EQ(r.body[1].kind, Literal::Kind::kCompare);
+  EXPECT_EQ(r.body[1].cmp.rhs->kind, TermKind::kArith);
+}
+
+TEST(ParserTest, ComparisonsAndNegation) {
+  Program p = P("q(X) <- p(X, Y), X != Y, !r(X), Y >= 3.");
+  const Rule& r = p.rules[0];
+  ASSERT_EQ(r.body.size(), 4u);
+  EXPECT_EQ(r.body[1].cmp.op, CmpOp::kNe);
+  EXPECT_TRUE(r.body[2].atom.negated);
+  EXPECT_EQ(r.body[3].cmp.op, CmpOp::kGe);
+}
+
+TEST(ParserTest, NegatedFunctionalWildcard) {
+  Program p = P("q(X) <- p(X), !pathlink[P, X] = _.");
+  const Atom& neg = p.rules[0].body[1].atom;
+  EXPECT_TRUE(neg.negated);
+  EXPECT_TRUE(neg.functional);
+  // `_` renamed to a fresh anonymous variable.
+  EXPECT_NE(neg.args[2]->name, "_");
+  EXPECT_EQ(neg.args[2]->name.rfind("_anon", 0), 0u);
+}
+
+TEST(ParserTest, MultiHeadRule) {
+  Program p = P(
+      "pathvar(P), path[P, S, U] = 1, pathlink[P, Me] = N <- link(Me, N), "
+      "principal_node[S] = Me, principal_node[U] = N.");
+  const Rule& r = p.rules[0];
+  ASSERT_EQ(r.heads.size(), 3u);
+  EXPECT_EQ(r.heads[0].pred.name, "pathvar");
+  EXPECT_TRUE(r.heads[1].functional);
+  EXPECT_EQ(r.heads[1].arity(), 4u);
+}
+
+TEST(ParserTest, GenericRuleWithTemplate) {
+  Program p = P(
+      "says[T] = ST, predicate(ST),\n"
+      "`{\n"
+      "  ST(P1, P2, V*) -> principal(P1), principal(P2), types[T](V*).\n"
+      "}\n"
+      "<-- predicate(T), exportable(T).\n");
+  ASSERT_EQ(p.generic_rules.size(), 1u);
+  const GenericRule& gr = p.generic_rules[0];
+  ASSERT_EQ(gr.head_atoms.size(), 2u);
+  EXPECT_EQ(gr.head_atoms[0].pred.name, "says");
+  EXPECT_TRUE(gr.head_atoms[0].functional);
+  ASSERT_EQ(gr.templates.size(), 1u);
+  ASSERT_EQ(gr.templates[0].constraints.size(), 1u);
+  const ConstraintDecl& tc = gr.templates[0].constraints[0];
+  const Atom& st = tc.lhs[0].atom;
+  EXPECT_TRUE(st.pred.name_is_metavar);
+  EXPECT_EQ(st.pred.name, "ST");
+  EXPECT_TRUE(st.HasVararg());
+  const Atom& types = tc.rhs[2].atom;
+  EXPECT_EQ(types.pred.name, "types");
+  ASSERT_TRUE(types.pred.parameterized());
+  EXPECT_EQ(types.pred.param->kind, TermKind::kVar);
+  ASSERT_EQ(gr.body.size(), 2u);
+}
+
+TEST(ParserTest, GenericRuleWithTemplateRule) {
+  Program p = P(
+      "`{ T(V*) <- says[T](P, self[], V*), trustworthy(P). }\n"
+      "<-- predicate(T).\n");
+  ASSERT_EQ(p.generic_rules.size(), 1u);
+  const GenericRule& gr = p.generic_rules[0];
+  EXPECT_TRUE(gr.head_atoms.empty());
+  ASSERT_EQ(gr.templates.size(), 1u);
+  ASSERT_EQ(gr.templates[0].rules.size(), 1u);
+  const Rule& tr = gr.templates[0].rules[0];
+  EXPECT_TRUE(tr.heads[0].pred.name_is_metavar);
+  // says[T] parameterized by metavariable.
+  const Atom& says = tr.body[0].atom;
+  EXPECT_EQ(says.pred.name, "says");
+  ASSERT_TRUE(says.pred.parameterized());
+  EXPECT_EQ(says.pred.param->kind, TermKind::kVar);
+  EXPECT_EQ(says.pred.param->name, "T");
+  // self[] sugar expanded inside the template rule body.
+  EXPECT_EQ(tr.body.size(), 3u);
+}
+
+TEST(ParserTest, GenericConstraint) {
+  Program p = P("says(T, ST) --> exportable(T).");
+  ASSERT_EQ(p.generic_constraints.size(), 1u);
+  EXPECT_EQ(p.generic_constraints[0].lhs[0].atom.pred.name, "says");
+  EXPECT_EQ(p.generic_constraints[0].rhs[0].atom.pred.name, "exportable");
+}
+
+TEST(ParserTest, ConstraintWithBuiltinRhs) {
+  Program p = P(
+      "says_r(P, S, X, Sig) -> sig_r(P, S, X, Sig), public_key(P, K), "
+      "rsa_verify(K, X, Sig).");
+  ASSERT_EQ(p.constraints.size(), 1u);
+  EXPECT_EQ(p.constraints[0].rhs.size(), 3u);
+}
+
+TEST(ParserTest, RoundTripToString) {
+  const std::string src = "reachable(X,Y) <- link(X,Z), reachable(Z,Y).";
+  Program p1 = P(src);
+  // Reparse the printed form; structure must survive.
+  Program p2 = P(p1.ToString());
+  ASSERT_EQ(p2.rules.size(), 1u);
+  EXPECT_EQ(p2.rules[0].body.size(), 2u);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("p(X) <- ").ok());                 // missing body
+  EXPECT_FALSE(Parse("p(X)").ok());                     // missing dot
+  EXPECT_FALSE(Parse("p(X) <- q(X)").ok());             // missing dot
+  EXPECT_FALSE(Parse("<- q(X).").ok());                 // missing head
+  EXPECT_FALSE(Parse("p(X) <- q(X,).").ok());           // trailing comma
+  EXPECT_FALSE(Parse("!p(X) <- q(X).").ok());           // negated head
+  EXPECT_FALSE(Parse("p(X) <- q(lower).").ok());        // ident as term
+  EXPECT_FALSE(Parse("`{ p(X). } <- q(X).").ok());      // template on <-
+  EXPECT_FALSE(Parse("p(self[]).").ok());               // sugar in fact
+  EXPECT_FALSE(Parse("agg(X) <- p(X), q(Y) < r(Z).").ok());
+}
+
+TEST(ParserTest, ErrorMessagesCarryLocation) {
+  auto r = Parse("p(X) <-\nq(lower).", "myunit");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("myunit:2"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(ParserTest, TemplateCannotNest) {
+  EXPECT_FALSE(Parse("`{ `{ p(X). } } <-- predicate(T).").ok());
+}
+
+TEST(ParserTest, ProgramMerge) {
+  Program a = P("p(1).");
+  Program b = P("q(2).");
+  a.Merge(std::move(b));
+  EXPECT_EQ(a.rules.size(), 2u);
+}
+
+}  // namespace
+}  // namespace secureblox::datalog

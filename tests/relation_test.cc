@@ -1,0 +1,124 @@
+// Relation storage: set semantics, functional dependencies, erasure,
+// replacement, and secondary-index probing.
+#include <gtest/gtest.h>
+
+#include "engine/relation.h"
+
+namespace secureblox::engine {
+namespace {
+
+using datalog::PredicateDecl;
+using datalog::Value;
+
+PredicateDecl MakeDecl(size_t arity, bool functional) {
+  PredicateDecl d;
+  d.name = "t";
+  d.arg_types.assign(arity, 0);
+  d.functional = functional;
+  return d;
+}
+
+Tuple T(std::initializer_list<int64_t> vals) {
+  Tuple t;
+  for (int64_t v : vals) t.push_back(Value::Int(v));
+  return t;
+}
+
+TEST(RelationTest, InsertAndDuplicate) {
+  PredicateDecl decl = MakeDecl(2, false);
+  Relation r(&decl);
+  EXPECT_EQ(r.Insert(T({1, 2})), InsertOutcome::kInserted);
+  EXPECT_EQ(r.Insert(T({1, 2})), InsertOutcome::kDuplicate);
+  EXPECT_EQ(r.Insert(T({1, 3})), InsertOutcome::kInserted);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(T({1, 2})));
+  EXPECT_FALSE(r.Contains(T({9, 9})));
+}
+
+TEST(RelationTest, FunctionalDependency) {
+  PredicateDecl decl = MakeDecl(2, true);
+  Relation r(&decl);
+  EXPECT_EQ(r.Insert(T({1, 10})), InsertOutcome::kInserted);
+  EXPECT_EQ(r.Insert(T({1, 10})), InsertOutcome::kDuplicate);
+  EXPECT_EQ(r.Insert(T({1, 20})), InsertOutcome::kFdConflict);
+  EXPECT_EQ(r.Insert(T({2, 20})), InsertOutcome::kInserted);
+  const Tuple* found = r.LookupByKeys(T({1}));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->back().AsInt(), 10);
+  EXPECT_EQ(r.LookupByKeys(T({3})), nullptr);
+}
+
+TEST(RelationTest, EraseMaintainsIndexes) {
+  PredicateDecl decl = MakeDecl(2, true);
+  Relation r(&decl);
+  for (int64_t i = 0; i < 10; ++i) r.Insert(T({i, i * 10}));
+  EXPECT_TRUE(r.Erase(T({4, 40})));
+  EXPECT_FALSE(r.Erase(T({4, 40})));
+  EXPECT_EQ(r.size(), 9u);
+  EXPECT_FALSE(r.Contains(T({4, 40})));
+  EXPECT_EQ(r.LookupByKeys(T({4})), nullptr);
+  // The swap-removed last element is still reachable.
+  EXPECT_TRUE(r.Contains(T({9, 90})));
+  ASSERT_NE(r.LookupByKeys(T({9})), nullptr);
+  // Reinsert after erase works (FD slot freed).
+  EXPECT_EQ(r.Insert(T({4, 44})), InsertOutcome::kInserted);
+}
+
+TEST(RelationTest, ReplaceFunctional) {
+  PredicateDecl decl = MakeDecl(2, true);
+  Relation r(&decl);
+  r.Insert(T({1, 10}));
+  auto displaced = r.ReplaceFunctional(T({1, 5}));
+  ASSERT_TRUE(displaced.has_value());
+  EXPECT_EQ(displaced->back().AsInt(), 10);
+  EXPECT_EQ(r.LookupByKeys(T({1}))->back().AsInt(), 5);
+  // Replacing with the same value is a no-op.
+  EXPECT_FALSE(r.ReplaceFunctional(T({1, 5})).has_value());
+  // Replacing a fresh key inserts.
+  EXPECT_FALSE(r.ReplaceFunctional(T({2, 7})).has_value());
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RelationTest, SecondaryIndexProbe) {
+  PredicateDecl decl = MakeDecl(3, false);
+  Relation r(&decl);
+  for (int64_t i = 0; i < 100; ++i) r.Insert(T({i % 5, i, i % 3}));
+  // Probe on column 0.
+  const auto& rows = r.Probe(0b001, T({2}));
+  EXPECT_EQ(rows.size(), 20u);
+  for (size_t row : rows) EXPECT_EQ(r.tuples()[row][0].AsInt(), 2);
+  // Probe on columns 0 and 2.
+  const auto& rows2 = r.Probe(0b101, T({2, 1}));
+  for (size_t row : rows2) {
+    EXPECT_EQ(r.tuples()[row][0].AsInt(), 2);
+    EXPECT_EQ(r.tuples()[row][2].AsInt(), 1);
+  }
+  // Missing key: empty result.
+  EXPECT_TRUE(r.Probe(0b001, T({77})).empty());
+}
+
+TEST(RelationTest, ProbeRebuildsAfterMutation) {
+  PredicateDecl decl = MakeDecl(2, false);
+  Relation r(&decl);
+  r.Insert(T({1, 1}));
+  EXPECT_EQ(r.Probe(0b01, T({1})).size(), 1u);
+  uint64_t v1 = r.version();
+  r.Insert(T({1, 2}));
+  EXPECT_GT(r.version(), v1);
+  EXPECT_EQ(r.Probe(0b01, T({1})).size(), 2u);
+  r.Erase(T({1, 1}));
+  EXPECT_EQ(r.Probe(0b01, T({1})).size(), 1u);
+}
+
+TEST(RelationTest, TupleHashingQuality) {
+  TupleHash h;
+  // Different orderings hash differently (order matters).
+  EXPECT_NE(h(T({1, 2})), h(T({2, 1})));
+  EXPECT_EQ(h(T({1, 2})), h(T({1, 2})));
+  // Kind matters.
+  Tuple str_tuple = {Value::Str("1"), Value::Str("2")};
+  EXPECT_NE(h(T({1, 2})), h(str_tuple));
+}
+
+}  // namespace
+}  // namespace secureblox::engine

@@ -1,0 +1,162 @@
+// RSA keygen / sign / verify, tamper rejection, and DRBG determinism.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/hmac_drbg.h"
+#include "crypto/rsa.h"
+
+namespace secureblox::crypto {
+namespace {
+
+Bytes B(const std::string& s) { return BytesFromString(s); }
+
+// Shared small (fast) keypair for most tests; generated once.
+const RsaKeyPair& TestKey512() {
+  static const RsaKeyPair* key = [] {
+    HmacDrbg drbg(B("rsa-test-seed-512"));
+    auto kp = RsaGenerateKeyPair(512, [&] { return drbg.NextU32(); });
+    return new RsaKeyPair(std::move(kp).value());
+  }();
+  return *key;
+}
+
+TEST(RsaTest, KeyGenerationProperties) {
+  const RsaKeyPair& k = TestKey512();
+  EXPECT_EQ(k.pub.n.BitLength(), 512u);
+  EXPECT_EQ(k.pub.e.ToU64(), 65537u);
+  EXPECT_EQ(BigNum::Mul(k.p, k.q), k.pub.n);
+  EXPECT_NE(k.p, k.q);
+  // e*d == 1 mod (p-1)(q-1)
+  BigNum phi = BigNum::Mul(BigNum::Sub(k.p, BigNum::FromU64(1)),
+                           BigNum::Sub(k.q, BigNum::FromU64(1)));
+  EXPECT_EQ(BigNum::Mod(BigNum::Mul(k.pub.e, k.d), phi), BigNum::FromU64(1));
+}
+
+TEST(RsaTest, SignVerifyRoundTrip) {
+  const RsaKeyPair& k = TestKey512();
+  Bytes msg = B("hello secure world");
+  Bytes sig = RsaSign(k, msg).value();
+  EXPECT_EQ(sig.size(), k.pub.ModulusBytes());
+  EXPECT_TRUE(RsaVerify(k.pub, msg, sig));
+}
+
+TEST(RsaTest, CrtSignatureMatchesPlainExponentiation) {
+  const RsaKeyPair& k = TestKey512();
+  Bytes msg = B("crt check");
+  Bytes sig = RsaSign(k, msg).value();
+  // Recompute without CRT: sig == em^d mod n.
+  BigNum s = BigNum::FromBytes(sig);
+  BigNum m = BigNum::ModExp(s, k.pub.e, k.pub.n);
+  // Verifying the recovered EM against a fresh encode is what RsaVerify does;
+  // this asserts CRT produced a valid RSA signature at all.
+  EXPECT_TRUE(RsaVerify(k.pub, msg, sig));
+  EXPECT_EQ(BigNum::ModExp(m, k.d, k.pub.n), s);
+}
+
+TEST(RsaTest, VerifyRejectsTamperedMessage) {
+  const RsaKeyPair& k = TestKey512();
+  Bytes sig = RsaSign(k, B("original")).value();
+  EXPECT_FALSE(RsaVerify(k.pub, B("Original"), sig));
+}
+
+TEST(RsaTest, VerifyRejectsEverySingleByteFlipInSignature) {
+  const RsaKeyPair& k = TestKey512();
+  Bytes msg = B("flip test");
+  Bytes sig = RsaSign(k, msg).value();
+  for (size_t i = 0; i < sig.size(); i += 7) {  // sample positions
+    Bytes bad = sig;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(RsaVerify(k.pub, msg, bad)) << "byte " << i;
+  }
+}
+
+TEST(RsaTest, VerifyRejectsWrongKey) {
+  const RsaKeyPair& k1 = TestKey512();
+  HmacDrbg drbg(B("other-key-seed"));
+  RsaKeyPair k2 = RsaGenerateKeyPair(512, [&] { return drbg.NextU32(); }).value();
+  Bytes msg = B("who signed this?");
+  Bytes sig = RsaSign(k1, msg).value();
+  EXPECT_FALSE(RsaVerify(k2.pub, msg, sig));
+}
+
+TEST(RsaTest, VerifyRejectsWrongSizeSignature) {
+  const RsaKeyPair& k = TestKey512();
+  Bytes msg = B("size");
+  Bytes sig = RsaSign(k, msg).value();
+  Bytes shorter(sig.begin(), sig.end() - 1);
+  EXPECT_FALSE(RsaVerify(k.pub, msg, shorter));
+  Bytes longer = sig;
+  longer.push_back(0);
+  EXPECT_FALSE(RsaVerify(k.pub, msg, longer));
+}
+
+TEST(RsaTest, PublicKeySerializationRoundTrip) {
+  const RsaKeyPair& k = TestKey512();
+  Bytes wire = k.pub.Serialize();
+  RsaPublicKey back = RsaPublicKey::Deserialize(wire).value();
+  EXPECT_EQ(back.n, k.pub.n);
+  EXPECT_EQ(back.e, k.pub.e);
+  EXPECT_FALSE(RsaPublicKey::Deserialize(Bytes{0x01}).ok());
+}
+
+TEST(RsaTest, EmptyAndLargeMessages) {
+  const RsaKeyPair& k = TestKey512();
+  Bytes empty_sig = RsaSign(k, {}).value();
+  EXPECT_TRUE(RsaVerify(k.pub, {}, empty_sig));
+  Bytes large(100000, 0x5a);
+  Bytes large_sig = RsaSign(k, large).value();
+  EXPECT_TRUE(RsaVerify(k.pub, large, large_sig));
+  EXPECT_FALSE(RsaVerify(k.pub, large, empty_sig));
+}
+
+TEST(RsaTest, PaperKeySize1024) {
+  // The paper's configuration: 1024-bit modulus.
+  HmacDrbg drbg(B("rsa-1024-seed"));
+  RsaKeyPair k = RsaGenerateKeyPair(1024, [&] { return drbg.NextU32(); }).value();
+  EXPECT_EQ(k.pub.n.BitLength(), 1024u);
+  EXPECT_EQ(k.pub.ModulusBytes(), 128u);  // "256 byte signatures" in the
+                                          // paper count sig+key overhead;
+                                          // the raw signature is 128 bytes.
+  Bytes msg = B("path advertisement");
+  Bytes sig = RsaSign(k, msg).value();
+  EXPECT_EQ(sig.size(), 128u);
+  EXPECT_TRUE(RsaVerify(k.pub, msg, sig));
+  sig[64] ^= 1;
+  EXPECT_FALSE(RsaVerify(k.pub, msg, sig));
+}
+
+TEST(RsaTest, RejectsBadKeySizeRequests) {
+  HmacDrbg drbg(B("seed"));
+  EXPECT_FALSE(RsaGenerateKeyPair(64, [&] { return drbg.NextU32(); }).ok());
+  EXPECT_FALSE(RsaGenerateKeyPair(129, [&] { return drbg.NextU32(); }).ok());
+}
+
+TEST(HmacDrbgTest, DeterministicForSameSeed) {
+  HmacDrbg a(B("seed-1"));
+  HmacDrbg b(B("seed-1"));
+  EXPECT_EQ(ToHex(a.Generate(64)), ToHex(b.Generate(64)));
+}
+
+TEST(HmacDrbgTest, DifferentSeedsDiffer) {
+  HmacDrbg a(B("seed-1"));
+  HmacDrbg b(B("seed-2"));
+  EXPECT_NE(ToHex(a.Generate(64)), ToHex(b.Generate(64)));
+}
+
+TEST(HmacDrbgTest, ReseedChangesStream) {
+  HmacDrbg a(B("seed"));
+  HmacDrbg b(B("seed"));
+  (void)a.Generate(16);
+  (void)b.Generate(16);
+  b.Reseed(B("extra"));
+  EXPECT_NE(ToHex(a.Generate(32)), ToHex(b.Generate(32)));
+}
+
+TEST(HmacDrbgTest, GenerateSpansRekeyBoundary) {
+  HmacDrbg a(B("seed"));
+  Bytes big = a.Generate(100);  // > one SHA-256 output
+  EXPECT_EQ(big.size(), 100u);
+}
+
+}  // namespace
+}  // namespace secureblox::crypto

@@ -1,0 +1,98 @@
+// SHA-1 / SHA-256 against FIPS 180 test vectors, plus incremental-update
+// and reset behaviour.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace secureblox::crypto {
+namespace {
+
+Bytes B(const std::string& s) { return BytesFromString(s); }
+
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(ToHex(Sha1Digest(B(""))),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(ToHex(Sha1Digest(B("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(ToHex(Sha1Digest(B(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(ToHex(h.Finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  std::string msg = "The quick brown fox jumps over the lazy dog";
+  Sha1 h;
+  for (char c : msg) h.Update(reinterpret_cast<const uint8_t*>(&c), 1);
+  EXPECT_EQ(ToHex(h.Finish()), ToHex(Sha1Digest(B(msg))));
+}
+
+TEST(Sha1Test, KnownQuickBrownFox) {
+  EXPECT_EQ(
+      ToHex(Sha1Digest(B("The quick brown fox jumps over the lazy dog"))),
+      "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1Test, ResetAllowsReuse) {
+  Sha1 h;
+  h.Update(B("garbage"));
+  (void)h.Finish();
+  h.Reset();
+  h.Update(B("abc"));
+  EXPECT_EQ(ToHex(h.Finish()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, ExactBlockBoundary) {
+  // 64 bytes == exactly one block before padding.
+  Bytes data(64, 'x');
+  Bytes d1 = Sha1Digest(data);
+  Sha1 h;
+  h.Update(data.data(), 32);
+  h.Update(data.data() + 32, 32);
+  EXPECT_EQ(ToHex(h.Finish()), ToHex(d1));
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(ToHex(Sha256Digest(B(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(ToHex(Sha256Digest(B("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(ToHex(Sha256Digest(B(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg(300, 'z');
+  Sha256 h;
+  h.Update(B(msg.substr(0, 100)));
+  h.Update(B(msg.substr(100)));
+  EXPECT_EQ(ToHex(h.Finish()), ToHex(Sha256Digest(B(msg))));
+}
+
+TEST(Sha256Test, DifferentInputsDiffer) {
+  EXPECT_NE(ToHex(Sha256Digest(B("a"))), ToHex(Sha256Digest(B("b"))));
+}
+
+}  // namespace
+}  // namespace secureblox::crypto

@@ -1,0 +1,259 @@
+// Static analysis: schema extraction shapes and the accept/reject matrix
+// of the type checker.
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "datalog/typecheck.h"
+
+namespace secureblox::datalog {
+namespace {
+
+Status Analyze(const std::string& src,
+               const BuiltinSignatureMap& builtins = {}) {
+  auto program = Parse(src);
+  if (!program.ok()) return program.status();
+  Catalog catalog;
+  auto analyzed = AnalyzeProgram(program.value(), &catalog, builtins);
+  return analyzed.ok() ? Status::OK() : analyzed.status();
+}
+
+TEST(SchemaTest, EntityTypeAndPredicateDecls) {
+  auto program = Parse(R"(
+    person(X) -> .
+    knows(X, Y) -> person(X), person(Y).
+    age[X] = A -> person(X), int(A).
+  )").value();
+  Catalog catalog;
+  auto runtime = BuildSchema(program, &catalog);
+  ASSERT_TRUE(runtime.ok());
+  EXPECT_TRUE(runtime->empty());  // all constraints were declarations
+  auto person = catalog.Lookup("person").value();
+  EXPECT_TRUE(catalog.decl(person).is_entity_type);
+  auto knows = catalog.Lookup("knows").value();
+  EXPECT_EQ(catalog.decl(knows).arity(), 2u);
+  EXPECT_FALSE(catalog.decl(knows).functional);
+  auto age = catalog.Lookup("age").value();
+  EXPECT_TRUE(catalog.decl(age).functional);
+  EXPECT_EQ(catalog.decl(age).num_keys(), 1u);
+}
+
+TEST(SchemaTest, NonDeclShapesBecomeRuntimeConstraints) {
+  auto program = Parse(R"(
+    person(X) -> .
+    knows(X, Y) -> person(X), person(Y).
+    vip(X) -> person(X).
+    knows(X, X) -> vip(X).
+    knows(X, Y) -> knows(Y, X).
+  )").value();
+  Catalog catalog;
+  auto runtime = BuildSchema(program, &catalog);
+  ASSERT_TRUE(runtime.ok());
+  // knows(X,X) (repeated var) and knows->knows (non-unary rhs) are checks.
+  EXPECT_EQ(runtime->size(), 2u);
+}
+
+TEST(SchemaTest, SubtypeEdgeFromEntityToEntity) {
+  auto program = Parse(R"(
+    animal(X) -> .
+    dog(X) -> .
+    dog(X) -> animal(X).
+  )").value();
+  Catalog catalog;
+  ASSERT_TRUE(BuildSchema(program, &catalog).ok());
+  auto dog = catalog.Lookup("dog").value();
+  auto animal = catalog.Lookup("animal").value();
+  EXPECT_TRUE(catalog.IsSubtype(dog, animal));
+  EXPECT_FALSE(catalog.IsSubtype(animal, dog));
+}
+
+TEST(SchemaTest, ConflictingRedeclarationRejected) {
+  EXPECT_FALSE(Analyze(R"(
+    p(X) -> int(X).
+    p(X, Y) -> int(X), int(Y).
+  )").ok());
+}
+
+TEST(TypeCheckTest, ArityMismatchRejected) {
+  Status st = Analyze(R"(
+    p(X) -> int(X).
+    q(X) -> int(X).
+    q(X) <- p(X, X).
+  )");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("arity"), std::string::npos);
+}
+
+TEST(TypeCheckTest, FunctionalShapeMismatchRejected) {
+  Status st = Analyze(R"(
+    p[X] = Y -> int(X), int(Y).
+    q(X) -> int(X).
+    q(X) <- p(X, Y).
+  )");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("functional"), std::string::npos);
+}
+
+TEST(TypeCheckTest, IncompatibleVariableTypesRejected) {
+  Status st = Analyze(R"(
+    p(X) -> int(X).
+    q(X) -> string(X).
+    r(X) -> int(X).
+    r(X) <- p(X), q(X).
+  )");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("incompatible"), std::string::npos);
+}
+
+TEST(TypeCheckTest, FactConstantKindsChecked) {
+  EXPECT_TRUE(Analyze("p(X) -> int(X).\np(3).").ok());
+  EXPECT_FALSE(Analyze("p(X) -> int(X).\np(\"three\").").ok());
+  EXPECT_FALSE(Analyze("p(X) -> bool(X).\np(3).").ok());
+  // Strings name entities by label.
+  EXPECT_TRUE(Analyze("e(X) -> .\np(X) -> e(X).\np(\"alice\").").ok());
+}
+
+TEST(TypeCheckTest, UnboundHeadVariableOnlyForEntityTypes) {
+  // Unbound head var in an entity position: head existential, OK.
+  EXPECT_TRUE(Analyze(R"(
+    t(X) -> .
+    src(X) -> int(X).
+    made(T, X) -> t(T), int(X).
+    made(T, X) <- src(X).
+  )").ok());
+  // Unbound head var in a primitive position: unsafe.
+  Status st = Analyze(R"(
+    src(X) -> int(X).
+    out(X, Y) -> int(X), int(Y).
+    out(X, Y) <- src(X).
+  )");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unsafe"), std::string::npos);
+}
+
+TEST(TypeCheckTest, NegationRequiresBoundVariables) {
+  Status st = Analyze(R"(
+    p(X) -> int(X).
+    q(X) -> int(X).
+    r(X) -> int(X).
+    r(X) <- p(X), !q(Y).
+  )");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unbound"), std::string::npos);
+}
+
+TEST(TypeCheckTest, ComparisonRequiresBoundVariables) {
+  Status st = Analyze(R"(
+    p(X) -> int(X).
+    q(X) -> int(X).
+    q(X) <- p(X), Y < X.
+  )");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(TypeCheckTest, AssignmentChainsBind) {
+  EXPECT_TRUE(Analyze(R"(
+    p(X) -> int(X).
+    q(X) -> int(X).
+    q(Z) <- p(X), Y = X + 1, Z = Y * 2.
+  )").ok());
+}
+
+TEST(TypeCheckTest, ArithmeticForcesIntTypes) {
+  Status st = Analyze(R"(
+    p(X) -> string(X).
+    q(X) -> string(X).
+    q(X) <- p(X), Y = X + 1.
+  )");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(TypeCheckTest, BuiltinSignaturesEnforced) {
+  BuiltinSignatureMap builtins;
+  builtins["hashit"] = BuiltinSignature{{"string", "int"}, 1};
+  // Correct use.
+  EXPECT_TRUE(Analyze(R"(
+    p(X) -> string(X).
+    q(H) -> int(H).
+    q(H) <- p(X), hashit(X, H).
+  )", builtins).ok());
+  // Wrong arity.
+  EXPECT_FALSE(Analyze(R"(
+    p(X) -> string(X).
+    q(H) -> int(H).
+    q(H) <- p(X), hashit(X, H, H).
+  )", builtins).ok());
+  // Output type flows into the head check.
+  EXPECT_FALSE(Analyze(R"(
+    p(X) -> string(X).
+    q(H) -> string(H).
+    q(H) <- p(X), hashit(X, H).
+  )", builtins).ok());
+  // Unbound input.
+  EXPECT_FALSE(Analyze(R"(
+    p(X) -> string(X).
+    q(H) -> int(H).
+    q(H) <- p(X), hashit(Y, H).
+  )", builtins).ok());
+}
+
+TEST(TypeCheckTest, SubtypeFlowsIntoSupertypePositions) {
+  EXPECT_TRUE(Analyze(R"(
+    animal(X) -> .
+    dog(X) -> .
+    dog(X) -> animal(X).
+    eats(A) -> animal(A).
+    good(D) -> dog(D).
+    eats(D) <- good(D).
+  )").ok());
+  // The reverse direction is not type-safe.
+  EXPECT_FALSE(Analyze(R"(
+    animal(X) -> .
+    dog(X) -> .
+    dog(X) -> animal(X).
+    eats(A) -> animal(A).
+    barks(D) -> dog(D).
+    barks(A) <- eats(A).
+  )").ok());
+}
+
+TEST(TypeCheckTest, AggregateTyping) {
+  EXPECT_TRUE(Analyze(R"(
+    sale(X, V) -> string(X), int(V).
+    total[X] = V -> string(X), int(V).
+    total[X] = V <- agg<< V = sum(S) >> sale(X, S).
+  )").ok());
+  // Aggregate input must be bound.
+  EXPECT_FALSE(Analyze(R"(
+    sale(X, V) -> string(X), int(V).
+    total[X] = V -> string(X), int(V).
+    total[X] = V <- agg<< V = sum(Z) >> sale(X, S).
+  )").ok());
+  // Aggregating a non-integer.
+  EXPECT_FALSE(Analyze(R"(
+    sale(X, V) -> string(X), string(V).
+    total[X] = V -> string(X), int(V).
+    total[X] = V <- agg<< V = sum(V2) >> sale(X, V2).
+  )").ok());
+}
+
+TEST(TypeCheckTest, GenericClausesMustBeExpandedFirst) {
+  Status st = Analyze("p(X) -> int(X).\nsays[T] = ST <-- predicate(T).");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCompileError);
+}
+
+TEST(TypeCheckTest, ConstraintExistentialRhsTypes) {
+  // rhs may bind new (existential) variables via lookups.
+  EXPECT_TRUE(Analyze(R"(
+    owner[X] = Y -> string(X), string(Y).
+    item(X) -> string(X).
+    item(X) -> owner[X] = Y.
+  )").ok());
+}
+
+TEST(TypeCheckTest, UndeclaredPredicateInConstraint) {
+  EXPECT_FALSE(Analyze("p(X) -> int(X).\np(X) -> ghost(X).").ok());
+}
+
+}  // namespace
+}  // namespace secureblox::datalog

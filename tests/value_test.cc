@@ -1,0 +1,81 @@
+// Value semantics: equality, ordering, hashing across kinds.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "datalog/value.h"
+
+namespace secureblox::datalog {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_EQ(Value::Bool(true).kind(), ValueKind::kBool);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_FALSE(Value::Bool(false).AsBool());
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_EQ(Value::Str("x").AsString(), "x");
+  EXPECT_EQ(Value::MakeBlob({1, 2}).AsBlob(), Bytes({1, 2}));
+  Value e = Value::Entity(3, 42);
+  EXPECT_TRUE(e.is_entity());
+  EXPECT_EQ(e.entity_type(), 3);
+  EXPECT_EQ(e.entity_id(), 42);
+}
+
+TEST(ValueTest, EqualityRespectsKind) {
+  // Same payload, different kind: never equal.
+  EXPECT_NE(Value::Int(1), Value::Bool(true));
+  EXPECT_NE(Value::Str("ab"), Value::MakeBlob({'a', 'b'}));
+  EXPECT_NE(Value::Entity(0, 1), Value::Int(1));
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_NE(Value::Entity(0, 1), Value::Entity(1, 1));
+  EXPECT_NE(Value::Entity(0, 1), Value::Entity(0, 2));
+}
+
+TEST(ValueTest, TotalOrder) {
+  std::set<Value> values = {Value::Int(2), Value::Int(1), Value::Str("b"),
+                            Value::Str("a"), Value::Bool(false),
+                            Value::Entity(0, 5), Value::Entity(0, 3)};
+  EXPECT_EQ(values.size(), 7u);
+  // Within a kind, payload order.
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  EXPECT_LT(Value::Entity(0, 3), Value::Entity(0, 5));
+  EXPECT_LT(Value::Entity(0, 9), Value::Entity(1, 0));
+  // Irreflexive.
+  EXPECT_FALSE(Value::Int(1) < Value::Int(1));
+}
+
+TEST(ValueTest, HashingDistinguishesKinds) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::Int(1));
+  set.insert(Value::Bool(true));
+  set.insert(Value::Str("1"));
+  set.insert(Value::Entity(0, 1));
+  EXPECT_EQ(set.size(), 4u);
+  set.insert(Value::Int(1));  // duplicate
+  EXPECT_EQ(set.size(), 4u);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Str("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::MakeBlob({0xDE, 0xAD}).ToString(), "0xdead");
+  EXPECT_EQ(Value::Entity(2, 9).ToString(), "e2#9");
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_EQ(v.kind(), ValueKind::kInt);
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, BlobRefAvoidsCopy) {
+  Value b = Value::MakeBlob({1, 2, 3});
+  EXPECT_EQ(b.BlobRef().size(), 3u);
+  EXPECT_EQ(ValueKindName(b.kind()), std::string("blob"));
+}
+
+}  // namespace
+}  // namespace secureblox::datalog
