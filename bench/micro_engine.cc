@@ -100,6 +100,44 @@ void BM_AggregateMaintenance(benchmark::State& state) {
 }
 BENCHMARK(BM_AggregateMaintenance)->Unit(benchmark::kMicrosecond);
 
+void BM_FixpointDependencyIndex(benchmark::State& state) {
+  // Transitive closure next to `idle` unrelated rule groups. The rule
+  // graph's worklist only fires rules whose body predicates changed, so
+  // latency stays flat as idle rules pile up; the counters report how many
+  // re-firings the dependency index skipped.
+  const int64_t idle = state.range(0);
+  std::string src(kTcProgram);
+  for (int64_t i = 0; i < idle; ++i) {
+    std::string p = "aux" + std::to_string(i);
+    src += p + "(X) -> int(X).\n";
+    src += p + "_d(X) -> int(X).\n";
+    src += p + "_d(X) <- " + p + "(X).\n";
+  }
+  Workspace ws;
+  (void)ws.Install(Parse(src).value());
+  int64_t next = 0;
+  for (int64_t i = 0; i < 32; ++i) {
+    (void)ws.Insert("link", {Value::Str("w" + std::to_string(i)),
+                             Value::Str("w" + std::to_string(i + 1))});
+    next = i + 1;
+  }
+  for (auto _ : state) {
+    auto commit = ws.Apply({{"link",
+                             {Value::Str("w" + std::to_string(next)),
+                              Value::Str("w" + std::to_string(next + 1))}}});
+    benchmark::DoNotOptimize(commit);
+    ++next;
+  }
+  state.counters["rounds"] =
+      benchmark::Counter(static_cast<double>(ws.stats().fixpoint_rounds));
+  state.counters["firings"] =
+      benchmark::Counter(static_cast<double>(ws.stats().rule_firings));
+  state.counters["skipped"] =
+      benchmark::Counter(static_cast<double>(ws.stats().firings_skipped));
+}
+BENCHMARK(BM_FixpointDependencyIndex)->Arg(0)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GenericsExpansion(benchmark::State& state) {
   // Full BloxGenerics compile of the says policy over `n` exportable
   // predicates — the static meta-programming cost (compile-time only).

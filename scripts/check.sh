@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, run the test suite, and smoke the
+# engine microbenchmarks plus one figure harness in quick mode.
+#
+#   scripts/check.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+# Smoke: engine microbenchmarks (single rep, tiny time budget) and the
+# fig04 harness on the CI-friendly sweep.
+if [ -x "$build/micro_engine" ]; then
+  "$build/micro_engine" --benchmark_min_time=0.01 \
+      --benchmark_filter='BM_(TransitiveClosureChain|FixpointDependencyIndex)'
+fi
+SB_QUICK=1 SB_MAX_NODES=6 "$build/fig04_fixpoint_latency"
+
+echo "check.sh: OK"

@@ -1,0 +1,119 @@
+#include "dist/cluster.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace secureblox::dist {
+
+using engine::FactUpdate;
+using net::NodeIndex;
+
+double SimCluster::Metrics::MeanPerNodeKb() const {
+  if (node_bytes_sent.empty()) return 0;
+  double total = 0;
+  for (uint64_t b : node_bytes_sent) total += static_cast<double>(b);
+  return total / 1024.0 / static_cast<double>(node_bytes_sent.size());
+}
+
+double SimCluster::Metrics::MeanTxDurationMs() const {
+  if (transactions.empty()) return 0;
+  double total = 0;
+  for (const TxRecord& tx : transactions) total += tx.end_s - tx.start_s;
+  return total * 1000.0 / static_cast<double>(transactions.size());
+}
+
+Result<std::unique_ptr<SimCluster>> SimCluster::Create(Config config) {
+  if (config.num_nodes == 0) {
+    return Status::InvalidArgument("cluster needs at least one node");
+  }
+  std::unique_ptr<SimCluster> cluster(new SimCluster());
+  std::vector<std::string> principals;
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    principals.push_back("p" + std::to_string(i));
+  }
+  policy::CredentialAuthority authority(principals, config.credentials);
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    NodeRuntime::Config ncfg;
+    ncfg.index = static_cast<NodeIndex>(i);
+    ncfg.principals = principals;
+    SB_ASSIGN_OR_RETURN(ncfg.creds, authority.IssueFor(principals[i]));
+    ncfg.batch_security = config.batch_security;
+    SB_ASSIGN_OR_RETURN(std::unique_ptr<NodeRuntime> node,
+                        NodeRuntime::Create(std::move(ncfg), config.sources));
+    cluster->nodes_.push_back(std::move(node));
+  }
+  cluster->net_ = net::SimNet(config.net);
+  cluster->config_ = std::move(config);
+  return cluster;
+}
+
+void SimCluster::ScheduleInsert(NodeIndex node,
+                                std::vector<FactUpdate> facts) {
+  scheduled_.push_back({node, std::move(facts)});
+}
+
+Result<SimCluster::Metrics> SimCluster::Run() {
+  Metrics metrics;
+  metrics.node_convergence_s.assign(nodes_.size(), 0.0);
+  std::vector<double> available(nodes_.size(), 0.0);
+
+  // Run one transaction on `node` no earlier than `ready_s`, in simulated
+  // time; compute cost is the measured wall-clock time of the call
+  // (sealing included) scaled by compute_scale.
+  auto run_tx = [&](NodeIndex node, double ready_s, bool is_delivery,
+                    auto&& fn) -> Status {
+    double start = std::max(ready_s, available[node]);
+    auto t0 = std::chrono::steady_clock::now();
+    Result<NodeRuntime::ApplyOutcome> outcome = fn();
+    if (!outcome.ok()) return outcome.status();
+    double wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    double end = start + wall_s * config_.compute_scale;
+    available[node] = end;
+    metrics.transactions.push_back({node, outcome->accepted, start, end});
+    if (outcome->accepted) {
+      metrics.node_convergence_s[node] = end;
+      for (auto& out : outcome->outgoing) {
+        net_.Send(node, out.dst, std::move(out.payload), end);
+      }
+    } else if (is_delivery) {
+      ++metrics.rejected_batches;
+    }
+    return Status::OK();
+  };
+
+  for (auto& [node, facts] : scheduled_) {
+    auto& batch = facts;
+    NodeIndex n = node;
+    SB_RETURN_IF_ERROR(run_tx(n, 0.0, /*is_delivery=*/false, [&] {
+      return nodes_[n]->InsertLocal(batch);
+    }));
+  }
+  scheduled_.clear();
+
+  uint64_t guard = 0;
+  while (auto delivery = net_.PopNext()) {
+    if (++guard > 50000000) {
+      return Status::Internal("simulated cluster did not quiesce");
+    }
+    NodeIndex dst = delivery->dst;
+    SB_RETURN_IF_ERROR(
+        run_tx(dst, delivery->time_s, /*is_delivery=*/true, [&] {
+          return nodes_[dst]->DeliverMessage(delivery->payload,
+                                             delivery->src);
+        }));
+  }
+
+  metrics.fixpoint_latency_s = *std::max_element(
+      metrics.node_convergence_s.begin(), metrics.node_convergence_s.end());
+  metrics.total_messages = net_.total_messages();
+  metrics.total_bytes = net_.total_bytes();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    metrics.node_bytes_sent.push_back(
+        net_.bytes_sent(static_cast<NodeIndex>(i)));
+  }
+  return metrics;
+}
+
+}  // namespace secureblox::dist

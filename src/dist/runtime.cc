@@ -1,0 +1,298 @@
+#include "dist/runtime.h"
+
+#include <map>
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "crypto/rsa.h"
+
+namespace secureblox::dist {
+
+using datalog::PredId;
+using datalog::Value;
+using engine::FactUpdate;
+using engine::Tuple;
+using net::NodeIndex;
+
+std::string BatchSecurity::Name() const {
+  std::string name = policy::AuthSchemeName(auth);
+  if (enc == policy::EncScheme::kAes) name += "-AES";
+  return name;
+}
+
+std::string NodeLabel(NodeIndex index) {
+  return "n" + std::to_string(index);
+}
+
+Result<size_t> ParseNodeLabel(const std::string& label) {
+  if (label.size() < 2 || label[0] != 'n') {
+    return Status::InvalidArgument("bad node label '" + label + "'");
+  }
+  size_t value = 0;
+  for (size_t i = 1; i < label.size(); ++i) {
+    if (label[i] < '0' || label[i] > '9') {
+      return Status::InvalidArgument("bad node label '" + label + "'");
+    }
+    value = value * 10 + static_cast<size_t>(label[i] - '0');
+  }
+  return value;
+}
+
+Result<std::unique_ptr<NodeRuntime>> NodeRuntime::Create(
+    Config config, const std::vector<std::string>& sources) {
+  if (config.index >= config.principals.size()) {
+    return Status::InvalidArgument("node index outside the principal list");
+  }
+  std::unique_ptr<NodeRuntime> rt(new NodeRuntime());
+  rt->config_ = std::move(config);
+  rt->ws_ = std::make_unique<engine::Workspace>();
+  // Declarative-networking semantics: distributed protocols negate through
+  // recursive predicates with derivation-time meaning (paper §7.1).
+  rt->ws_->set_allow_unstratified_negation(true);
+  // Anonymous entities (e.g. path extensions) travel by label; the node tag
+  // keeps labels globally unique so distinct paths never merge on import.
+  rt->ws_->catalog().SetNodeTag(NodeLabel(rt->config_.index));
+  rt->security_.creds = rt->config_.creds;
+  rt->ws_->set_user_context(&rt->security_);
+
+  SB_ASSIGN_OR_RETURN(generics::ExpansionResult expanded,
+                      policy::CompileWithPolicies(rt->ws_.get(), sources));
+  SB_RETURN_IF_ERROR(rt->ws_->Install(expanded.program));
+
+  // Infrastructure facts: who am I, where does everyone live, and the key
+  // material the policy builtins read (paper §5.1).
+  const std::string& self = rt->config_.creds.principal;
+  std::vector<FactUpdate> seed;
+  seed.push_back({"self", {Value::Str(self)}});
+  seed.push_back({"local_node", {Value::Str(NodeLabel(rt->config_.index))}});
+  for (size_t i = 0; i < rt->config_.principals.size(); ++i) {
+    seed.push_back({"principal_node",
+                    {Value::Str(rt->config_.principals[i]),
+                     Value::Str(NodeLabel(static_cast<NodeIndex>(i)))}});
+  }
+  for (const auto& [peer, pub] : rt->config_.creds.peer_public_keys) {
+    seed.push_back({"public_key", {Value::Str(peer), Value::MakeBlob(pub)}});
+  }
+  for (const auto& [peer, secret] : rt->config_.creds.shared_secrets) {
+    seed.push_back({"secret", {Value::Str(peer), Value::MakeBlob(secret)}});
+  }
+  seed.push_back(
+      {"private_key", {Value::MakeBlob(policy::PrivateKeyHandle(self))}});
+  auto commit = rt->ws_->Apply(seed);
+  if (!commit.ok()) return commit.status();
+  return rt;
+}
+
+Result<const std::string*> NodeRuntime::PrincipalOf(NodeIndex peer) const {
+  if (peer >= config_.principals.size()) {
+    return Status::InvalidArgument("unknown peer node " +
+                                   std::to_string(peer));
+  }
+  return &config_.principals[peer];
+}
+
+Result<Bytes> NodeRuntime::SealForPeer(const Bytes& raw, NodeIndex peer) {
+  SB_ASSIGN_OR_RETURN(const std::string* peer_principal, PrincipalOf(peer));
+  Bytes payload = raw;
+  if (config_.batch_security.enc == policy::EncScheme::kAes) {
+    auto secret = config_.creds.shared_secrets.find(*peer_principal);
+    if (secret == config_.creds.shared_secrets.end()) {
+      return Status::CryptoError("no shared secret with " + *peer_principal);
+    }
+    // Deterministic SIV-style nonce (HMAC of key and plaintext) keeps
+    // sealing reproducible across retransmissions.
+    Bytes nonce = crypto::HmacSha1(secret->second, payload);
+    nonce.resize(crypto::Aes128::kBlockSize);
+    SB_ASSIGN_OR_RETURN(payload,
+                        crypto::AesCtrEncrypt(secret->second, nonce, payload));
+  }
+  switch (config_.batch_security.auth) {
+    case policy::AuthScheme::kNone:
+      break;
+    case policy::AuthScheme::kHmac: {
+      auto secret = config_.creds.shared_secrets.find(*peer_principal);
+      if (secret == config_.creds.shared_secrets.end()) {
+        return Status::CryptoError("no shared secret with " + *peer_principal);
+      }
+      Bytes mac = crypto::HmacSha1(secret->second, payload);
+      payload.insert(payload.end(), mac.begin(), mac.end());
+      break;
+    }
+    case policy::AuthScheme::kRsa: {
+      SB_ASSIGN_OR_RETURN(Bytes sig,
+                          crypto::RsaSign(config_.creds.keypair, payload));
+      payload.insert(payload.end(), sig.begin(), sig.end());
+      break;
+    }
+  }
+  return payload;
+}
+
+Result<Bytes> NodeRuntime::OpenFromPeer(const Bytes& sealed, NodeIndex peer) {
+  SB_ASSIGN_OR_RETURN(const std::string* peer_principal, PrincipalOf(peer));
+  Bytes payload = sealed;
+  switch (config_.batch_security.auth) {
+    case policy::AuthScheme::kNone:
+      break;
+    case policy::AuthScheme::kHmac: {
+      constexpr size_t kMacLen = 20;
+      auto secret = config_.creds.shared_secrets.find(*peer_principal);
+      if (secret == config_.creds.shared_secrets.end()) {
+        return Status::CryptoError("no shared secret with " + *peer_principal);
+      }
+      if (payload.size() < kMacLen) {
+        return Status::CryptoError("batch shorter than its MAC");
+      }
+      Bytes mac(payload.end() - kMacLen, payload.end());
+      payload.resize(payload.size() - kMacLen);
+      if (!crypto::HmacSha1Verify(secret->second, payload, mac)) {
+        return Status::CryptoError("batch MAC verification failed (from " +
+                                   *peer_principal + ")");
+      }
+      break;
+    }
+    case policy::AuthScheme::kRsa: {
+      auto pub_it = config_.creds.peer_public_keys.find(*peer_principal);
+      if (pub_it == config_.creds.peer_public_keys.end()) {
+        return Status::CryptoError("no public key for " + *peer_principal);
+      }
+      SB_ASSIGN_OR_RETURN(crypto::RsaPublicKey pub,
+                          crypto::RsaPublicKey::Deserialize(pub_it->second));
+      size_t sig_len = pub.ModulusBytes();
+      if (payload.size() < sig_len) {
+        return Status::CryptoError("batch shorter than its signature");
+      }
+      Bytes sig(payload.end() - sig_len, payload.end());
+      payload.resize(payload.size() - sig_len);
+      if (!crypto::RsaVerify(pub, payload, sig)) {
+        return Status::CryptoError(
+            "batch signature verification failed (from " + *peer_principal +
+            ")");
+      }
+      break;
+    }
+  }
+  if (config_.batch_security.enc == policy::EncScheme::kAes) {
+    auto secret = config_.creds.shared_secrets.find(*peer_principal);
+    if (secret == config_.creds.shared_secrets.end()) {
+      return Status::CryptoError("no shared secret with " + *peer_principal);
+    }
+    auto plain = crypto::AesCtrDecrypt(secret->second, payload);
+    if (!plain.ok()) return plain.status();
+    payload = std::move(plain).value();
+  }
+  return payload;
+}
+
+Result<std::vector<NodeRuntime::Outgoing>> NodeRuntime::CollectOutgoing(
+    const engine::TxCommit& commit) {
+  // Predicates whose first column names the destination node (§5.1 export
+  // plus the onion-relay variants).
+  static const char* kExportPreds[] = {"export", "anon_export",
+                                       "anon_export_back"};
+  const datalog::Catalog& catalog = ws_->catalog();
+  std::map<NodeIndex, net::WireBatch> batches;
+  for (const char* pred_name : kExportPreds) {
+    auto pred = catalog.Lookup(pred_name);
+    if (!pred.ok()) continue;  // policy without distribution
+    auto it = commit.inserted.find(pred.value());
+    if (it == commit.inserted.end()) continue;
+    for (const Tuple& t : it->second) {
+      auto label = catalog.EntityLabel(t[0]);
+      if (!label.ok()) continue;
+      auto parsed = ParseNodeLabel(label.value());
+      // Unaddressable destinations (imported junk labels) are unroutable.
+      if (!parsed.ok() || *parsed >= config_.principals.size()) continue;
+      size_t dst = *parsed;
+      if (dst == config_.index) continue;  // local derivation, not shipped
+      net::WireBatch& batch = batches[static_cast<NodeIndex>(dst)];
+      batch.src = config_.index;
+      batch.dst = static_cast<NodeIndex>(dst);
+      net::WireBatch::Entry* entry = nullptr;
+      for (auto& e : batch.entries) {
+        if (e.pred == pred_name) entry = &e;
+      }
+      if (entry == nullptr) {
+        batch.entries.push_back({pred_name, {}});
+        entry = &batch.entries.back();
+      }
+      entry->tuples.push_back(t);
+    }
+  }
+
+  std::vector<Outgoing> out;
+  for (auto& [dst, batch] : batches) {
+    SB_ASSIGN_OR_RETURN(Bytes encoded, net::EncodeBatch(batch, catalog));
+    SB_ASSIGN_OR_RETURN(Bytes sealed, SealForPeer(encoded, dst));
+    out.push_back({dst, std::move(sealed), batch.TotalTuples()});
+  }
+  return out;
+}
+
+Result<NodeRuntime::ApplyOutcome> NodeRuntime::ApplyAndCollect(
+    const std::vector<FactUpdate>& facts, bool from_network) {
+  ApplyOutcome outcome;
+  auto commit = ws_->Apply(facts);
+  if (!commit.ok()) {
+    // Local transactions surface hard errors; anything an untrusted
+    // payload provokes (type errors, arity mismatches, violations) is a
+    // rejection, the transaction having rolled back.
+    if (!from_network &&
+        commit.status().code() != StatusCode::kConstraintViolation) {
+      return commit.status();
+    }
+    outcome.accepted = false;
+    outcome.reject_reason = commit.status().ToString();
+    return outcome;
+  }
+  outcome.num_derived = commit->num_derived;
+  SB_ASSIGN_OR_RETURN(outcome.outgoing, CollectOutgoing(*commit));
+  return outcome;
+}
+
+Result<NodeRuntime::ApplyOutcome> NodeRuntime::InsertLocal(
+    const std::vector<FactUpdate>& facts) {
+  return ApplyAndCollect(facts, /*from_network=*/false);
+}
+
+Result<NodeRuntime::ApplyOutcome> NodeRuntime::DeliverMessage(
+    const Bytes& payload, NodeIndex src) {
+  ApplyOutcome outcome;
+  auto opened = OpenFromPeer(payload, src);
+  if (!opened.ok()) {
+    ++stats_.batches_rejected_auth;
+    outcome.accepted = false;
+    outcome.reject_reason = opened.status().ToString();
+    return outcome;
+  }
+  auto batch = net::DecodeBatch(*opened, &ws_->catalog());
+  if (!batch.ok()) {
+    ++stats_.batches_rejected_parse;
+    outcome.accepted = false;
+    outcome.reject_reason = batch.status().ToString();
+    return outcome;
+  }
+  if (batch->dst != config_.index) {
+    ++stats_.batches_rejected_parse;
+    outcome.accepted = false;
+    outcome.reject_reason = "misrouted batch (dst " +
+                            std::to_string(batch->dst) + " at node " +
+                            std::to_string(config_.index) + ")";
+    return outcome;
+  }
+  std::vector<FactUpdate> facts;
+  for (const auto& entry : batch->entries) {
+    for (const Tuple& t : entry.tuples) {
+      facts.push_back({entry.pred, t});
+    }
+  }
+  SB_ASSIGN_OR_RETURN(outcome, ApplyAndCollect(facts, /*from_network=*/true));
+  if (outcome.accepted) {
+    ++stats_.batches_accepted;
+  } else {
+    ++stats_.batches_rejected_constraint;
+  }
+  return outcome;
+}
+
+}  // namespace secureblox::dist

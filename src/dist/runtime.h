@@ -1,0 +1,120 @@
+// Per-node runtime: one SecureBlox workspace with the says policy
+// installed, credential/infrastructure facts seeded, and the distribution
+// loop's two halves — collecting outgoing `export` tuples after each local
+// transaction, and applying received batches as transactions (paper §5.1).
+//
+// Batch security (footnote 2: "we have found it useful to sign aggregates
+// of serialized facts") seals whole messages with one MAC/signature and an
+// optional AES pass, independently of any per-fact protection the Datalog
+// policy applies inside the dataflow.
+#ifndef SECUREBLOX_DIST_RUNTIME_H_
+#define SECUREBLOX_DIST_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "engine/workspace.h"
+#include "net/wire.h"
+#include "policy/builtins.h"
+#include "policy/keystore.h"
+#include "policy/says_policy.h"
+
+namespace secureblox::dist {
+
+/// Whole-message protection applied by the runtime (independent of the
+/// per-fact says policy inside the dataflow).
+struct BatchSecurity {
+  policy::AuthScheme auth = policy::AuthScheme::kNone;
+  policy::EncScheme enc = policy::EncScheme::kNone;
+
+  /// "NoAuth", "HMAC", "RSA-AES", ...
+  std::string Name() const;
+};
+
+/// Node entity labels: node i is "n<i>" in every workspace's catalog.
+std::string NodeLabel(net::NodeIndex index);
+Result<size_t> ParseNodeLabel(const std::string& label);
+
+class NodeRuntime {
+ public:
+  struct Config {
+    net::NodeIndex index = 0;
+    /// Principal of node i at position i (node <-> principal directory).
+    std::vector<std::string> principals;
+    policy::Credentials creds;
+    BatchSecurity batch_security;
+  };
+
+  /// One sealed batch addressed to a peer node.
+  struct Outgoing {
+    net::NodeIndex dst = 0;
+    Bytes payload;
+    size_t num_tuples = 0;
+  };
+
+  /// Result of one local transaction (insert or delivery).
+  struct ApplyOutcome {
+    /// False when the transaction rolled back (constraint violation,
+    /// failed batch authentication, or unparseable payload).
+    bool accepted = true;
+    std::string reject_reason;
+    std::vector<Outgoing> outgoing;
+    size_t num_derived = 0;
+  };
+
+  struct Stats {
+    uint64_t batches_accepted = 0;
+    uint64_t batches_rejected_auth = 0;
+    uint64_t batches_rejected_parse = 0;
+    uint64_t batches_rejected_constraint = 0;
+  };
+
+  /// Build the workspace: expand `sources` through BloxGenerics (policies
+  /// included), install, and seed self/node directory/key facts.
+  static Result<std::unique_ptr<NodeRuntime>> Create(
+      Config config, const std::vector<std::string>& sources);
+
+  /// Apply a batch of local base-fact insertions as one ACID transaction
+  /// and collect the resulting advertisements.
+  Result<ApplyOutcome> InsertLocal(const std::vector<engine::FactUpdate>&
+                                       facts);
+
+  /// Verify/decrypt and apply a received batch from node `src`. Rejection
+  /// (bad seal, unparseable, constraint violation) rolls back and reports
+  /// accepted=false; transport-level errors surface as non-OK status.
+  Result<ApplyOutcome> DeliverMessage(const Bytes& payload,
+                                      net::NodeIndex src);
+
+  /// Batch sealing: optional AES-CTR pass under the pairwise secret, then
+  /// MAC/signature over the (possibly encrypted) payload.
+  Result<Bytes> SealForPeer(const Bytes& raw, net::NodeIndex peer);
+  Result<Bytes> OpenFromPeer(const Bytes& sealed, net::NodeIndex peer);
+
+  engine::Workspace& workspace() { return *ws_; }
+  const engine::Workspace& workspace() const { return *ws_; }
+  policy::NodeSecurityState& security_state() { return security_; }
+  const std::string& principal() const { return config_.creds.principal; }
+  net::NodeIndex index() const { return config_.index; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  NodeRuntime() = default;
+
+  Result<ApplyOutcome> ApplyAndCollect(
+      const std::vector<engine::FactUpdate>& facts, bool from_network);
+  Result<std::vector<Outgoing>> CollectOutgoing(
+      const engine::TxCommit& commit);
+  Result<const std::string*> PrincipalOf(net::NodeIndex peer) const;
+
+  Config config_;
+  std::unique_ptr<engine::Workspace> ws_;
+  policy::NodeSecurityState security_;
+  Stats stats_;
+};
+
+}  // namespace secureblox::dist
+
+#endif  // SECUREBLOX_DIST_RUNTIME_H_

@@ -1,0 +1,116 @@
+#include "dist/udp_cluster.h"
+
+namespace secureblox::dist {
+
+using engine::FactUpdate;
+using net::NodeIndex;
+
+Result<std::unique_ptr<UdpCluster>> UdpCluster::Create(Config config) {
+  if (config.num_nodes == 0) {
+    return Status::InvalidArgument("cluster needs at least one node");
+  }
+  std::unique_ptr<UdpCluster> cluster(new UdpCluster());
+  std::vector<std::string> principals;
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    principals.push_back("p" + std::to_string(i));
+  }
+  policy::CredentialAuthority authority(principals, config.credentials);
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    NodeRuntime::Config ncfg;
+    ncfg.index = static_cast<NodeIndex>(i);
+    ncfg.principals = principals;
+    SB_ASSIGN_OR_RETURN(ncfg.creds, authority.IssueFor(principals[i]));
+    ncfg.batch_security = config.batch_security;
+    SB_ASSIGN_OR_RETURN(std::unique_ptr<NodeRuntime> node,
+                        NodeRuntime::Create(std::move(ncfg), config.sources));
+    cluster->nodes_.push_back(std::move(node));
+  }
+  // Bind everyone on an ephemeral port, then fill in the address book.
+  std::vector<net::UdpEndpoint> endpoints(config.num_nodes,
+                                          {"127.0.0.1", 0});
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    SB_ASSIGN_OR_RETURN(
+        net::UdpTransport sock,
+        net::UdpTransport::Bind(static_cast<NodeIndex>(i), endpoints));
+    cluster->transports_.push_back(std::move(sock));
+  }
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    for (size_t j = 0; j < config.num_nodes; ++j) {
+      cluster->transports_[i].SetEndpoint(
+          static_cast<NodeIndex>(j),
+          {"127.0.0.1", cluster->transports_[j].local_port()});
+    }
+  }
+  cluster->config_ = std::move(config);
+  return cluster;
+}
+
+Status UdpCluster::SendOutgoing(
+    NodeIndex src, const std::vector<NodeRuntime::Outgoing>& outgoing) {
+  for (const auto& out : outgoing) {
+    // Datagram envelope: the sender's index (sealed payloads do not reveal
+    // it before verification).
+    ByteWriter w;
+    w.PutU32(src);
+    w.PutRaw(out.payload);
+    SB_RETURN_IF_ERROR(transports_[src].Send(out.dst, w.Take()));
+  }
+  return Status::OK();
+}
+
+Status UdpCluster::Insert(NodeIndex node,
+                          const std::vector<FactUpdate>& facts) {
+  SB_ASSIGN_OR_RETURN(NodeRuntime::ApplyOutcome outcome,
+                      nodes_[node]->InsertLocal(facts));
+  if (!outcome.accepted) {
+    return Status::ConstraintViolation(outcome.reject_reason);
+  }
+  return SendOutgoing(node, outcome.outgoing);
+}
+
+Status UdpCluster::Deliver(NodeIndex dst, const Bytes& datagram) {
+  ByteReader r(datagram);
+  auto src = r.GetU32();
+  if (!src.ok() || *src >= nodes_.size()) {
+    ++stats_.rejected;
+    return Status::OK();
+  }
+  SB_ASSIGN_OR_RETURN(Bytes payload,
+                      r.GetRaw(datagram.size() - sizeof(uint32_t)));
+  SB_ASSIGN_OR_RETURN(
+      NodeRuntime::ApplyOutcome outcome,
+      nodes_[dst]->DeliverMessage(payload, static_cast<NodeIndex>(*src)));
+  ++stats_.messages_delivered;
+  if (!outcome.accepted) {
+    ++stats_.rejected;
+    return Status::OK();
+  }
+  return SendOutgoing(dst, outcome.outgoing);
+}
+
+Result<UdpCluster::Stats> UdpCluster::Run() {
+  int idle = 0;
+  while (idle < config_.idle_sweeps) {
+    bool progress = false;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      // After a silent sweep, block briefly on the first receive so
+      // in-flight datagrams land; drain the rest non-blocking.
+      bool first = true;
+      while (true) {
+        Result<std::optional<Bytes>> datagram =
+            (first && idle > 0)
+                ? transports_[i].PollFor(config_.poll_timeout_ms)
+                : transports_[i].Poll();
+        if (!datagram.ok()) return datagram.status();
+        if (!datagram->has_value()) break;
+        first = false;
+        progress = true;
+        SB_RETURN_IF_ERROR(Deliver(static_cast<NodeIndex>(i), **datagram));
+      }
+    }
+    idle = progress ? 0 : idle + 1;
+  }
+  return stats_;
+}
+
+}  // namespace secureblox::dist

@@ -825,187 +825,4 @@ Result<bool> Executor::Exists(const std::vector<Step>& steps, Env* env) {
   return found;
 }
 
-// --- Stratification ----------------------------------------------------------
-
-namespace {
-
-// Tarjan SCC over predicate ids.
-class Scc {
- public:
-  explicit Scc(const std::map<PredId, std::set<PredId>>& edges)
-      : edges_(edges) {
-    for (const auto& [n, _] : edges_) {
-      if (!index_.count(n)) Visit(n);
-    }
-  }
-
-  int ComponentOf(PredId n) const {
-    auto it = comp_.find(n);
-    return it == comp_.end() ? -1 : it->second;
-  }
-  int num_components() const { return num_comps_; }
-
- private:
-  void Visit(PredId n) {
-    index_[n] = low_[n] = counter_++;
-    stack_.push_back(n);
-    on_stack_.insert(n);
-    auto it = edges_.find(n);
-    if (it != edges_.end()) {
-      for (PredId m : it->second) {
-        if (!index_.count(m)) {
-          Visit(m);
-          low_[n] = std::min(low_[n], low_[m]);
-        } else if (on_stack_.count(m)) {
-          low_[n] = std::min(low_[n], index_[m]);
-        }
-      }
-    }
-    if (low_[n] == index_[n]) {
-      while (true) {
-        PredId m = stack_.back();
-        stack_.pop_back();
-        on_stack_.erase(m);
-        comp_[m] = num_comps_;
-        if (m == n) break;
-      }
-      ++num_comps_;
-    }
-  }
-
-  const std::map<PredId, std::set<PredId>>& edges_;
-  std::unordered_map<PredId, int> index_, low_, comp_;
-  std::vector<PredId> stack_;
-  std::unordered_set<PredId> on_stack_;
-  int counter_ = 0;
-  int num_comps_ = 0;
-};
-
-}  // namespace
-
-Result<std::vector<int>> Stratify(const std::vector<CompiledRule*>& rules,
-                                  const datalog::Catalog& catalog,
-                                  std::vector<bool>* lattice_flags,
-                                  bool allow_unstratified_negation) {
-  // Dependency edges head -> body pred, with negation/aggregation marked.
-  std::map<PredId, std::set<PredId>> edges;
-  struct MarkedEdge {
-    PredId from, to;
-    const CompiledRule* rule;
-  };
-  std::vector<MarkedEdge> negative_edges;
-
-  auto body_preds = [](const CompiledRule& r) {
-    std::vector<std::pair<PredId, bool>> out;  // (pred, negated)
-    for (const Step& s : r.steps) {
-      if (s.kind == Step::Kind::kScan || s.kind == Step::Kind::kLookup) {
-        out.emplace_back(s.pred, false);
-      } else if (s.kind == Step::Kind::kNegCheck) {
-        out.emplace_back(s.pred, true);
-      }
-    }
-    return out;
-  };
-
-  auto head_preds = [](const CompiledRule& r) {
-    std::vector<PredId> out;
-    if (r.agg.has_value()) {
-      out.push_back(r.agg->head_pred);
-    } else {
-      for (const auto& h : r.heads) out.push_back(h.pred);
-    }
-    return out;
-  };
-
-  for (const CompiledRule* r : rules) {
-    for (PredId h : head_preds(*r)) {
-      edges[h];  // ensure node
-      for (const auto& [b, negated] : body_preds(*r)) {
-        edges[h].insert(b);
-        edges[b];  // ensure node
-        if (negated || r->agg.has_value()) {
-          negative_edges.push_back({h, b, r});
-        }
-      }
-    }
-  }
-
-  Scc scc(edges);
-
-  // Longest-path levels over the condensation: positive edges weight 0,
-  // negative/aggregate edges weight 1. Iterate to fixpoint (few preds).
-  std::vector<int> level(scc.num_components(), 0);
-  bool changed = true;
-  int guard = 0;
-  while (changed) {
-    changed = false;
-    if (++guard > scc.num_components() + 2) break;  // cycles handled below
-    for (const auto& [from, tos] : edges) {
-      int cf = scc.ComponentOf(from);
-      for (PredId to : tos) {
-        int ct = scc.ComponentOf(to);
-        if (cf == ct) continue;
-        if (level[cf] < level[ct]) {
-          level[cf] = level[ct];
-          changed = true;
-        }
-      }
-    }
-    for (const auto& e : negative_edges) {
-      int cf = scc.ComponentOf(e.from);
-      int ct = scc.ComponentOf(e.to);
-      if (cf == ct) continue;  // recursive: validated below
-      if (level[cf] < level[ct] + 1) {
-        level[cf] = level[ct] + 1;
-        changed = true;
-      }
-    }
-  }
-
-  // Validate negation / aggregation.
-  lattice_flags->assign(rules.size(), false);
-  for (size_t i = 0; i < rules.size(); ++i) {
-    const CompiledRule& r = *rules[i];
-    for (const Step& s : r.steps) {
-      if (s.kind != Step::Kind::kNegCheck) continue;
-      for (PredId h : head_preds(r)) {
-        if (scc.ComponentOf(h) == scc.ComponentOf(s.pred) &&
-            !allow_unstratified_negation) {
-          return Status::CompileError(
-              "unstratified negation through predicate '" +
-              catalog.decl(s.pred).name + "' in rule: " + r.source.ToString());
-        }
-      }
-    }
-    if (r.agg.has_value()) {
-      bool recursive = false;
-      for (const auto& [b, negated] : body_preds(r)) {
-        (void)negated;
-        if (scc.ComponentOf(r.agg->head_pred) == scc.ComponentOf(b)) {
-          recursive = true;
-        }
-      }
-      if (recursive) {
-        if (r.agg->func != datalog::AggFunc::kMin &&
-            r.agg->func != datalog::AggFunc::kMax) {
-          return Status::CompileError(
-              "recursive aggregation must be min or max (lattice mode): " +
-              r.source.ToString());
-        }
-        (*lattice_flags)[i] = true;
-      }
-    }
-  }
-
-  std::vector<int> strata(rules.size(), 0);
-  for (size_t i = 0; i < rules.size(); ++i) {
-    int s = 0;
-    for (PredId h : head_preds(*rules[i])) {
-      s = std::max(s, level[scc.ComponentOf(h)]);
-    }
-    strata[i] = s;
-  }
-  return strata;
-}
-
 }  // namespace secureblox::engine

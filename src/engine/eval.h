@@ -177,20 +177,7 @@ class Executor {
   RelationStore& store_;
 };
 
-/// Dependency stratification. Returns per-rule stratum assignment and
-/// verifies that negation and non-lattice aggregation are stratified.
-/// `lattice_flags` receives rule ids whose aggregation is recursive
-/// (lattice min/max mode).
-///
-/// `allow_unstratified_negation` enables the declarative-networking
-/// semantics used by distributed protocols (NDlog, and the paper's
-/// path-vector loop check `!pathlink[P,N]=_`): negation through a recursive
-/// predicate is evaluated against the state at derivation time, without
-/// retraction. Off by default (classic stratified Datalog).
-Result<std::vector<int>> Stratify(const std::vector<CompiledRule*>& rules,
-                                  const datalog::Catalog& catalog,
-                                  std::vector<bool>* lattice_flags,
-                                  bool allow_unstratified_negation = false);
+// (Stratification and the rule dependency graph live in engine/rule_graph.)
 
 }  // namespace secureblox::engine
 

@@ -1,0 +1,309 @@
+#include "engine/fixpoint.h"
+
+#include <algorithm>
+#include <set>
+
+namespace secureblox::engine {
+
+using datalog::PredId;
+using datalog::Value;
+using datalog::ValueKind;
+
+FixpointDriver::FixpointDriver(const RuleGraph* graph,
+                               const std::vector<CompiledRule>* rules,
+                               EvalContext* ctx, RelationStore* store,
+                               FixpointHost* host,
+                               const FixpointOptions* options)
+    : graph_(*graph), rules_(*rules), ctx_(*ctx), store_(*store),
+      host_(*host), options_(*options) {}
+
+void FixpointDriver::Begin() {
+  pending_.assign(graph_.groups().size(), {});
+  touched_.clear();
+  stats_ = {};
+  budget_slack_ = 0;
+}
+
+void FixpointDriver::NotifyInsert(PredId pred, const Tuple& tuple) {
+  touched_.insert(pred);
+  // One queue entry per consuming group (not per consuming rule). Within a
+  // transaction a tuple is only notified once (set semantics), so a vector
+  // ending in `tuple` means this call already pushed it for another rule of
+  // the same group.
+  int prev = -1;
+  for (size_t rule : graph_.consumers_of(pred)) {
+    int g = graph_.group_of_rule(rule);
+    if (g == prev) continue;
+    prev = g;
+    auto& vec = pending_[g][pred];
+    if (!vec.empty() && vec.back() == tuple) continue;
+    vec.push_back(tuple);
+  }
+}
+
+void FixpointDriver::NotifyErase(PredId pred, const Tuple& tuple) {
+  touched_.insert(pred);
+  // Adjacent-group dedupe only (as in NotifyInsert); a repeated purge of
+  // the same group is an idempotent no-op.
+  int prev = -1;
+  for (size_t rule : graph_.consumers_of(pred)) {
+    int g = graph_.group_of_rule(rule);
+    if (g == prev) continue;
+    prev = g;
+    auto it = pending_[g].find(pred);
+    if (it == pending_[g].end()) continue;
+    auto& vec = it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), tuple), vec.end());
+    if (vec.empty()) pending_[g].erase(it);
+  }
+}
+
+bool FixpointDriver::HasPendingWork() const {
+  for (const DeltaMap& m : pending_) {
+    if (!m.empty()) return true;
+  }
+  return false;
+}
+
+bool FixpointDriver::HasDeltaFor(const CompiledRule& rule,
+                                 const DeltaMap& delta) const {
+  for (PredId p : rule.scan_preds) {
+    auto it = delta.find(p);
+    if (it != delta.end() && !it->second.empty()) return true;
+  }
+  return false;
+}
+
+bool FixpointDriver::TouchedAny(const CompiledRule& rule) const {
+  for (PredId p : rule.scan_preds) {
+    if (touched_.count(p)) return true;
+  }
+  return false;
+}
+
+Status FixpointDriver::Run() {
+  // The budget bounds *new* work: tuples seeded before the run (base
+  // inserts, and delete-and-rederive reseeding the whole database) extend
+  // the limit so routine rederivation of a large database never trips it.
+  budget_limit_ = options_.max_derivations + budget_slack_;
+  for (const DeltaMap& m : pending_) {
+    for (const auto& [pred, tuples] : m) budget_limit_ += tuples.size();
+  }
+  // Strata in order; repeat while cross-stratum feedback (multi-head rules
+  // whose heads live in an earlier stratum) left unconsumed deltas. The
+  // first pass always runs so stratified aggregates see erasures that left
+  // no queued delta.
+  bool first = true;
+  while (first || HasPendingWork()) {
+    first = false;
+    for (int s = 0; s <= graph_.max_stratum(); ++s) {
+      SB_RETURN_IF_ERROR(RunStratum(s));
+    }
+  }
+  return Status::OK();
+}
+
+Status FixpointDriver::RunStratum(int stratum) {
+  // Stratified aggregates recompute on stratum entry (their inputs are
+  // complete); skipped entirely when nothing they read changed.
+  for (int gid : graph_.groups_in_stratum(stratum)) {
+    for (size_t idx : graph_.group(gid).rules) {
+      const CompiledRule& rule = rules_[idx];
+      if (!rule.agg.has_value() || graph_.lattice(idx)) continue;
+      if (TouchedAny(rule)) {
+        ++stats_.agg_recomputes;
+        SB_RETURN_IF_ERROR(RecomputeAggregate(rule, /*lattice=*/false));
+        SB_RETURN_IF_ERROR(CheckBudget(graph_.group(gid)));
+      } else {
+        ++stats_.agg_skipped;
+      }
+    }
+  }
+
+  // Group worklist in topological order; a later group deriving into an
+  // earlier one (multi-head rules) re-arms the scan.
+  bool any = true;
+  while (any) {
+    any = false;
+    for (int gid : graph_.groups_in_stratum(stratum)) {
+      if (pending_[gid].empty()) continue;
+      any = true;
+      SB_RETURN_IF_ERROR(RunGroup(graph_.group(gid)));
+    }
+  }
+  return Status::OK();
+}
+
+Status FixpointDriver::RunGroup(const RuleGroup& group) {
+  while (!pending_[group.id].empty()) {
+    DeltaMap delta = std::move(pending_[group.id]);
+    pending_[group.id].clear();
+    ++stats_.rounds;
+    for (size_t idx : group.rules) {
+      const CompiledRule& rule = rules_[idx];
+      if (rule.agg.has_value()) continue;
+      if (HasDeltaFor(rule, delta)) {
+        ++stats_.rule_firings;
+        SB_RETURN_IF_ERROR(RunRuleVariants(rule, delta));
+      } else {
+        ++stats_.firings_skipped;
+      }
+    }
+    // Lattice aggregates re-run after every round of their group.
+    for (size_t idx : group.rules) {
+      const CompiledRule& rule = rules_[idx];
+      if (!rule.agg.has_value() || !graph_.lattice(idx)) continue;
+      if (HasDeltaFor(rule, delta)) {
+        ++stats_.agg_recomputes;
+        SB_RETURN_IF_ERROR(RecomputeAggregate(rule, /*lattice=*/true));
+      } else {
+        ++stats_.agg_skipped;
+      }
+    }
+    SB_RETURN_IF_ERROR(CheckBudget(group));
+  }
+  return Status::OK();
+}
+
+Status FixpointDriver::CheckBudget(const RuleGroup& group) {
+  if (stats_.derivations <= budget_limit_) return Status::OK();
+  std::string culprits;
+  for (size_t idx : group.rules) {
+    const CompiledRule& rule = rules_[idx];
+    if (rule.agg.has_value() || HasDeltaFor(rule, pending_[group.id]) ||
+        TouchedAny(rule)) {
+      if (!culprits.empty()) culprits += "; ";
+      culprits += rule.source.ToString();
+    }
+  }
+  return Status::Internal(
+      "fixpoint exceeded derivation budget (" +
+      std::to_string(options_.max_derivations) + " tuples) in stratum " +
+      std::to_string(group.stratum) + ", rule group " +
+      std::to_string(group.id) +
+      (culprits.empty() ? "" : "; rules still producing deltas: " + culprits));
+}
+
+Status FixpointDriver::InstantiateHeads(
+    const CompiledRule& rule, Env& env,
+    std::vector<std::pair<PredId, Tuple>>* pending) {
+  std::vector<int> bound_here;
+  if (!rule.existential_slots.empty()) {
+    SB_RETURN_IF_ERROR(host_.BindExistentials(rule, &env, &bound_here));
+  }
+  for (const CompiledHead& head : rule.heads) {
+    Tuple t;
+    t.reserve(head.args.size());
+    for (const ArgPat& p : head.args) {
+      if (p.kind == ArgPat::Kind::kConst) {
+        t.push_back(p.constant);
+      } else {
+        t.push_back(*env[p.slot]);
+      }
+    }
+    pending->emplace_back(head.pred, std::move(t));
+  }
+  for (int s : bound_here) env[s].reset();
+  return Status::OK();
+}
+
+Status FixpointDriver::RunRuleVariants(const CompiledRule& rule,
+                                       const DeltaMap& delta) {
+  Executor executor(&ctx_, &store_);
+  std::vector<std::pair<PredId, Tuple>> pending;
+
+  for (int occ = 0; occ < rule.num_scan_occurrences; ++occ) {
+    auto it = delta.find(rule.scan_preds[occ]);
+    if (it == delta.end() || it->second.empty()) continue;
+    DeltaOverride override{occ, &it->second};
+    Env env(rule.num_slots);
+    SB_RETURN_IF_ERROR(executor.Run(
+        rule.steps, &env, &override, [&](Env& e) -> Status {
+          return InstantiateHeads(rule, e, &pending);
+        }));
+  }
+
+  for (auto& [pred, tuple] : pending) {
+    SB_ASSIGN_OR_RETURN(bool inserted, host_.InsertHeadTuple(pred, tuple));
+    if (inserted) ++stats_.derivations;
+  }
+  return Status::OK();
+}
+
+Status FixpointDriver::RecomputeAggregate(const CompiledRule& rule,
+                                          bool lattice) {
+  const CompiledAgg& agg = *rule.agg;
+  Executor executor(&ctx_, &store_);
+
+  // Group body bindings by the head keys.
+  std::map<Tuple, int64_t> groups;
+  Env env(rule.num_slots);
+  SB_RETURN_IF_ERROR(executor.Run(
+      rule.steps, &env, nullptr, [&](Env& e) -> Status {
+        Tuple key;
+        for (const ArgPat& p : agg.key_args) {
+          key.push_back(p.kind == ArgPat::Kind::kConst ? p.constant
+                                                       : *e[p.slot]);
+        }
+        int64_t v = 0;
+        if (agg.input_slot >= 0) {
+          const Value& val = *e[agg.input_slot];
+          if (val.kind() != ValueKind::kInt) {
+            return Status::TypeError("aggregate input is not an integer");
+          }
+          v = val.AsInt();
+        }
+        auto [it, fresh] = groups.try_emplace(std::move(key), 0);
+        switch (agg.func) {
+          case datalog::AggFunc::kMin:
+            it->second = fresh ? v : std::min(it->second, v);
+            break;
+          case datalog::AggFunc::kMax:
+            it->second = fresh ? v : std::max(it->second, v);
+            break;
+          case datalog::AggFunc::kSum:
+            it->second += v;
+            break;
+          case datalog::AggFunc::kCount:
+            it->second += 1;
+            break;
+        }
+        return Status::OK();
+      }));
+
+  Relation* rel = store_.GetRelation(agg.head_pred);
+
+  if (!lattice) {
+    // Full recompute: drop stale groups first.
+    std::vector<Tuple> existing = rel->tuples();
+    for (const Tuple& t : existing) {
+      Tuple keys(t.begin(), t.end() - 1);
+      if (!groups.count(keys)) {
+        SB_RETURN_IF_ERROR(host_.EraseTuple(agg.head_pred, t));
+      }
+    }
+  }
+
+  for (const auto& [keys, v] : groups) {
+    Tuple desired = keys;
+    desired.push_back(Value::Int(v));
+    const Tuple* current = rel->LookupByKeys(keys);
+    if (current != nullptr) {
+      int64_t cur = current->back().AsInt();
+      bool improve;
+      if (lattice) {
+        improve = agg.func == datalog::AggFunc::kMin ? v < cur : v > cur;
+      } else {
+        improve = v != cur;
+      }
+      if (!improve) continue;
+      SB_RETURN_IF_ERROR(host_.EraseTuple(agg.head_pred, *current));
+    }
+    SB_ASSIGN_OR_RETURN(bool inserted,
+                        host_.InsertDerivedTuple(agg.head_pred, desired));
+    if (inserted) ++stats_.derivations;
+  }
+  return Status::OK();
+}
+
+}  // namespace secureblox::engine

@@ -1,0 +1,135 @@
+// Semi-naïve fixpoint driver.
+//
+// Owns the per-transaction delta bookkeeping and runs the installed rules
+// to a fixpoint, one rule group at a time (groups come from the RuleGraph's
+// SCC condensation, in topological order per stratum). A rule is only
+// re-fired when one of its body predicates has a non-empty delta; a group
+// re-enters the worklist only when a predecessor group derives into it.
+// Lattice aggregates re-run after each round of their group; stratified
+// aggregates recompute on stratum entry — their classical recompute points.
+//
+// The driver mutates the database exclusively through the FixpointHost
+// interface so the workspace keeps ownership of undo logging, entity
+// interning, and base-fact bookkeeping.
+#ifndef SECUREBLOX_ENGINE_FIXPOINT_H_
+#define SECUREBLOX_ENGINE_FIXPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/eval.h"
+#include "engine/rule_graph.h"
+
+namespace secureblox::engine {
+
+/// Per-transaction fixpoint counters (also accumulated in EngineStats).
+struct FixpointStats {
+  /// Delta rounds executed across all rule groups.
+  uint64_t rounds = 0;
+  /// Rule evaluations actually executed (a body predicate had a delta).
+  uint64_t rule_firings = 0;
+  /// Rule evaluations skipped because no body predicate changed — the
+  /// saving the dependency index buys over naive per-stratum re-firing.
+  uint64_t firings_skipped = 0;
+  /// Aggregate recomputations executed / skipped (inputs untouched).
+  uint64_t agg_recomputes = 0;
+  uint64_t agg_skipped = 0;
+  /// Tuples newly derived by rules and aggregates.
+  uint64_t derivations = 0;
+};
+
+struct FixpointOptions {
+  /// Abort the transaction once a fixpoint derives more than this many
+  /// tuples *beyond* the seeded deltas (guards non-terminating programs
+  /// without capping delete-and-rederive of a large database). The error
+  /// names the stratum, rule group, and the rules still producing deltas.
+  uint64_t max_derivations = 1000000;
+};
+
+/// Database mutation callbacks the driver needs from the workspace.
+class FixpointHost {
+ public:
+  virtual ~FixpointHost() = default;
+  /// Normalize (intern entity labels) and insert a rule-head tuple as
+  /// derived. Returns true when newly inserted.
+  virtual Result<bool> InsertHeadTuple(datalog::PredId pred,
+                                       const Tuple& tuple) = 0;
+  /// Insert an already-normalized derived tuple (aggregate results).
+  virtual Result<bool> InsertDerivedTuple(datalog::PredId pred,
+                                          const Tuple& tuple) = 0;
+  /// Erase a tuple (stale aggregate results), with undo logging.
+  virtual Status EraseTuple(datalog::PredId pred, const Tuple& tuple) = 0;
+  /// Bind a rule's head-existential slots in `env` (memoized entity
+  /// creation); appends the slots bound to `bound_here`.
+  virtual Status BindExistentials(const CompiledRule& rule, Env* env,
+                                  std::vector<int>* bound_here) = 0;
+};
+
+class FixpointDriver {
+ public:
+  /// All pointers are borrowed and must outlive the driver.
+  FixpointDriver(const RuleGraph* graph,
+                 const std::vector<CompiledRule>* rules, EvalContext* ctx,
+                 RelationStore* store, FixpointHost* host,
+                 const FixpointOptions* options);
+
+  // -- per-transaction delta bookkeeping ------------------------------------
+
+  /// Reset delta queues and counters for a new transaction.
+  void Begin();
+  /// Route a newly inserted tuple to the consuming rule groups.
+  void NotifyInsert(datalog::PredId pred, const Tuple& tuple);
+  /// Remove a tuple from all unconsumed delta queues (tuple erased before
+  /// being seen, e.g. replaced aggregate results).
+  void NotifyErase(datalog::PredId pred, const Tuple& tuple);
+  /// Extend this transaction's derivation budget: delete-and-rederive
+  /// over-deletes the derived database and re-derives it, which must not
+  /// count against the runaway-program cap.
+  void AddBudgetSlack(uint64_t derivations) { budget_slack_ += derivations; }
+
+  /// Run installed rules to fixpoint over the queued deltas.
+  Status Run();
+
+  /// Counters for the transaction since Begin().
+  const FixpointStats& stats() const { return stats_; }
+
+ private:
+  using DeltaMap = std::map<datalog::PredId, std::vector<Tuple>>;
+
+  bool HasPendingWork() const;
+  bool HasDeltaFor(const CompiledRule& rule, const DeltaMap& delta) const;
+  bool TouchedAny(const CompiledRule& rule) const;
+
+  Status RunStratum(int stratum);
+  Status RunGroup(const RuleGroup& group);
+  Status RunRuleVariants(const CompiledRule& rule, const DeltaMap& delta);
+  Status InstantiateHeads(const CompiledRule& rule, Env& env,
+                          std::vector<std::pair<datalog::PredId, Tuple>>*
+                              pending);
+  Status RecomputeAggregate(const CompiledRule& rule, bool lattice);
+  Status CheckBudget(const RuleGroup& group);
+
+  const RuleGraph& graph_;
+  const std::vector<CompiledRule>& rules_;
+  EvalContext& ctx_;
+  RelationStore& store_;
+  FixpointHost& host_;
+  const FixpointOptions& options_;
+
+  /// Unconsumed delta queues, one per rule group.
+  std::vector<DeltaMap> pending_;
+  /// Predicates touched (insert or erase) anywhere in the transaction —
+  /// gates stratified-aggregate recomputation.
+  std::unordered_set<datalog::PredId> touched_;
+  FixpointStats stats_;
+  /// max_derivations plus this run's seeded/rederived volume (set by Run()).
+  uint64_t budget_limit_ = 0;
+  uint64_t budget_slack_ = 0;
+};
+
+}  // namespace secureblox::engine
+
+#endif  // SECUREBLOX_ENGINE_FIXPOINT_H_

@@ -35,6 +35,7 @@ bool Relation::Erase(const Tuple& t) {
   }
   tuples_.pop_back();
   ++version_;
+  last_erase_version_ = version_;
   return true;
 }
 
@@ -71,10 +72,16 @@ const std::vector<size_t>& Relation::Probe(uint32_t mask, const Tuple& key) {
   static const std::vector<size_t> kEmpty;
   SecondaryIndex& idx = secondary_[mask];
   if (idx.built_at_version != version_) {
-    idx.buckets.clear();
-    for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (idx.built_at_version < last_erase_version_) {
+      // Rows were erased (swap-remove shifts indices): full rebuild.
+      idx.buckets.clear();
+      idx.rows_indexed = 0;
+    }
+    // Grow-only since the last build: index just the appended tail.
+    for (size_t i = idx.rows_indexed; i < tuples_.size(); ++i) {
       idx.buckets[Project(tuples_[i], mask)].push_back(i);
     }
+    idx.rows_indexed = tuples_.size();
     idx.built_at_version = version_;
   }
   auto it = idx.buckets.find(key);

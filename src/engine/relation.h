@@ -59,6 +59,10 @@ class Relation {
  private:
   struct SecondaryIndex {
     uint64_t built_at_version = 0;
+    /// Rows [0, rows_indexed) are in the buckets; a grow-only relation
+    /// (the common case inside a fixpoint round) appends the tail instead
+    /// of rebuilding.
+    size_t rows_indexed = 0;
     std::unordered_map<Tuple, std::vector<size_t>, TupleHash> buckets;
   };
 
@@ -70,6 +74,8 @@ class Relation {
   std::unordered_map<Tuple, size_t, TupleHash> fd_index_;  // keys -> slot
   std::unordered_map<uint32_t, SecondaryIndex> secondary_;
   uint64_t version_ = 1;
+  /// Version of the last erase (row indices shifted; indexes must rebuild).
+  uint64_t last_erase_version_ = 0;
 };
 
 }  // namespace secureblox::engine

@@ -1,0 +1,332 @@
+#include "engine/rule_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace secureblox::engine {
+
+using datalog::PredId;
+
+std::vector<PredId> HeadPreds(const CompiledRule& rule) {
+  std::vector<PredId> out;
+  if (rule.agg.has_value()) {
+    out.push_back(rule.agg->head_pred);
+  } else {
+    for (const auto& h : rule.heads) out.push_back(h.pred);
+  }
+  return out;
+}
+
+namespace {
+
+// (pred, negated) pairs read by a rule body.
+std::vector<std::pair<PredId, bool>> BodyPreds(const CompiledRule& r) {
+  std::vector<std::pair<PredId, bool>> out;
+  for (const Step& s : r.steps) {
+    if (s.kind == Step::Kind::kScan || s.kind == Step::Kind::kLookup) {
+      out.emplace_back(s.pred, false);
+    } else if (s.kind == Step::Kind::kNegCheck) {
+      out.emplace_back(s.pred, true);
+    }
+  }
+  return out;
+}
+
+// Tarjan SCC over predicate ids (stratification).
+class PredScc {
+ public:
+  explicit PredScc(const std::map<PredId, std::set<PredId>>& edges)
+      : edges_(edges) {
+    for (const auto& [n, _] : edges_) {
+      if (!index_.count(n)) Visit(n);
+    }
+  }
+
+  int ComponentOf(PredId n) const {
+    auto it = comp_.find(n);
+    return it == comp_.end() ? -1 : it->second;
+  }
+  int num_components() const { return num_comps_; }
+
+ private:
+  void Visit(PredId n) {
+    index_[n] = low_[n] = counter_++;
+    stack_.push_back(n);
+    on_stack_.insert(n);
+    auto it = edges_.find(n);
+    if (it != edges_.end()) {
+      for (PredId m : it->second) {
+        if (!index_.count(m)) {
+          Visit(m);
+          low_[n] = std::min(low_[n], low_[m]);
+        } else if (on_stack_.count(m)) {
+          low_[n] = std::min(low_[n], index_[m]);
+        }
+      }
+    }
+    if (low_[n] == index_[n]) {
+      while (true) {
+        PredId m = stack_.back();
+        stack_.pop_back();
+        on_stack_.erase(m);
+        comp_[m] = num_comps_;
+        if (m == n) break;
+      }
+      ++num_comps_;
+    }
+  }
+
+  const std::map<PredId, std::set<PredId>>& edges_;
+  std::unordered_map<PredId, int> index_, low_, comp_;
+  std::vector<PredId> stack_;
+  std::unordered_set<PredId> on_stack_;
+  int counter_ = 0;
+  int num_comps_ = 0;
+};
+
+// Tarjan SCC over rule indices. Components are emitted consumers-first
+// (reverse topological order of the condensation).
+class RuleScc {
+ public:
+  explicit RuleScc(const std::vector<std::vector<size_t>>& feeds)
+      : feeds_(feeds), index_(feeds.size(), -1), low_(feeds.size(), 0),
+        comp_(feeds.size(), -1), on_stack_(feeds.size(), false) {
+    for (size_t n = 0; n < feeds.size(); ++n) {
+      if (index_[n] < 0) Visit(n);
+    }
+  }
+
+  int ComponentOf(size_t n) const { return comp_[n]; }
+  int num_components() const { return num_comps_; }
+
+ private:
+  void Visit(size_t n) {
+    index_[n] = low_[n] = counter_++;
+    stack_.push_back(n);
+    on_stack_[n] = true;
+    for (size_t m : feeds_[n]) {
+      if (index_[m] < 0) {
+        Visit(m);
+        low_[n] = std::min(low_[n], low_[m]);
+      } else if (on_stack_[m]) {
+        low_[n] = std::min(low_[n], index_[m]);
+      }
+    }
+    if (low_[n] == index_[n]) {
+      while (true) {
+        size_t m = stack_.back();
+        stack_.pop_back();
+        on_stack_[m] = false;
+        comp_[m] = num_comps_;
+        if (m == n) break;
+      }
+      ++num_comps_;
+    }
+  }
+
+  const std::vector<std::vector<size_t>>& feeds_;
+  std::vector<int> index_, low_, comp_;
+  std::vector<bool> on_stack_;
+  std::vector<size_t> stack_;
+  int counter_ = 0;
+  int num_comps_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<int>> Stratify(const std::vector<CompiledRule*>& rules,
+                                  const datalog::Catalog& catalog,
+                                  std::vector<bool>* lattice_flags,
+                                  bool allow_unstratified_negation) {
+  // Dependency edges head -> body pred, with negation/aggregation marked.
+  std::map<PredId, std::set<PredId>> edges;
+  struct MarkedEdge {
+    PredId from, to;
+    const CompiledRule* rule;
+  };
+  std::vector<MarkedEdge> negative_edges;
+
+  for (const CompiledRule* r : rules) {
+    for (PredId h : HeadPreds(*r)) {
+      edges[h];  // ensure node
+      for (const auto& [b, negated] : BodyPreds(*r)) {
+        edges[h].insert(b);
+        edges[b];  // ensure node
+        if (negated || r->agg.has_value()) {
+          negative_edges.push_back({h, b, r});
+        }
+      }
+    }
+  }
+
+  PredScc scc(edges);
+
+  // Longest-path levels over the condensation: positive edges weight 0,
+  // negative/aggregate edges weight 1. Iterate to fixpoint (few preds).
+  std::vector<int> level(scc.num_components(), 0);
+  bool changed = true;
+  int guard = 0;
+  while (changed) {
+    changed = false;
+    if (++guard > scc.num_components() + 2) break;  // cycles handled below
+    for (const auto& [from, tos] : edges) {
+      int cf = scc.ComponentOf(from);
+      for (PredId to : tos) {
+        int ct = scc.ComponentOf(to);
+        if (cf == ct) continue;
+        if (level[cf] < level[ct]) {
+          level[cf] = level[ct];
+          changed = true;
+        }
+      }
+    }
+    for (const auto& e : negative_edges) {
+      int cf = scc.ComponentOf(e.from);
+      int ct = scc.ComponentOf(e.to);
+      if (cf == ct) continue;  // recursive: validated below
+      if (level[cf] < level[ct] + 1) {
+        level[cf] = level[ct] + 1;
+        changed = true;
+      }
+    }
+  }
+
+  // Validate negation / aggregation.
+  lattice_flags->assign(rules.size(), false);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const CompiledRule& r = *rules[i];
+    for (const Step& s : r.steps) {
+      if (s.kind != Step::Kind::kNegCheck) continue;
+      for (PredId h : HeadPreds(r)) {
+        if (scc.ComponentOf(h) == scc.ComponentOf(s.pred) &&
+            !allow_unstratified_negation) {
+          return Status::CompileError(
+              "unstratified negation through predicate '" +
+              catalog.decl(s.pred).name + "' in rule: " + r.source.ToString());
+        }
+      }
+    }
+    if (r.agg.has_value()) {
+      bool recursive = false;
+      for (const auto& [b, negated] : BodyPreds(r)) {
+        (void)negated;
+        if (scc.ComponentOf(r.agg->head_pred) == scc.ComponentOf(b)) {
+          recursive = true;
+        }
+      }
+      if (recursive) {
+        if (r.agg->func != datalog::AggFunc::kMin &&
+            r.agg->func != datalog::AggFunc::kMax) {
+          return Status::CompileError(
+              "recursive aggregation must be min or max (lattice mode): " +
+              r.source.ToString());
+        }
+        (*lattice_flags)[i] = true;
+      }
+    }
+  }
+
+  std::vector<int> strata(rules.size(), 0);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    int s = 0;
+    for (PredId h : HeadPreds(*rules[i])) {
+      s = std::max(s, level[scc.ComponentOf(h)]);
+    }
+    strata[i] = s;
+  }
+  return strata;
+}
+
+Result<RuleGraph> RuleGraph::Build(const std::vector<CompiledRule*>& rules,
+                                   const datalog::Catalog& catalog,
+                                   bool allow_unstratified_negation) {
+  RuleGraph g;
+  SB_ASSIGN_OR_RETURN(g.strata_,
+                      Stratify(rules, catalog, &g.lattice_flags_,
+                               allow_unstratified_negation));
+  g.max_stratum_ = 0;
+  for (int s : g.strata_) g.max_stratum_ = std::max(g.max_stratum_, s);
+
+  // Predicate -> consuming rules (scan/lookup occurrences drive re-firing;
+  // negation probes never do — they read completed lower strata, or
+  // derivation-time state in declarative-networking mode).
+  for (size_t i = 0; i < rules.size(); ++i) {
+    std::set<PredId> seen;
+    for (PredId p : rules[i]->scan_preds) {
+      if (seen.insert(p).second) g.consumers_[p].push_back(i);
+    }
+    for (const Step& s : rules[i]->steps) {
+      if (s.kind == Step::Kind::kNegCheck) g.negated_preds_.insert(s.pred);
+    }
+  }
+
+  // Rule dependency edges within a stratum: r1 feeds r2 when a head
+  // predicate of r1 has a scan occurrence in r2.
+  std::vector<std::vector<size_t>> feeds(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    std::set<size_t> outs;
+    for (PredId h : HeadPreds(*rules[i])) {
+      auto it = g.consumers_.find(h);
+      if (it == g.consumers_.end()) continue;
+      for (size_t j : it->second) {
+        if (j != i && g.strata_[j] == g.strata_[i]) outs.insert(j);
+      }
+      // Self-loop: a rule reading its own head is recursive even as a
+      // singleton SCC.
+      if (std::find(it->second.begin(), it->second.end(), i) !=
+          it->second.end()) {
+        outs.insert(i);
+      }
+    }
+    feeds[i].assign(outs.begin(), outs.end());
+  }
+
+  RuleScc scc(feeds);
+  // Tarjan emits components consumers-first; flip ids so ascending group id
+  // is a producers-first topological order.
+  int num = scc.num_components();
+  g.group_of_rule_.resize(rules.size());
+  g.groups_.assign(num, {});
+  for (size_t i = 0; i < rules.size(); ++i) {
+    int id = num - 1 - scc.ComponentOf(i);
+    g.group_of_rule_[i] = id;
+    g.groups_[id].rules.push_back(i);
+  }
+  for (int id = 0; id < num; ++id) {
+    RuleGroup& grp = g.groups_[id];
+    grp.id = id;
+    grp.stratum = g.strata_[grp.rules.front()];
+    std::sort(grp.rules.begin(), grp.rules.end());
+  }
+  // Successors + recursion flags from the rule-level edges.
+  std::vector<std::set<int>> succ(num);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (size_t j : feeds[i]) {
+      int gi = g.group_of_rule_[i], gj = g.group_of_rule_[j];
+      if (gi == gj) {
+        g.groups_[gi].recursive = true;
+      } else {
+        succ[gi].insert(gj);
+      }
+    }
+  }
+  for (int id = 0; id < num; ++id) {
+    g.groups_[id].successors.assign(succ[id].begin(), succ[id].end());
+  }
+
+  g.groups_by_stratum_.assign(g.max_stratum_ + 1, {});
+  for (int id = 0; id < num; ++id) {
+    g.groups_by_stratum_[g.groups_[id].stratum].push_back(id);
+  }
+  (void)catalog;
+  return g;
+}
+
+const std::vector<size_t>& RuleGraph::consumers_of(PredId pred) const {
+  static const std::vector<size_t> kEmpty;
+  auto it = consumers_.find(pred);
+  return it == consumers_.end() ? kEmpty : it->second;
+}
+
+}  // namespace secureblox::engine

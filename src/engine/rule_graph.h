@@ -1,0 +1,103 @@
+// Rule dependency graph: the static structure the fixpoint driver runs on.
+//
+// Built once per (re)compile from the compiled rules. Holds
+//   - per-rule stratum assignment (stratification, relocated from eval.cc),
+//   - lattice flags for recursive min/max aggregation,
+//   - a predicate -> consuming-rules index (which rules re-fire when a
+//     delta arrives for a predicate),
+//   - SCC condensation of the per-stratum rule dependency graph into rule
+//     groups, in topological order, so the driver can run one group to its
+//     local fixpoint before moving downstream (VLog's reliance groups).
+#ifndef SECUREBLOX_ENGINE_RULE_GRAPH_H_
+#define SECUREBLOX_ENGINE_RULE_GRAPH_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/catalog.h"
+#include "engine/eval.h"
+
+namespace secureblox::engine {
+
+/// Dependency stratification. Returns per-rule stratum assignment and
+/// verifies that negation and non-lattice aggregation are stratified.
+/// `lattice_flags` receives rule ids whose aggregation is recursive
+/// (lattice min/max mode).
+///
+/// `allow_unstratified_negation` enables the declarative-networking
+/// semantics used by distributed protocols (NDlog, and the paper's
+/// path-vector loop check `!pathlink[P,N]=_`): negation through a recursive
+/// predicate is evaluated against the state at derivation time, without
+/// retraction. Off by default (classic stratified Datalog).
+Result<std::vector<int>> Stratify(const std::vector<CompiledRule*>& rules,
+                                  const datalog::Catalog& catalog,
+                                  std::vector<bool>* lattice_flags,
+                                  bool allow_unstratified_negation = false);
+
+/// Head predicates of a compiled rule (aggregate head included).
+std::vector<datalog::PredId> HeadPreds(const CompiledRule& rule);
+
+/// One strongly connected component of the rule dependency graph, confined
+/// to a single stratum. Rules in a group are mutually recursive (or a
+/// singleton); groups within a stratum form a DAG.
+struct RuleGroup {
+  int id = 0;
+  int stratum = 0;
+  /// Rule indices in install order.
+  std::vector<size_t> rules;
+  /// Same-stratum groups consuming this group's head predicates.
+  std::vector<int> successors;
+  /// True when the group contains a rule whose body reads a head predicate
+  /// of the same group (needs iteration to a local fixpoint).
+  bool recursive = false;
+};
+
+class RuleGraph {
+ public:
+  RuleGraph() = default;
+
+  /// Analyze `rules` (borrowed for the duration of the call only).
+  static Result<RuleGraph> Build(const std::vector<CompiledRule*>& rules,
+                                 const datalog::Catalog& catalog,
+                                 bool allow_unstratified_negation);
+
+  size_t num_rules() const { return strata_.size(); }
+  int max_stratum() const { return max_stratum_; }
+  int stratum_of(size_t rule) const { return strata_[rule]; }
+  bool lattice(size_t rule) const { return lattice_flags_[rule]; }
+
+  const std::vector<RuleGroup>& groups() const { return groups_; }
+  const RuleGroup& group(int id) const { return groups_[id]; }
+  int group_of_rule(size_t rule) const { return group_of_rule_[rule]; }
+  /// Group ids of one stratum, in topological (producers-first) order.
+  const std::vector<int>& groups_in_stratum(int s) const {
+    return groups_by_stratum_[s];
+  }
+
+  /// Rules with a scan/lookup occurrence of `pred` — exactly the rules the
+  /// driver must consider re-firing when `pred` gains a delta tuple.
+  const std::vector<size_t>& consumers_of(datalog::PredId pred) const;
+
+  /// Predicates appearing under negation in some rule body. Base insertions
+  /// into these invalidate existing derivations (the workspace routes such
+  /// transactions through delete-and-rederive).
+  const std::unordered_set<datalog::PredId>& negated_preds() const {
+    return negated_preds_;
+  }
+
+ private:
+  std::vector<int> strata_;             // by rule
+  std::vector<bool> lattice_flags_;     // by rule
+  int max_stratum_ = 0;
+  std::vector<RuleGroup> groups_;
+  std::vector<int> group_of_rule_;      // by rule
+  std::vector<std::vector<int>> groups_by_stratum_;
+  std::unordered_map<datalog::PredId, std::vector<size_t>> consumers_;
+  std::unordered_set<datalog::PredId> negated_preds_;
+};
+
+}  // namespace secureblox::engine
+
+#endif  // SECUREBLOX_ENGINE_RULE_GRAPH_H_

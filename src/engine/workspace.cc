@@ -16,6 +16,11 @@ using datalog::ValueKind;
 Workspace::Workspace() : catalog_(std::make_unique<Catalog>()) {
   ctx_.catalog = catalog_.get();
   RegisterCoreBuiltins(&builtins_);
+  // Empty rule graph + driver so transactions work before the first Install.
+  rule_graph_ = RuleGraph::Build({}, *catalog_, false).value();
+  driver_ = std::make_unique<FixpointDriver>(
+      &rule_graph_, &compiled_rules_, &ctx_, this,
+      static_cast<FixpointHost*>(this), &fixpoint_options_);
 }
 
 Relation* Workspace::GetRelation(PredId pred) {
@@ -74,24 +79,15 @@ Status Workspace::Recompile() {
   }
   std::vector<CompiledRule*> ptrs;
   for (auto& r : compiled_rules_) ptrs.push_back(&r);
-  SB_ASSIGN_OR_RETURN(std::vector<int> strata,
-                      Stratify(ptrs, *catalog_, &lattice_flags_,
-                               allow_unstratified_negation_));
-  negated_preds_.clear();
-  for (const CompiledRule& r : compiled_rules_) {
-    for (const Step& s : r.steps) {
-      if (s.kind == Step::Kind::kNegCheck) negated_preds_.insert(s.pred);
-    }
-  }
-  max_stratum_ = 0;
+  SB_ASSIGN_OR_RETURN(rule_graph_,
+                      RuleGraph::Build(ptrs, *catalog_,
+                                       allow_unstratified_negation_));
   for (size_t i = 0; i < compiled_rules_.size(); ++i) {
-    compiled_rules_[i].stratum = strata[i];
-    max_stratum_ = std::max(max_stratum_, strata[i]);
+    compiled_rules_[i].stratum = rule_graph_.stratum_of(i);
   }
-  rules_by_stratum_.assign(max_stratum_ + 1, {});
-  for (size_t i = 0; i < compiled_rules_.size(); ++i) {
-    rules_by_stratum_[strata[i]].push_back(i);
-  }
+  driver_ = std::make_unique<FixpointDriver>(
+      &rule_graph_, &compiled_rules_, &ctx_, this,
+      static_cast<FixpointHost*>(this), &fixpoint_options_);
 
   compiled_constraints_.clear();
   for (size_t i = 0; i < installed_constraints_.size(); ++i) {
@@ -163,7 +159,7 @@ Status Workspace::EnsureEntityMembership(const Value& v, TxState* tx) {
     base_tuples_[type].insert(membership);
     tx->undo.push_back({UndoOp::Kind::kBaseAdded, type, membership});
     tx->inserted[type].push_back(membership);
-    for (auto& queue : tx->unseen) queue[type].push_back(membership);
+    driver_->NotifyInsert(type, membership);
   }
   return Status::OK();
 }
@@ -196,7 +192,7 @@ Result<bool> Workspace::InsertTuple(PredId pred, const Tuple& tuple,
     ++tx->num_derived;
   }
   tx->inserted[pred].push_back(tuple);
-  for (auto& queue : tx->unseen) queue[pred].push_back(tuple);
+  driver_->NotifyInsert(pred, tuple);
   for (const Value& v : tuple) {
     SB_RETURN_IF_ERROR(EnsureEntityMembership(v, tx));
   }
@@ -205,17 +201,15 @@ Result<bool> Workspace::InsertTuple(PredId pred, const Tuple& tuple,
 
 void Workspace::RemoveFromDeltas(PredId pred, const Tuple& tuple,
                                  TxState* tx) {
-  auto remove_from = [&](std::map<PredId, std::vector<Tuple>>& m) {
-    auto it = m.find(pred);
-    if (it == m.end()) return;
+  auto it = tx->inserted.find(pred);
+  if (it != tx->inserted.end()) {
     auto& vec = it->second;
     vec.erase(std::remove(vec.begin(), vec.end(), tuple), vec.end());
-  };
-  remove_from(tx->inserted);
-  for (auto& queue : tx->unseen) remove_from(queue);
+  }
+  driver_->NotifyErase(pred, tuple);
 }
 
-Status Workspace::EraseTuple(PredId pred, const Tuple& tuple, TxState* tx) {
+Status Workspace::EraseTupleTx(PredId pred, const Tuple& tuple, TxState* tx) {
   Relation* rel = GetRelation(pred);
   if (!rel->Erase(tuple)) return Status::OK();
   tx->undo.push_back({UndoOp::Kind::kErased, pred, tuple});
@@ -227,197 +221,47 @@ Status Workspace::EraseTuple(PredId pred, const Tuple& tuple, TxState* tx) {
   return Status::OK();
 }
 
-Status Workspace::InstantiateHeads(
-    const CompiledRule& rule, Env& env,
-    std::vector<std::pair<PredId, Tuple>>* pending) {
-  std::vector<int> bound_here;
-  if (!rule.existential_slots.empty()) {
-    Tuple memo_key;
-    for (int slot : rule.memo_key_slots) memo_key.push_back(*env[slot]);
-    auto key = std::make_pair(rule.id, std::move(memo_key));
-    auto it = existential_memo_.find(key);
-    if (it == existential_memo_.end()) {
-      std::vector<Value> entities;
-      for (size_t k = 0; k < rule.existential_slots.size(); ++k) {
-        PredId type = rule.existential_types[k];
-        SB_ASSIGN_OR_RETURN(
-            Value e,
-            catalog_->CreateAnonymousEntity(type, catalog_->decl(type).name));
-        entities.push_back(std::move(e));
-      }
-      it = existential_memo_.emplace(std::move(key), std::move(entities)).first;
-    }
+// -- FixpointHost -------------------------------------------------------------
+
+Result<bool> Workspace::InsertHeadTuple(PredId pred, const Tuple& tuple) {
+  SB_ASSIGN_OR_RETURN(Tuple normalized, NormalizeTuple(pred, tuple));
+  return InsertTuple(pred, normalized, /*is_base=*/false, current_tx_);
+}
+
+Result<bool> Workspace::InsertDerivedTuple(PredId pred, const Tuple& tuple) {
+  return InsertTuple(pred, tuple, /*is_base=*/false, current_tx_);
+}
+
+Status Workspace::EraseTuple(PredId pred, const Tuple& tuple) {
+  return EraseTupleTx(pred, tuple, current_tx_);
+}
+
+Status Workspace::BindExistentials(const CompiledRule& rule, Env* envp,
+                                   std::vector<int>* bound_here) {
+  Env& env = *envp;
+  Tuple memo_key;
+  for (int slot : rule.memo_key_slots) memo_key.push_back(*env[slot]);
+  auto key = std::make_pair(rule.id, std::move(memo_key));
+  auto it = existential_memo_.find(key);
+  if (it == existential_memo_.end()) {
+    std::vector<Value> entities;
     for (size_t k = 0; k < rule.existential_slots.size(); ++k) {
-      env[rule.existential_slots[k]] = it->second[k];
-      bound_here.push_back(rule.existential_slots[k]);
+      PredId type = rule.existential_types[k];
+      SB_ASSIGN_OR_RETURN(
+          Value e,
+          catalog_->CreateAnonymousEntity(type, catalog_->decl(type).name));
+      entities.push_back(std::move(e));
     }
+    it = existential_memo_.emplace(std::move(key), std::move(entities)).first;
   }
-
-  for (const CompiledHead& head : rule.heads) {
-    Tuple t;
-    t.reserve(head.args.size());
-    for (const ArgPat& p : head.args) {
-      if (p.kind == ArgPat::Kind::kConst) {
-        t.push_back(p.constant);
-      } else {
-        t.push_back(*env[p.slot]);
-      }
-    }
-    pending->emplace_back(head.pred, std::move(t));
-  }
-  for (int s : bound_here) env[s].reset();
-  return Status::OK();
-}
-
-Status Workspace::RunRuleVariants(
-    const CompiledRule& rule,
-    const std::map<PredId, std::vector<Tuple>>& delta, TxState* tx) {
-  Executor executor(&ctx_, this);
-  std::vector<std::pair<PredId, Tuple>> pending;
-
-  for (int occ = 0; occ < rule.num_scan_occurrences; ++occ) {
-    auto it = delta.find(rule.scan_preds[occ]);
-    if (it == delta.end() || it->second.empty()) continue;
-    DeltaOverride override{occ, &it->second};
-    Env env(rule.num_slots);
-    SB_RETURN_IF_ERROR(executor.Run(
-        rule.steps, &env, &override, [&](Env& e) -> Status {
-          return InstantiateHeads(rule, e, &pending);
-        }));
-  }
-
-  for (auto& [pred, tuple] : pending) {
-    SB_ASSIGN_OR_RETURN(Tuple normalized, NormalizeTuple(pred, tuple));
-    auto inserted = InsertTuple(pred, normalized, /*is_base=*/false, tx);
-    if (!inserted.ok()) return inserted.status();
+  for (size_t k = 0; k < rule.existential_slots.size(); ++k) {
+    env[rule.existential_slots[k]] = it->second[k];
+    bound_here->push_back(rule.existential_slots[k]);
   }
   return Status::OK();
 }
 
-Status Workspace::RecomputeAggregate(const CompiledRule& rule, bool lattice,
-                                     TxState* tx) {
-  const CompiledAgg& agg = *rule.agg;
-  Executor executor(&ctx_, this);
-
-  // Group body bindings by the head keys.
-  std::map<Tuple, int64_t> groups;
-  Env env(rule.num_slots);
-  SB_RETURN_IF_ERROR(executor.Run(
-      rule.steps, &env, nullptr, [&](Env& e) -> Status {
-        Tuple key;
-        for (const ArgPat& p : agg.key_args) {
-          key.push_back(p.kind == ArgPat::Kind::kConst ? p.constant
-                                                       : *e[p.slot]);
-        }
-        int64_t v = 0;
-        if (agg.input_slot >= 0) {
-          const Value& val = *e[agg.input_slot];
-          if (val.kind() != ValueKind::kInt) {
-            return Status::TypeError("aggregate input is not an integer");
-          }
-          v = val.AsInt();
-        }
-        auto [it, fresh] = groups.try_emplace(std::move(key), 0);
-        switch (agg.func) {
-          case datalog::AggFunc::kMin:
-            it->second = fresh ? v : std::min(it->second, v);
-            break;
-          case datalog::AggFunc::kMax:
-            it->second = fresh ? v : std::max(it->second, v);
-            break;
-          case datalog::AggFunc::kSum:
-            it->second += v;
-            break;
-          case datalog::AggFunc::kCount:
-            it->second += 1;
-            break;
-        }
-        return Status::OK();
-      }));
-
-  Relation* rel = GetRelation(agg.head_pred);
-
-  if (!lattice) {
-    // Full recompute: drop stale groups first.
-    std::vector<Tuple> existing = rel->tuples();
-    for (const Tuple& t : existing) {
-      Tuple keys(t.begin(), t.end() - 1);
-      if (!groups.count(keys)) {
-        SB_RETURN_IF_ERROR(EraseTuple(agg.head_pred, t, tx));
-      }
-    }
-  }
-
-  for (const auto& [keys, v] : groups) {
-    Tuple desired = keys;
-    desired.push_back(Value::Int(v));
-    const Tuple* current = rel->LookupByKeys(keys);
-    if (current != nullptr) {
-      int64_t cur = current->back().AsInt();
-      bool improve;
-      if (lattice) {
-        improve = agg.func == datalog::AggFunc::kMin ? v < cur : v > cur;
-      } else {
-        improve = v != cur;
-      }
-      if (!improve) continue;
-      SB_RETURN_IF_ERROR(EraseTuple(agg.head_pred, *current, tx));
-    }
-    auto inserted = InsertTuple(agg.head_pred, desired, /*is_base=*/false, tx);
-    if (!inserted.ok()) return inserted.status();
-  }
-  return Status::OK();
-}
-
-Status Workspace::RunStratum(int stratum, TxState* tx) {
-  // Stratified aggregates recompute on stratum entry (their inputs are
-  // complete); lattice aggregates re-run after every round.
-  for (size_t idx : rules_by_stratum_[stratum]) {
-    const CompiledRule& rule = compiled_rules_[idx];
-    if (rule.agg.has_value() && !lattice_flags_[idx]) {
-      SB_RETURN_IF_ERROR(RecomputeAggregate(rule, /*lattice=*/false, tx));
-    }
-  }
-  int guard = 0;
-  while (true) {
-    if (++guard > 1000000) {
-      return Status::Internal("fixpoint did not converge (guard tripped)");
-    }
-    std::map<PredId, std::vector<Tuple>> delta =
-        std::move(tx->unseen[stratum]);
-    tx->unseen[stratum].clear();
-    if (delta.empty()) break;
-    for (size_t idx : rules_by_stratum_[stratum]) {
-      const CompiledRule& rule = compiled_rules_[idx];
-      if (rule.agg.has_value()) continue;
-      SB_RETURN_IF_ERROR(RunRuleVariants(rule, delta, tx));
-    }
-    for (size_t idx : rules_by_stratum_[stratum]) {
-      const CompiledRule& rule = compiled_rules_[idx];
-      if (rule.agg.has_value() && lattice_flags_[idx]) {
-        SB_RETURN_IF_ERROR(RecomputeAggregate(rule, /*lattice=*/true, tx));
-      }
-    }
-  }
-  return Status::OK();
-}
-
-Status Workspace::RunFixpoint(TxState* tx) {
-  // Strata in order; repeat if cross-stratum feedback (multi-head rules)
-  // left unconsumed deltas in earlier strata.
-  while (true) {
-    for (int s = 0; s <= max_stratum_; ++s) {
-      SB_RETURN_IF_ERROR(RunStratum(s, tx));
-    }
-    bool more = false;
-    for (const auto& queue : tx->unseen) {
-      for (const auto& [pred, tuples] : queue) {
-        more |= !tuples.empty();
-      }
-    }
-    if (!more) return Status::OK();
-  }
-}
+// -----------------------------------------------------------------------------
 
 Status Workspace::CheckConstraints(TxState* tx) {
   Executor executor(&ctx_, this);
@@ -487,29 +331,27 @@ Status Workspace::OverDeleteAndReseed(TxState* tx) {
   // Over-delete every derived tuple (DRed with a maximal overestimate).
   std::unordered_set<PredId> idb;
   for (const CompiledRule& r : compiled_rules_) {
-    if (r.agg.has_value()) {
-      idb.insert(r.agg->head_pred);
-    } else {
-      for (const auto& h : r.heads) idb.insert(h.pred);
-    }
+    for (PredId h : HeadPreds(r)) idb.insert(h);
   }
+  uint64_t over_deleted = 0;
   for (PredId pred : idb) {
     Relation* rel = GetRelation(pred);
     std::vector<Tuple> copy = rel->tuples();
     const auto& base = base_tuples_[pred];
     for (const Tuple& t : copy) {
       if (!base.count(t)) {
-        SB_RETURN_IF_ERROR(EraseTuple(pred, t, tx));
+        SB_RETURN_IF_ERROR(EraseTupleTx(pred, t, tx));
+        ++over_deleted;
       }
     }
   }
+  // Rederiving what was just over-deleted is not runaway work.
+  driver_->AddBudgetSlack(over_deleted);
   // Rederive from everything that remains.
   for (size_t pred = 0; pred < relations_.size(); ++pred) {
     if (relations_[pred] == nullptr) continue;
     for (const Tuple& t : relations_[pred]->tuples()) {
-      for (auto& queue : tx->unseen) {
-        queue[static_cast<PredId>(pred)].push_back(t);
-      }
+      driver_->NotifyInsert(static_cast<PredId>(pred), t);
     }
   }
   return Status::OK();
@@ -519,16 +361,21 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
                                   const std::vector<FactUpdate>& deletes) {
   auto start = std::chrono::steady_clock::now();
   TxState tx;
-  tx.unseen.resize(max_stratum_ + 1);
+  current_tx_ = &tx;
+  driver_->Begin();
 
-  auto fail = [&](Status st) -> Result<TxCommit> {
-    Rollback(&tx);
-    // Aborted transactions still consumed processing time (Figure 7 counts
-    // them).
+  auto finish_timing = [&] {
+    current_tx_ = nullptr;
     tx_durations_us_.push_back(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - start)
             .count());
+  };
+  auto fail = [&](Status st) -> Result<TxCommit> {
+    Rollback(&tx);
+    // Aborted transactions still consumed processing time (Figure 7 counts
+    // them).
+    finish_timing();
     return st;
   };
 
@@ -538,7 +385,7 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
   if (!needs_rederive) {
     for (const FactUpdate& ins : inserts) {
       auto pred = catalog_->Lookup(ins.pred);
-      if (pred.ok() && negated_preds_.count(pred.value())) {
+      if (pred.ok() && rule_graph_.negated_preds().count(pred.value())) {
         needs_rederive = true;
         break;
       }
@@ -559,7 +406,7 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
         return fail(Status::InvalidArgument(
             "cannot delete derived fact from '" + d.pred + "'"));
       }
-      Status st = EraseTuple(pred.value(), *normalized, &tx);
+      Status st = EraseTupleTx(pred.value(), *normalized, &tx);
       if (!st.ok()) return fail(st);
     }
   }
@@ -578,7 +425,7 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
     if (!inserted.ok()) return fail(inserted.status());
   }
 
-  Status fixpoint = RunFixpoint(&tx);
+  Status fixpoint = driver_->Run();
   if (!fixpoint.ok()) return fail(fixpoint);
 
   Status constraints = CheckConstraints(&tx);
@@ -595,12 +442,16 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
     if (!live.empty()) commit.inserted[pred] = std::move(live);
   }
   commit.num_derived = tx.num_derived;
-  commit.duration_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
+  commit.fixpoint = driver_->stats();
   ++stats_.transactions;
   stats_.derived_tuples += tx.num_derived;
-  tx_durations_us_.push_back(commit.duration_us);
+  stats_.fixpoint_rounds += commit.fixpoint.rounds;
+  stats_.rule_firings += commit.fixpoint.rule_firings;
+  stats_.firings_skipped += commit.fixpoint.firings_skipped;
+  stats_.agg_recomputes += commit.fixpoint.agg_recomputes;
+  stats_.agg_skipped += commit.fixpoint.agg_skipped;
+  finish_timing();
+  commit.duration_us = tx_durations_us_.back();
   return commit;
 }
 

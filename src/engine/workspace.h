@@ -3,11 +3,15 @@
 // A workspace holds a catalog (predicate definitions), relations, installed
 // rules, and integrity constraints. Data is modified through ACID
 // transactions that encapsulate a fixpoint computation (paper §2, §5.2):
-// the batch of updates is applied, installed rules run to fixpoint
-// (stratified semi-naïve evaluation, with lattice-mode recursive min/max
-// aggregation), runtime constraints are checked against the transaction's
-// delta, and on any violation the whole transaction — including the input
-// tuples — rolls back.
+// the batch of updates is applied, installed rules run to fixpoint,
+// runtime constraints are checked against the transaction's delta, and on
+// any violation the whole transaction — including the input tuples — rolls
+// back.
+//
+// The fixpoint itself lives in engine/fixpoint (FixpointDriver) and runs
+// over the rule-dependency structure in engine/rule_graph; the workspace
+// owns storage, undo logging, entity interning, and constraint checking,
+// and exposes them to the driver through the FixpointHost interface.
 //
 // Deletions use delete-and-rederive: requested base facts are removed, all
 // derived tuples are over-deleted, and the rederivation phase recomputes
@@ -27,7 +31,9 @@
 #include "datalog/catalog.h"
 #include "engine/builtins.h"
 #include "engine/eval.h"
+#include "engine/fixpoint.h"
 #include "engine/relation.h"
+#include "engine/rule_graph.h"
 
 namespace secureblox::engine {
 
@@ -44,9 +50,24 @@ struct TxCommit {
   std::map<datalog::PredId, std::vector<Tuple>> inserted;
   int64_t duration_us = 0;
   size_t num_derived = 0;
+  /// Fixpoint counters for this transaction (rounds, firings, skips).
+  FixpointStats fixpoint;
 };
 
-class Workspace : public RelationStore {
+/// Cumulative engine counters (per-transaction values in TxCommit).
+struct EngineStats {
+  uint64_t transactions = 0;
+  uint64_t aborts = 0;
+  uint64_t derived_tuples = 0;
+  uint64_t constraint_checks = 0;
+  uint64_t fixpoint_rounds = 0;
+  uint64_t rule_firings = 0;
+  uint64_t firings_skipped = 0;
+  uint64_t agg_recomputes = 0;
+  uint64_t agg_skipped = 0;
+};
+
+class Workspace : public RelationStore, private FixpointHost {
  public:
   Workspace();
   ~Workspace() override = default;
@@ -65,6 +86,9 @@ class Workspace : public RelationStore {
   void set_allow_unstratified_negation(bool allow) {
     allow_unstratified_negation_ = allow;
   }
+
+  /// Fixpoint knobs (derivation budget). May be adjusted at any time.
+  FixpointOptions& fixpoint_options() { return fixpoint_options_; }
 
   /// Analyze (schema + typecheck), compile, and install a program. Ground
   /// facts in the program are applied through a transaction. May be called
@@ -95,15 +119,12 @@ class Workspace : public RelationStore {
   Relation* GetRelation(datalog::PredId pred) override;
   const Relation* GetRelationIfExists(datalog::PredId pred) const;
 
+  /// Dependency structure of the installed rules (rebuilt per Install).
+  const RuleGraph& rule_graph() const { return rule_graph_; }
+
   // -- stats -----------------------------------------------------------------
 
-  struct Stats {
-    uint64_t transactions = 0;
-    uint64_t aborts = 0;
-    uint64_t derived_tuples = 0;
-    uint64_t constraint_checks = 0;
-  };
-  const Stats& stats() const { return stats_; }
+  const EngineStats& stats() const { return stats_; }
   const std::vector<int64_t>& tx_durations_us() const {
     return tx_durations_us_;
   }
@@ -119,32 +140,30 @@ class Workspace : public RelationStore {
   struct TxState {
     std::vector<UndoOp> undo;
     std::map<datalog::PredId, std::vector<Tuple>> inserted;
-    // Per-stratum unconsumed delta queues.
-    std::vector<std::map<datalog::PredId, std::vector<Tuple>>> unseen;
     size_t num_derived = 0;
     bool full_constraint_check = false;
   };
 
   Status Recompile();
 
-  // Insert a normalized tuple; logs undo, updates deltas, auto-inserts
-  // entity type membership. Returns true if newly inserted.
+  // Insert a normalized tuple; logs undo, routes deltas to the fixpoint
+  // driver, auto-inserts entity type membership. Returns true if newly
+  // inserted.
   Result<bool> InsertTuple(datalog::PredId pred, const Tuple& tuple,
                            bool is_base, TxState* tx);
-  Status EraseTuple(datalog::PredId pred, const Tuple& tuple, TxState* tx);
+  Status EraseTupleTx(datalog::PredId pred, const Tuple& tuple, TxState* tx);
   Status EnsureEntityMembership(const datalog::Value& v, TxState* tx);
 
-  Status RunFixpoint(TxState* tx);
-  Status RunStratum(int stratum, TxState* tx);
-  Status RunRuleVariants(const CompiledRule& rule,
-                         const std::map<datalog::PredId, std::vector<Tuple>>&
-                             delta,
-                         TxState* tx);
-  Status InstantiateHeads(const CompiledRule& rule, Env& env,
-                          std::vector<std::pair<datalog::PredId, Tuple>>*
-                              pending);
-  Status RecomputeAggregate(const CompiledRule& rule, bool lattice,
-                            TxState* tx);
+  // FixpointHost (the driver's mutation interface; current_tx_ is the
+  // transaction being applied).
+  Result<bool> InsertHeadTuple(datalog::PredId pred,
+                               const Tuple& tuple) override;
+  Result<bool> InsertDerivedTuple(datalog::PredId pred,
+                                  const Tuple& tuple) override;
+  Status EraseTuple(datalog::PredId pred, const Tuple& tuple) override;
+  Status BindExistentials(const CompiledRule& rule, Env* env,
+                          std::vector<int>* bound_here) override;
+
   Status CheckConstraints(TxState* tx);
   void Rollback(TxState* tx);
   void RemoveFromDeltas(datalog::PredId pred, const Tuple& tuple, TxState* tx);
@@ -166,19 +185,19 @@ class Workspace : public RelationStore {
   std::vector<datalog::ConstraintDecl> installed_constraints_;
 
   std::vector<CompiledRule> compiled_rules_;
-  std::vector<bool> lattice_flags_;
   std::vector<CompiledConstraint> compiled_constraints_;
-  int max_stratum_ = 0;
-  std::vector<std::vector<size_t>> rules_by_stratum_;
-  // Predicates appearing under negation in some rule: base insertions into
-  // these trigger over-delete-and-rederive so stale derivations retract.
-  std::unordered_set<datalog::PredId> negated_preds_;
+  RuleGraph rule_graph_;
+  FixpointOptions fixpoint_options_;
+  std::unique_ptr<FixpointDriver> driver_;
   bool allow_unstratified_negation_ = false;
+
+  // Transaction currently being applied (the driver mutates through it).
+  TxState* current_tx_ = nullptr;
 
   // Head-existential memoization: (rule id, key binding) -> entity values.
   std::map<std::pair<int, Tuple>, std::vector<datalog::Value>> existential_memo_;
 
-  Stats stats_;
+  EngineStats stats_;
   std::vector<int64_t> tx_durations_us_;
 };
 

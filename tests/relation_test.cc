@@ -110,6 +110,27 @@ TEST(RelationTest, ProbeRebuildsAfterMutation) {
   EXPECT_EQ(r.Probe(0b01, T({1})).size(), 1u);
 }
 
+TEST(RelationTest, ProbeStaysCorrectAcrossGrowthAndErasure) {
+  // Grow-only growth appends to the secondary index; erasure (swap-remove
+  // shifts row ids) forces a rebuild. Interleave both and re-verify.
+  PredicateDecl decl = MakeDecl(2, false);
+  Relation r(&decl);
+  for (int64_t i = 0; i < 10; ++i) r.Insert(T({i % 2, i}));
+  EXPECT_EQ(r.Probe(0b01, T({0})).size(), 5u);
+  // Grow after the index was built: the appended rows must be visible.
+  for (int64_t i = 10; i < 20; ++i) r.Insert(T({i % 2, i}));
+  EXPECT_EQ(r.Probe(0b01, T({0})).size(), 10u);
+  // Erase invalidates row ids: results must still be exact.
+  r.Erase(T({0, 0}));
+  r.Erase(T({1, 19}));
+  const auto& rows = r.Probe(0b01, T({0}));
+  EXPECT_EQ(rows.size(), 9u);
+  for (size_t row : rows) EXPECT_EQ(r.tuples()[row][0].AsInt(), 0);
+  // And grow again after the rebuild.
+  r.Insert(T({0, 100}));
+  EXPECT_EQ(r.Probe(0b01, T({0})).size(), 10u);
+}
+
 TEST(RelationTest, TupleHashingQuality) {
   TupleHash h;
   // Different orderings hash differently (order matters).
