@@ -18,6 +18,12 @@ if [ -x "$build/micro_engine" ]; then
   "$build/micro_engine" --benchmark_min_time=0.01 \
       --benchmark_filter='BM_(TransitiveClosureChain|FixpointDependencyIndex)'
 fi
+# Counting-deletion smoke: per-delete work must not scale with the
+# database (see the seeded/iter and retract_firings/iter counters).
+if [ -x "$build/micro_delete" ]; then
+  "$build/micro_delete" --benchmark_min_time=0.01 \
+      --benchmark_filter='BM_(CountingDeleteFlat|GroupLocalDRedScoped)'
+fi
 SB_QUICK=1 SB_MAX_NODES=6 "$build/fig04_fixpoint_latency"
 
 echo "check.sh: OK"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/logging.h"
+
 namespace secureblox::dist {
 
 using engine::FactUpdate;
@@ -65,7 +67,18 @@ Result<SimCluster::Metrics> SimCluster::Run() {
     double start = std::max(ready_s, available[node]);
     auto t0 = std::chrono::steady_clock::now();
     Result<NodeRuntime::ApplyOutcome> outcome = fn();
-    if (!outcome.ok()) return outcome.status();
+    if (!outcome.ok()) {
+      if (is_delivery) {
+        // A malformed or hostile batch must not take down the cluster
+        // loop: count the rejection and keep the node serving — but log
+        // it, since this also catches local engine failures.
+        SB_LOG_STREAM(Warning) << "node " << node << ": rejected batch: "
+                               << outcome.status().ToString();
+        ++metrics.rejected_batches;
+        return Status::OK();
+      }
+      return outcome.status();
+    }
     double wall_s = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
                         .count();

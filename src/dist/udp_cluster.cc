@@ -1,5 +1,7 @@
 #include "dist/udp_cluster.h"
 
+#include "common/logging.h"
+
 namespace secureblox::dist {
 
 using engine::FactUpdate;
@@ -75,17 +77,30 @@ Status UdpCluster::Deliver(NodeIndex dst, const Bytes& datagram) {
     ++stats_.rejected;
     return Status::OK();
   }
-  SB_ASSIGN_OR_RETURN(Bytes payload,
-                      r.GetRaw(datagram.size() - sizeof(uint32_t)));
-  SB_ASSIGN_OR_RETURN(
-      NodeRuntime::ApplyOutcome outcome,
-      nodes_[dst]->DeliverMessage(payload, static_cast<NodeIndex>(*src)));
-  ++stats_.messages_delivered;
-  if (!outcome.accepted) {
+  auto payload = r.GetRaw(datagram.size() - sizeof(uint32_t));
+  if (!payload.ok()) {
     ++stats_.rejected;
     return Status::OK();
   }
-  return SendOutgoing(dst, outcome.outgoing);
+  // A malformed or hostile datagram must not take down the receive loop: a
+  // secure node counts it and keeps serving. Only transport-level failures
+  // below (Send) abort the run.
+  Result<NodeRuntime::ApplyOutcome> outcome =
+      nodes_[dst]->DeliverMessage(*payload, static_cast<NodeIndex>(*src));
+  if (!outcome.ok()) {
+    // Keep serving, but leave a trail: this path also catches local engine
+    // failures (budget, internal errors), not just attacker garbage.
+    SB_LOG_STREAM(Warning) << "node " << dst << ": rejected datagram from "
+                           << *src << ": " << outcome.status().ToString();
+    ++stats_.rejected;
+    return Status::OK();
+  }
+  ++stats_.messages_delivered;
+  if (!outcome->accepted) {
+    ++stats_.rejected;
+    return Status::OK();
+  }
+  return SendOutgoing(dst, outcome->outgoing);
 }
 
 Result<UdpCluster::Stats> UdpCluster::Run() {

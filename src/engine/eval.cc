@@ -611,6 +611,16 @@ bool TupleMatches(const std::vector<ArgPat>& pats, const Tuple& tuple,
   return true;
 }
 
+// Per-occurrence view for this step, or nullptr for a plain relation read.
+const OccView* ViewFor(const DeltaOverride* delta, const Step& step) {
+  if (delta == nullptr || delta->views == nullptr || step.occurrence < 0 ||
+      static_cast<size_t>(step.occurrence) >= delta->views->size()) {
+    return nullptr;
+  }
+  const OccView& v = (*delta->views)[step.occurrence];
+  return v.active() ? &v : nullptr;
+}
+
 }  // namespace
 
 Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
@@ -622,6 +632,7 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
   switch (step.kind) {
     case Step::Kind::kScan: {
       Relation* rel = store_.GetRelation(step.pred);
+      const OccView* view = ViewFor(delta, step);
       auto try_tuple = [&](const Tuple& t) -> Status {
         if (!TupleMatches(step.args, t, env)) return Status::OK();
         std::vector<int> bound_here;
@@ -636,11 +647,28 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
         return st;
       };
 
-      if (delta != nullptr && delta->occurrence == step.occurrence) {
+      if (view != nullptr && view->only != nullptr) {
+        for (const Tuple& t : *view->only) {
+          SB_RETURN_IF_ERROR(try_tuple(t));
+        }
+        return Status::OK();
+      }
+      if (view == nullptr && delta != nullptr &&
+          delta->occurrence == step.occurrence) {
         for (const Tuple& t : *delta->tuples) {
           SB_RETURN_IF_ERROR(try_tuple(t));
         }
         return Status::OK();
+      }
+      const TupleSet* exclude = view != nullptr ? view->exclude : nullptr;
+      auto try_row = [&](const Tuple& t) -> Status {
+        if (exclude != nullptr && exclude->count(t)) return Status::OK();
+        return try_tuple(t);
+      };
+      if (view != nullptr && view->extra != nullptr) {
+        for (const Tuple& t : *view->extra) {
+          SB_RETURN_IF_ERROR(try_tuple(t));
+        }
       }
       if (rel == nullptr) return Status::OK();  // no facts yet
       // Probe a secondary index on the bound columns when possible.
@@ -661,33 +689,59 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
         // head insertions), so the probe result stays valid.
         const std::vector<size_t>& rows = rel->Probe(mask, key);
         for (size_t row : rows) {
-          SB_RETURN_IF_ERROR(try_tuple(rel->tuples()[row]));
+          SB_RETURN_IF_ERROR(try_row(rel->tuples()[row]));
         }
       } else {
         for (const Tuple& t : rel->tuples()) {
-          SB_RETURN_IF_ERROR(try_tuple(t));
+          SB_RETURN_IF_ERROR(try_row(t));
         }
       }
       return Status::OK();
     }
 
     case Step::Kind::kLookup: {
+      const OccView* view = ViewFor(delta, step);
+      // Enumerate one candidate row (keys already matched elsewhere or
+      // checked via TupleMatches by the caller).
+      auto try_row = [&](const Tuple& t) -> Status {
+        const ArgPat& vp = step.args.back();
+        const Value& v = t.back();
+        if (vp.kind == ArgPat::Kind::kConst) {
+          if (!(v == vp.constant)) return Status::OK();
+          return RunFrom(steps, idx + 1, env, delta, on_match);
+        }
+        if (vp.kind == ArgPat::Kind::kBound) {
+          if (!(v == *env[vp.slot])) return Status::OK();
+          return RunFrom(steps, idx + 1, env, delta, on_match);
+        }
+        env[vp.slot] = v;
+        Status st = RunFrom(steps, idx + 1, env, delta, on_match);
+        env[vp.slot].reset();
+        return st;
+      };
       // Delta variant: iterate the delta like a scan (keys are bound, so
       // this is a cheap filter).
-      if (delta != nullptr && delta->occurrence == step.occurrence) {
-        for (const Tuple& t : *delta->tuples) {
+      const std::vector<Tuple>* only =
+          view != nullptr
+              ? view->only
+              : (delta != nullptr && delta->occurrence == step.occurrence
+                     ? delta->tuples
+                     : nullptr);
+      if (only != nullptr) {
+        for (const Tuple& t : *only) {
           if (!TupleMatches(step.args, t, env)) continue;
-          const ArgPat& vp = step.args.back();
-          std::optional<int> bound_slot;
-          if (vp.kind == ArgPat::Kind::kBind) {
-            env[vp.slot] = t.back();
-            bound_slot = vp.slot;
-          }
-          Status st = RunFrom(steps, idx + 1, env, delta, on_match);
-          if (bound_slot.has_value()) env[*bound_slot].reset();
-          SB_RETURN_IF_ERROR(st);
+          SB_RETURN_IF_ERROR(try_row(t));
         }
         return Status::OK();
+      }
+      // Erased tuples restored for retraction variants: these can coexist
+      // with a live row under the same keys (the row replaced them within
+      // the transaction), so both are enumerated.
+      if (view != nullptr && view->extra != nullptr) {
+        for (const Tuple& t : *view->extra) {
+          if (!TupleMatches(step.args, t, env)) continue;
+          SB_RETURN_IF_ERROR(try_row(t));
+        }
       }
       Relation* rel = store_.GetRelation(step.pred);
       if (rel == nullptr) return Status::OK();
@@ -699,20 +753,11 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
       }
       const Tuple* t = rel->LookupByKeys(keys);
       if (t == nullptr) return Status::OK();
-      const ArgPat& vp = step.args.back();
-      const Value& v = t->back();
-      if (vp.kind == ArgPat::Kind::kConst) {
-        if (!(v == vp.constant)) return Status::OK();
-        return RunFrom(steps, idx + 1, env, delta, on_match);
+      if (view != nullptr && view->exclude != nullptr &&
+          view->exclude->count(*t)) {
+        return Status::OK();
       }
-      if (vp.kind == ArgPat::Kind::kBound) {
-        if (!(v == *env[vp.slot])) return Status::OK();
-        return RunFrom(steps, idx + 1, env, delta, on_match);
-      }
-      env[vp.slot] = v;
-      Status st = RunFrom(steps, idx + 1, env, delta, on_match);
-      env[vp.slot].reset();
-      return st;
+      return try_row(*t);
     }
 
     case Step::Kind::kNegCheck: {

@@ -15,6 +15,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -138,11 +139,30 @@ class RuleCompiler {
   const BuiltinRegistry& builtins_;
 };
 
+using TupleSet = std::unordered_set<Tuple, TupleHash>;
+
+/// Per-occurrence relation view for exact (counting) delta enumeration:
+///  - `only`: the occurrence reads exactly these tuples (a delta);
+///  - `exclude`: tuples skipped when reading the relation (deltas that a
+///    variant with a later occurrence will cover, or queued inserts whose
+///    derivations have not been counted yet);
+///  - `extra`: tuples appended to the relation's contents (tuples already
+///    erased, restored so retraction variants see the pre-delete state).
+struct OccView {
+  const std::vector<Tuple>* only = nullptr;
+  const TupleSet* exclude = nullptr;
+  const std::vector<Tuple>* extra = nullptr;
+  bool active() const { return only || exclude || extra; }
+};
+
 /// Delta override: scan occurrence `occurrence` reads `tuples` instead of
 /// the full relation (semi-naïve variants, constraint delta checks).
+/// `views`, when set, gives a per-occurrence view and wins over the
+/// single-occurrence shorthand.
 struct DeltaOverride {
   int occurrence = -1;
   const std::vector<Tuple>* tuples = nullptr;
+  const std::vector<OccView>* views = nullptr;
 };
 
 /// Executes compiled step lists.

@@ -2,12 +2,36 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
 
 namespace secureblox::engine {
 
 using datalog::PredId;
 using datalog::Value;
 using datalog::ValueKind;
+
+namespace {
+
+/// Marks groups as actively (re)computing for a scope; removes only the
+/// ids it added so nested scopes compose.
+class ActiveSetGuard {
+ public:
+  explicit ActiveSetGuard(std::unordered_set<int>* set) : set_(set) {}
+  ActiveSetGuard(const ActiveSetGuard&) = delete;
+  ActiveSetGuard& operator=(const ActiveSetGuard&) = delete;
+  ~ActiveSetGuard() {
+    for (int id : added_) set_->erase(id);
+  }
+  void Add(int id) {
+    if (set_->insert(id).second) added_.push_back(id);
+  }
+
+ private:
+  std::unordered_set<int>* set_;
+  std::vector<int> added_;
+};
+
+}  // namespace
 
 FixpointDriver::FixpointDriver(const RuleGraph* graph,
                                const std::vector<CompiledRule>* rules,
@@ -18,51 +42,85 @@ FixpointDriver::FixpointDriver(const RuleGraph* graph,
       host_(*host), options_(*options) {}
 
 void FixpointDriver::Begin() {
-  pending_.assign(graph_.groups().size(), {});
+  delta_.assign(graph_.groups().size(), {});
+  neg_.assign(graph_.groups().size(), {});
+  active_.clear();
   touched_.clear();
   stats_ = {};
-  budget_slack_ = 0;
+}
+
+bool FixpointDriver::EraseFromDeltaMap(DeltaMap* m, PredId pred,
+                                       const Tuple& tuple) {
+  auto it = m->find(pred);
+  if (it == m->end()) return false;
+  auto& vec = it->second;
+  auto mid = std::remove(vec.begin(), vec.end(), tuple);
+  if (mid == vec.end()) return false;
+  vec.erase(mid, vec.end());
+  if (vec.empty()) m->erase(it);
+  return true;
+}
+
+void FixpointDriver::PushToDeltaMap(DeltaMap* m, PredId pred,
+                                    const Tuple& tuple) {
+  auto& vec = (*m)[pred];
+  // Within a transaction a tuple is notified once per direction (set
+  // semantics), so a vector ending in `tuple` means this call already
+  // pushed it for another notification of the same group.
+  if (!vec.empty() && vec.back() == tuple) return;
+  vec.push_back(tuple);
 }
 
 void FixpointDriver::NotifyInsert(PredId pred, const Tuple& tuple) {
   touched_.insert(pred);
-  // One queue entry per consuming group (not per consuming rule). Within a
-  // transaction a tuple is only notified once (set semantics), so a vector
-  // ending in `tuple` means this call already pushed it for another rule of
-  // the same group.
-  int prev = -1;
-  for (size_t rule : graph_.consumers_of(pred)) {
-    int g = graph_.group_of_rule(rule);
-    if (g == prev) continue;
-    prev = g;
-    auto& vec = pending_[g][pred];
-    if (!vec.empty() && vec.back() == tuple) continue;
-    vec.push_back(tuple);
+  for (int g : graph_.consumer_groups_of(pred)) {
+    ChangeQueue& q = delta_[g];
+    // Annihilation: the tuple left and came back before the group looked —
+    // no net change, no downstream work (DRed's "rescued" case).
+    if (EraseFromDeltaMap(&q.dels, pred, tuple)) {
+      ++stats_.rescued;
+      continue;
+    }
+    PushToDeltaMap(&q.adds, pred, tuple);
+  }
+  for (int g : graph_.negator_groups_of(pred)) {
+    if (active_.count(g)) continue;  // being recomputed against this state
+    ChangeQueue& q = neg_[g];
+    if (!EraseFromDeltaMap(&q.dels, pred, tuple)) {
+      PushToDeltaMap(&q.adds, pred, tuple);
+    }
   }
 }
 
-void FixpointDriver::NotifyErase(PredId pred, const Tuple& tuple) {
+void FixpointDriver::NotifyDelete(PredId pred, const Tuple& tuple) {
   touched_.insert(pred);
-  // Adjacent-group dedupe only (as in NotifyInsert); a repeated purge of
-  // the same group is an idempotent no-op.
-  int prev = -1;
-  for (size_t rule : graph_.consumers_of(pred)) {
-    int g = graph_.group_of_rule(rule);
-    if (g == prev) continue;
-    prev = g;
-    auto it = pending_[g].find(pred);
-    if (it == pending_[g].end()) continue;
-    auto& vec = it->second;
-    vec.erase(std::remove(vec.begin(), vec.end(), tuple), vec.end());
-    if (vec.empty()) pending_[g].erase(it);
+  for (int g : graph_.consumer_groups_of(pred)) {
+    // A group's own erasure churn (lattice improvement replacing a value,
+    // over-delete during its rederivation) must not re-queue it.
+    if (active_.count(g)) continue;
+    ChangeQueue& q = delta_[g];
+    // The insert was never consumed: cancel it instead of cascading.
+    if (EraseFromDeltaMap(&q.adds, pred, tuple)) continue;
+    PushToDeltaMap(&q.dels, pred, tuple);
+  }
+  for (int g : graph_.negator_groups_of(pred)) {
+    if (active_.count(g)) continue;
+    ChangeQueue& q = neg_[g];
+    if (!EraseFromDeltaMap(&q.adds, pred, tuple)) {
+      PushToDeltaMap(&q.dels, pred, tuple);
+    }
   }
 }
 
 bool FixpointDriver::HasPendingWork() const {
-  for (const DeltaMap& m : pending_) {
-    if (!m.empty()) return true;
+  for (size_t g = 0; g < delta_.size(); ++g) {
+    if (!delta_[g].empty() || !neg_[g].empty()) return true;
   }
   return false;
+}
+
+bool FixpointDriver::HasRetractWork(int gid) const {
+  return !delta_[gid].dels.empty() || !neg_[gid].empty();
 }
 
 bool FixpointDriver::HasDeltaFor(const CompiledRule& rule,
@@ -83,11 +141,12 @@ bool FixpointDriver::TouchedAny(const CompiledRule& rule) const {
 
 Status FixpointDriver::Run() {
   // The budget bounds *new* work: tuples seeded before the run (base
-  // inserts, and delete-and-rederive reseeding the whole database) extend
-  // the limit so routine rederivation of a large database never trips it.
-  budget_limit_ = options_.max_derivations + budget_slack_;
-  for (const DeltaMap& m : pending_) {
-    for (const auto& [pred, tuples] : m) budget_limit_ += tuples.size();
+  // updates) and tuples reseeded by group-local rederivation extend the
+  // limit so routine maintenance of a large database never trips it.
+  budget_limit_ = options_.max_derivations;
+  for (const ChangeQueue& q : delta_) {
+    for (const auto& [pred, tuples] : q.adds) budget_limit_ += tuples.size();
+    for (const auto& [pred, tuples] : q.dels) budget_limit_ += tuples.size();
   }
   // Strata in order; repeat while cross-stratum feedback (multi-head rules
   // whose heads live in an earlier stratum) left unconsumed deltas. The
@@ -120,31 +179,90 @@ Status FixpointDriver::RunStratum(int stratum) {
     }
   }
 
-  // Group worklist in topological order; a later group deriving into an
-  // earlier one (multi-head rules) re-arms the scan.
+  // Group worklist in topological order, retractions ahead of the insert
+  // rounds; a later group deriving into an earlier one (multi-head rules)
+  // re-arms the scan.
   bool any = true;
   while (any) {
     any = false;
     for (int gid : graph_.groups_in_stratum(stratum)) {
-      if (pending_[gid].empty()) continue;
-      any = true;
-      SB_RETURN_IF_ERROR(RunGroup(graph_.group(gid)));
+      if (HasRetractWork(gid)) {
+        any = true;
+        SB_RETURN_IF_ERROR(ProcessRetractions(gid));
+      }
+      if (!delta_[gid].adds.empty()) {
+        any = true;
+        SB_RETURN_IF_ERROR(RunGroup(graph_.group(gid)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status FixpointDriver::ProcessRetractions(int gid) {
+  const RuleGroup& group = graph_.group(gid);
+
+  // Pure stratified-aggregate group: the full recompute (already armed via
+  // touched_) subsumes retraction; run it now so a delete delta arriving
+  // mid-stratum cannot leave a stale aggregate behind.
+  bool all_agg = true;
+  for (size_t idx : group.rules) {
+    if (!rules_[idx].agg.has_value() || graph_.lattice(idx)) {
+      all_agg = false;
+      break;
+    }
+  }
+  if (all_agg) {
+    // A flipped negation probe never shows up in scan_preds (TouchedAny
+    // cannot see it), so it forces the recompute on its own.
+    bool flipped = !neg_[gid].empty();
+    delta_[gid].dels.clear();
+    neg_[gid].clear();
+    for (size_t idx : group.rules) {
+      const CompiledRule& rule = rules_[idx];
+      if (!flipped && !TouchedAny(rule)) continue;
+      ++stats_.agg_recomputes;
+      SB_RETURN_IF_ERROR(RecomputeAggregate(rule, /*lattice=*/false));
+      SB_RETURN_IF_ERROR(CheckBudget(group));
+    }
+    return Status::OK();
+  }
+
+  // Recursive groups and flipped negation probes cannot be maintained by
+  // counting alone: rederive locally.
+  if (group.recursive || !neg_[gid].empty()) return RederiveCluster(gid);
+
+  // Counting path: enumerate destroyed instantiations, drop supports.
+  while (!delta_[gid].dels.empty()) {
+    DeltaMap dels = std::move(delta_[gid].dels);
+    delta_[gid].dels.clear();
+    ++stats_.rounds;
+    for (size_t idx : group.rules) {
+      const CompiledRule& rule = rules_[idx];
+      if (HasDeltaFor(rule, dels)) {
+        ++stats_.retract_firings;
+        SB_RETURN_IF_ERROR(RunRetractVariants(rule, dels, gid));
+      } else {
+        ++stats_.firings_skipped;
+      }
     }
   }
   return Status::OK();
 }
 
 Status FixpointDriver::RunGroup(const RuleGroup& group) {
-  while (!pending_[group.id].empty()) {
-    DeltaMap delta = std::move(pending_[group.id]);
-    pending_[group.id].clear();
+  ActiveSetGuard guard(&active_);
+  guard.Add(group.id);
+  while (!delta_[group.id].adds.empty()) {
+    DeltaMap delta = std::move(delta_[group.id].adds);
+    delta_[group.id].adds.clear();
     ++stats_.rounds;
     for (size_t idx : group.rules) {
       const CompiledRule& rule = rules_[idx];
       if (rule.agg.has_value()) continue;
       if (HasDeltaFor(rule, delta)) {
         ++stats_.rule_firings;
-        SB_RETURN_IF_ERROR(RunRuleVariants(rule, delta));
+        SB_RETURN_IF_ERROR(RunRuleVariants(rule, delta, group.id));
       } else {
         ++stats_.firings_skipped;
       }
@@ -170,8 +288,8 @@ Status FixpointDriver::CheckBudget(const RuleGroup& group) {
   std::string culprits;
   for (size_t idx : group.rules) {
     const CompiledRule& rule = rules_[idx];
-    if (rule.agg.has_value() || HasDeltaFor(rule, pending_[group.id]) ||
-        TouchedAny(rule)) {
+    if (rule.agg.has_value() ||
+        HasDeltaFor(rule, delta_[group.id].adds) || TouchedAny(rule)) {
       if (!culprits.empty()) culprits += "; ";
       culprits += rule.source.ToString();
     }
@@ -208,14 +326,38 @@ Status FixpointDriver::InstantiateHeads(
 }
 
 Status FixpointDriver::RunRuleVariants(const CompiledRule& rule,
-                                       const DeltaMap& delta) {
+                                       const DeltaMap& delta, int gid) {
   Executor executor(&ctx_, &store_);
   std::vector<std::pair<PredId, Tuple>> pending;
+  // Tuples born earlier in the current round (queued for the next one):
+  // enumerating against them now would count their instantiations twice.
+  const DeltaMap& next = delta_[gid].adds;
+  const int n = rule.num_scan_occurrences;
 
-  for (int occ = 0; occ < rule.num_scan_occurrences; ++occ) {
+  for (int occ = 0; occ < n; ++occ) {
     auto it = delta.find(rule.scan_preds[occ]);
     if (it == delta.end() || it->second.empty()) continue;
-    DeltaOverride override{occ, &it->second};
+    // Mixed semi-naïve variant: occurrence `occ` reads the delta, earlier
+    // occurrences pretend the delta has not arrived, and every occurrence
+    // hides tuples born this round — each new instantiation is enumerated
+    // (and its head support counted) exactly once.
+    std::vector<OccView> views(n);
+    std::vector<TupleSet> excl(n);
+    views[occ].only = &it->second;
+    for (int j = 0; j < n; ++j) {
+      if (j == occ) continue;
+      PredId q = rule.scan_preds[j];
+      TupleSet& e = excl[j];
+      if (j < occ) {
+        auto dj = delta.find(q);
+        if (dj != delta.end()) e.insert(dj->second.begin(), dj->second.end());
+      }
+      auto nj = next.find(q);
+      if (nj != next.end()) e.insert(nj->second.begin(), nj->second.end());
+      if (!e.empty()) views[j].exclude = &e;
+    }
+    DeltaOverride override;
+    override.views = &views;
     Env env(rule.num_slots);
     SB_RETURN_IF_ERROR(executor.Run(
         rule.steps, &env, &override, [&](Env& e) -> Status {
@@ -226,6 +368,142 @@ Status FixpointDriver::RunRuleVariants(const CompiledRule& rule,
   for (auto& [pred, tuple] : pending) {
     SB_ASSIGN_OR_RETURN(bool inserted, host_.InsertHeadTuple(pred, tuple));
     if (inserted) ++stats_.derivations;
+  }
+  return Status::OK();
+}
+
+Status FixpointDriver::RunRetractVariants(const CompiledRule& rule,
+                                          const DeltaMap& dels, int gid) {
+  Executor executor(&ctx_, &store_);
+  std::vector<std::pair<PredId, Tuple>> pending;
+  // Insert deltas this group has not consumed yet: their instantiations
+  // were never counted, so retraction must not see those tuples either.
+  const DeltaMap& unconsumed = delta_[gid].adds;
+  const int n = rule.num_scan_occurrences;
+
+  for (int occ = 0; occ < n; ++occ) {
+    auto it = dels.find(rule.scan_preds[occ]);
+    if (it == dels.end() || it->second.empty()) continue;
+    // Destroyed-instantiation variant: occurrence `occ` reads the erased
+    // tuples; later occurrences see them restored (the pre-delete state),
+    // earlier ones read the post-delete relation — each destroyed
+    // instantiation is enumerated exactly once.
+    std::vector<OccView> views(n);
+    std::vector<TupleSet> excl(n);
+    views[occ].only = &it->second;
+    for (int j = 0; j < n; ++j) {
+      if (j == occ) continue;
+      PredId q = rule.scan_preds[j];
+      if (j > occ) {
+        auto dj = dels.find(q);
+        if (dj != dels.end()) views[j].extra = &dj->second;
+      }
+      auto uj = unconsumed.find(q);
+      if (uj != unconsumed.end() && !uj->second.empty()) {
+        excl[j].insert(uj->second.begin(), uj->second.end());
+        views[j].exclude = &excl[j];
+      }
+    }
+    DeltaOverride override;
+    override.views = &views;
+    Env env(rule.num_slots);
+    SB_RETURN_IF_ERROR(executor.Run(
+        rule.steps, &env, &override, [&](Env& e) -> Status {
+          return InstantiateHeads(rule, e, &pending);
+        }));
+  }
+
+  for (auto& [pred, tuple] : pending) {
+    ++stats_.retractions;
+    SB_ASSIGN_OR_RETURN(bool erased, host_.RetractSupport(pred, tuple));
+    if (erased) {
+      ++stats_.deleted;
+    } else {
+      ++stats_.rescued;
+    }
+  }
+  return Status::OK();
+}
+
+Status FixpointDriver::RederiveCluster(int gid) {
+  ++stats_.group_rederives;
+  // Closure over shared head predicates: every rule deriving an
+  // over-deleted predicate must re-fire, whichever group it lives in.
+  std::set<int> cluster{gid};
+  std::set<PredId> cpreds;
+  std::vector<int> work{gid};
+  while (!work.empty()) {
+    int g = work.back();
+    work.pop_back();
+    for (size_t idx : graph_.group(g).rules) {
+      for (PredId h : HeadPreds(rules_[idx])) {
+        if (!cpreds.insert(h).second) continue;
+        for (size_t r : graph_.producers_of(h)) {
+          int pg = graph_.group_of_rule(r);
+          if (cluster.insert(pg).second) work.push_back(pg);
+        }
+      }
+    }
+  }
+
+  ActiveSetGuard guard(&active_);
+  for (int g : cluster) guard.Add(g);
+  // Pending deltas and flips for cluster members are superseded by the
+  // full local recompute.
+  for (int g : cluster) {
+    delta_[g].clear();
+    neg_[g].clear();
+  }
+  for (PredId p : cpreds) {
+    SB_ASSIGN_OR_RETURN(uint64_t over_deleted, host_.OverDeleteDerived(p));
+    // Rederiving what was just over-deleted is not runaway work.
+    budget_limit_ += over_deleted;
+  }
+
+  // Reseed each cluster group from the full extension of its body
+  // predicates — the group-local analogue of DRed's rederivation pass.
+  for (int g : cluster) {
+    std::set<PredId> seen;
+    for (size_t idx : graph_.group(g).rules) {
+      for (PredId p : rules_[idx].scan_preds) {
+        if (!seen.insert(p).second) continue;
+        Relation* rel = store_.GetRelation(p);
+        if (rel == nullptr || rel->empty()) continue;
+        std::vector<Tuple>& vec = delta_[g].adds[p];
+        vec = rel->tuples();
+        stats_.rederive_seeded += vec.size();
+        budget_limit_ += vec.size();
+      }
+    }
+  }
+
+  // Local fixpoint over the cluster: strata in order, groups topological
+  // within. A stratified aggregate whose head was over-deleted recomputes
+  // when its inputs have a pending delta — the seed always provides one,
+  // so the first pass restores the output and quiet passes skip the scan.
+  std::vector<int> order(cluster.begin(), cluster.end());
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return std::make_pair(graph_.group(a).stratum, a) <
+           std::make_pair(graph_.group(b).stratum, b);
+  });
+  bool any = true;
+  while (any) {
+    any = false;
+    for (int g : order) {
+      const RuleGroup& grp = graph_.group(g);
+      for (size_t idx : grp.rules) {
+        const CompiledRule& rule = rules_[idx];
+        if (rule.agg.has_value() && !graph_.lattice(idx) &&
+            HasDeltaFor(rule, delta_[g].adds)) {
+          ++stats_.agg_recomputes;
+          SB_RETURN_IF_ERROR(RecomputeAggregate(rule, /*lattice=*/false));
+        }
+      }
+      if (!delta_[g].adds.empty()) {
+        any = true;
+        SB_RETURN_IF_ERROR(RunGroup(grp));
+      }
+    }
   }
   return Status::OK();
 }

@@ -1,4 +1,4 @@
-// Semi-naïve fixpoint driver.
+// Semi-naïve fixpoint driver with counting-based incremental deletion.
 //
 // Owns the per-transaction delta bookkeeping and runs the installed rules
 // to a fixpoint, one rule group at a time (groups come from the RuleGraph's
@@ -7,6 +7,22 @@
 // re-enters the worklist only when a predecessor group derives into it.
 // Lattice aggregates re-run after each round of their group; stratified
 // aggregates recompute on stratum entry — their classical recompute points.
+//
+// Deletions propagate incrementally. Every derived tuple carries a
+// derivation-support count (Relation::SupportCount) that insert rounds
+// keep exact via mixed semi-naïve variants. A delete delta is processed
+// per group:
+//   - non-recursive groups enumerate exactly the destroyed rule
+//     instantiations (the delta at one occurrence, erased tuples restored
+//     at later occurrences) and drop one support per instantiation; a
+//     tuple whose support reaches zero — and that is not a base fact — is
+//     erased and cascades downstream;
+//   - recursive groups, and groups whose negation probes flipped, fall
+//     back to group-local DRed: over-delete the closure of groups sharing
+//     head predicates, reseed just those groups from their body
+//     predicates, and re-run them to a local fixpoint. Rescued tuples
+//     annihilate against their own delete deltas in downstream queues, so
+//     downstream work is proportional to the net change.
 //
 // The driver mutates the database exclusively through the FixpointHost
 // interface so the workspace keeps ownership of undo logging, entity
@@ -39,13 +55,28 @@ struct FixpointStats {
   uint64_t agg_skipped = 0;
   /// Tuples newly derived by rules and aggregates.
   uint64_t derivations = 0;
+  // -- deletion path ---------------------------------------------------------
+  /// Retraction rule evaluations (delete-delta analogue of rule_firings).
+  uint64_t retract_firings = 0;
+  /// Derivation supports dropped by the counting path.
+  uint64_t retractions = 0;
+  /// Tuples erased by delete propagation (support exhausted, no base fact).
+  uint64_t deleted = 0;
+  /// Tuples kept alive by an alternative derivation or a base fact, plus
+  /// over-deleted tuples rederived by group-local DRed.
+  uint64_t rescued = 0;
+  /// Group-local DRed invocations (recursive groups / negation flips).
+  uint64_t group_rederives = 0;
+  /// Tuples reseeded into rederived groups — the rederivation footprint,
+  /// bounded by the affected groups instead of the whole database.
+  uint64_t rederive_seeded = 0;
 };
 
 struct FixpointOptions {
   /// Abort the transaction once a fixpoint derives more than this many
   /// tuples *beyond* the seeded deltas (guards non-terminating programs
-  /// without capping delete-and-rederive of a large database). The error
-  /// names the stratum, rule group, and the rules still producing deltas.
+  /// without capping group-local rederivation). The error names the
+  /// stratum, rule group, and the rules still producing deltas.
   uint64_t max_derivations = 1000000;
 };
 
@@ -54,14 +85,27 @@ class FixpointHost {
  public:
   virtual ~FixpointHost() = default;
   /// Normalize (intern entity labels) and insert a rule-head tuple as
-  /// derived. Returns true when newly inserted.
+  /// derived, adding one derivation support. Returns true when newly
+  /// inserted.
   virtual Result<bool> InsertHeadTuple(datalog::PredId pred,
                                        const Tuple& tuple) = 0;
-  /// Insert an already-normalized derived tuple (aggregate results).
+  /// Insert an already-normalized derived tuple (aggregate results; no
+  /// support counting — aggregates are recompute-managed).
   virtual Result<bool> InsertDerivedTuple(datalog::PredId pred,
                                           const Tuple& tuple) = 0;
   /// Erase a tuple (stale aggregate results), with undo logging.
   virtual Status EraseTuple(datalog::PredId pred, const Tuple& tuple) = 0;
+  /// Drop one derivation support (counting deletion). Erases the tuple and
+  /// cascades a delete delta when support is exhausted and the tuple is
+  /// not a base fact. Returns true when the tuple was erased.
+  virtual Result<bool> RetractSupport(datalog::PredId pred,
+                                      const Tuple& tuple) = 0;
+  /// Group-local DRed over-delete: erase every non-base tuple of `pred`
+  /// (cascading delete deltas) and zero the support of surviving base
+  /// facts, so rederivation recounts from scratch. Returns the number of
+  /// tuples erased — rederiving them is not runaway work and extends the
+  /// derivation budget.
+  virtual Result<uint64_t> OverDeleteDerived(datalog::PredId pred) = 0;
   /// Bind a rule's head-existential slots in `env` (memoized entity
   /// creation); appends the slots bound to `bound_here`.
   virtual Status BindExistentials(const CompiledRule& rule, Env* env,
@@ -80,15 +124,12 @@ class FixpointDriver {
 
   /// Reset delta queues and counters for a new transaction.
   void Begin();
-  /// Route a newly inserted tuple to the consuming rule groups.
+  /// Route a newly inserted tuple to the consuming rule groups; annihilates
+  /// a matching unconsumed delete delta (the tuple was rescued).
   void NotifyInsert(datalog::PredId pred, const Tuple& tuple);
-  /// Remove a tuple from all unconsumed delta queues (tuple erased before
-  /// being seen, e.g. replaced aggregate results).
-  void NotifyErase(datalog::PredId pred, const Tuple& tuple);
-  /// Extend this transaction's derivation budget: delete-and-rederive
-  /// over-deletes the derived database and re-derives it, which must not
-  /// count against the runaway-program cap.
-  void AddBudgetSlack(uint64_t derivations) { budget_slack_ += derivations; }
+  /// Route an erased tuple as a delete delta; cancels a matching unconsumed
+  /// insert delta instead (the tuple never fired downstream).
+  void NotifyDelete(datalog::PredId pred, const Tuple& tuple);
 
   /// Run installed rules to fixpoint over the queued deltas.
   Status Run();
@@ -99,13 +140,43 @@ class FixpointDriver {
  private:
   using DeltaMap = std::map<datalog::PredId, std::vector<Tuple>>;
 
+  /// Paired insert/delete queues with annihilation: an add cancels a
+  /// pending del of the same tuple and vice versa, so a tuple that is
+  /// erased and rederived within one transaction causes no downstream
+  /// work.
+  struct ChangeQueue {
+    DeltaMap adds;
+    DeltaMap dels;
+    bool empty() const { return adds.empty() && dels.empty(); }
+    void clear() {
+      adds.clear();
+      dels.clear();
+    }
+  };
+
+  static bool EraseFromDeltaMap(DeltaMap* m, datalog::PredId pred,
+                                const Tuple& tuple);
+  static void PushToDeltaMap(DeltaMap* m, datalog::PredId pred,
+                             const Tuple& tuple);
+
   bool HasPendingWork() const;
+  bool HasRetractWork(int gid) const;
   bool HasDeltaFor(const CompiledRule& rule, const DeltaMap& delta) const;
   bool TouchedAny(const CompiledRule& rule) const;
 
   Status RunStratum(int stratum);
   Status RunGroup(const RuleGroup& group);
-  Status RunRuleVariants(const CompiledRule& rule, const DeltaMap& delta);
+  Status RunRuleVariants(const CompiledRule& rule, const DeltaMap& delta,
+                         int gid);
+  /// Counting retraction / group-local DRed dispatch for one group's
+  /// pending delete deltas and negation flips.
+  Status ProcessRetractions(int gid);
+  Status RunRetractVariants(const CompiledRule& rule, const DeltaMap& dels,
+                            int gid);
+  /// Group-local DRed: over-delete the head-sharing closure around `gid`,
+  /// reseed those groups from their body predicates, re-run to a local
+  /// fixpoint.
+  Status RederiveCluster(int gid);
   Status InstantiateHeads(const CompiledRule& rule, Env& env,
                           std::vector<std::pair<datalog::PredId, Tuple>>*
                               pending);
@@ -119,15 +190,21 @@ class FixpointDriver {
   FixpointHost& host_;
   const FixpointOptions& options_;
 
-  /// Unconsumed delta queues, one per rule group.
-  std::vector<DeltaMap> pending_;
+  /// Unconsumed insert/delete deltas, one queue pair per rule group.
+  std::vector<ChangeQueue> delta_;
+  /// Net content changes to predicates a group negates (flip triggers);
+  /// only emptiness matters, but annihilation keeps transient over-delete/
+  /// rederive churn from re-arming the group.
+  std::vector<ChangeQueue> neg_;
+  /// Groups currently being (re)computed: their own erasure churn (lattice
+  /// improvement, over-delete) must not re-queue them.
+  std::unordered_set<int> active_;
   /// Predicates touched (insert or erase) anywhere in the transaction —
   /// gates stratified-aggregate recomputation.
   std::unordered_set<datalog::PredId> touched_;
   FixpointStats stats_;
-  /// max_derivations plus this run's seeded/rederived volume (set by Run()).
+  /// max_derivations plus this run's seeded/rederived volume.
   uint64_t budget_limit_ = 0;
-  uint64_t budget_slack_ = 0;
 };
 
 }  // namespace secureblox::engine

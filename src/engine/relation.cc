@@ -12,6 +12,7 @@ InsertOutcome Relation::Insert(const Tuple& t) {
   }
   index_[t] = tuples_.size();
   tuples_.push_back(t);
+  counts_.push_back(0);
   ++version_;
   return InsertOutcome::kInserted;
 }
@@ -28,15 +29,33 @@ bool Relation::Erase(const Tuple& t) {
   size_t last = tuples_.size() - 1;
   if (slot != last) {
     tuples_[slot] = std::move(tuples_[last]);
+    counts_[slot] = counts_[last];
     index_[tuples_[slot]] = slot;
     if (decl_->functional) {
       fd_index_[Tuple(tuples_[slot].begin(), tuples_[slot].end() - 1)] = slot;
     }
   }
   tuples_.pop_back();
+  counts_.pop_back();
   ++version_;
   last_erase_version_ = version_;
   return true;
+}
+
+uint32_t Relation::SupportCount(const Tuple& t) const {
+  auto it = index_.find(t);
+  return it == index_.end() ? 0 : counts_[it->second];
+}
+
+uint32_t Relation::AddSupport(const Tuple& t) {
+  auto it = index_.find(t);
+  if (it == index_.end()) return 0;
+  return ++counts_[it->second];
+}
+
+void Relation::SetSupport(const Tuple& t, uint32_t count) {
+  auto it = index_.find(t);
+  if (it != index_.end()) counts_[it->second] = count;
 }
 
 std::optional<Tuple> Relation::ReplaceFunctional(const Tuple& t) {

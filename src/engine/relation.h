@@ -1,6 +1,11 @@
 // Relation storage: a dense tuple vector with a full-tuple hash index for
 // set semantics, a key index enforcing functional dependencies, and lazily
 // built secondary hash indexes keyed by bound-column masks for joins.
+//
+// Each row additionally carries a derivation-support count used by the
+// counting-based incremental deletion path: the number of rule
+// instantiations currently deriving the tuple. Base facts and aggregate
+// outputs keep a count of zero; their liveness is tracked elsewhere.
 #ifndef SECUREBLOX_ENGINE_RELATION_H_
 #define SECUREBLOX_ENGINE_RELATION_H_
 
@@ -49,6 +54,15 @@ class Relation {
   bool empty() const { return tuples_.empty(); }
   const std::vector<Tuple>& tuples() const { return tuples_; }
 
+  // -- derivation-support counts (counting-based deletion) -------------------
+
+  /// Current support of `t`; 0 when absent or purely base.
+  uint32_t SupportCount(const Tuple& t) const;
+  /// Add one derivation support. Returns the new count (0 if `t` absent).
+  uint32_t AddSupport(const Tuple& t);
+  /// Overwrite the support of `t` (rollback / over-delete bookkeeping).
+  void SetSupport(const Tuple& t, uint32_t count);
+
   /// Monotonically increasing change counter (secondary index freshness).
   uint64_t version() const { return version_; }
 
@@ -70,6 +84,7 @@ class Relation {
 
   const datalog::PredicateDecl* decl_;
   std::vector<Tuple> tuples_;
+  std::vector<uint32_t> counts_;  // parallel to tuples_
   std::unordered_map<Tuple, size_t, TupleHash> index_;     // tuple -> slot
   std::unordered_map<Tuple, size_t, TupleHash> fd_index_;  // keys -> slot
   std::unordered_map<uint32_t, SecondaryIndex> secondary_;

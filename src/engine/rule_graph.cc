@@ -319,6 +319,32 @@ Result<RuleGraph> RuleGraph::Build(const std::vector<CompiledRule*>& rules,
   for (int id = 0; id < num; ++id) {
     g.groups_by_stratum_[g.groups_[id].stratum].push_back(id);
   }
+
+  // Delta-routing and rederivation indexes.
+  for (const auto& [pred, rule_ids] : g.consumers_) {
+    std::set<int> gs;
+    for (size_t r : rule_ids) gs.insert(g.group_of_rule_[r]);
+    g.consumer_groups_[pred].assign(gs.begin(), gs.end());
+  }
+  {
+    std::map<PredId, std::set<int>> neg_groups;
+    for (size_t i = 0; i < rules.size(); ++i) {
+      for (const Step& s : rules[i]->steps) {
+        if (s.kind == Step::Kind::kNegCheck) {
+          neg_groups[s.pred].insert(g.group_of_rule_[i]);
+        }
+      }
+    }
+    for (const auto& [pred, gs] : neg_groups) {
+      g.negator_groups_[pred].assign(gs.begin(), gs.end());
+    }
+  }
+  for (size_t i = 0; i < rules.size(); ++i) {
+    std::set<PredId> seen;
+    for (PredId h : HeadPreds(*rules[i])) {
+      if (seen.insert(h).second) g.producers_[h].push_back(i);
+    }
+  }
   (void)catalog;
   return g;
 }
@@ -327,6 +353,24 @@ const std::vector<size_t>& RuleGraph::consumers_of(PredId pred) const {
   static const std::vector<size_t> kEmpty;
   auto it = consumers_.find(pred);
   return it == consumers_.end() ? kEmpty : it->second;
+}
+
+const std::vector<int>& RuleGraph::consumer_groups_of(PredId pred) const {
+  static const std::vector<int> kEmpty;
+  auto it = consumer_groups_.find(pred);
+  return it == consumer_groups_.end() ? kEmpty : it->second;
+}
+
+const std::vector<int>& RuleGraph::negator_groups_of(PredId pred) const {
+  static const std::vector<int> kEmpty;
+  auto it = negator_groups_.find(pred);
+  return it == negator_groups_.end() ? kEmpty : it->second;
+}
+
+const std::vector<size_t>& RuleGraph::producers_of(PredId pred) const {
+  static const std::vector<size_t> kEmpty;
+  auto it = producers_.find(pred);
+  return it == producers_.end() ? kEmpty : it->second;
 }
 
 }  // namespace secureblox::engine

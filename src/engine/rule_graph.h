@@ -80,6 +80,20 @@ class RuleGraph {
   /// driver must consider re-firing when `pred` gains a delta tuple.
   const std::vector<size_t>& consumers_of(datalog::PredId pred) const;
 
+  /// Group ids (sorted, unique) containing at least one consumer of `pred`
+  /// — the delta-routing targets for inserts and deletes of `pred`.
+  const std::vector<int>& consumer_groups_of(datalog::PredId pred) const;
+
+  /// Group ids containing a rule that negates `pred`. Content changes to
+  /// `pred` (either direction) can flip those rules' negation probes, so
+  /// the groups must rederive (group-local DRed).
+  const std::vector<int>& negator_groups_of(datalog::PredId pred) const;
+
+  /// Rules with `pred` among their head predicates. Group-local DRed
+  /// over-deletes a predicate and must re-fire every rule deriving it,
+  /// whichever group it lives in.
+  const std::vector<size_t>& producers_of(datalog::PredId pred) const;
+
   /// Predicates appearing under negation in some rule body. Base insertions
   /// into these invalidate existing derivations (the workspace routes such
   /// transactions through delete-and-rederive).
@@ -95,6 +109,9 @@ class RuleGraph {
   std::vector<int> group_of_rule_;      // by rule
   std::vector<std::vector<int>> groups_by_stratum_;
   std::unordered_map<datalog::PredId, std::vector<size_t>> consumers_;
+  std::unordered_map<datalog::PredId, std::vector<int>> consumer_groups_;
+  std::unordered_map<datalog::PredId, std::vector<int>> negator_groups_;
+  std::unordered_map<datalog::PredId, std::vector<size_t>> producers_;
   std::unordered_set<datalog::PredId> negated_preds_;
 };
 

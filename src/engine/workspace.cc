@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/logging.h"
 #include "datalog/typecheck.h"
 
 namespace secureblox::engine {
@@ -165,7 +166,7 @@ Status Workspace::EnsureEntityMembership(const Value& v, TxState* tx) {
 }
 
 Result<bool> Workspace::InsertTuple(PredId pred, const Tuple& tuple,
-                                    bool is_base, TxState* tx) {
+                                    bool is_base, bool counted, TxState* tx) {
   Relation* rel = GetRelation(pred);
   InsertOutcome outcome = rel->Insert(tuple);
   if (outcome == InsertOutcome::kFdConflict) {
@@ -180,16 +181,24 @@ Result<bool> Workspace::InsertTuple(PredId pred, const Tuple& tuple,
   if (outcome == InsertOutcome::kDuplicate) {
     if (is_base && !base_tuples_[pred].count(tuple)) {
       base_tuples_[pred].insert(tuple);
-      tx->undo.push_back({UndoOp::Kind::kBaseAdded, pred, tuple});
+      tx->undo.push_back({UndoOp::Kind::kBaseAdded, pred, tuple, 0});
+    }
+    if (counted) {
+      rel->AddSupport(tuple);
+      tx->undo.push_back({UndoOp::Kind::kSupportAdded, pred, tuple, 0});
     }
     return false;
   }
-  tx->undo.push_back({UndoOp::Kind::kInserted, pred, tuple});
+  tx->undo.push_back({UndoOp::Kind::kInserted, pred, tuple, 0});
   if (is_base) {
     base_tuples_[pred].insert(tuple);
-    tx->undo.push_back({UndoOp::Kind::kBaseAdded, pred, tuple});
+    tx->undo.push_back({UndoOp::Kind::kBaseAdded, pred, tuple, 0});
   } else {
     ++tx->num_derived;
+    if (counted) {
+      rel->AddSupport(tuple);
+      tx->undo.push_back({UndoOp::Kind::kSupportAdded, pred, tuple, 0});
+    }
   }
   tx->inserted[pred].push_back(tuple);
   driver_->NotifyInsert(pred, tuple);
@@ -199,25 +208,26 @@ Result<bool> Workspace::InsertTuple(PredId pred, const Tuple& tuple,
   return true;
 }
 
-void Workspace::RemoveFromDeltas(PredId pred, const Tuple& tuple,
-                                 TxState* tx) {
-  auto it = tx->inserted.find(pred);
-  if (it != tx->inserted.end()) {
-    auto& vec = it->second;
-    vec.erase(std::remove(vec.begin(), vec.end(), tuple), vec.end());
-  }
-  driver_->NotifyErase(pred, tuple);
-}
-
 Status Workspace::EraseTupleTx(PredId pred, const Tuple& tuple, TxState* tx) {
   Relation* rel = GetRelation(pred);
-  if (!rel->Erase(tuple)) return Status::OK();
-  tx->undo.push_back({UndoOp::Kind::kErased, pred, tuple});
+  // `tuple` may alias the relation's own storage (aggregate replacement
+  // passes the LookupByKeys result); swap-remove would clobber it before
+  // the undo log and the delete delta read it.
+  Tuple copy = tuple;
+  uint32_t support = rel->SupportCount(copy);
+  if (!rel->Erase(copy)) return Status::OK();
+  ++tx->num_erased;
+  tx->undo.push_back({UndoOp::Kind::kErased, pred, copy, support});
   auto base_it = base_tuples_.find(pred);
-  if (base_it != base_tuples_.end() && base_it->second.erase(tuple)) {
-    tx->undo.push_back({UndoOp::Kind::kBaseRemoved, pred, tuple});
+  if (base_it != base_tuples_.end() && base_it->second.erase(copy)) {
+    tx->undo.push_back({UndoOp::Kind::kBaseRemoved, pred, copy, 0});
   }
-  RemoveFromDeltas(pred, tuple, tx);
+  auto ins_it = tx->inserted.find(pred);
+  if (ins_it != tx->inserted.end()) {
+    auto& vec = ins_it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), copy), vec.end());
+  }
+  driver_->NotifyDelete(pred, copy);
   return Status::OK();
 }
 
@@ -225,15 +235,61 @@ Status Workspace::EraseTupleTx(PredId pred, const Tuple& tuple, TxState* tx) {
 
 Result<bool> Workspace::InsertHeadTuple(PredId pred, const Tuple& tuple) {
   SB_ASSIGN_OR_RETURN(Tuple normalized, NormalizeTuple(pred, tuple));
-  return InsertTuple(pred, normalized, /*is_base=*/false, current_tx_);
+  return InsertTuple(pred, normalized, /*is_base=*/false, /*counted=*/true,
+                     current_tx_);
 }
 
 Result<bool> Workspace::InsertDerivedTuple(PredId pred, const Tuple& tuple) {
-  return InsertTuple(pred, tuple, /*is_base=*/false, current_tx_);
+  // Aggregate outputs: liveness is recompute-managed, not counted.
+  return InsertTuple(pred, tuple, /*is_base=*/false, /*counted=*/false,
+                     current_tx_);
 }
 
 Status Workspace::EraseTuple(PredId pred, const Tuple& tuple) {
   return EraseTupleTx(pred, tuple, current_tx_);
+}
+
+Result<bool> Workspace::RetractSupport(PredId pred, const Tuple& tuple) {
+  Relation* rel = GetRelation(pred);
+  uint32_t support = rel->SupportCount(tuple);
+  if (!rel->Contains(tuple) || support == 0) {
+    return Status::Internal(
+        "support underflow on '" + catalog_->decl(pred).name +
+        "': retraction of an uncounted derivation of " +
+        TupleToString(tuple, *catalog_));
+  }
+  rel->SetSupport(tuple, support - 1);
+  current_tx_->undo.push_back(
+      {UndoOp::Kind::kSupportDropped, pred, tuple, 0});
+  if (support - 1 > 0) return false;  // alternative derivation remains
+  auto base_it = base_tuples_.find(pred);
+  if (base_it != base_tuples_.end() && base_it->second.count(tuple)) {
+    return false;  // still asserted as a base fact
+  }
+  SB_RETURN_IF_ERROR(EraseTupleTx(pred, tuple, current_tx_));
+  return true;
+}
+
+Result<uint64_t> Workspace::OverDeleteDerived(PredId pred) {
+  Relation* rel = GetRelation(pred);
+  const auto& base = base_tuples_[pred];
+  std::vector<Tuple> copy = rel->tuples();
+  uint64_t erased = 0;
+  for (const Tuple& t : copy) {
+    if (base.count(t)) {
+      // Base facts survive over-delete; rederivation recounts them.
+      uint32_t support = rel->SupportCount(t);
+      if (support > 0) {
+        current_tx_->undo.push_back(
+            {UndoOp::Kind::kSupportCleared, pred, t, support});
+        rel->SetSupport(t, 0);
+      }
+    } else {
+      SB_RETURN_IF_ERROR(EraseTupleTx(pred, t, current_tx_));
+      ++erased;
+    }
+  }
+  return erased;
 }
 
 Status Workspace::BindExistentials(const CompiledRule& rule, Env* envp,
@@ -308,53 +364,64 @@ Status Workspace::CheckConstraints(TxState* tx) {
 }
 
 void Workspace::Rollback(TxState* tx) {
+  // Reverse replay: an erased functional slot is re-inserted only after
+  // the tuple that reoccupied it (logged later) has been undone.
   for (auto it = tx->undo.rbegin(); it != tx->undo.rend(); ++it) {
+    Relation* rel = GetRelation(it->pred);
     switch (it->kind) {
       case UndoOp::Kind::kInserted:
-        GetRelation(it->pred)->Erase(it->tuple);
+        rel->Erase(it->tuple);
         break;
-      case UndoOp::Kind::kErased:
-        GetRelation(it->pred)->Insert(it->tuple);
+      case UndoOp::Kind::kErased: {
+        InsertOutcome outcome = rel->Insert(it->tuple);
+        if (outcome == InsertOutcome::kFdConflict) {
+          // The key slot is still occupied — the undo log cannot express
+          // this interleaving, which indicates a missing undo entry.
+          // Restore deterministically: the erased tuple wins.
+          SB_LOG_STREAM(Error) << "rollback: functional slot of '"
+                        << catalog_->decl(it->pred).name
+                        << "' still occupied while restoring "
+                        << TupleToString(it->tuple, *catalog_)
+                        << "; displacing the occupant";
+          const Tuple* occupant = rel->LookupByKeys(
+              Tuple(it->tuple.begin(), it->tuple.end() - 1));
+          if (occupant != nullptr) rel->Erase(*occupant);
+          outcome = rel->Insert(it->tuple);
+        }
+        if (outcome == InsertOutcome::kInserted) {
+          if (it->count > 0) rel->SetSupport(it->tuple, it->count);
+        } else {
+          SB_LOG_STREAM(Error) << "rollback: could not restore erased tuple "
+                        << TupleToString(it->tuple, *catalog_) << " into '"
+                        << catalog_->decl(it->pred).name << "'";
+        }
         break;
+      }
       case UndoOp::Kind::kBaseAdded:
         base_tuples_[it->pred].erase(it->tuple);
         break;
       case UndoOp::Kind::kBaseRemoved:
         base_tuples_[it->pred].insert(it->tuple);
         break;
+      case UndoOp::Kind::kSupportAdded: {
+        uint32_t support = rel->SupportCount(it->tuple);
+        if (support > 0) {
+          rel->SetSupport(it->tuple, support - 1);
+        } else {
+          SB_LOG_STREAM(Error) << "rollback: support underflow undoing an insert "
+                        << "into '" << catalog_->decl(it->pred).name << "'";
+        }
+        break;
+      }
+      case UndoOp::Kind::kSupportDropped:
+        rel->AddSupport(it->tuple);
+        break;
+      case UndoOp::Kind::kSupportCleared:
+        rel->SetSupport(it->tuple, it->count);
+        break;
     }
   }
   ++stats_.aborts;
-}
-
-Status Workspace::OverDeleteAndReseed(TxState* tx) {
-  // Over-delete every derived tuple (DRed with a maximal overestimate).
-  std::unordered_set<PredId> idb;
-  for (const CompiledRule& r : compiled_rules_) {
-    for (PredId h : HeadPreds(r)) idb.insert(h);
-  }
-  uint64_t over_deleted = 0;
-  for (PredId pred : idb) {
-    Relation* rel = GetRelation(pred);
-    std::vector<Tuple> copy = rel->tuples();
-    const auto& base = base_tuples_[pred];
-    for (const Tuple& t : copy) {
-      if (!base.count(t)) {
-        SB_RETURN_IF_ERROR(EraseTupleTx(pred, t, tx));
-        ++over_deleted;
-      }
-    }
-  }
-  // Rederiving what was just over-deleted is not runaway work.
-  driver_->AddBudgetSlack(over_deleted);
-  // Rederive from everything that remains.
-  for (size_t pred = 0; pred < relations_.size(); ++pred) {
-    if (relations_[pred] == nullptr) continue;
-    for (const Tuple& t : relations_[pred]->tuples()) {
-      driver_->NotifyInsert(static_cast<PredId>(pred), t);
-    }
-  }
-  return Status::OK();
 }
 
 Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
@@ -379,40 +446,41 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
     return st;
   };
 
-  // Base insertions into negated predicates can invalidate existing
-  // derivations; such transactions also go through rederivation.
-  bool needs_rederive = !deletes.empty();
-  if (!needs_rederive) {
+  // Deletions and negated-predicate inserts can retract derived tuples,
+  // which invalidates the insert-delta shortcut the constraint checker
+  // normally uses.
+  bool may_retract = !deletes.empty();
+  if (!may_retract) {
     for (const FactUpdate& ins : inserts) {
       auto pred = catalog_->Lookup(ins.pred);
       if (pred.ok() && rule_graph_.negated_preds().count(pred.value())) {
-        needs_rederive = true;
+        may_retract = true;
         break;
       }
     }
   }
-  tx.full_constraint_check = needs_rederive;
+  tx.full_constraint_check = may_retract;
 
-  // Deletions: remove base facts, over-delete all derived tuples, reseed.
-  if (!deletes.empty()) {
-    for (const FactUpdate& d : deletes) {
-      auto pred = catalog_->Lookup(d.pred);
-      if (!pred.ok()) return fail(pred.status());
-      auto normalized = NormalizeTuple(pred.value(), d.values);
-      if (!normalized.ok()) return fail(normalized.status());
-      Relation* rel = GetRelation(pred.value());
-      if (!rel->Contains(*normalized)) continue;
-      if (!base_tuples_[pred.value()].count(*normalized)) {
-        return fail(Status::InvalidArgument(
-            "cannot delete derived fact from '" + d.pred + "'"));
-      }
+  // Base-fact deletions seed delete deltas; a tuple with remaining
+  // derivation support merely loses its base assertion and stays.
+  for (const FactUpdate& d : deletes) {
+    auto pred = catalog_->Lookup(d.pred);
+    if (!pred.ok()) return fail(pred.status());
+    auto normalized = NormalizeTuple(pred.value(), d.values);
+    if (!normalized.ok()) return fail(normalized.status());
+    Relation* rel = GetRelation(pred.value());
+    if (!rel->Contains(*normalized)) continue;
+    if (!base_tuples_[pred.value()].count(*normalized)) {
+      return fail(Status::InvalidArgument(
+          "cannot delete derived fact from '" + d.pred + "'"));
+    }
+    base_tuples_[pred.value()].erase(*normalized);
+    tx.undo.push_back({UndoOp::Kind::kBaseRemoved, pred.value(), *normalized,
+                       0});
+    if (rel->SupportCount(*normalized) == 0) {
       Status st = EraseTupleTx(pred.value(), *normalized, &tx);
       if (!st.ok()) return fail(st);
     }
-  }
-  if (needs_rederive) {
-    Status st = OverDeleteAndReseed(&tx);
-    if (!st.ok()) return fail(st);
   }
 
   for (const FactUpdate& ins : inserts) {
@@ -421,12 +489,17 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
     auto normalized = NormalizeTuple(pred.value(), ins.values);
     if (!normalized.ok()) return fail(normalized.status());
     auto inserted = InsertTuple(pred.value(), *normalized, /*is_base=*/true,
-                                &tx);
+                                /*counted=*/false, &tx);
     if (!inserted.ok()) return fail(inserted.status());
   }
 
   Status fixpoint = driver_->Run();
   if (!fixpoint.ok()) return fail(fixpoint);
+
+  // Cascaded erasures (retractions, group-local over-deletes that did not
+  // fully rederive, stale aggregate outputs) also invalidate the
+  // insert-delta shortcut.
+  if (tx.num_erased > 0) tx.full_constraint_check = true;
 
   Status constraints = CheckConstraints(&tx);
   if (!constraints.ok()) return fail(constraints);
@@ -450,6 +523,10 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
   stats_.firings_skipped += commit.fixpoint.firings_skipped;
   stats_.agg_recomputes += commit.fixpoint.agg_recomputes;
   stats_.agg_skipped += commit.fixpoint.agg_skipped;
+  stats_.retractions += commit.fixpoint.retractions;
+  stats_.deleted_tuples += commit.fixpoint.deleted;
+  stats_.rescued_tuples += commit.fixpoint.rescued;
+  stats_.group_rederives += commit.fixpoint.group_rederives;
   finish_timing();
   commit.duration_us = tx_durations_us_.back();
   return commit;

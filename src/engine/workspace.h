@@ -13,9 +13,12 @@
 // owns storage, undo logging, entity interning, and constraint checking,
 // and exposes them to the driver through the FixpointHost interface.
 //
-// Deletions use delete-and-rederive: requested base facts are removed, all
-// derived tuples are over-deleted, and the rederivation phase recomputes
-// them from the remaining base facts (DRed with a maximal overestimate).
+// Deletions propagate incrementally (counting + group-local DRed): each
+// derived tuple carries a derivation-support count maintained by the
+// fixpoint driver, a base-fact delete seeds a delete delta, and only
+// tuples whose support reaches zero cascade. Recursive rule groups and
+// flipped negation probes rederive group-locally instead of reseeding the
+// whole database (see engine/fixpoint.h).
 #ifndef SECUREBLOX_ENGINE_WORKSPACE_H_
 #define SECUREBLOX_ENGINE_WORKSPACE_H_
 
@@ -65,6 +68,11 @@ struct EngineStats {
   uint64_t firings_skipped = 0;
   uint64_t agg_recomputes = 0;
   uint64_t agg_skipped = 0;
+  // Deletion path (see FixpointStats).
+  uint64_t retractions = 0;
+  uint64_t deleted_tuples = 0;
+  uint64_t rescued_tuples = 0;
+  uint64_t group_rederives = 0;
 };
 
 class Workspace : public RelationStore, private FixpointHost {
@@ -131,26 +139,40 @@ class Workspace : public RelationStore, private FixpointHost {
 
  private:
   struct UndoOp {
-    enum class Kind { kInserted, kErased, kBaseAdded, kBaseRemoved };
+    enum class Kind {
+      kInserted,
+      kErased,
+      kBaseAdded,
+      kBaseRemoved,
+      kSupportAdded,    // undo: drop one derivation support
+      kSupportDropped,  // undo: add one derivation support
+      kSupportCleared,  // undo: restore `count` (over-delete of base facts)
+    };
     Kind kind;
     datalog::PredId pred;
     Tuple tuple;
+    /// kErased / kSupportCleared: the support count to restore.
+    uint32_t count = 0;
   };
 
   struct TxState {
     std::vector<UndoOp> undo;
     std::map<datalog::PredId, std::vector<Tuple>> inserted;
     size_t num_derived = 0;
+    /// Tuples physically erased (any cause: base delete, retraction,
+    /// over-delete, stale aggregate) — erasures invalidate the
+    /// insert-delta constraint-check shortcut.
+    size_t num_erased = 0;
     bool full_constraint_check = false;
   };
 
   Status Recompile();
 
   // Insert a normalized tuple; logs undo, routes deltas to the fixpoint
-  // driver, auto-inserts entity type membership. Returns true if newly
-  // inserted.
+  // driver, auto-inserts entity type membership. `counted` adds one
+  // derivation support (rule heads). Returns true if newly inserted.
   Result<bool> InsertTuple(datalog::PredId pred, const Tuple& tuple,
-                           bool is_base, TxState* tx);
+                           bool is_base, bool counted, TxState* tx);
   Status EraseTupleTx(datalog::PredId pred, const Tuple& tuple, TxState* tx);
   Status EnsureEntityMembership(const datalog::Value& v, TxState* tx);
 
@@ -161,15 +183,14 @@ class Workspace : public RelationStore, private FixpointHost {
   Result<bool> InsertDerivedTuple(datalog::PredId pred,
                                   const Tuple& tuple) override;
   Status EraseTuple(datalog::PredId pred, const Tuple& tuple) override;
+  Result<bool> RetractSupport(datalog::PredId pred,
+                              const Tuple& tuple) override;
+  Result<uint64_t> OverDeleteDerived(datalog::PredId pred) override;
   Status BindExistentials(const CompiledRule& rule, Env* env,
                           std::vector<int>* bound_here) override;
 
   Status CheckConstraints(TxState* tx);
   void Rollback(TxState* tx);
-  void RemoveFromDeltas(datalog::PredId pred, const Tuple& tuple, TxState* tx);
-  // Over-delete every derived tuple and reseed the delta queues with all
-  // remaining tuples (DRed's maximal overestimate + rederivation setup).
-  Status OverDeleteAndReseed(TxState* tx);
 
   std::unique_ptr<datalog::Catalog> catalog_;
   BuiltinRegistry builtins_;

@@ -1,0 +1,407 @@
+// Counting-based incremental deletion: support counts keep tuples with
+// alternative derivations alive, recursive groups fall back to group-local
+// DRed, aggregate outputs retract with their inputs, and failed deletes
+// roll back exactly — including functional key slots.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "datalog/parser.h"
+#include "engine/workspace.h"
+
+namespace secureblox::engine {
+namespace {
+
+using datalog::Parse;
+using datalog::Value;
+
+void Install(Workspace* ws, const std::string& src) {
+  auto program = Parse(src);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Status st = ws->Install(program.value());
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+std::set<std::string> QuerySet(Workspace& ws, const std::string& pred) {
+  auto rows = ws.Query(pred);
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  std::set<std::string> out;
+  if (!rows.ok()) return out;
+  for (const auto& t : rows.value()) {
+    out.insert(TupleToString(t, ws.catalog()));
+  }
+  return out;
+}
+
+bool Contains(Workspace& ws, const std::string& pred,
+              std::vector<Value> values) {
+  auto r = ws.ContainsFact(pred, values);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() && r.value();
+}
+
+TEST(CountingDeleteTest, AlternativeDerivationSurvives) {
+  Workspace ws;
+  Install(&ws, R"(
+    a(X) -> string(X).
+    b(X) -> string(X).
+    p(X) -> string(X).
+    p(X) <- a(X).
+    p(X) <- b(X).
+  )");
+  ASSERT_TRUE(ws.Insert("a", {Value::Str("x")}).ok());
+  ASSERT_TRUE(ws.Insert("b", {Value::Str("x")}).ok());
+  EXPECT_TRUE(Contains(ws, "p", {Value::Str("x")}));
+
+  // Dropping one support must keep the tuple (count 2 -> 1), not erase it.
+  auto del1 = ws.Apply({}, {{"a", {Value::Str("x")}}});
+  ASSERT_TRUE(del1.ok()) << del1.status().ToString();
+  EXPECT_TRUE(Contains(ws, "p", {Value::Str("x")}));
+  EXPECT_GE(del1->fixpoint.rescued, 1u);
+  EXPECT_EQ(del1->fixpoint.deleted, 0u);
+  EXPECT_EQ(del1->fixpoint.group_rederives, 0u);  // pure counting path
+
+  // The last support goes: now the tuple cascades out.
+  auto del2 = ws.Apply({}, {{"b", {Value::Str("x")}}});
+  ASSERT_TRUE(del2.ok()) << del2.status().ToString();
+  EXPECT_FALSE(Contains(ws, "p", {Value::Str("x")}));
+  EXPECT_GE(del2->fixpoint.deleted, 1u);
+}
+
+TEST(CountingDeleteTest, CascadesThroughStrata) {
+  Workspace ws;
+  Install(&ws, R"(
+    a(X) -> string(X).
+    p(X) -> string(X).
+    q(X) -> string(X).
+    p(X) <- a(X).
+    q(X) <- p(X).
+  )");
+  ASSERT_TRUE(ws.Insert("a", {Value::Str("x")}).ok());
+  EXPECT_TRUE(Contains(ws, "q", {Value::Str("x")}));
+  auto del = ws.Apply({}, {{"a", {Value::Str("x")}}});
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_FALSE(Contains(ws, "p", {Value::Str("x")}));
+  EXPECT_FALSE(Contains(ws, "q", {Value::Str("x")}));
+  EXPECT_EQ(del->fixpoint.group_rederives, 0u);
+}
+
+TEST(CountingDeleteTest, MultiOccurrenceCountsAreExact) {
+  // twohop joins link with itself: inserting both edges in one transaction
+  // must count the (a,b),(b,c) instantiation exactly once — a double count
+  // would leave twohop(a,c) alive after deleting link(a,b).
+  Workspace ws;
+  Install(&ws, R"(
+    node(X) -> .
+    link(X, Y) -> node(X), node(Y).
+    twohop(X, Y) -> node(X), node(Y).
+    twohop(X, Y) <- link(X, Z), link(Z, Y).
+  )");
+  auto commit = ws.Apply({{"link", {Value::Str("a"), Value::Str("b")}},
+                          {"link", {Value::Str("b"), Value::Str("c")}}});
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_TRUE(Contains(ws, "twohop", {Value::Str("a"), Value::Str("c")}));
+
+  auto del = ws.Apply({}, {{"link", {Value::Str("a"), Value::Str("b")}}});
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_FALSE(Contains(ws, "twohop", {Value::Str("a"), Value::Str("c")}));
+}
+
+TEST(CountingDeleteTest, DiamondSupportsCountBothPaths) {
+  Workspace ws;
+  Install(&ws, R"(
+    node(X) -> .
+    link(X, Y) -> node(X), node(Y).
+    twohop(X, Y) -> node(X), node(Y).
+    twohop(X, Y) <- link(X, Z), link(Z, Y).
+  )");
+  auto commit = ws.Apply({{"link", {Value::Str("a"), Value::Str("m1")}},
+                          {"link", {Value::Str("m1"), Value::Str("c")}},
+                          {"link", {Value::Str("a"), Value::Str("m2")}},
+                          {"link", {Value::Str("m2"), Value::Str("c")}}});
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+  // Two distinct instantiations derive twohop(a,c): losing one leg keeps it.
+  auto del = ws.Apply({}, {{"link", {Value::Str("a"), Value::Str("m1")}}});
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_TRUE(Contains(ws, "twohop", {Value::Str("a"), Value::Str("c")}));
+  auto del2 = ws.Apply({}, {{"link", {Value::Str("m2"), Value::Str("c")}}});
+  ASSERT_TRUE(del2.ok()) << del2.status().ToString();
+  EXPECT_FALSE(Contains(ws, "twohop", {Value::Str("a"), Value::Str("c")}));
+}
+
+TEST(CountingDeleteTest, RecursiveGroupUsesGroupLocalDRed) {
+  Workspace ws;
+  Install(&ws, R"(
+    node(X) -> .
+    link(X, Y) -> node(X), node(Y).
+    reachable(X, Y) -> node(X), node(Y).
+    reachable(X, Y) <- link(X, Y).
+    reachable(X, Y) <- link(X, Z), reachable(Z, Y).
+  )");
+  auto commit = ws.Apply({{"link", {Value::Str("a"), Value::Str("b")}},
+                          {"link", {Value::Str("b"), Value::Str("c")}},
+                          {"link", {Value::Str("c"), Value::Str("d")}}});
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(QuerySet(ws, "reachable").size(), 6u);
+
+  auto del = ws.Apply({}, {{"link", {Value::Str("b"), Value::Str("c")}}});
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(QuerySet(ws, "reachable").size(), 2u);  // a->b, c->d
+  EXPECT_GE(del->fixpoint.group_rederives, 1u);
+}
+
+TEST(CountingDeleteTest, DeleteRetractsAggregateAndDownstream) {
+  // A retraction must flow through an aggregate recompute point: the stale
+  // total — and anything derived from it — cannot survive.
+  Workspace ws;
+  Install(&ws, R"(
+    sale(X, V) -> string(X), int(V).
+    total[X] = V -> string(X), int(V).
+    big(X) -> string(X).
+    total[X] = V <- agg<< V = sum(S) >> sale(X, S).
+    big(X) <- total[X] = V, V > 10.
+  )");
+  auto commit = ws.Apply({{"sale", {Value::Str("a"), Value::Int(8)}},
+                          {"sale", {Value::Str("a"), Value::Int(7)}}});
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_TRUE(Contains(ws, "total", {Value::Str("a"), Value::Int(15)}));
+  EXPECT_TRUE(Contains(ws, "big", {Value::Str("a")}));
+
+  auto del = ws.Apply({}, {{"sale", {Value::Str("a"), Value::Int(7)}}});
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_TRUE(Contains(ws, "total", {Value::Str("a"), Value::Int(8)}));
+  EXPECT_FALSE(Contains(ws, "total", {Value::Str("a"), Value::Int(15)}));
+  EXPECT_FALSE(Contains(ws, "big", {Value::Str("a")}));
+
+  // Deleting the last input drops the group entirely.
+  auto del2 = ws.Apply({}, {{"sale", {Value::Str("a"), Value::Int(8)}}});
+  ASSERT_TRUE(del2.ok()) << del2.status().ToString();
+  EXPECT_EQ(QuerySet(ws, "total").size(), 0u);
+}
+
+TEST(CountingDeleteTest, DeleteRecomputesLatticeShortestPath) {
+  Workspace ws;
+  Install(&ws, R"(
+    node(X) -> .
+    link(X, Y, C) -> node(X), node(Y), int(C).
+    cost(X, Y, C) -> node(X), node(Y), int(C).
+    bestcost[X, Y] = C -> node(X), node(Y), int(C).
+    cost(X, Y, C) <- link(X, Y, C).
+    cost(X, Y, C1 + C2) <- bestcost[X, Z] = C1, link(Z, Y, C2).
+    bestcost[X, Y] = C <- agg<< C = min(Cx) >> cost(X, Y, Cx).
+  )");
+  auto commit = ws.Apply({
+      {"link", {Value::Str("a"), Value::Str("b"), Value::Int(1)}},
+      {"link", {Value::Str("b"), Value::Str("c"), Value::Int(1)}},
+      {"link", {Value::Str("a"), Value::Str("c"), Value::Int(5)}},
+  });
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_TRUE(Contains(ws, "bestcost",
+                       {Value::Str("a"), Value::Str("c"), Value::Int(2)}));
+
+  // Retracting the cheap leg must re-route a->c through the direct link —
+  // a monotone lattice cannot do this incrementally, so the group
+  // rederives locally.
+  auto del = ws.Apply(
+      {}, {{"link", {Value::Str("a"), Value::Str("b"), Value::Int(1)}}});
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_TRUE(Contains(ws, "bestcost",
+                       {Value::Str("a"), Value::Str("c"), Value::Int(5)}));
+  EXPECT_FALSE(Contains(ws, "bestcost",
+                        {Value::Str("a"), Value::Str("b"), Value::Int(1)}));
+  EXPECT_GE(del->fixpoint.group_rederives, 1u);
+}
+
+TEST(CountingDeleteTest, NegationFlipRecomputesAggregate) {
+  // A negated atom inside an aggregate body is invisible to the
+  // scan-predicate delta index; the flip queue alone must force the
+  // recompute, in both directions.
+  Workspace ws;
+  Install(&ws, R"(
+    sale(X, V) -> string(X), int(V).
+    excluded(X) -> string(X).
+    total[X] = V -> string(X), int(V).
+    total[X] = V <- agg<< V = sum(S) >> sale(X, S), !excluded(X).
+  )");
+  auto commit = ws.Apply({{"sale", {Value::Str("a"), Value::Int(5)}},
+                          {"sale", {Value::Str("b"), Value::Int(7)}}});
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_EQ(QuerySet(ws, "total").size(), 2u);
+
+  ASSERT_TRUE(ws.Insert("excluded", {Value::Str("a")}).ok());
+  EXPECT_EQ(QuerySet(ws, "total").size(), 1u);
+  EXPECT_FALSE(Contains(ws, "total", {Value::Str("a"), Value::Int(5)}));
+
+  auto del = ws.Apply({}, {{"excluded", {Value::Str("a")}}});
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_TRUE(Contains(ws, "total", {Value::Str("a"), Value::Int(5)}));
+}
+
+TEST(CountingDeleteTest, NegationFlipsOnDeleteAndInsert) {
+  Workspace ws;
+  Install(&ws, R"(
+    node(X) -> .
+    link(X, Y) -> node(X), node(Y).
+    unlinked(X, Y) -> node(X), node(Y).
+    unlinked(X, Y) <- node(X), node(Y), !link(X, Y), X != Y.
+  )");
+  auto commit = ws.Apply({{"link", {Value::Str("a"), Value::Str("b")}},
+                          {"link", {Value::Str("b"), Value::Str("c")}}});
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_EQ(QuerySet(ws, "unlinked").size(), 4u);
+
+  // Insert into the negated predicate: unlinked(a,c) must retract.
+  ASSERT_TRUE(ws.Insert("link", {Value::Str("a"), Value::Str("c")}).ok());
+  EXPECT_FALSE(Contains(ws, "unlinked", {Value::Str("a"), Value::Str("c")}));
+  EXPECT_EQ(QuerySet(ws, "unlinked").size(), 3u);
+
+  // Delete from the negated predicate: unlinked(a,b) must appear.
+  auto del = ws.Apply({}, {{"link", {Value::Str("a"), Value::Str("b")}}});
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_TRUE(Contains(ws, "unlinked", {Value::Str("a"), Value::Str("b")}));
+  EXPECT_EQ(QuerySet(ws, "unlinked").size(), 4u);
+}
+
+TEST(CountingDeleteTest, BaseFactWithDerivedSupportSurvivesBaseDelete) {
+  Workspace ws;
+  Install(&ws, R"(
+    a(X) -> string(X).
+    p(X) -> string(X).
+    p(X) <- a(X).
+  )");
+  // p("x") asserted as base AND derived from a("x").
+  ASSERT_TRUE(ws.Insert("a", {Value::Str("x")}).ok());
+  ASSERT_TRUE(ws.Insert("p", {Value::Str("x")}).ok());
+  // Deleting the base assertion keeps the derived support.
+  auto del = ws.Apply({}, {{"p", {Value::Str("x")}}});
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_TRUE(Contains(ws, "p", {Value::Str("x")}));
+  // Now the derivation goes too.
+  auto del2 = ws.Apply({}, {{"a", {Value::Str("x")}}});
+  ASSERT_TRUE(del2.ok()) << del2.status().ToString();
+  EXPECT_FALSE(Contains(ws, "p", {Value::Str("x")}));
+}
+
+TEST(CountingDeleteTest, RollbackAfterFailedDelete) {
+  Workspace ws;
+  Install(&ws, R"(
+    item(X) -> string(X).
+    approved(X) -> string(X).
+    item(X) -> approved(X).
+  )");
+  ASSERT_TRUE(ws.Insert("approved", {Value::Str("x")}).ok());
+  ASSERT_TRUE(ws.Insert("item", {Value::Str("x")}).ok());
+
+  // Deleting the approval while the item remains violates the constraint;
+  // the whole transaction — including the delete — must roll back.
+  auto del = ws.Apply({}, {{"approved", {Value::Str("x")}}});
+  EXPECT_FALSE(del.ok());
+  EXPECT_EQ(del.status().code(), StatusCode::kConstraintViolation);
+  EXPECT_TRUE(Contains(ws, "approved", {Value::Str("x")}));
+  EXPECT_TRUE(Contains(ws, "item", {Value::Str("x")}));
+  EXPECT_GE(ws.stats().aborts, 1u);
+
+  // The workspace stays fully usable: delete both in one transaction.
+  auto ok = ws.Apply({}, {{"item", {Value::Str("x")}},
+                          {"approved", {Value::Str("x")}}});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_FALSE(Contains(ws, "item", {Value::Str("x")}));
+}
+
+TEST(CountingDeleteTest, RollbackRestoresReoccupiedFunctionalSlot) {
+  Workspace ws;
+  Install(&ws, R"(
+    owner[X] = Y -> string(X), string(Y).
+    ok(Y) -> string(Y).
+    owner[X] = Y -> ok(Y).
+  )");
+  ASSERT_TRUE(ws.Insert("ok", {Value::Str("ann")}).ok());
+  ASSERT_TRUE(
+      ws.Insert("owner", {Value::Str("book"), Value::Str("ann")}).ok());
+
+  // One transaction frees the key slot and reoccupies it with a value that
+  // violates the constraint: rollback must restore owner[book] = ann, not
+  // silently drop it because the slot was taken.
+  auto swap = ws.Apply({{"owner", {Value::Str("book"), Value::Str("bob")}}},
+                       {{"owner", {Value::Str("book"), Value::Str("ann")}}});
+  EXPECT_FALSE(swap.ok());
+  EXPECT_EQ(swap.status().code(), StatusCode::kConstraintViolation);
+  EXPECT_TRUE(Contains(ws, "owner", {Value::Str("book"), Value::Str("ann")}));
+  EXPECT_FALSE(Contains(ws, "owner", {Value::Str("book"), Value::Str("bob")}));
+
+  // Counts survived the rollback: deleting the restored fact still works.
+  auto del = ws.Apply({}, {{"owner", {Value::Str("book"),
+                                      Value::Str("ann")}}});
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(QuerySet(ws, "owner").size(), 0u);
+}
+
+TEST(CountingDeleteTest, DeleteWorkIsProportionalToAffectedTuples) {
+  // Large non-recursive database: deleting one base fact must not replay
+  // the whole database (the old engine over-deleted and rederived all of
+  // it; firings would scale with N).
+  Workspace ws;
+  Install(&ws, R"(
+    pair(X, Y) -> string(X), string(Y).
+    left(X) -> string(X).
+    left(X) <- pair(X, Y).
+  )");
+  std::vector<FactUpdate> inserts;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    inserts.push_back({"pair",
+                       {Value::Str("k" + std::to_string(i)),
+                        Value::Str("v" + std::to_string(i))}});
+  }
+  ASSERT_TRUE(ws.Apply(inserts).ok());
+  ASSERT_EQ(QuerySet(ws, "left").size(), static_cast<size_t>(n));
+
+  auto del = ws.Apply({}, {{"pair", {Value::Str("k7"), Value::Str("v7")}}});
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(QuerySet(ws, "left").size(), static_cast<size_t>(n - 1));
+  // One retraction variant fired, one support dropped, one tuple deleted —
+  // and nothing was reseeded.
+  EXPECT_EQ(del->fixpoint.group_rederives, 0u);
+  EXPECT_EQ(del->fixpoint.rederive_seeded, 0u);
+  EXPECT_EQ(del->fixpoint.retractions, 1u);
+  EXPECT_EQ(del->fixpoint.deleted, 1u);
+  EXPECT_LE(del->fixpoint.rule_firings + del->fixpoint.retract_firings, 4u);
+}
+
+TEST(CountingDeleteTest, GroupLocalDRedDoesNotReseedUnrelatedPredicates) {
+  // A recursive group forces DRed, but rederivation must stay inside the
+  // group's own inputs — the big unrelated predicate family is untouched.
+  Workspace ws;
+  Install(&ws, R"(
+    node(X) -> .
+    link(X, Y) -> node(X), node(Y).
+    reachable(X, Y) -> node(X), node(Y).
+    reachable(X, Y) <- link(X, Y).
+    reachable(X, Y) <- link(X, Z), reachable(Z, Y).
+    pair(X, Y) -> string(X), string(Y).
+    left(X) -> string(X).
+    left(X) <- pair(X, Y).
+  )");
+  std::vector<FactUpdate> inserts;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    inserts.push_back({"pair",
+                       {Value::Str("k" + std::to_string(i)),
+                        Value::Str("v" + std::to_string(i))}});
+  }
+  inserts.push_back({"link", {Value::Str("a"), Value::Str("b")}});
+  inserts.push_back({"link", {Value::Str("b"), Value::Str("c")}});
+  ASSERT_TRUE(ws.Apply(inserts).ok());
+
+  auto del = ws.Apply({}, {{"link", {Value::Str("a"), Value::Str("b")}}});
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(QuerySet(ws, "reachable").size(), 1u);  // b->c
+  EXPECT_GE(del->fixpoint.group_rederives, 1u);
+  // The reseed covers the reachable group's inputs (links + entity
+  // membership), not the 400 unrelated pairs.
+  EXPECT_LT(del->fixpoint.rederive_seeded, 50u);
+}
+
+}  // namespace
+}  // namespace secureblox::engine

@@ -125,6 +125,46 @@ TEST(SaysPolicyTest, ReceiverAcceptsProperlySignedSays) {
   EXPECT_EQ(bob.ws->Query("score").value().size(), 1u);
 }
 
+TEST(SaysPolicyTest, CredentialRevocationRetractsAcceptedFacts) {
+  // Paper §6.1 trust delegation with retraction: bob only accepts facts
+  // said by trustworthy principals, and revoking the credential must
+  // retract everything it admitted — incrementally, through the engine's
+  // counting delete path, not a database rebuild.
+  auto authority = MakeAuthority();
+  SaysPolicyOptions opts = RsaOptions();
+  opts.accept = AcceptMode::kTrustworthy;
+  Node alice = MakeNode("alice", opts, authority);
+  Node bob = MakeNode("bob", opts, authority);
+
+  ASSERT_TRUE(bob.ws->Insert("trustworthy", {Value::Str("alice")}).ok());
+  ASSERT_TRUE(alice.ws
+                  ->Apply({{"says$score",
+                            {Value::Str("alice"), Value::Str("bob"),
+                             Value::Str("alice"), Value::Int(7)}}})
+                  .ok());
+  auto sig = alice.ws->Query("sig$score").value()[0].back();
+  ASSERT_TRUE(bob.ws
+                  ->Apply({{"sig$score",
+                            {Value::Str("alice"), Value::Str("bob"),
+                             Value::Str("alice"), Value::Int(7), sig}},
+                           {"says$score",
+                            {Value::Str("alice"), Value::Str("bob"),
+                             Value::Str("alice"), Value::Int(7)}}})
+                  .ok());
+  ASSERT_EQ(bob.ws->Query("score").value().size(), 1u);
+
+  // Revoke: the accepted fact disappears; the says/sig evidence remains.
+  auto revoke = bob.ws->Apply({}, {{"trustworthy", {Value::Str("alice")}}});
+  ASSERT_TRUE(revoke.ok()) << revoke.status().ToString();
+  EXPECT_EQ(bob.ws->Query("score").value().size(), 0u);
+  EXPECT_EQ(bob.ws->Query("says$score").value().size(), 1u);
+  EXPECT_GE(revoke->fixpoint.deleted, 1u);
+
+  // Re-granting trust re-derives the fact from the retained evidence.
+  ASSERT_TRUE(bob.ws->Insert("trustworthy", {Value::Str("alice")}).ok());
+  EXPECT_EQ(bob.ws->Query("score").value().size(), 1u);
+}
+
 TEST(SaysPolicyTest, ForgedSignatureRejected) {
   auto authority = MakeAuthority();
   Node alice = MakeNode("alice", RsaOptions(), authority);

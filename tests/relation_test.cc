@@ -131,6 +131,42 @@ TEST(RelationTest, ProbeStaysCorrectAcrossGrowthAndErasure) {
   EXPECT_EQ(r.Probe(0b01, T({0})).size(), 10u);
 }
 
+TEST(RelationTest, SupportCountsTrackTuples) {
+  PredicateDecl decl = MakeDecl(2, false);
+  Relation r(&decl);
+  EXPECT_EQ(r.SupportCount(T({1, 2})), 0u);  // absent
+  r.Insert(T({1, 2}));
+  EXPECT_EQ(r.SupportCount(T({1, 2})), 0u);  // present, uncounted
+  EXPECT_EQ(r.AddSupport(T({1, 2})), 1u);
+  EXPECT_EQ(r.AddSupport(T({1, 2})), 2u);
+  EXPECT_EQ(r.AddSupport(T({9, 9})), 0u);  // absent: no-op
+  r.SetSupport(T({1, 2}), 7u);
+  EXPECT_EQ(r.SupportCount(T({1, 2})), 7u);
+  r.Erase(T({1, 2}));
+  EXPECT_EQ(r.SupportCount(T({1, 2})), 0u);
+}
+
+TEST(RelationTest, SupportCountsSurviveSwapRemove) {
+  // Erasing a middle row swap-removes the last one into its slot; the
+  // moved row's support must move with it.
+  PredicateDecl decl = MakeDecl(2, false);
+  Relation r(&decl);
+  for (int64_t i = 0; i < 8; ++i) {
+    r.Insert(T({i, i + 100}));
+    for (int64_t j = 0; j <= i; ++j) r.AddSupport(T({i, i + 100}));
+  }
+  r.Erase(T({2, 102}));
+  r.Erase(T({5, 105}));
+  for (int64_t i = 0; i < 8; ++i) {
+    if (i == 2 || i == 5) {
+      EXPECT_EQ(r.SupportCount(T({i, i + 100})), 0u);
+    } else {
+      EXPECT_EQ(r.SupportCount(T({i, i + 100})),
+                static_cast<uint32_t>(i + 1));
+    }
+  }
+}
+
 TEST(RelationTest, TupleHashingQuality) {
   TupleHash h;
   // Different orderings hash differently (order matters).

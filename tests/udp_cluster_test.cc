@@ -51,6 +51,56 @@ TEST(UdpClusterTest, ThreeNodeClosureOverRealSockets) {
   EXPECT_EQ(rows.size(), 3u);  // p0->p1, p1->p2, p0->p2
 }
 
+TEST(UdpClusterTest, HostileDatagramsAreRejectedNotFatal) {
+  policy::SaysPolicyOptions popts;
+  popts.accept = policy::AcceptMode::kBenign;
+
+  UdpCluster::Config cfg;
+  cfg.num_nodes = 2;
+  cfg.sources = {policy::PreludeSource(), kApp,
+                 policy::SaysPolicySource(popts)};
+  cfg.batch_security.auth = policy::AuthScheme::kHmac;
+  cfg.credentials.rsa_bits = 512;
+  cfg.credentials.seed = "udp-hostile";
+
+  auto cluster = UdpCluster::Create(std::move(cfg));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  // An attacker socket aimed at node 0's port.
+  std::vector<net::UdpEndpoint> eps = {
+      {"127.0.0.1", 0}, {"127.0.0.1", (*cluster)->port_of(0)}};
+  auto attacker = net::UdpTransport::Bind(0, eps);
+  ASSERT_TRUE(attacker.ok()) << attacker.status().ToString();
+
+  // Truncated datagram (no sender header), a bogus sender index, and a
+  // well-formed header with garbage payload.
+  ASSERT_TRUE(attacker->Send(1, Bytes{0x01}).ok());
+  ASSERT_TRUE(attacker->Send(1, Bytes{0xff, 0xff, 0xff, 0xff, 0x00}).ok());
+  {
+    ByteWriter w;
+    w.PutU32(1);  // claims to be node 1
+    for (int i = 0; i < 64; ++i) w.PutU8(static_cast<uint8_t>(i * 37));
+    ASSERT_TRUE(attacker->Send(1, w.Take()).ok());
+  }
+
+  // Legitimate traffic queued alongside the garbage.
+  ASSERT_TRUE((*cluster)
+                  ->Insert(1, {{"link", {Value::Str("p1"), Value::Str("p0")}}})
+                  .ok());
+
+  auto stats = (*cluster)->Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->rejected, 3u);
+
+  // The node survived and keeps serving: another round of real traffic.
+  ASSERT_TRUE((*cluster)
+                  ->Insert(0, {{"link", {Value::Str("p0"), Value::Str("p1")}}})
+                  .ok());
+  auto stats2 = (*cluster)->Run();
+  ASSERT_TRUE(stats2.ok()) << stats2.status().ToString();
+  EXPECT_GT((*cluster)->node(1).workspace().Query("link").value().size(), 0u);
+}
+
 TEST(UdpClusterTest, PortsAreDistinct) {
   UdpCluster::Config cfg;
   cfg.num_nodes = 2;
