@@ -138,6 +138,131 @@ void BM_FixpointDependencyIndex(benchmark::State& state) {
 BENCHMARK(BM_FixpointDependencyIndex)->Arg(0)->Arg(16)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
+// -- parallel fixpoint scaling (recorded as BENCH_fixpoint.json) -------------
+//
+// Two workloads in the shape of the paper's evaluation, swept over
+// 1/2/4/8 fixpoint workers:
+//  - *convergence* (fig08 flavour): authenticated transitive closure —
+//    every hop derivation pays a digest check, the way the paper's
+//    path-vector convergence pays per-tuple HMAC/RSA work;
+//  - *join* (fig10 flavour): a selective three-way hash join with a
+//    digest prefilter, the secure-hash-join shape where candidates vastly
+//    outnumber results.
+// Both put the weight in body enumeration, which is the phase the wave
+// scheduler spreads across workers; the merge phase stays sequential.
+
+const char* kAuthTcProgram = R"(
+  warm(X) -> int(X).
+  warmd(X) -> int(X).
+  warmd(X) <- warm(X).
+  n(X) -> int(X).
+  link(X, Y) -> int(X), int(Y).
+  reachable(X, Y) -> int(X), int(Y).
+  reachable(X, Y) <- link(X, Y).
+  reachable(X, Y) <- link(X, Z), reachable(Z, Y),
+                     sha1_bucket(Z, 1000003, H), H >= 0.
+)";
+
+// Fresh workspace with the pool already spun up (the `warm` transaction
+// stages a task, forcing worker-thread spawn), so the timed region
+// measures fixpoint work, not thread creation. Returns null if setup
+// fails — callers flag the benchmark as errored, because
+// BENCH_fixpoint.json must never record timings of failing transactions.
+std::unique_ptr<Workspace> WarmWorkspace(const char* program, int threads) {
+  auto ws = std::make_unique<Workspace>();
+  ws->fixpoint_options().threads = threads;
+  auto parsed = Parse(program);
+  Status st = parsed.ok() ? ws->Install(parsed.value()) : parsed.status();
+  if (st.ok()) st = ws->Insert("warm", {Value::Int(0)});
+  if (!st.ok()) return nullptr;
+  return ws;
+}
+
+void BM_ParallelFixpointConvergence(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int nodes = 96;
+  std::vector<FactUpdate> links;
+  for (int i = 0; i < nodes; ++i) {
+    links.push_back({"link", {Value::Int(i), Value::Int((i + 1) % nodes)}});
+    links.push_back({"link", {Value::Int(i), Value::Int((i * 7 + 3) % nodes)}});
+  }
+  uint64_t derived = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto ws = WarmWorkspace(kAuthTcProgram, threads);
+    state.ResumeTiming();
+    if (ws == nullptr) {
+      state.SkipWithError("workspace setup failed");
+      break;
+    }
+    auto commit = ws->Apply(links);
+    benchmark::DoNotOptimize(commit);
+    if (!commit.ok()) {
+      state.SkipWithError(commit.status().ToString().c_str());
+      break;
+    }
+    derived = commit->num_derived;
+    state.PauseTiming();
+    ws.reset();  // teardown (pool join) stays untimed
+    state.ResumeTiming();
+  }
+  state.counters["derived"] = benchmark::Counter(static_cast<double>(derived));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(derived));
+}
+BENCHMARK(BM_ParallelFixpointConvergence)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgName("threads")->Unit(benchmark::kMillisecond);
+
+const char* kSecureJoinProgram = R"(
+  warm(X) -> int(X).
+  warmd(X) -> int(X).
+  warmd(X) <- warm(X).
+  r(X, Y) -> int(X), int(Y).
+  s(Y, Z) -> int(Y), int(Z).
+  q(Z, W) -> int(Z), int(W).
+  out(X, W) -> int(X), int(W).
+  out(X, W) <- r(X, Y), s(Y, Z), sha1_bucket(Z, 4, H), H = 0, q(Z, W).
+)";
+
+void BM_ParallelFixpointJoin(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int rows = 3072;
+  const int buckets = 48;
+  std::vector<FactUpdate> facts;
+  for (int i = 0; i < rows; ++i) {
+    facts.push_back({"r", {Value::Int(i), Value::Int(i % buckets)}});
+    facts.push_back({"s", {Value::Int(i % buckets), Value::Int(i)}});
+  }
+  for (int i = 0; i < rows; i += 16) {
+    facts.push_back({"q", {Value::Int(i), Value::Int(i)}});
+  }
+  uint64_t derived = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto ws = WarmWorkspace(kSecureJoinProgram, threads);
+    state.ResumeTiming();
+    if (ws == nullptr) {
+      state.SkipWithError("workspace setup failed");
+      break;
+    }
+    auto commit = ws->Apply(facts);
+    benchmark::DoNotOptimize(commit);
+    if (!commit.ok()) {
+      state.SkipWithError(commit.status().ToString().c_str());
+      break;
+    }
+    derived = commit->num_derived;
+    state.PauseTiming();
+    ws.reset();
+    state.ResumeTiming();
+  }
+  state.counters["derived"] = benchmark::Counter(static_cast<double>(derived));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(derived));
+}
+BENCHMARK(BM_ParallelFixpointJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgName("threads")->Unit(benchmark::kMillisecond);
+
 void BM_GenericsExpansion(benchmark::State& state) {
   // Full BloxGenerics compile of the says policy over `n` exportable
   // predicates — the static meta-programming cost (compile-time only).

@@ -17,6 +17,13 @@ ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 if [ -x "$build/micro_engine" ]; then
   "$build/micro_engine" --benchmark_min_time=0.01 \
       --benchmark_filter='BM_(TransitiveClosureChain|FixpointDependencyIndex)'
+  # Parallel fixpoint scaling curve (1/2/4/8 workers) on the fig08/fig10
+  # flavoured workloads, recorded so the perf trajectory is tracked.
+  "$build/micro_engine" --benchmark_min_time=0.05 \
+      --benchmark_filter='BM_ParallelFixpoint(Convergence|Join)' \
+      --benchmark_out="$build/BENCH_fixpoint.json" \
+      --benchmark_out_format=json
+  echo "wrote $build/BENCH_fixpoint.json"
 fi
 # Counting-deletion smoke: per-delete work must not scale with the
 # database (see the seeded/iter and retract_firings/iter counters).

@@ -54,6 +54,9 @@ Result<std::unique_ptr<NodeRuntime>> NodeRuntime::Create(
   rt->ws_->catalog().SetNodeTag(NodeLabel(rt->config_.index));
   rt->security_.creds = rt->config_.creds;
   rt->ws_->set_user_context(&rt->security_);
+  if (rt->config_.fixpoint_threads >= 0) {
+    rt->ws_->fixpoint_options().threads = rt->config_.fixpoint_threads;
+  }
 
   SB_ASSIGN_OR_RETURN(generics::ExpansionResult expanded,
                       policy::CompileWithPolicies(rt->ws_.get(), sources));

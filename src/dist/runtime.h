@@ -46,6 +46,11 @@ class NodeRuntime {
     std::vector<std::string> principals;
     policy::Credentials creds;
     BatchSecurity batch_security;
+    /// Fixpoint worker threads for this node's workspace. -1 keeps the
+    /// workspace default (the SB_THREADS environment variable); 0 = one
+    /// per hardware thread; N >= 1 = exactly N (1 = sequential). The
+    /// fixpoint result is identical for every setting.
+    int fixpoint_threads = -1;
   };
 
   /// One sealed batch addressed to a peer node.

@@ -10,18 +10,19 @@ using datalog::Value;
 using datalog::ValueKind;
 
 Status BuiltinRegistry::Register(const std::string& name,
-                                 datalog::BuiltinSignature sig, BuiltinFn fn) {
+                                 datalog::BuiltinSignature sig, BuiltinFn fn,
+                                 bool thread_safe) {
   if (impls_.count(name)) {
     return Status::AlreadyExists("builtin '" + name + "' already registered");
   }
-  impls_[name] = BuiltinImpl{std::move(sig), std::move(fn)};
+  impls_[name] = BuiltinImpl{std::move(sig), std::move(fn), thread_safe};
   return Status::OK();
 }
 
 void BuiltinRegistry::RegisterOrReplace(const std::string& name,
                                         datalog::BuiltinSignature sig,
-                                        BuiltinFn fn) {
-  impls_[name] = BuiltinImpl{std::move(sig), std::move(fn)};
+                                        BuiltinFn fn, bool thread_safe) {
+  impls_[name] = BuiltinImpl{std::move(sig), std::move(fn), thread_safe};
 }
 
 const BuiltinImpl* BuiltinRegistry::Find(const std::string& name) const {

@@ -37,6 +37,11 @@ using BuiltinFn = std::function<Result<bool>(
 struct BuiltinImpl {
   datalog::BuiltinSignature sig;
   BuiltinFn fn;
+  /// Safe to call from concurrent enumeration workers. False for builtins
+  /// that mutate shared state (e.g. deserializers that intern entities in
+  /// the catalog); rules using them are pinned to the sequential merge
+  /// phase of the parallel fixpoint.
+  bool thread_safe = true;
 };
 
 /// Name-keyed registry. The signature view feeds the type checker; the
@@ -44,10 +49,11 @@ struct BuiltinImpl {
 class BuiltinRegistry {
  public:
   Status Register(const std::string& name, datalog::BuiltinSignature sig,
-                  BuiltinFn fn);
+                  BuiltinFn fn, bool thread_safe = true);
   /// Re-register or add (used for policy-generated per-predicate builtins).
   void RegisterOrReplace(const std::string& name,
-                         datalog::BuiltinSignature sig, BuiltinFn fn);
+                         datalog::BuiltinSignature sig, BuiltinFn fn,
+                         bool thread_safe = true);
 
   const BuiltinImpl* Find(const std::string& name) const;
   bool Contains(const std::string& name) const;

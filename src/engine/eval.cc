@@ -402,6 +402,11 @@ Result<CompiledRule> RuleCompiler::CompileRule(const Rule& rule,
     return Status::CompileError("rule body must reference at least one "
                                 "predicate: " + rule.ToString());
   }
+  for (const Step& s : out.steps) {
+    if (s.kind == Step::Kind::kBuiltin && !s.builtin->thread_safe) {
+      out.parallel_safe = false;
+    }
+  }
 
   if (rule.agg.has_value()) {
     if (rule.heads.size() != 1 || !rule.heads[0].functional) {
@@ -491,6 +496,9 @@ Result<CompiledRule> RuleCompiler::CompileRule(const Rule& rule,
     out.existential_slots.push_back(slot);
     out.existential_types.push_back(type);
   }
+  // Head existentials create entities (catalog + memo mutation) during
+  // enumeration, so such rules stay on the sequential merge phase.
+  if (!out.existential_slots.empty()) out.parallel_safe = false;
   out.memo_key_slots.assign(memo_slots.begin(), memo_slots.end());
   out.num_slots = slots.size();
   out.slot_names = slots.names();
@@ -648,8 +656,9 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
       };
 
       if (view != nullptr && view->only != nullptr) {
-        for (const Tuple& t : *view->only) {
-          SB_RETURN_IF_ERROR(try_tuple(t));
+        const size_t end = std::min(view->only_end, view->only->size());
+        for (size_t k = view->only_begin; k < end; ++k) {
+          SB_RETURN_IF_ERROR(try_tuple((*view->only)[k]));
         }
         return Status::OK();
       }
@@ -673,7 +682,8 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
       if (rel == nullptr) return Status::OK();  // no facts yet
       // Probe a secondary index on the bound columns when possible.
       uint32_t mask = 0;
-      Tuple key;
+      Tuple& key = key_scratch_[idx];
+      key.clear();
       for (size_t i = 0; i < step.args.size() && i < 32; ++i) {
         const ArgPat& p = step.args[i];
         if (p.kind == ArgPat::Kind::kConst) {
@@ -728,7 +738,11 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
                      ? delta->tuples
                      : nullptr);
       if (only != nullptr) {
-        for (const Tuple& t : *only) {
+        size_t begin = view != nullptr ? view->only_begin : 0;
+        size_t end = std::min(view != nullptr ? view->only_end : SIZE_MAX,
+                              only->size());
+        for (size_t k = begin; k < end; ++k) {
+          const Tuple& t = (*only)[k];
           if (!TupleMatches(step.args, t, env)) continue;
           SB_RETURN_IF_ERROR(try_row(t));
         }
@@ -745,7 +759,8 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
       }
       Relation* rel = store_.GetRelation(step.pred);
       if (rel == nullptr) return Status::OK();
-      Tuple keys;
+      Tuple& keys = key_scratch_[idx];
+      keys.clear();
       for (size_t i = 0; i + 1 < step.args.size(); ++i) {
         const ArgPat& p = step.args[i];
         keys.push_back(p.kind == ArgPat::Kind::kConst ? p.constant
@@ -766,7 +781,8 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
         return RunFrom(steps, idx + 1, env, delta, on_match);
       }
       uint32_t mask = 0;
-      Tuple key;
+      Tuple& key = key_scratch_[idx];
+      key.clear();
       for (size_t i = 0; i < step.args.size() && i < 32; ++i) {
         const ArgPat& p = step.args[i];
         if (p.kind == ArgPat::Kind::kConst) {
@@ -856,10 +872,12 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
 Status Executor::Run(const std::vector<Step>& steps, Env* env,
                      const DeltaOverride* delta,
                      const std::function<Status(Env&)>& on_match) {
+  if (key_scratch_.size() < steps.size()) key_scratch_.resize(steps.size());
   return RunFrom(steps, 0, *env, delta, on_match);
 }
 
 Result<bool> Executor::Exists(const std::vector<Step>& steps, Env* env) {
+  if (key_scratch_.size() < steps.size()) key_scratch_.resize(steps.size());
   bool found = false;
   // A sentinel "error" short-circuits enumeration after the first match.
   Status st = RunFrom(steps, 0, *env, nullptr, [&](Env&) -> Status {

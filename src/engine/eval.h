@@ -12,6 +12,7 @@
 #ifndef SECUREBLOX_ENGINE_EVAL_H_
 #define SECUREBLOX_ENGINE_EVAL_H_
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -110,6 +111,10 @@ struct CompiledRule {
   std::vector<int> existential_slots;
   std::vector<datalog::PredId> existential_types;
   std::vector<int> memo_key_slots;  // bound slots used anywhere in heads
+  /// Body enumeration is free of side effects (no head existentials, no
+  /// thread-unsafe builtins), so the parallel fixpoint may run it on
+  /// worker threads; other rules are pinned to the sequential merge phase.
+  bool parallel_safe = true;
 };
 
 struct CompiledConstraint {
@@ -142,7 +147,9 @@ class RuleCompiler {
 using TupleSet = std::unordered_set<Tuple, TupleHash>;
 
 /// Per-occurrence relation view for exact (counting) delta enumeration:
-///  - `only`: the occurrence reads exactly these tuples (a delta);
+///  - `only`: the occurrence reads exactly these tuples (a delta), or the
+///    [only_begin, only_end) slice of them — the parallel fixpoint chunks
+///    a large delta across workers without copying it;
 ///  - `exclude`: tuples skipped when reading the relation (deltas that a
 ///    variant with a later occurrence will cover, or queued inserts whose
 ///    derivations have not been counted yet);
@@ -150,6 +157,8 @@ using TupleSet = std::unordered_set<Tuple, TupleHash>;
 ///    erased, restored so retraction variants see the pre-delete state).
 struct OccView {
   const std::vector<Tuple>* only = nullptr;
+  size_t only_begin = 0;
+  size_t only_end = SIZE_MAX;  // clamped to only->size()
   const TupleSet* exclude = nullptr;
   const std::vector<Tuple>* extra = nullptr;
   bool active() const { return only || exclude || extra; }
@@ -195,6 +204,9 @@ class Executor {
 
   EvalContext& ctx_;
   RelationStore& store_;
+  /// Per-step-depth probe keys, reused across bindings instead of
+  /// allocating a fresh Tuple per index lookup (hot join path).
+  std::vector<Tuple> key_scratch_;
 };
 
 // (Stratification and the rule dependency graph live in engine/rule_graph.)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
 #include <tuple>
 
 namespace secureblox::engine {
@@ -31,7 +32,46 @@ class ActiveSetGuard {
   std::vector<int> added_;
 };
 
+/// Delta rows per enumeration task. Small enough that a single rule firing
+/// over a large round spreads across every worker; large enough that task
+/// dispatch overhead stays negligible against the join work per row.
+constexpr size_t kChunkTuples = 64;
+/// Cap on chunks per (rule, occurrence) variant. Both constants are fixed
+/// — never derived from the thread count — so the work decomposition, and
+/// with it the merge order, is identical at every `threads` setting.
+constexpr size_t kMaxChunksPerVariant = 32;
+
+size_t ChunkCountFor(size_t rows) {
+  size_t chunks = (rows + kChunkTuples - 1) / kChunkTuples;
+  return std::max<size_t>(1, std::min(chunks, kMaxChunksPerVariant));
+}
+
 }  // namespace
+
+/// One staged enumeration: a semi-naïve variant of one rule restricted to
+/// a chunk of the delta at one occurrence, with a private result buffer.
+/// Workers only ever touch `chunk`, the shared read-only views, and their
+/// own `pending`/`status`; the wave barrier publishes the results to the
+/// merge phase.
+struct FixpointDriver::EnumTask {
+  const CompiledRule* rule = nullptr;
+  size_t rule_idx = 0;
+  int gid = 0;
+  bool retract = false;
+  int occ = 0;
+  /// Shared across the chunks of one variant (read-only while running).
+  std::shared_ptr<std::vector<OccView>> base_views;
+  std::shared_ptr<std::vector<TupleSet>> excl;
+  /// The occurrence's delta (owned by the round snapshot, which outlives
+  /// the task) and this chunk's [lo, hi) slice of it — no copies.
+  const std::vector<Tuple>* only = nullptr;
+  size_t lo = 0;
+  size_t hi = SIZE_MAX;
+  /// Instantiated head tuples (insert) / destroyed instantiations
+  /// (retract), in enumeration order.
+  std::vector<std::pair<PredId, Tuple>> pending;
+  Status status = Status::OK();
+};
 
 FixpointDriver::FixpointDriver(const RuleGraph* graph,
                                const std::vector<CompiledRule>* rules,
@@ -40,6 +80,8 @@ FixpointDriver::FixpointDriver(const RuleGraph* graph,
                                const FixpointOptions* options)
     : graph_(*graph), rules_(*rules), ctx_(*ctx), store_(*store),
       host_(*host), options_(*options) {}
+
+FixpointDriver::~FixpointDriver() = default;
 
 void FixpointDriver::Begin() {
   delta_.assign(graph_.groups().size(), {});
@@ -179,24 +221,343 @@ Status FixpointDriver::RunStratum(int stratum) {
     }
   }
 
-  // Group worklist in topological order, retractions ahead of the insert
-  // rounds; a later group deriving into an earlier one (multi-head rules)
-  // re-arms the scan.
+  // Sweep the stratum's groups in topological order, retractions ahead of
+  // the insert rounds. Each pending group anchors a wave of concurrently
+  // evaluable groups (CollectWave) that is drained to its local fixpoint;
+  // a later group deriving into an earlier one re-arms the scan.
+  const std::vector<int>& order = graph_.groups_in_stratum(stratum);
   bool any = true;
   while (any) {
     any = false;
-    for (int gid : graph_.groups_in_stratum(stratum)) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      int gid = order[i];
       if (HasRetractWork(gid)) {
         any = true;
         SB_RETURN_IF_ERROR(ProcessRetractions(gid));
       }
       if (!delta_[gid].adds.empty()) {
         any = true;
-        SB_RETURN_IF_ERROR(RunGroup(graph_.group(gid)));
+        SB_RETURN_IF_ERROR(RunWave(CollectWave(order, i)));
       }
     }
   }
   return Status::OK();
+}
+
+std::vector<int> FixpointDriver::CollectWave(const std::vector<int>& order,
+                                             size_t from) const {
+  std::vector<int> wave{order[from]};
+  const RuleGroup& anchor = graph_.group(order[from]);
+  // Predicates owned by pending groups seen so far. A later group joins
+  // the wave only when it touches none of them — it neither reads nor
+  // writes anything a pending predecessor or wave member does, so its
+  // predecessors are quiescent and its evaluation commutes with theirs.
+  std::unordered_set<PredId> taken(anchor.footprint.begin(),
+                                   anchor.footprint.end());
+  for (size_t j = from + 1; j < order.size(); ++j) {
+    int gid = order[j];
+    bool pending = HasRetractWork(gid) || !delta_[gid].adds.empty();
+    if (!pending) continue;
+    const RuleGroup& g = graph_.group(gid);
+    bool disjoint = true;
+    for (PredId p : g.footprint) {
+      if (taken.count(p)) {
+        disjoint = false;
+        break;
+      }
+    }
+    // Retract work must run before insert rounds, so such groups only
+    // block; the sweep reaches them next.
+    if (disjoint && !HasRetractWork(gid)) wave.push_back(gid);
+    taken.insert(g.footprint.begin(), g.footprint.end());
+  }
+  return wave;
+}
+
+void FixpointDriver::EnsureRelations() {
+  if (relations_ensured_) return;
+  relations_ensured_ = true;
+  // The rule set is fixed for this driver's lifetime (Recompile builds a
+  // fresh driver), so one pass covers every predicate a worker can read.
+  for (const CompiledRule& rule : rules_) {
+    for (const Step& s : rule.steps) {
+      if (s.kind == Step::Kind::kScan || s.kind == Step::Kind::kLookup ||
+          s.kind == Step::Kind::kNegCheck) {
+        store_.GetRelation(s.pred);
+      }
+    }
+  }
+}
+
+void FixpointDriver::WarmIndexes(const CompiledRule& rule, size_t rule_idx) {
+  if (probe_masks_.size() < rules_.size()) {
+    probe_masks_.resize(rules_.size());
+    probe_masks_ready_.resize(rules_.size(), false);
+  }
+  if (!probe_masks_ready_[rule_idx]) {
+    probe_masks_ready_[rule_idx] = true;
+    // Bound-column masks are static per compiled step (mirrors the mask
+    // computation in Executor::RunFrom).
+    for (const Step& s : rule.steps) {
+      if (s.kind != Step::Kind::kScan && s.kind != Step::Kind::kNegCheck) {
+        continue;
+      }
+      uint32_t mask = 0;
+      for (size_t i = 0; i < s.args.size() && i < 32; ++i) {
+        if (s.args[i].kind == ArgPat::Kind::kConst ||
+            s.args[i].kind == ArgPat::Kind::kBound) {
+          mask |= 1u << i;
+        }
+      }
+      if (mask != 0) probe_masks_[rule_idx].emplace_back(s.pred, mask);
+    }
+  }
+  for (const auto& [pred, mask] : probe_masks_[rule_idx]) {
+    Relation* rel = store_.GetRelation(pred);
+    if (rel != nullptr) rel->EnsureIndex(mask);
+  }
+}
+
+void FixpointDriver::BuildVariantViews(const CompiledRule& rule,
+                                       const DeltaMap& delta,
+                                       const DeltaMap& unconsumed, int occ,
+                                       bool retract,
+                                       std::vector<OccView>* views,
+                                       std::vector<TupleSet>* excl) {
+  const int n = rule.num_scan_occurrences;
+  for (int j = 0; j < n; ++j) {
+    if (j == occ) continue;
+    PredId q = rule.scan_preds[j];
+    TupleSet& e = (*excl)[j];
+    if (!retract) {
+      // Mixed semi-naïve insert variant: occurrence `occ` reads the
+      // delta, earlier occurrences pretend it has not arrived, and every
+      // occurrence hides unconsumed tuples born this round — each new
+      // instantiation is enumerated (and its head support counted)
+      // exactly once.
+      if (j < occ) {
+        auto dj = delta.find(q);
+        if (dj != delta.end()) e.insert(dj->second.begin(), dj->second.end());
+      }
+    } else {
+      // Destroyed-instantiation variant: occurrence `occ` reads the
+      // erased tuples; later occurrences see them restored (the
+      // pre-delete state), earlier ones read the post-delete relation —
+      // each destroyed instantiation is enumerated exactly once.
+      if (j > occ) {
+        auto dj = delta.find(q);
+        if (dj != delta.end()) (*views)[j].extra = &dj->second;
+      }
+    }
+    auto uj = unconsumed.find(q);
+    if (uj != unconsumed.end() && !uj->second.empty()) {
+      e.insert(uj->second.begin(), uj->second.end());
+    }
+    if (!e.empty()) (*views)[j].exclude = &e;
+  }
+}
+
+void FixpointDriver::StageVariantTasks(
+    const CompiledRule& rule, size_t rule_idx, int gid, const DeltaMap& delta,
+    bool retract, std::vector<std::unique_ptr<EnumTask>>* tasks) {
+  WarmIndexes(rule, rule_idx);
+  // Insert deltas this group has not consumed yet (meaningful on the
+  // retract path; always empty during a wave round, whose snapshot just
+  // drained the queue). Copied into the exclude sets so workers never read
+  // the live queue.
+  const DeltaMap& unconsumed = delta_[gid].adds;
+  const int n = rule.num_scan_occurrences;
+
+  for (int occ = 0; occ < n; ++occ) {
+    auto it = delta.find(rule.scan_preds[occ]);
+    if (it == delta.end() || it->second.empty()) continue;
+    auto excl = std::make_shared<std::vector<TupleSet>>(n);
+    auto views = std::make_shared<std::vector<OccView>>(n);
+    BuildVariantViews(rule, delta, unconsumed, occ, retract, views.get(),
+                      excl.get());
+    const std::vector<Tuple>& only = it->second;
+    const size_t chunks = ChunkCountFor(only.size());
+    for (size_t c = 0; c < chunks; ++c) {
+      auto task = std::make_unique<EnumTask>();
+      task->rule = &rule;
+      task->rule_idx = rule_idx;
+      task->gid = gid;
+      task->retract = retract;
+      task->occ = occ;
+      task->base_views = views;
+      task->excl = excl;
+      task->only = &only;
+      task->lo = c * only.size() / chunks;
+      task->hi = (c + 1) * only.size() / chunks;
+      tasks->push_back(std::move(task));
+    }
+  }
+}
+
+WorkerPool* FixpointDriver::pool() {
+  int want = options_.threads;
+  if (want == 0) {
+    want = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  if (want <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->total_threads() != want) {
+    pool_ = std::make_unique<WorkerPool>(want);
+  }
+  return pool_.get();
+}
+
+Status FixpointDriver::RunStagedTasks(
+    std::vector<std::unique_ptr<EnumTask>>* tasks) {
+  if (tasks->empty()) return Status::OK();
+  stats_.parallel_tasks += tasks->size();
+  auto run_one = [this](EnumTask& t) {
+    // Views are assembled per execution: the base is shared read-only, the
+    // occurrence slot points at this task's chunk of the delta.
+    std::vector<OccView> views = *t.base_views;
+    views[t.occ].only = t.only;
+    views[t.occ].only_begin = t.lo;
+    views[t.occ].only_end = t.hi;
+    DeltaOverride override;
+    override.views = &views;
+    Executor executor(&ctx_, &store_);
+    Env env(t.rule->num_slots);
+    t.status = executor.Run(
+        t.rule->steps, &env, &override, [&](Env& e) -> Status {
+          return InstantiateHeads(*t.rule, e, &t.pending);
+        });
+  };
+  WorkerPool* p = pool();
+  if (p == nullptr || tasks->size() == 1) {
+    for (auto& t : *tasks) run_one(*t);
+  } else {
+    std::vector<std::function<void()>> fns;
+    fns.reserve(tasks->size());
+    for (auto& t : *tasks) {
+      fns.push_back([&run_one, task = t.get()] { run_one(*task); });
+    }
+    p->Run(fns);
+  }
+  for (const auto& t : *tasks) {
+    SB_RETURN_IF_ERROR(t->status);
+  }
+  return Status::OK();
+}
+
+Status FixpointDriver::ApplyStagedTasks(
+    std::vector<std::unique_ptr<EnumTask>>& tasks, size_t begin, size_t end) {
+  // Pre-size the target relations from the staged batch so the hot insert
+  // loop never rehashes mid-round.
+  std::map<PredId, size_t> incoming;
+  for (size_t i = begin; i < end; ++i) {
+    if (tasks[i]->retract) continue;
+    for (const auto& [pred, tuple] : tasks[i]->pending) ++incoming[pred];
+  }
+  for (const auto& [pred, count] : incoming) {
+    Relation* rel = store_.GetRelation(pred);
+    if (rel != nullptr) rel->Reserve(rel->size() + count);
+  }
+
+  for (size_t i = begin; i < end; ++i) {
+    EnumTask& t = *tasks[i];
+    if (!t.retract) {
+      for (auto& [pred, tuple] : t.pending) {
+        SB_ASSIGN_OR_RETURN(bool inserted, host_.InsertHeadTuple(pred, tuple));
+        if (inserted) ++stats_.derivations;
+      }
+    } else {
+      for (auto& [pred, tuple] : t.pending) {
+        ++stats_.retractions;
+        SB_ASSIGN_OR_RETURN(bool erased, host_.RetractSupport(pred, tuple));
+        if (erased) {
+          ++stats_.deleted;
+        } else {
+          ++stats_.rescued;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status FixpointDriver::RunWave(const std::vector<int>& wave) {
+  ActiveSetGuard guard(&active_);
+  for (int gid : wave) guard.Add(gid);
+  ++stats_.waves;
+  EnsureRelations();
+
+  while (true) {
+    // Snapshot each member's queued insert delta: one round per member.
+    // Members are mutually independent, so draining them together is
+    // round-for-round identical to draining each in turn.
+    std::vector<std::pair<int, DeltaMap>> rounds;
+    for (int gid : wave) {
+      if (delta_[gid].adds.empty()) continue;
+      rounds.emplace_back(gid, std::move(delta_[gid].adds));
+      delta_[gid].adds.clear();
+      ++stats_.rounds;
+    }
+    if (rounds.empty()) return Status::OK();
+
+    // Enumeration phase: chunked semi-naïve variants of every
+    // parallel-safe rule with a delta, run against the frozen pre-round
+    // state. Nothing mutates the database until the merge phase, so the
+    // tasks are pure reads staging into private buffers. Each rule's
+    // tasks are contiguous; `staged` records the range for the merge.
+    std::vector<std::unique_ptr<EnumTask>> tasks;
+    std::map<std::pair<int, size_t>, std::pair<size_t, size_t>> staged;
+    for (auto& [gid, delta] : rounds) {
+      for (size_t idx : graph_.group(gid).rules) {
+        const CompiledRule& rule = rules_[idx];
+        if (rule.agg.has_value()) continue;
+        if (!HasDeltaFor(rule, delta)) {
+          ++stats_.firings_skipped;
+          continue;
+        }
+        ++stats_.rule_firings;
+        if (rule.parallel_safe) {
+          size_t begin = tasks.size();
+          StageVariantTasks(rule, idx, gid, delta, /*retract=*/false,
+                            &tasks);
+          staged[{gid, idx}] = {begin, tasks.size()};
+        }
+      }
+    }
+    SB_RETURN_IF_ERROR(RunStagedTasks(&tasks));
+
+    // Merge phase: strictly sequential and in a fixed order — wave
+    // (topological) group order, install-order rules, staged chunk order —
+    // so insertion order, entity interning, and FD-conflict detection are
+    // reproducible at every thread count.
+    for (auto& [gid, delta] : rounds) {
+      const RuleGroup& group = graph_.group(gid);
+      for (size_t idx : group.rules) {
+        const CompiledRule& rule = rules_[idx];
+        if (rule.agg.has_value()) continue;
+        if (!HasDeltaFor(rule, delta)) continue;
+        if (rule.parallel_safe) {
+          const auto& [begin, end] = staged.at({gid, idx});
+          SB_RETURN_IF_ERROR(ApplyStagedTasks(tasks, begin, end));
+        } else {
+          // Side effects (head existentials, thread-unsafe builtins):
+          // classic sequential evaluation against the live state.
+          SB_RETURN_IF_ERROR(RunRuleVariants(rule, delta, gid));
+        }
+      }
+      // Lattice aggregates re-run after every round of their group.
+      for (size_t idx : group.rules) {
+        const CompiledRule& rule = rules_[idx];
+        if (!rule.agg.has_value() || !graph_.lattice(idx)) continue;
+        if (HasDeltaFor(rule, delta)) {
+          ++stats_.agg_recomputes;
+          SB_RETURN_IF_ERROR(RecomputeAggregate(rule, /*lattice=*/true));
+        } else {
+          ++stats_.agg_skipped;
+        }
+      }
+      SB_RETURN_IF_ERROR(CheckBudget(group));
+    }
+  }
 }
 
 Status FixpointDriver::ProcessRetractions(int gid) {
@@ -232,53 +593,40 @@ Status FixpointDriver::ProcessRetractions(int gid) {
   // counting alone: rederive locally.
   if (group.recursive || !neg_[gid].empty()) return RederiveCluster(gid);
 
-  // Counting path: enumerate destroyed instantiations, drop supports.
+  // Counting path: enumerate destroyed instantiations on the pool (same
+  // phase split as a wave round — the supports drop in the merge phase).
+  EnsureRelations();
   while (!delta_[gid].dels.empty()) {
     DeltaMap dels = std::move(delta_[gid].dels);
     delta_[gid].dels.clear();
     ++stats_.rounds;
+    std::vector<std::unique_ptr<EnumTask>> tasks;
+    std::map<size_t, std::pair<size_t, size_t>> staged;
+    std::vector<size_t> fired;
     for (size_t idx : group.rules) {
       const CompiledRule& rule = rules_[idx];
       if (HasDeltaFor(rule, dels)) {
         ++stats_.retract_firings;
+        fired.push_back(idx);
+        if (rule.parallel_safe) {
+          size_t begin = tasks.size();
+          StageVariantTasks(rule, idx, gid, dels, /*retract=*/true, &tasks);
+          staged[idx] = {begin, tasks.size()};
+        }
+      } else {
+        ++stats_.firings_skipped;
+      }
+    }
+    SB_RETURN_IF_ERROR(RunStagedTasks(&tasks));
+    for (size_t idx : fired) {
+      const CompiledRule& rule = rules_[idx];
+      if (rule.parallel_safe) {
+        const auto& [begin, end] = staged.at(idx);
+        SB_RETURN_IF_ERROR(ApplyStagedTasks(tasks, begin, end));
+      } else {
         SB_RETURN_IF_ERROR(RunRetractVariants(rule, dels, gid));
-      } else {
-        ++stats_.firings_skipped;
       }
     }
-  }
-  return Status::OK();
-}
-
-Status FixpointDriver::RunGroup(const RuleGroup& group) {
-  ActiveSetGuard guard(&active_);
-  guard.Add(group.id);
-  while (!delta_[group.id].adds.empty()) {
-    DeltaMap delta = std::move(delta_[group.id].adds);
-    delta_[group.id].adds.clear();
-    ++stats_.rounds;
-    for (size_t idx : group.rules) {
-      const CompiledRule& rule = rules_[idx];
-      if (rule.agg.has_value()) continue;
-      if (HasDeltaFor(rule, delta)) {
-        ++stats_.rule_firings;
-        SB_RETURN_IF_ERROR(RunRuleVariants(rule, delta, group.id));
-      } else {
-        ++stats_.firings_skipped;
-      }
-    }
-    // Lattice aggregates re-run after every round of their group.
-    for (size_t idx : group.rules) {
-      const CompiledRule& rule = rules_[idx];
-      if (!rule.agg.has_value() || !graph_.lattice(idx)) continue;
-      if (HasDeltaFor(rule, delta)) {
-        ++stats_.agg_recomputes;
-        SB_RETURN_IF_ERROR(RecomputeAggregate(rule, /*lattice=*/true));
-      } else {
-        ++stats_.agg_skipped;
-      }
-    }
-    SB_RETURN_IF_ERROR(CheckBudget(group));
   }
   return Status::OK();
 }
@@ -337,25 +685,11 @@ Status FixpointDriver::RunRuleVariants(const CompiledRule& rule,
   for (int occ = 0; occ < n; ++occ) {
     auto it = delta.find(rule.scan_preds[occ]);
     if (it == delta.end() || it->second.empty()) continue;
-    // Mixed semi-naïve variant: occurrence `occ` reads the delta, earlier
-    // occurrences pretend the delta has not arrived, and every occurrence
-    // hides tuples born this round — each new instantiation is enumerated
-    // (and its head support counted) exactly once.
     std::vector<OccView> views(n);
     std::vector<TupleSet> excl(n);
     views[occ].only = &it->second;
-    for (int j = 0; j < n; ++j) {
-      if (j == occ) continue;
-      PredId q = rule.scan_preds[j];
-      TupleSet& e = excl[j];
-      if (j < occ) {
-        auto dj = delta.find(q);
-        if (dj != delta.end()) e.insert(dj->second.begin(), dj->second.end());
-      }
-      auto nj = next.find(q);
-      if (nj != next.end()) e.insert(nj->second.begin(), nj->second.end());
-      if (!e.empty()) views[j].exclude = &e;
-    }
+    BuildVariantViews(rule, delta, next, occ, /*retract=*/false, &views,
+                      &excl);
     DeltaOverride override;
     override.views = &views;
     Env env(rule.num_slots);
@@ -384,26 +718,11 @@ Status FixpointDriver::RunRetractVariants(const CompiledRule& rule,
   for (int occ = 0; occ < n; ++occ) {
     auto it = dels.find(rule.scan_preds[occ]);
     if (it == dels.end() || it->second.empty()) continue;
-    // Destroyed-instantiation variant: occurrence `occ` reads the erased
-    // tuples; later occurrences see them restored (the pre-delete state),
-    // earlier ones read the post-delete relation — each destroyed
-    // instantiation is enumerated exactly once.
     std::vector<OccView> views(n);
     std::vector<TupleSet> excl(n);
     views[occ].only = &it->second;
-    for (int j = 0; j < n; ++j) {
-      if (j == occ) continue;
-      PredId q = rule.scan_preds[j];
-      if (j > occ) {
-        auto dj = dels.find(q);
-        if (dj != dels.end()) views[j].extra = &dj->second;
-      }
-      auto uj = unconsumed.find(q);
-      if (uj != unconsumed.end() && !uj->second.empty()) {
-        excl[j].insert(uj->second.begin(), uj->second.end());
-        views[j].exclude = &excl[j];
-      }
-    }
+    BuildVariantViews(rule, dels, unconsumed, occ, /*retract=*/true, &views,
+                      &excl);
     DeltaOverride override;
     override.views = &views;
     Env env(rule.num_slots);
@@ -478,9 +797,12 @@ Status FixpointDriver::RederiveCluster(int gid) {
   }
 
   // Local fixpoint over the cluster: strata in order, groups topological
-  // within. A stratified aggregate whose head was over-deleted recomputes
-  // when its inputs have a pending delta — the seed always provides one,
-  // so the first pass restores the output and quiet passes skip the scan.
+  // within; each group drains as a singleton wave (cluster members share
+  // head predicates, so they are never mutually independent — but the
+  // bulky reseed rounds still fan out across the pool). A stratified
+  // aggregate whose head was over-deleted recomputes when its inputs have
+  // a pending delta — the seed always provides one, so the first pass
+  // restores the output and quiet passes skip the scan.
   std::vector<int> order(cluster.begin(), cluster.end());
   std::sort(order.begin(), order.end(), [&](int a, int b) {
     return std::make_pair(graph_.group(a).stratum, a) <
@@ -501,7 +823,7 @@ Status FixpointDriver::RederiveCluster(int gid) {
       }
       if (!delta_[g].adds.empty()) {
         any = true;
-        SB_RETURN_IF_ERROR(RunGroup(grp));
+        SB_RETURN_IF_ERROR(RunWave({g}));
       }
     }
   }

@@ -1,10 +1,34 @@
-// Semi-naïve fixpoint driver with counting-based incremental deletion.
+// Semi-naïve fixpoint driver with counting-based incremental deletion and
+// a parallel, bulk-synchronous evaluation core.
 //
 // Owns the per-transaction delta bookkeeping and runs the installed rules
-// to a fixpoint, one rule group at a time (groups come from the RuleGraph's
-// SCC condensation, in topological order per stratum). A rule is only
-// re-fired when one of its body predicates has a non-empty delta; a group
-// re-enters the worklist only when a predecessor group derives into it.
+// to a fixpoint over the RuleGraph's SCC-condensed rule groups. Scheduling
+// is wave-based: within a stratum, the driver sweeps the groups in
+// topological order and gathers every pending group whose predicate
+// footprint (heads + body reads) is disjoint from the wave collected so
+// far — such groups neither feed nor observe one another, so draining
+// them together is indistinguishable from draining them one at a time.
+//
+// Each wave round splits into two phases:
+//   - an *enumeration* phase that fires every parallel-safe rule's
+//     semi-naïve variants on the worker pool, with large deltas split
+//     into fixed-size contiguous chunks (equal-key tuples may land in
+//     different chunks) so one rule's firing spreads across workers;
+//     relations
+//     are frozen (no writer exists), so enumeration is a pure read against
+//     the pre-round snapshot and tasks stage derived tuples into private
+//     buffers;
+//   - a *merge* phase on the coordinating thread that applies the staged
+//     buffers in a fixed order (group, rule, occurrence, chunk), runs
+//     rules with side effects (head existentials, thread-unsafe builtins)
+//     the classic sequential way, re-runs lattice aggregates, and routes
+//     new deltas into the (multi-producer) per-group queues.
+//
+// The work decomposition — waves, rounds, chunks, merge order — depends
+// only on the program and the data, never on the thread count, so any
+// `threads` setting produces the byte-identical fixpoint (same tuples,
+// same support counts, same entity labels) as threads=1.
+//
 // Lattice aggregates re-run after each round of their group; stratified
 // aggregates recompute on stratum entry — their classical recompute points.
 //
@@ -16,28 +40,34 @@
 //     instantiations (the delta at one occurrence, erased tuples restored
 //     at later occurrences) and drop one support per instantiation; a
 //     tuple whose support reaches zero — and that is not a base fact — is
-//     erased and cascades downstream;
+//     erased and cascades downstream; the destroyed-instantiation
+//     enumeration is chunked onto the pool like the insert path;
 //   - recursive groups, and groups whose negation probes flipped, fall
 //     back to group-local DRed: over-delete the closure of groups sharing
 //     head predicates, reseed just those groups from their body
-//     predicates, and re-run them to a local fixpoint. Rescued tuples
-//     annihilate against their own delete deltas in downstream queues, so
-//     downstream work is proportional to the net change.
+//     predicates, and re-run them to a local fixpoint (the reseed deltas
+//     are large, so this path gains the most from chunked enumeration).
+//     Rescued tuples annihilate against their own delete deltas in
+//     downstream queues, so downstream work is proportional to the net
+//     change.
 //
 // The driver mutates the database exclusively through the FixpointHost
-// interface so the workspace keeps ownership of undo logging, entity
-// interning, and base-fact bookkeeping.
+// interface — only ever from the merge phase — so the workspace keeps
+// single-threaded ownership of undo logging, entity interning, and
+// base-fact bookkeeping.
 #ifndef SECUREBLOX_ENGINE_FIXPOINT_H_
 #define SECUREBLOX_ENGINE_FIXPOINT_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
 #include "engine/eval.h"
 #include "engine/rule_graph.h"
+#include "engine/worker_pool.h"
 
 namespace secureblox::engine {
 
@@ -55,6 +85,12 @@ struct FixpointStats {
   uint64_t agg_skipped = 0;
   /// Tuples newly derived by rules and aggregates.
   uint64_t derivations = 0;
+  // -- parallel scheduling ---------------------------------------------------
+  /// Scheduling waves (each drains >= 1 footprint-disjoint rule groups).
+  uint64_t waves = 0;
+  /// Enumeration tasks staged for the worker pool. Independent of the
+  /// thread count: the same tasks run inline when threads=1.
+  uint64_t parallel_tasks = 0;
   // -- deletion path ---------------------------------------------------------
   /// Retraction rule evaluations (delete-delta analogue of rule_firings).
   uint64_t retract_firings = 0;
@@ -78,6 +114,11 @@ struct FixpointOptions {
   /// without capping group-local rederivation). The error names the
   /// stratum, rule group, and the rules still producing deltas.
   uint64_t max_derivations = 1000000;
+  /// Worker threads for the enumeration phases (including the calling
+  /// thread). 1 = run tasks inline; 0 = one per hardware thread. The
+  /// fixpoint result is identical for every value (see file comment).
+  /// Seeded from the SB_THREADS environment variable by Workspace.
+  int threads = 1;
 };
 
 /// Database mutation callbacks the driver needs from the workspace.
@@ -119,6 +160,7 @@ class FixpointDriver {
                  const std::vector<CompiledRule>* rules, EvalContext* ctx,
                  RelationStore* store, FixpointHost* host,
                  const FixpointOptions* options);
+  ~FixpointDriver();
 
   // -- per-transaction delta bookkeeping ------------------------------------
 
@@ -143,7 +185,10 @@ class FixpointDriver {
   /// Paired insert/delete queues with annihilation: an add cancels a
   /// pending del of the same tuple and vice versa, so a tuple that is
   /// erased and rederived within one transaction causes no downstream
-  /// work.
+  /// work. Queues are multi-producer (every upstream group's merge phase
+  /// routes into them) and single-consumer (the owning group's rounds);
+  /// the wave barrier orders producers and consumer, so no per-queue lock
+  /// is needed.
   struct ChangeQueue {
     DeltaMap adds;
     DeltaMap dels;
@@ -153,6 +198,11 @@ class FixpointDriver {
       dels.clear();
     }
   };
+
+  /// One staged enumeration: a semi-naïve variant of one rule restricted
+  /// to a chunk of the delta at one occurrence, with a private result
+  /// buffer. Defined in the .cc.
+  struct EnumTask;
 
   static bool EraseFromDeltaMap(DeltaMap* m, datalog::PredId pred,
                                 const Tuple& tuple);
@@ -165,7 +215,16 @@ class FixpointDriver {
   bool TouchedAny(const CompiledRule& rule) const;
 
   Status RunStratum(int stratum);
-  Status RunGroup(const RuleGroup& group);
+  /// Topo-greedy wave starting at order[from]: every later pending group
+  /// whose footprint is disjoint from the wave so far (and that has no
+  /// retract work, which must run first) joins.
+  std::vector<int> CollectWave(const std::vector<int>& order,
+                               size_t from) const;
+  /// Drain every wave member to its local fixpoint: rounds of a parallel
+  /// enumeration phase followed by a deterministic sequential merge.
+  Status RunWave(const std::vector<int>& wave);
+  /// Sequential (merge-phase) evaluation of one rule's insert variants —
+  /// rules with side effects, and the pre-parallel reference semantics.
   Status RunRuleVariants(const CompiledRule& rule, const DeltaMap& delta,
                          int gid);
   /// Counting retraction / group-local DRed dispatch for one group's
@@ -182,6 +241,40 @@ class FixpointDriver {
                               pending);
   Status RecomputeAggregate(const CompiledRule& rule, bool lattice);
   Status CheckBudget(const RuleGroup& group);
+
+  // -- parallel enumeration machinery ---------------------------------------
+
+  /// Create relations for every predicate the rule bodies read, so worker
+  /// threads never take the lazy-creation path. Once per transaction.
+  void EnsureRelations();
+  /// Build the secondary indexes the rule's probes will hit (masks are
+  /// static per compiled step), so worker threads only read them.
+  void WarmIndexes(const CompiledRule& rule, size_t rule_idx);
+  /// Fill the per-occurrence views for `rule`'s variant firing at `occ`
+  /// (views[occ].only is set by the caller). The single source of the
+  /// mixed semi-naïve exclusion logic: insert mode hides the delta from
+  /// earlier occurrences; retract mode restores erased tuples at later
+  /// occurrences; both hide `unconsumed` insert deltas whose
+  /// instantiations were never counted.
+  static void BuildVariantViews(const CompiledRule& rule,
+                                const DeltaMap& delta,
+                                const DeltaMap& unconsumed, int occ,
+                                bool retract, std::vector<OccView>* views,
+                                std::vector<TupleSet>* excl);
+  /// Stage chunked variant tasks for one rule over `delta` (insert mode)
+  /// or `dels` (retract mode) into `tasks`.
+  void StageVariantTasks(const CompiledRule& rule, size_t rule_idx, int gid,
+                         const DeltaMap& delta, bool retract,
+                         std::vector<std::unique_ptr<EnumTask>>* tasks);
+  /// Run staged tasks on the pool (inline when threads=1); fails with the
+  /// first task error in staging order.
+  Status RunStagedTasks(std::vector<std::unique_ptr<EnumTask>>* tasks);
+  /// Apply the staged buffers tasks[begin, end) — one rule's contiguous
+  /// staging range — in order: InsertHeadTuple for insert tasks,
+  /// RetractSupport for retract tasks.
+  Status ApplyStagedTasks(std::vector<std::unique_ptr<EnumTask>>& tasks,
+                          size_t begin, size_t end);
+  WorkerPool* pool();
 
   const RuleGraph& graph_;
   const std::vector<CompiledRule>& rules_;
@@ -205,6 +298,12 @@ class FixpointDriver {
   FixpointStats stats_;
   /// max_derivations plus this run's seeded/rederived volume.
   uint64_t budget_limit_ = 0;
+  /// Probe (pred, mask) pairs per rule, resolved on first use.
+  std::vector<std::vector<std::pair<datalog::PredId, uint32_t>>>
+      probe_masks_;
+  std::vector<bool> probe_masks_ready_;
+  bool relations_ensured_ = false;
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace secureblox::engine

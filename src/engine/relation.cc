@@ -1,5 +1,7 @@
 #include "engine/relation.h"
 
+#include <algorithm>
+
 namespace secureblox::engine {
 
 InsertOutcome Relation::Insert(const Tuple& t) {
@@ -17,16 +19,36 @@ InsertOutcome Relation::Insert(const Tuple& t) {
   return InsertOutcome::kInserted;
 }
 
+void Relation::Reserve(size_t n) {
+  if (n <= tuples_.size()) return;
+  tuples_.reserve(n);
+  counts_.reserve(n);
+  index_.reserve(n);
+  if (decl_->functional) fd_index_.reserve(n);
+}
+
 bool Relation::Erase(const Tuple& t) {
   auto it = index_.find(t);
   if (it == index_.end()) return false;
   size_t slot = it->second;
+  size_t last = tuples_.size() - 1;
+  // Drop the erased row from built secondary buckets before the swap
+  // clobbers row `slot` (`t` may alias the relation's own storage),
+  // preserving bucket order so enumeration order does not depend on erase
+  // history beyond the erase itself.
+  for (auto& [mask, idx] : secondary_) {
+    if (slot >= idx.rows_indexed) continue;
+    auto bit = idx.buckets.find(Project(t, mask));
+    if (bit == idx.buckets.end()) continue;
+    auto& rows = bit->second;
+    rows.erase(std::remove(rows.begin(), rows.end(), slot), rows.end());
+    if (rows.empty()) idx.buckets.erase(bit);
+  }
   index_.erase(it);
   if (decl_->functional) {
     fd_index_.erase(Tuple(t.begin(), t.end() - 1));
   }
   // Swap-remove; fix the moved tuple's slots.
-  size_t last = tuples_.size() - 1;
   if (slot != last) {
     tuples_[slot] = std::move(tuples_[last]);
     counts_[slot] = counts_[last];
@@ -37,8 +59,24 @@ bool Relation::Erase(const Tuple& t) {
   }
   tuples_.pop_back();
   counts_.pop_back();
+  // Re-point the moved row (old index `last`, now at `slot`) in each built
+  // secondary index; an unindexed tail row moving into the indexed prefix
+  // is indexed now so the prefix invariant holds.
+  for (auto& [mask, idx] : secondary_) {
+    if (slot != last) {
+      const Tuple moved_key = Project(tuples_[slot], mask);
+      if (last < idx.rows_indexed) {
+        auto bit = idx.buckets.find(moved_key);
+        if (bit != idx.buckets.end()) {
+          std::replace(bit->second.begin(), bit->second.end(), last, slot);
+        }
+      } else if (slot < idx.rows_indexed) {
+        idx.buckets[moved_key].push_back(slot);
+      }
+    }
+    idx.rows_indexed = std::min(idx.rows_indexed, tuples_.size());
+  }
   ++version_;
-  last_erase_version_ = version_;
   return true;
 }
 
@@ -87,22 +125,29 @@ Tuple Relation::Project(const Tuple& t, uint32_t mask) {
   return out;
 }
 
+void Relation::EnsureIndex(uint32_t mask) {
+  SecondaryIndex& idx = secondary_[mask];
+  if (idx.built_at_version == version_) return;
+  // Erases are patched in place, so only the appended tail is missing.
+  if (idx.rows_indexed == 0 && !tuples_.empty()) {
+    ++index_builds_;
+    idx.buckets.reserve(tuples_.size());
+  }
+  for (size_t i = idx.rows_indexed; i < tuples_.size(); ++i) {
+    idx.buckets[Project(tuples_[i], mask)].push_back(i);
+  }
+  idx.rows_indexed = tuples_.size();
+  idx.built_at_version = version_;
+}
+
 const std::vector<size_t>& Relation::Probe(uint32_t mask, const Tuple& key) {
   static const std::vector<size_t> kEmpty;
-  SecondaryIndex& idx = secondary_[mask];
-  if (idx.built_at_version != version_) {
-    if (idx.built_at_version < last_erase_version_) {
-      // Rows were erased (swap-remove shifts indices): full rebuild.
-      idx.buckets.clear();
-      idx.rows_indexed = 0;
-    }
-    // Grow-only since the last build: index just the appended tail.
-    for (size_t i = idx.rows_indexed; i < tuples_.size(); ++i) {
-      idx.buckets[Project(tuples_[i], mask)].push_back(i);
-    }
-    idx.rows_indexed = tuples_.size();
-    idx.built_at_version = version_;
+  auto sit = secondary_.find(mask);
+  if (sit == secondary_.end() || sit->second.built_at_version != version_) {
+    EnsureIndex(mask);  // single-threaded phases only
+    sit = secondary_.find(mask);
   }
+  const SecondaryIndex& idx = sit->second;
   auto it = idx.buckets.find(key);
   return it == idx.buckets.end() ? kEmpty : it->second;
 }

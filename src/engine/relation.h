@@ -6,6 +6,11 @@
 // counting-based incremental deletion path: the number of rule
 // instantiations currently deriving the tuple. Base facts and aggregate
 // outputs keep a count of zero; their liveness is tracked elsewhere.
+//
+// Concurrency contract (parallel fixpoint): all mutations are
+// single-threaded. Concurrent Probe() calls are safe only for masks whose
+// index is current (EnsureIndex pre-warms them before a parallel phase);
+// a current index makes Probe a pure read.
 #ifndef SECUREBLOX_ENGINE_RELATION_H_
 #define SECUREBLOX_ENGINE_RELATION_H_
 
@@ -37,7 +42,8 @@ class Relation {
   /// Insert with set semantics and FD checking.
   InsertOutcome Insert(const Tuple& t);
 
-  /// Remove a tuple; returns true if it was present.
+  /// Remove a tuple; returns true if it was present. Built secondary
+  /// indexes are patched in place (swap-remove aware), never invalidated.
   bool Erase(const Tuple& t);
 
   /// For functional predicates: replace any existing tuple with the same
@@ -54,6 +60,9 @@ class Relation {
   bool empty() const { return tuples_.empty(); }
   const std::vector<Tuple>& tuples() const { return tuples_; }
 
+  /// Pre-size storage and hash indexes for `n` total rows (batch inserts).
+  void Reserve(size_t n);
+
   // -- derivation-support counts (counting-based deletion) -------------------
 
   /// Current support of `t`; 0 when absent or purely base.
@@ -69,6 +78,17 @@ class Relation {
   /// Rows whose columns selected by `mask` (bit i = column i) equal `key`
   /// (the bound values in column order). Returns indices into tuples().
   const std::vector<size_t>& Probe(uint32_t mask, const Tuple& key);
+
+  /// Bring the secondary index for `mask` up to the current version
+  /// (indexing only the appended tail — erases are patched in place).
+  /// Called single-threaded before a parallel phase probes this mask.
+  void EnsureIndex(uint32_t mask);
+
+  /// Bucket-map (re)constructions for this relation: first builds plus any
+  /// rebuild after an invalidation. With in-place erase maintenance this
+  /// stays at one per (mask, relation) — the EngineStats counter benches
+  /// watch.
+  uint64_t index_builds() const { return index_builds_; }
 
  private:
   struct SecondaryIndex {
@@ -89,8 +109,7 @@ class Relation {
   std::unordered_map<Tuple, size_t, TupleHash> fd_index_;  // keys -> slot
   std::unordered_map<uint32_t, SecondaryIndex> secondary_;
   uint64_t version_ = 1;
-  /// Version of the last erase (row indices shifted; indexes must rebuild).
-  uint64_t last_erase_version_ = 0;
+  uint64_t index_builds_ = 0;
 };
 
 }  // namespace secureblox::engine

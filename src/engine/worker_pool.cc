@@ -1,0 +1,73 @@
+#include "engine/worker_pool.h"
+
+namespace secureblox::engine {
+
+WorkerPool::WorkerPool(int total_threads) {
+  for (int i = 1; i < total_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void WorkerPool::Drain(Batch* batch) {
+  // Never read through batch->tasks before claiming an index: a straggler
+  // can arrive after the batch completed and the caller's vector died.
+  const size_t n = batch->size;
+  size_t ran = 0;
+  while (true) {
+    size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    (*batch->tasks)[i]();
+    ++ran;
+  }
+  if (ran == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  batch->completed += ran;
+  if (batch->completed == n) done_cv_.notify_all();
+}
+
+void WorkerPool::WorkerLoop() {
+  std::shared_ptr<Batch> seen;
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || batch_ != seen; });
+      if (stop_) return;
+      batch = seen = batch_;
+    }
+    if (batch != nullptr) Drain(batch.get());
+  }
+}
+
+void WorkerPool::Run(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = &tasks;
+  batch->size = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+  }
+  work_cv_.notify_all();
+  Drain(batch.get());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return batch->completed == tasks.size(); });
+    batch_ = nullptr;  // workers fall back to waiting; stale drains no-op
+  }
+}
+
+}  // namespace secureblox::engine

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "datalog/typecheck.h"
@@ -17,6 +18,17 @@ using datalog::ValueKind;
 Workspace::Workspace() : catalog_(std::make_unique<Catalog>()) {
   ctx_.catalog = catalog_.get();
   RegisterCoreBuiltins(&builtins_);
+  // Fixpoint worker threads: SB_THREADS=N (0 = one per hardware thread,
+  // unset = sequential). Any value computes the identical fixpoint.
+  // Garbage or negative values keep the sequential default rather than
+  // accidentally meaning "all cores".
+  if (const char* env = std::getenv("SB_THREADS")) {
+    char* end = nullptr;
+    long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n >= 0 && n <= 1024) {
+      fixpoint_options_.threads = static_cast<int>(n);
+    }
+  }
   // Empty rule graph + driver so transactions work before the first Install.
   rule_graph_ = RuleGraph::Build({}, *catalog_, false).value();
   driver_ = std::make_unique<FixpointDriver>(
@@ -523,10 +535,17 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
   stats_.firings_skipped += commit.fixpoint.firings_skipped;
   stats_.agg_recomputes += commit.fixpoint.agg_recomputes;
   stats_.agg_skipped += commit.fixpoint.agg_skipped;
+  stats_.waves += commit.fixpoint.waves;
+  stats_.parallel_tasks += commit.fixpoint.parallel_tasks;
   stats_.retractions += commit.fixpoint.retractions;
   stats_.deleted_tuples += commit.fixpoint.deleted;
   stats_.rescued_tuples += commit.fixpoint.rescued;
   stats_.group_rederives += commit.fixpoint.group_rederives;
+  uint64_t index_builds = 0;
+  for (const auto& rel : relations_) {
+    if (rel != nullptr) index_builds += rel->index_builds();
+  }
+  stats_.index_rebuilds = index_builds;
   finish_timing();
   commit.duration_us = tx_durations_us_.back();
   return commit;

@@ -68,11 +68,19 @@ struct EngineStats {
   uint64_t firings_skipped = 0;
   uint64_t agg_recomputes = 0;
   uint64_t agg_skipped = 0;
+  // Parallel fixpoint (see FixpointStats).
+  uint64_t waves = 0;
+  uint64_t parallel_tasks = 0;
   // Deletion path (see FixpointStats).
   uint64_t retractions = 0;
   uint64_t deleted_tuples = 0;
   uint64_t rescued_tuples = 0;
   uint64_t group_rederives = 0;
+  /// Secondary-index bucket (re)constructions across all relations. With
+  /// in-place erase maintenance this stays at one initial build per
+  /// (relation, probe mask); benches watch it to catch regressions to
+  /// rebuild-on-erase behaviour.
+  uint64_t index_rebuilds = 0;
 };
 
 class Workspace : public RelationStore, private FixpointHost {

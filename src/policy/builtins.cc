@@ -261,7 +261,8 @@ Status RegisterSerdeBuiltins(engine::Workspace* ws, const std::string& pred,
           out->push_back(*decoded->receiver);
           for (auto& v : decoded->values) out->push_back(std::move(v));
           return true;
-        });
+        },
+        /*thread_safe=*/false);  // DecodePayload interns entities
   }
   // serialize_signed$P(S, R, G, V*) -> payload
   {
@@ -303,7 +304,8 @@ Status RegisterSerdeBuiltins(engine::Workspace* ws, const std::string& pred,
           out->push_back(Value::MakeBlob(*decoded->sig));
           for (auto& v : decoded->values) out->push_back(std::move(v));
           return true;
-        });
+        },
+        /*thread_safe=*/false);  // DecodePayload interns entities
   }
   // sign_payload$P(S, R, V*) -> canonical bytes (what gets signed/MACed).
   {
@@ -358,7 +360,8 @@ Status RegisterSerdeBuiltins(engine::Workspace* ws, const std::string& pred,
           }
           for (auto& v : decoded->values) out->push_back(std::move(v));
           return true;
-        });
+        },
+        /*thread_safe=*/false);  // DecodePayload interns entities
   }
   return Status::OK();
 }

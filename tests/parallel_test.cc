@@ -1,0 +1,299 @@
+// Parallel fixpoint: the wave scheduler and partitioned delta evaluation
+// must produce the byte-identical fixpoint — same tuples, same
+// derivation-support counts, same anonymous-entity labels — at every
+// thread count, for insert convergence, the counting/DRed deletion paths,
+// and interleaved insert/delete churn.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "engine/workspace.h"
+
+namespace secureblox::engine {
+namespace {
+
+using datalog::Parse;
+using datalog::Value;
+
+void Install(Workspace* ws, const std::string& src) {
+  auto program = Parse(src);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Status st = ws->Install(program.value());
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+/// Full database image: every predicate's tuples (rendered with entity
+/// labels) with their support counts, order-insensitive.
+using Snapshot = std::map<std::string, std::set<std::pair<std::string,
+                                                          uint32_t>>>;
+
+Snapshot Snap(const Workspace& ws) {
+  Snapshot out;
+  const datalog::Catalog& catalog = ws.catalog();
+  for (size_t id = 0; id < catalog.num_predicates(); ++id) {
+    const datalog::PredicateDecl& decl =
+        catalog.decl(static_cast<datalog::PredId>(id));
+    const Relation* rel =
+        ws.GetRelationIfExists(static_cast<datalog::PredId>(id));
+    if (rel == nullptr || rel->empty()) continue;
+    auto& rows = out[decl.name];
+    for (const Tuple& t : rel->tuples()) {
+      rows.emplace(TupleToString(t, catalog), rel->SupportCount(t));
+    }
+  }
+  return out;
+}
+
+std::string Label(int i) { return "v" + std::to_string(i); }
+
+// fig08-flavoured convergence: transitive closure over a pseudo-random
+// graph, a lattice shortest-path aggregate, and a stratified count on top.
+const char* kConvergenceProgram = R"(
+  node(X) -> .
+  link(X, Y) -> node(X), node(Y).
+  reachable(X, Y) -> node(X), node(Y).
+  reachable(X, Y) <- link(X, Y).
+  reachable(X, Y) <- link(X, Z), reachable(Z, Y).
+  cost(X, Y) -> node(X), node(Y).
+  cost(X, Y) <- link(X, Y).
+  dist[X] = D -> node(X), int(D).
+  dist[X] = D <- agg<< D = count() >> reachable(X, _anon).
+)";
+
+std::vector<FactUpdate> ConvergenceLinks(int nodes, int degree) {
+  // Deterministic LCG so every thread count sees the same graph.
+  uint64_t seed = 0x5eedULL;
+  auto next = [&seed] {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return seed >> 33;
+  };
+  std::vector<FactUpdate> links;
+  for (int i = 0; i < nodes; ++i) {
+    links.push_back({"link", {Value::Str(Label(i)),
+                              Value::Str(Label(static_cast<int>(
+                                  (i + 1) % nodes)))}});
+    for (int d = 0; d < degree; ++d) {
+      links.push_back({"link", {Value::Str(Label(i)),
+                                Value::Str(Label(static_cast<int>(
+                                    next() % nodes)))}});
+    }
+  }
+  return links;
+}
+
+Snapshot RunConvergence(int threads, FixpointStats* fixpoint,
+                        EngineStats* engine) {
+  Workspace ws;
+  ws.fixpoint_options().threads = threads;
+  Install(&ws, kConvergenceProgram);
+  auto commit = ws.Apply(ConvergenceLinks(48, 2));
+  EXPECT_TRUE(commit.ok()) << commit.status().ToString();
+  if (commit.ok()) *fixpoint = commit->fixpoint;
+  *engine = ws.stats();
+  return Snap(ws);
+}
+
+TEST(ParallelFixpointTest, ConvergenceIdenticalAcrossThreadCounts) {
+  FixpointStats base_fp;
+  EngineStats base_stats;
+  Snapshot base = RunConvergence(1, &base_fp, &base_stats);
+  ASSERT_FALSE(base.empty());
+  for (int threads : {2, 8}) {
+    FixpointStats fp;
+    EngineStats stats;
+    Snapshot snap = RunConvergence(threads, &fp, &stats);
+    EXPECT_EQ(base, snap) << "fixpoint diverged at threads=" << threads;
+    // The work decomposition is thread-count independent, so the counters
+    // must agree exactly — not just the final database.
+    EXPECT_EQ(base_fp.rounds, fp.rounds);
+    EXPECT_EQ(base_fp.rule_firings, fp.rule_firings);
+    EXPECT_EQ(base_fp.derivations, fp.derivations);
+    EXPECT_EQ(base_fp.waves, fp.waves);
+    EXPECT_EQ(base_fp.parallel_tasks, fp.parallel_tasks);
+    EXPECT_EQ(base_stats.derived_tuples, stats.derived_tuples);
+  }
+  // The convergence delta is wide enough that firings actually chunked.
+  EXPECT_GT(base_fp.parallel_tasks, 0u);
+  EXPECT_GT(base_fp.waves, 0u);
+}
+
+// The delete_test scenarios, re-run at every thread count with a snapshot
+// comparison after each transaction: alternative derivations surviving,
+// diamond support counting, recursive DRed, aggregate retraction, and
+// negation flips.
+TEST(ParallelFixpointTest, DeleteScenariosIdenticalAcrossThreadCounts) {
+  const std::string program = R"(
+    a(X) -> string(X).
+    b(X) -> string(X).
+    p(X) -> string(X).
+    p(X) <- a(X).
+    p(X) <- b(X).
+    q(X) -> string(X).
+    q(X) <- p(X), a(X).
+    e(X, Y) -> string(X), string(Y).
+    tc(X, Y) -> string(X), string(Y).
+    tc(X, Y) <- e(X, Y).
+    tc(X, Y) <- e(X, Z), tc(Z, Y).
+    total[] = V -> int(V).
+    total[] = V <- agg<< V = count() >> tc(_anon1, _anon2).
+    quiet(X) -> string(X).
+    quiet(X) <- a(X), !b(X).
+  )";
+  // (pred, value, is_delete) script exercising both deletion paths.
+  const std::vector<std::tuple<std::string, std::string, bool>> script = {
+      {"a", "x", false}, {"b", "x", false}, {"a", "y", false},
+      {"a", "x", true},   // counting path: p(x) survives via b(x)
+      {"b", "x", true},   // now p(x) dies, q(x) already gone
+      {"a", "y", true},
+  };
+  auto run = [&](int threads) {
+    std::vector<Snapshot> trace;
+    Workspace ws;
+    ws.fixpoint_options().threads = threads;
+    Install(&ws, program);
+    // Chain + shortcut edges, then delete a bridge (recursive DRed).
+    std::vector<FactUpdate> edges;
+    for (int i = 0; i < 12; ++i) {
+      edges.push_back({"e", {Value::Str(Label(i)), Value::Str(Label(i + 1))}});
+    }
+    edges.push_back({"e", {Value::Str(Label(0)), Value::Str(Label(6))}});
+    auto seeded = ws.Apply(edges);
+    EXPECT_TRUE(seeded.ok()) << seeded.status().ToString();
+    trace.push_back(Snap(ws));
+    for (const auto& [pred, value, is_delete] : script) {
+      std::vector<FactUpdate> ins, del;
+      (is_delete ? del : ins).push_back({pred, {Value::Str(value)}});
+      auto commit = ws.Apply(ins, del);
+      EXPECT_TRUE(commit.ok()) << commit.status().ToString();
+      trace.push_back(Snap(ws));
+    }
+    // Bridge delete: recursive group falls back to group-local DRed.
+    auto bridge = ws.Apply(
+        {}, {{"e", {Value::Str(Label(5)), Value::Str(Label(6))}}});
+    EXPECT_TRUE(bridge.ok()) << bridge.status().ToString();
+    trace.push_back(Snap(ws));
+    return trace;
+  };
+  auto base = run(1);
+  for (int threads : {2, 8}) {
+    auto trace = run(threads);
+    ASSERT_EQ(base.size(), trace.size());
+    for (size_t step = 0; step < base.size(); ++step) {
+      EXPECT_EQ(base[step], trace[step])
+          << "divergence at step " << step << ", threads=" << threads;
+    }
+  }
+}
+
+// Head existentials create anonymous entities in the sequential merge
+// phase, so even their generated labels must not depend on the thread
+// count.
+TEST(ParallelFixpointTest, ExistentialLabelsIdenticalAcrossThreadCounts) {
+  const std::string program = R"(
+    node(X) -> .
+    pathvar(P) -> .
+    link(X, Y) -> node(X), node(Y).
+    hop(P, X, Y) -> pathvar(P), node(X), node(Y).
+    hop(P, X, Y) <- link(X, Y).
+  )";
+  auto run = [&](int threads) {
+    Workspace ws;
+    ws.fixpoint_options().threads = threads;
+    Install(&ws, program);
+    auto commit = ws.Apply(ConvergenceLinks(32, 2));
+    EXPECT_TRUE(commit.ok()) << commit.status().ToString();
+    return Snap(ws);
+  };
+  Snapshot base = run(1);
+  ASSERT_TRUE(base.count("hop"));
+  EXPECT_EQ(base, run(2));
+  EXPECT_EQ(base, run(8));
+}
+
+// Interleaved insert/delete churn under the pool: a pseudo-random but
+// deterministic schedule of base-fact inserts and deletes over recursive
+// and aggregate rules, compared transaction-by-transaction against the
+// sequential engine.
+TEST(ParallelFixpointTest, StressInterleavedInsertDeleteUnderPool) {
+  const std::string program = R"(
+    e(X, Y) -> string(X), string(Y).
+    tc(X, Y) -> string(X), string(Y).
+    tc(X, Y) <- e(X, Y).
+    tc(X, Y) <- e(X, Z), tc(Z, Y).
+    fanout[X] = D -> string(X), int(D).
+    fanout[X] = D <- agg<< D = count() >> tc(X, _anon).
+  )";
+  constexpr int kNodes = 16;
+  constexpr int kSteps = 60;
+  auto run = [&](int threads) {
+    std::vector<Snapshot> trace;
+    Workspace ws;
+    ws.fixpoint_options().threads = threads;
+    Install(&ws, program);
+    std::set<std::pair<int, int>> present;
+    uint64_t seed = 0xfeedULL;
+    auto next = [&seed] {
+      seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      return seed >> 33;
+    };
+    for (int step = 0; step < kSteps; ++step) {
+      int from = static_cast<int>(next() % kNodes);
+      int to = static_cast<int>(next() % kNodes);
+      FactUpdate edge{"e", {Value::Str(Label(from)), Value::Str(Label(to))}};
+      bool do_delete = present.count({from, to}) && next() % 2 == 0;
+      auto commit = do_delete ? ws.Apply({}, {edge}) : ws.Apply({edge});
+      EXPECT_TRUE(commit.ok()) << commit.status().ToString();
+      if (do_delete) {
+        present.erase({from, to});
+      } else {
+        present.insert({from, to});
+      }
+      trace.push_back(Snap(ws));
+    }
+    return trace;
+  };
+  auto base = run(1);
+  auto parallel = run(8);
+  ASSERT_EQ(base.size(), parallel.size());
+  for (size_t step = 0; step < base.size(); ++step) {
+    EXPECT_EQ(base[step], parallel[step]) << "divergence at step " << step;
+  }
+}
+
+// Erases no longer invalidate secondary indexes: the bucket maps are
+// patched in place, so the engine-wide (re)build counter stays at the
+// initial build count however much deletion churn the probes see.
+TEST(ParallelFixpointTest, EraseDoesNotRebuildSecondaryIndexes) {
+  Workspace ws;
+  Install(&ws, R"(
+    e(X, Y) -> string(X), string(Y).
+    join(X, Z) -> string(X), string(Z).
+    join(X, Z) <- e(X, Y), e(Y, Z).
+  )");
+  std::vector<FactUpdate> edges;
+  for (int i = 0; i < 64; ++i) {
+    edges.push_back({"e", {Value::Str(Label(i)), Value::Str(Label(i + 1))}});
+  }
+  ASSERT_TRUE(ws.Apply(edges).ok());
+  uint64_t builds_after_seed = ws.stats().index_rebuilds;
+  EXPECT_GT(builds_after_seed, 0u);
+  // Deletion churn with live probes after every transaction.
+  for (int i = 10; i < 40; i += 3) {
+    auto commit = ws.Apply(
+        {}, {{"e", {Value::Str(Label(i)), Value::Str(Label(i + 1))}}});
+    ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+    auto reinsert = ws.Apply(
+        {{"e", {Value::Str(Label(i)), Value::Str(Label(i + 1))}}});
+    ASSERT_TRUE(reinsert.ok()) << reinsert.status().ToString();
+  }
+  EXPECT_EQ(builds_after_seed, ws.stats().index_rebuilds)
+      << "erase churn forced secondary-index rebuilds";
+}
+
+}  // namespace
+}  // namespace secureblox::engine
