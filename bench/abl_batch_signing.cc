@@ -27,6 +27,8 @@ int main() {
     double latency[2], kb[2], tx[2];
     for (int per_fact = 0; per_fact < 2; ++per_fact) {
       apps::PathVectorConfig config;
+      config.max_batch_tuples = BatchTuples();
+      config.max_batch_delay_s = BatchDelayS();
       config.num_nodes = n;
       config.auth = policy::AuthScheme::kRsa;
       config.per_fact_policy = (per_fact == 1);

@@ -24,6 +24,18 @@ inline size_t EnvSize(const char* name, size_t def) {
 
 inline bool QuickMode() { return EnvSize("SB_QUICK", 0) != 0; }
 
+/// §5.2 batching knobs for the fig harnesses (see SimCluster::Config):
+///   SB_BATCH_TUPLES    max tuples per coalesced delivery transaction
+///                      (0 = unbounded, 1 = one message per transaction)
+///   SB_BATCH_DELAY_US  extra simulated microseconds a batch is held open
+/// The figures default to granularity 1 — the paper's measured
+/// one-transaction-per-message configuration — so the per-message deltas
+/// they report stay meaningful; abl_txn_granularity sweeps the spectrum.
+inline size_t BatchTuples() { return EnvSize("SB_BATCH_TUPLES", 1); }
+inline double BatchDelayS() {
+  return static_cast<double>(EnvSize("SB_BATCH_DELAY_US", 0)) * 1e-6;
+}
+
 inline size_t Trials() { return std::max<size_t>(1, EnvSize("SB_TRIALS", 1)); }
 
 /// Cluster sizes for the path-vector sweep (paper: 6..72 step 6).

@@ -29,6 +29,8 @@ int main() {
       double total = 0;
       for (size_t trial = 0; trial < Trials(); ++trial) {
         apps::PathVectorConfig config;
+        config.max_batch_tuples = BatchTuples();
+        config.max_batch_delay_s = BatchDelayS();
         config.num_nodes = n;
         config.auth = auth;
         config.graph_seed = 1000 + trial;

@@ -32,6 +32,8 @@ int main() {
         config.num_nodes = n;
         config.auth = auth;
         config.graph_seed = 1000 + trial;
+        config.max_batch_tuples = BatchTuples();
+        config.max_batch_delay_s = BatchDelayS();
         auto result = apps::RunPathVector(config);
         if (!result.ok()) {
           std::fprintf(stderr, "FAILED n=%zu %s: %s\n", n, name,

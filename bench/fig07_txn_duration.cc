@@ -34,6 +34,8 @@ int main() {
         config.auth = s.auth;
         config.enc = s.enc;
         config.graph_seed = 1000 + trial;
+        config.max_batch_tuples = BatchTuples();
+        config.max_batch_delay_s = BatchDelayS();
         auto result = apps::RunPathVector(config);
         if (!result.ok()) {
           std::fprintf(stderr, "FAILED n=%zu: %s\n", n,

@@ -29,6 +29,8 @@ int main() {
 
   for (const Scheme& s : schemes) {
     apps::PathVectorConfig config;
+    config.max_batch_tuples = BatchTuples();
+    config.max_batch_delay_s = BatchDelayS();
     config.num_nodes = n;
     config.auth = s.auth;
     config.enc = s.enc;

@@ -31,6 +31,8 @@ int main() {
     std::vector<double> all_times;
     for (size_t trial = 0; trial < Trials(); ++trial) {
       apps::HashJoinConfig config;
+      config.max_batch_tuples = BatchTuples();
+      config.max_batch_delay_s = BatchDelayS();
       config.num_nodes = 6;
       config.auth = s.auth;
       config.enc = s.enc;

@@ -33,4 +33,11 @@ if [ -x "$build/micro_delete" ]; then
 fi
 SB_QUICK=1 SB_MAX_NODES=6 "$build/fig04_fixpoint_latency"
 
+# Distribution-layer granularity sweep (§5.2): batch = 1/4/64/∞ on the
+# fig06 path-vector workload, recorded as BENCH_dist.json. The harness
+# exits nonzero unless coalescing (batch ∞) sends fewer messages than
+# one-transaction-per-message (batch 1).
+SB_QUICK=1 SB_BENCH_OUT="$build/BENCH_dist.json" "$build/abl_txn_granularity"
+echo "wrote $build/BENCH_dist.json"
+
 echo "check.sh: OK"

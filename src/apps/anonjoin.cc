@@ -113,6 +113,8 @@ Result<AnonJoinResult> RunAnonJoin(const AnonJoinConfig& config) {
   cfg.credentials.rsa_bits = config.rsa_bits;
   cfg.credentials.seed = "anonjoin";
   cfg.net.seed = config.seed;
+  cfg.max_batch_tuples = config.max_batch_tuples;
+  cfg.max_batch_delay_s = config.max_batch_delay_s;
 
   SB_ASSIGN_OR_RETURN(std::unique_ptr<dist::SimCluster> cluster,
                       dist::SimCluster::Create(std::move(cfg)));

@@ -33,6 +33,9 @@ struct AnonJoinConfig {
   size_t value_domain = 40;      // join key domain
   uint64_t seed = 1;
   size_t rsa_bits = 512;
+  /// §5.2 delivery granularity (see SimCluster::Config).
+  size_t max_batch_tuples = 0;
+  double max_batch_delay_s = 0;
 };
 
 struct AnonJoinResult {

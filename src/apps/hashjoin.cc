@@ -70,6 +70,8 @@ Result<HashJoinResult> RunHashJoin(const HashJoinConfig& config) {
   cfg.credentials.seed = "hashjoin";
   cfg.compute_scale = config.compute_scale;
   cfg.net.seed = config.seed;
+  cfg.max_batch_tuples = config.max_batch_tuples;
+  cfg.max_batch_delay_s = config.max_batch_delay_s;
 
   SB_ASSIGN_OR_RETURN(std::unique_ptr<dist::SimCluster> cluster,
                       dist::SimCluster::Create(std::move(cfg)));

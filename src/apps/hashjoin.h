@@ -32,6 +32,9 @@ struct HashJoinConfig {
   double compute_scale = 1.0;
   /// See PathVectorConfig::per_fact_policy (paper footnote 2).
   bool per_fact_policy = false;
+  /// §5.2 delivery granularity (see SimCluster::Config).
+  size_t max_batch_tuples = 0;
+  double max_batch_delay_s = 0;
 };
 
 struct HashJoinResult {

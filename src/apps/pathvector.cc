@@ -129,6 +129,8 @@ Result<PathVectorResult> RunPathVector(const PathVectorConfig& config) {
   cfg.credentials.seed = "pathvector";
   cfg.compute_scale = config.compute_scale;
   cfg.net.seed = config.graph_seed;
+  cfg.max_batch_tuples = config.max_batch_tuples;
+  cfg.max_batch_delay_s = config.max_batch_delay_s;
 
   SB_ASSIGN_OR_RETURN(std::unique_ptr<dist::SimCluster> cluster,
                       dist::SimCluster::Create(std::move(cfg)));

@@ -46,6 +46,11 @@ struct PathVectorConfig {
   /// true: the says policy signs and verifies every fact individually
   /// (ablation: per-tuple vs per-batch signing).
   bool per_fact_policy = false;
+  /// §5.2 delivery granularity (see SimCluster::Config): max tuples per
+  /// coalesced transaction (0 = unbounded, 1 = per-message) and extra
+  /// simulated batch-open delay.
+  size_t max_batch_tuples = 0;
+  double max_batch_delay_s = 0;
 };
 
 struct PathVectorResult {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -51,72 +53,166 @@ Result<std::unique_ptr<SimCluster>> SimCluster::Create(Config config) {
 
 void SimCluster::ScheduleInsert(NodeIndex node,
                                 std::vector<FactUpdate> facts) {
-  scheduled_.push_back({node, std::move(facts)});
+  scheduled_.push_back({node, std::move(facts), {}, 0.0});
+}
+
+void SimCluster::ScheduleUpdate(NodeIndex node,
+                                std::vector<FactUpdate> inserts,
+                                std::vector<FactUpdate> deletes,
+                                double at_s) {
+  scheduled_.push_back({node, std::move(inserts), std::move(deletes), at_s});
 }
 
 Result<SimCluster::Metrics> SimCluster::Run() {
   Metrics metrics;
   metrics.node_convergence_s.assign(nodes_.size(), 0.0);
   std::vector<double> available(nodes_.size(), 0.0);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  // Run one transaction on `node` no earlier than `ready_s`, in simulated
-  // time; compute cost is the measured wall-clock time of the call
-  // (sealing included) scaled by compute_scale.
-  auto run_tx = [&](NodeIndex node, double ready_s, bool is_delivery,
-                    auto&& fn) -> Status {
-    double start = std::max(ready_s, available[node]);
-    auto t0 = std::chrono::steady_clock::now();
-    Result<NodeRuntime::ApplyOutcome> outcome = fn();
-    if (!outcome.ok()) {
-      if (is_delivery) {
-        // A malformed or hostile batch must not take down the cluster
-        // loop: count the rejection and keep the node serving — but log
-        // it, since this also catches local engine failures.
-        SB_LOG_STREAM(Warning) << "node " << node << ": rejected batch: "
-                               << outcome.status().ToString();
-        ++metrics.rejected_batches;
-        return Status::OK();
+  // Deliveries that have arrived but not yet been applied, per destination
+  // (arrival order), plus their sender-declared tuple totals.
+  std::vector<std::deque<net::SimNet::Delivery>> pending(nodes_.size());
+  std::vector<size_t> pending_tuples(nodes_.size(), 0);
+  const size_t cap = config_.max_batch_tuples;  // 0 = unbounded
+
+  // When node n's queued batch starts applying. A full batch closes at
+  // the arrival of the message that reached the tuple cap; otherwise the
+  // node fires once it is free and the first message is in — or, with a
+  // batch delay, `max_batch_delay_s` after the first arrival.
+  auto fire_time = [&](size_t n) -> double {
+    const std::deque<net::SimNet::Delivery>& q = pending[n];
+    double first = q.front().time_s;
+    if (cap != 0 && pending_tuples[n] >= cap) {
+      size_t acc = 0;
+      for (const net::SimNet::Delivery& d : q) {
+        acc += std::max<size_t>(1, d.tuple_hint);
+        if (acc >= cap) return std::max(available[n], d.time_s);
       }
-      return outcome.status();
     }
-    double wall_s = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-    double end = start + wall_s * config_.compute_scale;
-    available[node] = end;
-    metrics.transactions.push_back({node, outcome->accepted, start, end});
-    if (outcome->accepted) {
-      metrics.node_convergence_s[node] = end;
-      for (auto& out : outcome->outgoing) {
-        net_.Send(node, out.dst, std::move(out.payload), end);
-      }
-    } else if (is_delivery) {
-      ++metrics.rejected_batches;
+    double t = std::max(available[n], first);
+    if (config_.max_batch_delay_s > 0) {
+      t = std::max(available[n], first + config_.max_batch_delay_s);
     }
-    return Status::OK();
+    return t;
   };
 
-  for (auto& [node, facts] : scheduled_) {
-    auto& batch = facts;
-    NodeIndex n = node;
-    SB_RETURN_IF_ERROR(run_tx(n, 0.0, /*is_delivery=*/false, [&] {
-      return nodes_[n]->InsertLocal(batch);
-    }));
-  }
-  scheduled_.clear();
+  // Account one finished transaction: charge the measured wall-clock
+  // compute (sealing and verification included, rejected work too) to the
+  // node's simulated time and ship its outgoing messages at commit time.
+  auto finish_tx = [&](NodeIndex node, double start, double wall_s,
+                       bool accepted, bool is_delivery, size_t num_payloads,
+                       size_t num_tuples,
+                       std::vector<NodeRuntime::Outgoing> outgoing) {
+    double duration = wall_s * config_.compute_scale;
+    if (duration <= 0) duration = 1e-9;  // clock granularity floor
+    double end = start + duration;
+    available[node] = end;
+    metrics.transactions.push_back({node, accepted, is_delivery, start, end,
+                                    num_payloads, num_tuples});
+    if (accepted) {
+      metrics.node_convergence_s[node] = end;
+      for (auto& out : outgoing) {
+        net_.Send(node, out.dst, std::move(out.payload), end,
+                  out.num_tuples);
+      }
+    }
+  };
 
+  std::stable_sort(
+      scheduled_.begin(), scheduled_.end(),
+      [](const ScheduledTx& a, const ScheduledTx& b) { return a.at_s < b.at_s; });
+  size_t next_scheduled = 0;
   uint64_t guard = 0;
-  while (auto delivery = net_.PopNext()) {
+
+  while (true) {
     if (++guard > 50000000) {
       return Status::Internal("simulated cluster did not quiesce");
     }
-    NodeIndex dst = delivery->dst;
-    SB_RETURN_IF_ERROR(
-        run_tx(dst, delivery->time_s, /*is_delivery=*/true, [&] {
-          return nodes_[dst]->DeliverMessage(delivery->payload,
-                                             delivery->src);
-        }));
+    double t_sched = next_scheduled < scheduled_.size()
+                         ? scheduled_[next_scheduled].at_s
+                         : kInf;
+    double t_fire = kInf;
+    size_t fire_dst = 0;
+    uint64_t fire_seq = 0;
+    for (size_t n = 0; n < pending.size(); ++n) {
+      if (pending[n].empty()) continue;
+      double t = fire_time(n);
+      uint64_t seq = pending[n].front().seq;
+      if (t < t_fire || (t == t_fire && seq < fire_seq)) {
+        t_fire = t;
+        fire_dst = n;
+        fire_seq = seq;
+      }
+    }
+    double t_net = net_.PeekNextTime().value_or(kInf);
+    if (t_sched == kInf && t_fire == kInf && t_net == kInf) break;
+
+    // Arrivals land first so a message arriving at (or before) a batch's
+    // start instant still coalesces into it.
+    if (t_net <= std::min(t_sched, t_fire)) {
+      auto d = net_.PopNext();
+      pending_tuples[d->dst] += std::max<size_t>(1, d->tuple_hint);
+      pending[d->dst].push_back(std::move(*d));
+      continue;
+    }
+
+    if (t_sched <= t_fire) {
+      ScheduledTx& tx = scheduled_[next_scheduled++];
+      double start = std::max(tx.at_s, available[tx.node]);
+      auto t0 = std::chrono::steady_clock::now();
+      auto outcome = nodes_[tx.node]->ApplyLocal(tx.inserts, tx.deletes);
+      double wall_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      // Local failures surface: the workload itself is broken.
+      if (!outcome.ok()) return outcome.status();
+      finish_tx(tx.node, start, wall_s, outcome->accepted,
+                /*is_delivery=*/false, 0, 0, std::move(outcome->outgoing));
+      continue;
+    }
+
+    // Coalesce queued messages for fire_dst — across sources — into one
+    // multi-source delivery transaction (whole messages, first always
+    // taken, stop once the tuple cap is reached).
+    std::vector<NodeRuntime::SealedDelivery> batch;
+    size_t tuples = 0;
+    while (!pending[fire_dst].empty()) {
+      if (!batch.empty() && cap != 0 && tuples >= cap) break;
+      net::SimNet::Delivery& d = pending[fire_dst].front();
+      size_t hint = std::max<size_t>(1, d.tuple_hint);
+      batch.push_back({d.src, std::move(d.payload)});
+      tuples += hint;
+      pending_tuples[fire_dst] -= hint;
+      pending[fire_dst].pop_front();
+    }
+
+    double start = std::max(t_fire, available[fire_dst]);
+    auto t0 = std::chrono::steady_clock::now();
+    auto outcome =
+        nodes_[fire_dst]->DeliverBatch(batch);
+    double wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    NodeIndex dst = static_cast<NodeIndex>(fire_dst);
+    if (!outcome.ok()) {
+      // A malformed or hostile batch must not take down the cluster loop:
+      // count the rejections and keep the node serving — but log it, since
+      // this also catches local engine failures.
+      SB_LOG_STREAM(Warning) << "node " << dst << ": rejected batch: "
+                             << outcome.status().ToString();
+      metrics.rejected_batches += batch.size();
+      finish_tx(dst, start, wall_s, /*accepted=*/false, /*is_delivery=*/true,
+                batch.size(), tuples, {});
+      continue;
+    }
+    metrics.rejected_batches += batch.size() - outcome->accepted_payloads;
+    ++metrics.delivery_transactions;
+    if (batch.size() > 1) metrics.coalesced_messages += batch.size();
+    finish_tx(dst, start, wall_s, outcome->accepted_payloads > 0,
+              /*is_delivery=*/true, batch.size(), tuples,
+              std::move(outcome->outgoing));
   }
+  scheduled_.clear();
 
   metrics.fixpoint_latency_s = *std::max_element(
       metrics.node_convergence_s.begin(), metrics.node_convergence_s.end());

@@ -1,9 +1,16 @@
 // Simulated cluster: N node runtimes over the discrete-event network
-// model, standing in for the paper's 36/72-node GbE deployment. Each
-// delivery/insert runs as one ACID transaction on the owning node; compute
-// time is the measured wall-clock cost (scaled by compute_scale) and
-// message latency comes from the SimNet latency/bandwidth model — the
-// quantities behind Figures 4–12.
+// model, standing in for the paper's 36/72-node GbE deployment.
+//
+// Distribution loop (paper §5.2): a node coalesces all queued deliveries
+// addressed to it — across source nodes — into a single multi-source
+// transaction of up to `max_batch_tuples` tuples, optionally holding the
+// batch open `max_batch_delay_s` after the first arrival. Compute and
+// network overlap: a node's fixpoint occupies only that node in simulated
+// time, so other nodes' transactions and in-flight messages proceed
+// concurrently, and messages that land while a node is busy coalesce into
+// its next transaction. Compute time is the measured wall-clock cost
+// (scaled by compute_scale) and message latency comes from the SimNet
+// latency/bandwidth model — the quantities behind Figures 4–12.
 #ifndef SECUREBLOX_DIST_CLUSTER_H_
 #define SECUREBLOX_DIST_CLUSTER_H_
 
@@ -29,14 +36,30 @@ class SimCluster {
     net::SimNet::Config net;
     /// Simulated seconds per measured wall-clock second of compute.
     double compute_scale = 1.0;
+    /// §5.2 granularity knob: maximum tuples coalesced into one delivery
+    /// transaction (whole messages only — the first queued message is
+    /// always taken). 0 = unbounded; 1 reproduces the seed's
+    /// one-transaction-per-message loop.
+    size_t max_batch_tuples = 0;
+    /// Extra simulated seconds a node holds a batch open after the first
+    /// queued delivery, hoping to coalesce more (0 = apply as soon as the
+    /// node is free).
+    double max_batch_delay_s = 0;
   };
 
-  /// One transaction (local insert or delivery) in simulated time.
+  /// One transaction (local update or coalesced delivery) in simulated
+  /// time. Every transaction — including rejected deliveries — carries a
+  /// real duration (end_s > start_s): verification work costs cycles.
   struct TxRecord {
     net::NodeIndex node = 0;
     bool accepted = true;
+    bool is_delivery = false;
     double start_s = 0;
     double end_s = 0;
+    /// Messages coalesced into this transaction (0 for local updates).
+    size_t num_payloads = 0;
+    /// Sender-declared tuples across those messages.
+    size_t num_tuples = 0;
   };
 
   struct Metrics {
@@ -46,8 +69,13 @@ class SimCluster {
     std::vector<double> node_convergence_s;
     uint64_t total_messages = 0;
     uint64_t total_bytes = 0;
-    /// Deliveries rejected (bad seal, unparseable, constraint violation).
+    /// Delivered payloads rejected (bad seal, unparseable, constraint
+    /// violation) — counted per payload, not per coalesced transaction.
     uint64_t rejected_batches = 0;
+    /// Coalesced delivery transactions executed.
+    uint64_t delivery_transactions = 0;
+    /// Messages that shared a delivery transaction with at least one other.
+    uint64_t coalesced_messages = 0;
     std::vector<TxRecord> transactions;
     /// Bytes sent per node (Figures 6/12).
     std::vector<uint64_t> node_bytes_sent;
@@ -64,20 +92,33 @@ class SimCluster {
   void ScheduleInsert(net::NodeIndex node,
                       std::vector<engine::FactUpdate> facts);
 
-  /// Run scheduled inserts and message deliveries until the network drains.
+  /// Queue a mixed insert+delete transaction no earlier than `at_s`
+  /// simulated seconds — churn interleaving with in-flight deliveries.
+  void ScheduleUpdate(net::NodeIndex node,
+                      std::vector<engine::FactUpdate> inserts,
+                      std::vector<engine::FactUpdate> deletes,
+                      double at_s = 0.0);
+
+  /// Run scheduled updates and message deliveries until the network drains.
   Result<Metrics> Run();
 
   NodeRuntime& node(net::NodeIndex i) { return *nodes_[i]; }
   size_t num_nodes() const { return nodes_.size(); }
 
  private:
+  struct ScheduledTx {
+    net::NodeIndex node = 0;
+    std::vector<engine::FactUpdate> inserts;
+    std::vector<engine::FactUpdate> deletes;
+    double at_s = 0;
+  };
+
   SimCluster() = default;
 
   Config config_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   net::SimNet net_;
-  std::vector<std::pair<net::NodeIndex, std::vector<engine::FactUpdate>>>
-      scheduled_;
+  std::vector<ScheduledTx> scheduled_;
 };
 
 }  // namespace secureblox::dist

@@ -94,7 +94,7 @@ Result<const std::string*> NodeRuntime::PrincipalOf(NodeIndex peer) const {
   return &config_.principals[peer];
 }
 
-Result<Bytes> NodeRuntime::SealForPeer(const Bytes& raw, NodeIndex peer) {
+Result<Bytes> NodeRuntime::SealForPeer(const Bytes& raw, NodeIndex peer) const {
   SB_ASSIGN_OR_RETURN(const std::string* peer_principal, PrincipalOf(peer));
   Bytes payload = raw;
   if (config_.batch_security.enc == policy::EncScheme::kAes) {
@@ -131,7 +131,8 @@ Result<Bytes> NodeRuntime::SealForPeer(const Bytes& raw, NodeIndex peer) {
   return payload;
 }
 
-Result<Bytes> NodeRuntime::OpenFromPeer(const Bytes& sealed, NodeIndex peer) {
+Result<Bytes> NodeRuntime::OpenFromPeer(const Bytes& sealed,
+                                        NodeIndex peer) const {
   SB_ASSIGN_OR_RETURN(const std::string* peer_principal, PrincipalOf(peer));
   Bytes payload = sealed;
   switch (config_.batch_security.auth) {
@@ -233,9 +234,10 @@ Result<std::vector<NodeRuntime::Outgoing>> NodeRuntime::CollectOutgoing(
 }
 
 Result<NodeRuntime::ApplyOutcome> NodeRuntime::ApplyAndCollect(
-    const std::vector<FactUpdate>& facts, bool from_network) {
+    const std::vector<FactUpdate>& facts,
+    const std::vector<FactUpdate>& deletes, bool from_network) {
   ApplyOutcome outcome;
-  auto commit = ws_->Apply(facts);
+  auto commit = ws_->Apply(facts, deletes);
   if (!commit.ok()) {
     // Local transactions surface hard errors; anything an untrusted
     // payload provokes (type errors, arity mismatches, violations) is a
@@ -255,47 +257,121 @@ Result<NodeRuntime::ApplyOutcome> NodeRuntime::ApplyAndCollect(
 
 Result<NodeRuntime::ApplyOutcome> NodeRuntime::InsertLocal(
     const std::vector<FactUpdate>& facts) {
-  return ApplyAndCollect(facts, /*from_network=*/false);
+  return ApplyAndCollect(facts, {}, /*from_network=*/false);
+}
+
+Result<NodeRuntime::ApplyOutcome> NodeRuntime::ApplyLocal(
+    const std::vector<FactUpdate>& inserts,
+    const std::vector<FactUpdate>& deletes) {
+  return ApplyAndCollect(inserts, deletes, /*from_network=*/false);
 }
 
 Result<NodeRuntime::ApplyOutcome> NodeRuntime::DeliverMessage(
     const Bytes& payload, NodeIndex src) {
+  SB_ASSIGN_OR_RETURN(BatchOutcome batch, DeliverBatch({{src, payload}}));
   ApplyOutcome outcome;
-  auto opened = OpenFromPeer(payload, src);
-  if (!opened.ok()) {
-    ++stats_.batches_rejected_auth;
-    outcome.accepted = false;
-    outcome.reject_reason = opened.status().ToString();
-    return outcome;
-  }
-  auto batch = net::DecodeBatch(*opened, &ws_->catalog());
-  if (!batch.ok()) {
-    ++stats_.batches_rejected_parse;
-    outcome.accepted = false;
-    outcome.reject_reason = batch.status().ToString();
-    return outcome;
-  }
-  if (batch->dst != config_.index) {
-    ++stats_.batches_rejected_parse;
-    outcome.accepted = false;
-    outcome.reject_reason = "misrouted batch (dst " +
-                            std::to_string(batch->dst) + " at node " +
-                            std::to_string(config_.index) + ")";
-    return outcome;
-  }
-  std::vector<FactUpdate> facts;
-  for (const auto& entry : batch->entries) {
-    for (const Tuple& t : entry.tuples) {
-      facts.push_back({entry.pred, t});
+  outcome.accepted = batch.results[0].accepted;
+  outcome.reject_reason = batch.results[0].reject_reason;
+  outcome.outgoing = std::move(batch.outgoing);
+  outcome.num_derived = batch.num_derived;
+  return outcome;
+}
+
+Result<NodeRuntime::BatchOutcome> NodeRuntime::DeliverBatch(
+    const std::vector<SealedDelivery>& batch) {
+  // Seal verification is per payload against its own source: one hostile
+  // source cannot poison the seals of its peers.
+  std::vector<OpenedDelivery> opened(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    opened[i].src = batch[i].src;
+    auto plain = OpenFromPeer(batch[i].payload, batch[i].src);
+    if (!plain.ok()) {
+      opened[i].auth_ok = false;
+      opened[i].error = plain.status().ToString();
+    } else {
+      opened[i].opened = std::move(plain).value();
     }
   }
-  SB_ASSIGN_OR_RETURN(outcome, ApplyAndCollect(facts, /*from_network=*/true));
-  if (outcome.accepted) {
-    ++stats_.batches_accepted;
-  } else {
-    ++stats_.batches_rejected_constraint;
+  return DeliverOpened(opened);
+}
+
+Result<NodeRuntime::BatchOutcome> NodeRuntime::DeliverOpened(
+    const std::vector<OpenedDelivery>& batch) {
+  BatchOutcome out;
+  out.results.resize(batch.size());
+  std::vector<DecodedPayload> decoded;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const OpenedDelivery& d = batch[i];
+    if (!d.auth_ok) {
+      ++stats_.batches_rejected_auth;
+      out.results[i] = {false, d.error};
+      continue;
+    }
+    auto wire = net::DecodeBatch(d.opened, &ws_->catalog());
+    if (!wire.ok()) {
+      ++stats_.batches_rejected_parse;
+      out.results[i] = {false, wire.status().ToString()};
+      continue;
+    }
+    if (wire->dst != config_.index) {
+      ++stats_.batches_rejected_parse;
+      out.results[i] = {false, "misrouted batch (dst " +
+                                   std::to_string(wire->dst) + " at node " +
+                                   std::to_string(config_.index) + ")"};
+      continue;
+    }
+    DecodedPayload dec;
+    dec.index = i;
+    for (const auto& entry : wire->entries) {
+      for (const Tuple& t : entry.tuples) {
+        dec.facts.push_back({entry.pred, t});
+      }
+    }
+    decoded.push_back(std::move(dec));
   }
-  return outcome;
+  if (!decoded.empty()) {
+    SB_RETURN_IF_ERROR(ApplyDecodedRange(decoded, 0, decoded.size(), &out));
+  }
+  return out;
+}
+
+Status NodeRuntime::ApplyDecodedRange(
+    const std::vector<DecodedPayload>& decoded, size_t lo, size_t hi,
+    BatchOutcome* out) {
+  std::vector<FactUpdate> facts;
+  for (size_t i = lo; i < hi; ++i) {
+    facts.insert(facts.end(), decoded[i].facts.begin(),
+                 decoded[i].facts.end());
+  }
+  auto commit = ws_->Apply(facts);
+  if (commit.ok()) {
+    ++stats_.delivery_txns;
+    if (hi - lo > 1) stats_.coalesced_payloads += hi - lo;
+    for (size_t i = lo; i < hi; ++i) {
+      out->results[decoded[i].index] = {true, ""};
+      ++stats_.batches_accepted;
+      ++out->accepted_payloads;
+    }
+    ++out->transactions;
+    out->num_derived += commit->num_derived;
+    SB_ASSIGN_OR_RETURN(std::vector<Outgoing> outgoing,
+                        CollectOutgoing(*commit));
+    for (auto& o : outgoing) out->outgoing.push_back(std::move(o));
+    return Status::OK();
+  }
+  // Untrusted input: every failure the payloads provoke (constraint
+  // violation, type error, arity mismatch) is a rejection of those
+  // payloads, the transaction having rolled back.
+  if (hi - lo == 1) {
+    ++stats_.batches_rejected_constraint;
+    out->results[decoded[lo].index] = {false, commit.status().ToString()};
+    return Status::OK();
+  }
+  // Bisect: isolate the poisoned source(s) instead of aborting peers.
+  ++stats_.bisect_splits;
+  size_t mid = lo + (hi - lo) / 2;
+  SB_RETURN_IF_ERROR(ApplyDecodedRange(decoded, lo, mid, out));
+  return ApplyDecodedRange(decoded, mid, hi, out);
 }
 
 }  // namespace secureblox::dist

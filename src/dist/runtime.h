@@ -70,11 +70,52 @@ class NodeRuntime {
     size_t num_derived = 0;
   };
 
+  /// One sealed payload awaiting delivery, tagged with the claimed sender
+  /// (coalesced deliveries mix payloads from many sources).
+  struct SealedDelivery {
+    net::NodeIndex src = 0;
+    Bytes payload;
+  };
+
+  /// A payload whose whole-message seal has already been verified and
+  /// stripped (the UDP receive thread runs the crypto off the apply loop;
+  /// stats stay with the apply thread).
+  struct OpenedDelivery {
+    net::NodeIndex src = 0;
+    bool auth_ok = true;
+    Bytes opened;       // plaintext wire batch when auth_ok
+    std::string error;  // reject reason when !auth_ok
+  };
+
+  /// Per-payload verdict of a coalesced delivery.
+  struct DeliveryResult {
+    bool accepted = true;
+    std::string reject_reason;
+  };
+
+  /// Result of one coalesced delivery: per-payload verdicts (parallel to
+  /// the input) plus the union of the committed transactions' exports.
+  struct BatchOutcome {
+    std::vector<DeliveryResult> results;
+    size_t accepted_payloads = 0;
+    /// Commits performed: 1 on the happy path, more after a bisect.
+    size_t transactions = 0;
+    std::vector<Outgoing> outgoing;
+    size_t num_derived = 0;
+  };
+
   struct Stats {
     uint64_t batches_accepted = 0;
     uint64_t batches_rejected_auth = 0;
     uint64_t batches_rejected_parse = 0;
     uint64_t batches_rejected_constraint = 0;
+    /// Committed coalesced apply transactions (delivery path only).
+    uint64_t delivery_txns = 0;
+    /// Payloads that shared a committed transaction with at least one other.
+    uint64_t coalesced_payloads = 0;
+    /// Constraint-violation bisections (batch splits isolating a poisoned
+    /// source from its peers).
+    uint64_t bisect_splits = 0;
   };
 
   /// Build the workspace: expand `sources` through BloxGenerics (policies
@@ -87,16 +128,34 @@ class NodeRuntime {
   Result<ApplyOutcome> InsertLocal(const std::vector<engine::FactUpdate>&
                                        facts);
 
+  /// Mixed local transaction: insertions plus base-fact deletions.
+  Result<ApplyOutcome> ApplyLocal(const std::vector<engine::FactUpdate>& inserts,
+                                  const std::vector<engine::FactUpdate>&
+                                      deletes);
+
   /// Verify/decrypt and apply a received batch from node `src`. Rejection
   /// (bad seal, unparseable, constraint violation) rolls back and reports
   /// accepted=false; transport-level errors surface as non-OK status.
   Result<ApplyOutcome> DeliverMessage(const Bytes& payload,
                                       net::NodeIndex src);
 
+  /// Coalesced delivery (paper §5.2): verify every payload's seal against
+  /// its own source, then apply all surviving payloads' facts as ONE
+  /// commit. A failed seal or unparseable payload rejects only that
+  /// payload; a constraint violation bisects the batch so the poisoned
+  /// source is isolated while its peers' facts commit.
+  Result<BatchOutcome> DeliverBatch(const std::vector<SealedDelivery>& batch);
+
+  /// Same, for payloads whose seals were already verified/stripped (the
+  /// pipelined UDP receive path).
+  Result<BatchOutcome> DeliverOpened(const std::vector<OpenedDelivery>& batch);
+
   /// Batch sealing: optional AES-CTR pass under the pairwise secret, then
-  /// MAC/signature over the (possibly encrypted) payload.
-  Result<Bytes> SealForPeer(const Bytes& raw, net::NodeIndex peer);
-  Result<Bytes> OpenFromPeer(const Bytes& sealed, net::NodeIndex peer);
+  /// MAC/signature over the (possibly encrypted) payload. Both are const
+  /// and touch only immutable credentials, so a receive thread may run
+  /// OpenFromPeer concurrently with the apply loop.
+  Result<Bytes> SealForPeer(const Bytes& raw, net::NodeIndex peer) const;
+  Result<Bytes> OpenFromPeer(const Bytes& sealed, net::NodeIndex peer) const;
 
   engine::Workspace& workspace() { return *ws_; }
   const engine::Workspace& workspace() const { return *ws_; }
@@ -108,8 +167,18 @@ class NodeRuntime {
  private:
   NodeRuntime() = default;
 
+  /// One decoded payload: its index in the caller's batch plus its facts.
+  struct DecodedPayload {
+    size_t index = 0;
+    std::vector<engine::FactUpdate> facts;
+  };
+
   Result<ApplyOutcome> ApplyAndCollect(
-      const std::vector<engine::FactUpdate>& facts, bool from_network);
+      const std::vector<engine::FactUpdate>& facts,
+      const std::vector<engine::FactUpdate>& deletes, bool from_network);
+  /// Apply payloads [lo, hi) as one transaction; on violation, bisect.
+  Status ApplyDecodedRange(const std::vector<DecodedPayload>& decoded,
+                           size_t lo, size_t hi, BatchOutcome* out);
   Result<std::vector<Outgoing>> CollectOutgoing(
       const engine::TxCommit& commit);
   Result<const std::string*> PrincipalOf(net::NodeIndex peer) const;

@@ -1,5 +1,12 @@
 #include "dist/udp_cluster.h"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
 #include "common/logging.h"
 
 namespace secureblox::dist {
@@ -51,9 +58,11 @@ Status UdpCluster::SendOutgoing(
     NodeIndex src, const std::vector<NodeRuntime::Outgoing>& outgoing) {
   for (const auto& out : outgoing) {
     // Datagram envelope: the sender's index (sealed payloads do not reveal
-    // it before verification).
+    // it before verification) and its declared tuple count (batch sizing
+    // only — never trusted for semantics).
     ByteWriter w;
     w.PutU32(src);
+    w.PutU32(static_cast<uint32_t>(out.num_tuples));
     w.PutRaw(out.payload);
     SB_RETURN_IF_ERROR(transports_[src].Send(out.dst, w.Take()));
   }
@@ -70,61 +79,148 @@ Status UdpCluster::Insert(NodeIndex node,
   return SendOutgoing(node, outcome.outgoing);
 }
 
-Status UdpCluster::Deliver(NodeIndex dst, const Bytes& datagram) {
-  ByteReader r(datagram);
-  auto src = r.GetU32();
-  if (!src.ok() || *src >= nodes_.size()) {
-    ++stats_.rejected;
-    return Status::OK();
-  }
-  auto payload = r.GetRaw(datagram.size() - sizeof(uint32_t));
-  if (!payload.ok()) {
-    ++stats_.rejected;
-    return Status::OK();
-  }
-  // A malformed or hostile datagram must not take down the receive loop: a
-  // secure node counts it and keeps serving. Only transport-level failures
-  // below (Send) abort the run.
-  Result<NodeRuntime::ApplyOutcome> outcome =
-      nodes_[dst]->DeliverMessage(*payload, static_cast<NodeIndex>(*src));
-  if (!outcome.ok()) {
-    // Keep serving, but leave a trail: this path also catches local engine
-    // failures (budget, internal errors), not just attacker garbage.
-    SB_LOG_STREAM(Warning) << "node " << dst << ": rejected datagram from "
-                           << *src << ": " << outcome.status().ToString();
-    ++stats_.rejected;
-    return Status::OK();
-  }
-  ++stats_.messages_delivered;
-  if (!outcome->accepted) {
-    ++stats_.rejected;
-    return Status::OK();
-  }
-  return SendOutgoing(dst, outcome->outgoing);
-}
-
 Result<UdpCluster::Stats> UdpCluster::Run() {
-  int idle = 0;
-  while (idle < config_.idle_sweeps) {
-    bool progress = false;
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-      // After a silent sweep, block briefly on the first receive so
-      // in-flight datagrams land; drain the rest non-blocking.
-      bool first = true;
-      while (true) {
-        Result<std::optional<Bytes>> datagram =
-            (first && idle > 0)
-                ? transports_[i].PollFor(config_.poll_timeout_ms)
-                : transports_[i].Poll();
-        if (!datagram.ok()) return datagram.status();
-        if (!datagram->has_value()) break;
-        first = false;
-        progress = true;
-        SB_RETURN_IF_ERROR(Deliver(static_cast<NodeIndex>(i), **datagram));
+  // One verified (or verdict-carrying) datagram handed from the receive
+  // thread to the apply loop. Node stats stay with the apply thread.
+  struct RxItem {
+    NodeIndex dst = 0;
+    bool envelope_ok = true;
+    size_t tuple_hint = 1;
+    NodeRuntime::OpenedDelivery opened;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<RxItem> rx_queue;
+  std::atomic<bool> stop{false};
+  Status rx_status = Status::OK();
+
+  // Receive thread: drain every socket, verify seals against the claimed
+  // source (OpenFromPeer is const — credentials are immutable after
+  // Create), enqueue opened payloads for the apply loop.
+  std::thread rx([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      bool any = false;
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        while (true) {
+          Result<std::optional<Bytes>> datagram = transports_[i].Poll();
+          if (!datagram.ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            rx_status = datagram.status();
+            stop.store(true, std::memory_order_release);
+            cv.notify_all();
+            return;
+          }
+          if (!datagram->has_value()) break;
+          any = true;
+          RxItem item;
+          item.dst = static_cast<NodeIndex>(i);
+          ByteReader r(**datagram);
+          auto src = r.GetU32();
+          auto hint = r.GetU32();
+          if (!src.ok() || !hint.ok() || *src >= nodes_.size()) {
+            item.envelope_ok = false;
+          } else {
+            item.tuple_hint = std::max<uint32_t>(1, *hint);
+            item.opened.src = static_cast<NodeIndex>(*src);
+            auto payload =
+                r.GetRaw((*datagram)->size() - 2 * sizeof(uint32_t));
+            if (!payload.ok()) {
+              item.envelope_ok = false;
+            } else {
+              auto plain = nodes_[i]->OpenFromPeer(*payload, item.opened.src);
+              if (!plain.ok()) {
+                item.opened.auth_ok = false;
+                item.opened.error = plain.status().ToString();
+              } else {
+                item.opened.opened = std::move(plain).value();
+              }
+            }
+          }
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            rx_queue.push_back(std::move(item));
+          }
+          cv.notify_all();
+        }
+      }
+      if (!any) {
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
       }
     }
-    idle = progress ? 0 : idle + 1;
+  });
+
+  Status status = Status::OK();
+  const size_t cap = config_.max_batch_tuples;  // 0 = unbounded
+  int idle = 0;
+  while (idle < config_.idle_sweeps && status.ok()) {
+    std::vector<RxItem> items;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait_for(lock, std::chrono::milliseconds(config_.poll_timeout_ms),
+                  [&] { return !rx_queue.empty() || !rx_status.ok(); });
+      if (!rx_status.ok()) {
+        status = rx_status;
+        break;
+      }
+      while (!rx_queue.empty()) {
+        items.push_back(std::move(rx_queue.front()));
+        rx_queue.pop_front();
+      }
+    }
+    if (items.empty()) {
+      ++idle;
+      continue;
+    }
+    idle = 0;
+    // Coalesce per destination (arrival order preserved), chunked by the
+    // tuple cap; a hostile or malformed datagram must not take down the
+    // loop — it is counted and the node keeps serving.
+    for (size_t dst = 0; dst < nodes_.size() && status.ok(); ++dst) {
+      std::vector<NodeRuntime::OpenedDelivery> group;
+      size_t tuples = 0;
+      auto flush = [&]() -> Status {
+        if (group.empty()) return Status::OK();
+        auto outcome = nodes_[dst]->DeliverOpened(group);
+        if (!outcome.ok()) {
+          // Leave a trail: this path also catches local engine failures
+          // (budget, internal errors), not just attacker garbage.
+          SB_LOG_STREAM(Warning)
+              << "node " << dst << ": rejected batch: "
+              << outcome.status().ToString();
+          stats_.rejected += group.size();
+        } else {
+          ++stats_.apply_transactions;
+          if (group.size() > 1) stats_.coalesced_messages += group.size();
+          stats_.messages_delivered += group.size();
+          stats_.rejected += group.size() - outcome->accepted_payloads;
+          SB_RETURN_IF_ERROR(
+              SendOutgoing(static_cast<NodeIndex>(dst), outcome->outgoing));
+        }
+        group.clear();
+        tuples = 0;
+        return Status::OK();
+      };
+      for (RxItem& item : items) {
+        if (item.dst != dst) continue;
+        if (!item.envelope_ok) {
+          ++stats_.rejected;
+          continue;
+        }
+        if (!group.empty() && cap != 0 && tuples >= cap) {
+          status = flush();
+          if (!status.ok()) break;
+        }
+        group.push_back(std::move(item.opened));
+        tuples += item.tuple_hint;
+      }
+      if (status.ok()) status = flush();
+    }
   }
+
+  stop.store(true, std::memory_order_release);
+  cv.notify_all();
+  rx.join();
+  SB_RETURN_IF_ERROR(status);
   return stats_;
 }
 

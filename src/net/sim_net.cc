@@ -2,7 +2,8 @@
 
 namespace secureblox::net {
 
-void SimNet::Send(NodeIndex src, NodeIndex dst, Bytes payload, double now_s) {
+void SimNet::Send(NodeIndex src, NodeIndex dst, Bytes payload, double now_s,
+                  size_t tuple_hint) {
   size_t size = payload.size();
   double delay = config_.base_latency_s +
                  static_cast<double>(size) / config_.bandwidth_bytes_per_s;
@@ -13,6 +14,7 @@ void SimNet::Send(NodeIndex src, NodeIndex dst, Bytes payload, double now_s) {
   d.src = src;
   d.dst = dst;
   d.seq = seq_++;
+  d.tuple_hint = tuple_hint > 0 ? tuple_hint : 1;
   Bump(&sent_bytes_, src, size);
   Bump(&recv_bytes_, dst, size);
   Bump(&sent_msgs_, src, 1);
@@ -26,6 +28,11 @@ std::optional<SimNet::Delivery> SimNet::PopNext() {
   Delivery d = queue_.top();
   queue_.pop();
   return d;
+}
+
+std::optional<double> SimNet::PeekNextTime() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().time_s;
 }
 
 }  // namespace secureblox::net

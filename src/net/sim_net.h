@@ -40,6 +40,9 @@ class SimNet {
     NodeIndex dst = 0;
     Bytes payload;
     uint64_t seq = 0;  // FIFO tie-break
+    /// Sender-declared tuple count (coalescing granularity accounting;
+    /// the receiver never trusts it for anything but batch sizing).
+    size_t tuple_hint = 1;
 
     bool operator>(const Delivery& o) const {
       if (time_s != o.time_s) return time_s > o.time_s;
@@ -49,10 +52,14 @@ class SimNet {
 
   /// Enqueue a message sent at `now_s`; it is delivered after the modeled
   /// delay. Updates byte accounting.
-  void Send(NodeIndex src, NodeIndex dst, Bytes payload, double now_s);
+  void Send(NodeIndex src, NodeIndex dst, Bytes payload, double now_s,
+            size_t tuple_hint = 1);
 
   /// Earliest undelivered message, or nullopt when the network is idle.
   std::optional<Delivery> PopNext();
+  /// Arrival time of the earliest in-flight message (delivery scheduling
+  /// peeks before committing to start a coalesced transaction).
+  std::optional<double> PeekNextTime() const;
   bool empty() const { return queue_.empty(); }
 
   // -- accounting (per node) -------------------------------------------------
