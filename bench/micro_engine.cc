@@ -168,9 +168,11 @@ const char* kAuthTcProgram = R"(
 // measures fixpoint work, not thread creation. Returns null if setup
 // fails — callers flag the benchmark as errored, because
 // BENCH_fixpoint.json must never record timings of failing transactions.
-std::unique_ptr<Workspace> WarmWorkspace(const char* program, int threads) {
+std::unique_ptr<Workspace> WarmWorkspace(const char* program, int threads,
+                                         size_t shards = 1) {
   auto ws = std::make_unique<Workspace>();
   ws->fixpoint_options().threads = threads;
+  ws->fixpoint_options().shards = shards;
   auto parsed = Parse(program);
   Status st = parsed.ok() ? ws->Install(parsed.value()) : parsed.status();
   if (st.ok()) st = ws->Insert("warm", {Value::Int(0)});
@@ -180,6 +182,7 @@ std::unique_ptr<Workspace> WarmWorkspace(const char* program, int threads) {
 
 void BM_ParallelFixpointConvergence(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  const size_t shards = static_cast<size_t>(state.range(1));
   const int nodes = 96;
   std::vector<FactUpdate> links;
   for (int i = 0; i < nodes; ++i) {
@@ -189,7 +192,7 @@ void BM_ParallelFixpointConvergence(benchmark::State& state) {
   uint64_t derived = 0;
   for (auto _ : state) {
     state.PauseTiming();
-    auto ws = WarmWorkspace(kAuthTcProgram, threads);
+    auto ws = WarmWorkspace(kAuthTcProgram, threads, shards);
     state.ResumeTiming();
     if (ws == nullptr) {
       state.SkipWithError("workspace setup failed");
@@ -210,8 +213,13 @@ void BM_ParallelFixpointConvergence(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(derived));
 }
-BENCHMARK(BM_ParallelFixpointConvergence)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->ArgName("threads")->Unit(benchmark::kMillisecond);
+// Thread scaling at the unsharded layout, plus the shard-scaling curve
+// (SB_SHARDS 1/4/8) at one and four workers — shard-aligned chunks must
+// not regress the 1-shard latency while giving placement-ready partitions.
+BENCHMARK(BM_ParallelFixpointConvergence)
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1})
+    ->Args({1, 4})->Args({1, 8})->Args({4, 4})->Args({4, 8})
+    ->ArgNames({"threads", "shards"})->Unit(benchmark::kMillisecond);
 
 const char* kSecureJoinProgram = R"(
   warm(X) -> int(X).
@@ -226,6 +234,7 @@ const char* kSecureJoinProgram = R"(
 
 void BM_ParallelFixpointJoin(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  const size_t shards = static_cast<size_t>(state.range(1));
   const int rows = 3072;
   const int buckets = 48;
   std::vector<FactUpdate> facts;
@@ -239,7 +248,7 @@ void BM_ParallelFixpointJoin(benchmark::State& state) {
   uint64_t derived = 0;
   for (auto _ : state) {
     state.PauseTiming();
-    auto ws = WarmWorkspace(kSecureJoinProgram, threads);
+    auto ws = WarmWorkspace(kSecureJoinProgram, threads, shards);
     state.ResumeTiming();
     if (ws == nullptr) {
       state.SkipWithError("workspace setup failed");
@@ -260,8 +269,10 @@ void BM_ParallelFixpointJoin(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(derived));
 }
-BENCHMARK(BM_ParallelFixpointJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->ArgName("threads")->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelFixpointJoin)
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1})
+    ->Args({1, 4})->Args({1, 8})->Args({4, 4})->Args({4, 8})
+    ->ArgNames({"threads", "shards"})->Unit(benchmark::kMillisecond);
 
 void BM_GenericsExpansion(benchmark::State& state) {
   // Full BloxGenerics compile of the says policy over `n` exportable

@@ -17,14 +17,22 @@ ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 if [ -x "$build/micro_engine" ]; then
   "$build/micro_engine" --benchmark_min_time=0.01 \
       --benchmark_filter='BM_(TransitiveClosureChain|FixpointDependencyIndex)'
-  # Parallel fixpoint scaling curve (1/2/4/8 workers) on the fig08/fig10
-  # flavoured workloads, recorded so the perf trajectory is tracked.
+  # Parallel fixpoint scaling curves on the fig08/fig10 flavoured
+  # workloads: 1/2/4/8 workers at the unsharded layout plus the
+  # shard-scaling curve (SB_SHARDS 1/4/8 at one and four workers),
+  # recorded so the perf trajectory is tracked. The shards:1 rows double
+  # as the regression gate for shard-aligned chunking.
   "$build/micro_engine" --benchmark_min_time=0.05 \
       --benchmark_filter='BM_ParallelFixpoint(Convergence|Join)' \
       --benchmark_out="$build/BENCH_fixpoint.json" \
       --benchmark_out_format=json
   echo "wrote $build/BENCH_fixpoint.json"
 fi
+# Sharded-storage determinism smoke: the storage/fixpoint suites at a
+# prime shard count (SB_SHARDS routes every relation through the
+# hash-partitioned layout; results must be byte-identical).
+SB_SHARDS=7 ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
+    -R 'relation_test|parallel_test|engine_test|delete_test'
 # Counting-deletion smoke: per-delete work must not scale with the
 # database (see the seeded/iter and retract_firings/iter counters).
 if [ -x "$build/micro_delete" ]; then

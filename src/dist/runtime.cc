@@ -57,6 +57,11 @@ Result<std::unique_ptr<NodeRuntime>> NodeRuntime::Create(
   if (rt->config_.fixpoint_threads >= 0) {
     rt->ws_->fixpoint_options().threads = rt->config_.fixpoint_threads;
   }
+  if (rt->config_.storage_shards >= 1) {
+    // Before Install: relations latch the shard count at first touch.
+    rt->ws_->fixpoint_options().shards =
+        static_cast<size_t>(rt->config_.storage_shards);
+  }
 
   SB_ASSIGN_OR_RETURN(generics::ExpansionResult expanded,
                       policy::CompileWithPolicies(rt->ws_.get(), sources));

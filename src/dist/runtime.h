@@ -51,6 +51,11 @@ class NodeRuntime {
     /// per hardware thread; N >= 1 = exactly N (1 = sequential). The
     /// fixpoint result is identical for every setting.
     int fixpoint_threads = -1;
+    /// Relation storage shards for this node's workspace. -1 keeps the
+    /// workspace default (the SB_SHARDS environment variable); N >= 1
+    /// hash-partitions every relation into N shards (1 = unsharded). The
+    /// fixpoint result is identical for every setting.
+    int storage_shards = -1;
   };
 
   /// One sealed batch addressed to a peer node.

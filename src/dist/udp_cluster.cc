@@ -1,5 +1,6 @@
 #include "dist/udp_cluster.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -8,6 +9,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "net/wire.h"
 
 namespace secureblox::dist {
 
@@ -58,8 +60,9 @@ Status UdpCluster::SendOutgoing(
     NodeIndex src, const std::vector<NodeRuntime::Outgoing>& outgoing) {
   for (const auto& out : outgoing) {
     // Datagram envelope: the sender's index (sealed payloads do not reveal
-    // it before verification) and its declared tuple count (batch sizing
-    // only — never trusted for semantics).
+    // it before verification) and its declared tuple count. The count is a
+    // plaintext hint outside the seal — receivers verify it against the
+    // decoded payload and never let an unverified value steer batching.
     ByteWriter w;
     w.PutU32(src);
     w.PutU32(static_cast<uint32_t>(out.num_tuples));
@@ -80,12 +83,20 @@ Status UdpCluster::Insert(NodeIndex node,
 }
 
 Result<UdpCluster::Stats> UdpCluster::Run() {
+  using Clock = std::chrono::steady_clock;
   // One verified (or verdict-carrying) datagram handed from the receive
   // thread to the apply loop. Node stats stay with the apply thread.
   struct RxItem {
     NodeIndex dst = 0;
     bool envelope_ok = true;
-    size_t tuple_hint = 1;
+    /// Envelope hint contradicted the decoded payload (trust-boundary
+    /// violation: the hint rides outside the seal).
+    bool hint_mismatch = false;
+    /// Tuples actually carried, from the structural parse of the opened
+    /// payload — never the sender's claim. Unverifiable payloads (failed
+    /// seal or unparseable plaintext) count 1, pending their rejection.
+    size_t tuple_count = 1;
+    Clock::time_point arrival{};
     NodeRuntime::OpenedDelivery opened;
   };
   std::mutex mu;
@@ -96,7 +107,8 @@ Result<UdpCluster::Stats> UdpCluster::Run() {
 
   // Receive thread: drain every socket, verify seals against the claimed
   // source (OpenFromPeer is const — credentials are immutable after
-  // Create), enqueue opened payloads for the apply loop.
+  // Create), validate the envelope's tuple-count hint against the opened
+  // payload, and enqueue opened payloads for the apply loop.
   std::thread rx([&] {
     while (!stop.load(std::memory_order_acquire)) {
       bool any = false;
@@ -114,13 +126,13 @@ Result<UdpCluster::Stats> UdpCluster::Run() {
           any = true;
           RxItem item;
           item.dst = static_cast<NodeIndex>(i);
+          item.arrival = Clock::now();
           ByteReader r(**datagram);
           auto src = r.GetU32();
           auto hint = r.GetU32();
           if (!src.ok() || !hint.ok() || *src >= nodes_.size()) {
             item.envelope_ok = false;
           } else {
-            item.tuple_hint = std::max<uint32_t>(1, *hint);
             item.opened.src = static_cast<NodeIndex>(*src);
             auto payload =
                 r.GetRaw((*datagram)->size() - 2 * sizeof(uint32_t));
@@ -133,6 +145,16 @@ Result<UdpCluster::Stats> UdpCluster::Run() {
                 item.opened.error = plain.status().ToString();
               } else {
                 item.opened.opened = std::move(plain).value();
+                // Clamp the batching weight to the decoded truth: an
+                // oversized hint must not burst the tuple cap and a zero
+                // hint must not starve it. A payload the structural parse
+                // rejects keeps weight 1 and is thrown out by the apply
+                // path's full decode.
+                auto actual = net::CountBatchTuples(item.opened.opened);
+                if (actual.ok()) {
+                  item.tuple_count = std::max<size_t>(1, *actual);
+                  item.hint_mismatch = *hint != *actual;
+                }
               }
             }
           }
@@ -149,14 +171,69 @@ Result<UdpCluster::Stats> UdpCluster::Run() {
     }
   });
 
+  // Apply loop: coalesce opened payloads per destination (arrival order
+  // preserved) into multi-source transactions. A batch closes when the
+  // tuple cap fills; a non-full batch is held open `max_batch_delay_s`
+  // after its first datagram's arrival (0 = apply on the next sweep) —
+  // the same §5.2 semantics SimCluster implements in simulated time.
+  struct PendingBatch {
+    std::vector<NodeRuntime::OpenedDelivery> group;
+    size_t tuples = 0;
+    Clock::time_point first{};
+  };
+  std::vector<PendingBatch> pending(nodes_.size());
   Status status = Status::OK();
   const size_t cap = config_.max_batch_tuples;  // 0 = unbounded
+  const auto delay = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(
+          std::max(0.0, config_.max_batch_delay_s)));
+
+  auto flush = [&](size_t dst) -> Status {
+    PendingBatch& b = pending[dst];
+    if (b.group.empty()) return Status::OK();
+    auto outcome = nodes_[dst]->DeliverOpened(b.group);
+    Status forward = Status::OK();
+    if (!outcome.ok()) {
+      // Leave a trail: this path also catches local engine failures
+      // (budget, internal errors), not just attacker garbage.
+      SB_LOG_STREAM(Warning)
+          << "node " << dst << ": rejected batch: "
+          << outcome.status().ToString();
+      stats_.rejected += b.group.size();
+    } else {
+      ++stats_.apply_transactions;
+      if (b.group.size() > 1) stats_.coalesced_messages += b.group.size();
+      stats_.messages_delivered += b.group.size();
+      stats_.rejected += b.group.size() - outcome->accepted_payloads;
+      forward = SendOutgoing(static_cast<NodeIndex>(dst),
+                             outcome->outgoing);
+    }
+    // The batch was consumed either way: a send failure must not leave
+    // it queued for a re-delivery (the facts already committed).
+    b.group.clear();
+    b.tuples = 0;
+    return forward;
+  };
+
   int idle = 0;
   while (idle < config_.idle_sweeps && status.ok()) {
     std::vector<RxItem> items;
     {
       std::unique_lock<std::mutex> lock(mu);
-      cv.wait_for(lock, std::chrono::milliseconds(config_.poll_timeout_ms),
+      // Wake for traffic, or in time for the earliest held batch's
+      // deadline so a quiet network cannot stall a non-full batch past
+      // its delay.
+      auto wait = std::chrono::milliseconds(config_.poll_timeout_ms);
+      if (delay.count() > 0) {
+        const auto now = Clock::now();
+        for (const PendingBatch& b : pending) {
+          if (b.group.empty()) continue;
+          auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+              b.first + delay - now);
+          wait = std::clamp(until, std::chrono::milliseconds(0), wait);
+        }
+      }
+      cv.wait_for(lock, wait,
                   [&] { return !rx_queue.empty() || !rx_status.ok(); });
       if (!rx_status.ok()) {
         status = rx_status;
@@ -167,54 +244,63 @@ Result<UdpCluster::Stats> UdpCluster::Run() {
         rx_queue.pop_front();
       }
     }
-    if (items.empty()) {
-      ++idle;
-      continue;
-    }
-    idle = 0;
-    // Coalesce per destination (arrival order preserved), chunked by the
-    // tuple cap; a hostile or malformed datagram must not take down the
-    // loop — it is counted and the node keeps serving.
-    for (size_t dst = 0; dst < nodes_.size() && status.ok(); ++dst) {
-      std::vector<NodeRuntime::OpenedDelivery> group;
-      size_t tuples = 0;
-      auto flush = [&]() -> Status {
-        if (group.empty()) return Status::OK();
-        auto outcome = nodes_[dst]->DeliverOpened(group);
-        if (!outcome.ok()) {
-          // Leave a trail: this path also catches local engine failures
-          // (budget, internal errors), not just attacker garbage.
-          SB_LOG_STREAM(Warning)
-              << "node " << dst << ": rejected batch: "
-              << outcome.status().ToString();
-          stats_.rejected += group.size();
-        } else {
-          ++stats_.apply_transactions;
-          if (group.size() > 1) stats_.coalesced_messages += group.size();
-          stats_.messages_delivered += group.size();
-          stats_.rejected += group.size() - outcome->accepted_payloads;
-          SB_RETURN_IF_ERROR(
-              SendOutgoing(static_cast<NodeIndex>(dst), outcome->outgoing));
-        }
-        group.clear();
-        tuples = 0;
-        return Status::OK();
-      };
-      for (RxItem& item : items) {
-        if (item.dst != dst) continue;
-        if (!item.envelope_ok) {
-          ++stats_.rejected;
-          continue;
-        }
-        if (!group.empty() && cap != 0 && tuples >= cap) {
-          status = flush();
-          if (!status.ok()) break;
-        }
-        group.push_back(std::move(item.opened));
-        tuples += item.tuple_hint;
+
+    // Enqueue new arrivals; a hostile or malformed datagram must not take
+    // down the loop — it is counted and the node keeps serving.
+    for (RxItem& item : items) {
+      if (!item.envelope_ok) {
+        ++stats_.rejected;
+        continue;
       }
-      if (status.ok()) status = flush();
+      if (item.hint_mismatch) {
+        // The payload may still verify and apply — only the unsealed
+        // envelope lied — but the lie is counted where operators look.
+        ++stats_.rejected;
+        ++stats_.hint_mismatches;
+      }
+      PendingBatch& b = pending[item.dst];
+      if (!b.group.empty() && cap != 0 && b.tuples >= cap) {
+        status = flush(item.dst);
+        if (!status.ok()) break;
+      }
+      if (b.group.empty()) b.first = item.arrival;
+      b.group.push_back(std::move(item.opened));
+      b.tuples += item.tuple_count;
     }
+    if (!status.ok()) break;
+
+    // Close ready batches: full ones immediately, non-full ones once the
+    // delay from their first arrival has elapsed (or right away with no
+    // delay configured).
+    const auto now = Clock::now();
+    bool flushed = false;
+    for (size_t dst = 0; dst < pending.size() && status.ok(); ++dst) {
+      PendingBatch& b = pending[dst];
+      if (b.group.empty()) continue;
+      bool full = cap != 0 && b.tuples >= cap;
+      if (full || delay.count() == 0 || now - b.first >= delay) {
+        flushed = true;
+        status = flush(dst);
+      }
+    }
+    if (!status.ok()) break;
+
+    bool holding = std::any_of(
+        pending.begin(), pending.end(),
+        [](const PendingBatch& b) { return !b.group.empty(); });
+    if (items.empty() && !flushed && !holding) {
+      ++idle;
+    } else {
+      idle = 0;
+    }
+  }
+
+  // Drain anything still held open — unconditionally, so an error on one
+  // destination's path never silently drops another destination's
+  // verified payloads. The first error is preserved.
+  for (size_t dst = 0; dst < pending.size(); ++dst) {
+    Status drained = flush(dst);
+    if (status.ok()) status = std::move(drained);
   }
 
   stop.store(true, std::memory_order_release);

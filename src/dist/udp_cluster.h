@@ -34,14 +34,31 @@ class UdpCluster {
     int poll_timeout_ms = 50;
     int idle_sweeps = 3;
     /// §5.2 granularity knob: maximum tuples per coalesced apply
-    /// transaction (whole datagrams; sender-declared counts). 0 =
+    /// transaction (whole datagrams; counts are verified against the
+    /// decoded payload, never the sender-declared envelope hint). 0 =
     /// unbounded; 1 reproduces one-transaction-per-datagram.
     size_t max_batch_tuples = 0;
+    /// Extra wall-clock seconds the apply loop holds a non-full batch
+    /// open after its first datagram, hoping to coalesce more (0 = apply
+    /// as soon as the loop sees it). A batch that reaches
+    /// `max_batch_tuples` closes immediately — the same §5.2 semantics
+    /// SimCluster implements in simulated time.
+    double max_batch_delay_s = 0;
   };
 
   struct Stats {
     uint64_t messages_delivered = 0;
+    /// Hostile or malformed traffic: unparseable envelopes, payloads whose
+    /// verdict was rejection (bad seal, unparseable, constraint
+    /// violation), and envelope tuple-count hints contradicting the
+    /// decoded payload (each lying hint counts once here and in
+    /// hint_mismatches; the payload itself is still applied if its seal
+    /// and contents verify).
     uint64_t rejected = 0;
+    /// Datagrams whose envelope hint disagreed with the decoded payload's
+    /// actual tuple count — the hint rides outside the seal, so this is
+    /// the MITM/bug canary for batch-sizing abuse.
+    uint64_t hint_mismatches = 0;
     /// Coalesced apply transactions executed by the drain loop.
     uint64_t apply_transactions = 0;
     /// Datagrams that shared an apply transaction with at least one other.

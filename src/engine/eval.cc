@@ -696,14 +696,26 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
       }
       if (mask != 0) {
         // NOTE: callbacks must not mutate relations (fixpoint drivers buffer
-        // head insertions), so the probe result stays valid.
-        const std::vector<size_t>& rows = rel->Probe(mask, key);
-        for (size_t row : rows) {
-          SB_RETURN_IF_ERROR(try_row(rel->tuples()[row]));
+        // head insertions), so the probe result stays valid — see the
+        // reference-stability contract in relation.h. A probe that covers
+        // the shard key touches exactly one shard; otherwise it fans out
+        // over the shards in order.
+        const int only = rel->ProbeShardOf(mask, key);
+        const size_t begin = only >= 0 ? static_cast<size_t>(only) : 0;
+        const size_t end =
+            only >= 0 ? static_cast<size_t>(only) + 1 : rel->shard_count();
+        for (size_t sh = begin; sh < end; ++sh) {
+          const std::vector<size_t>& rows = rel->ProbeShard(sh, mask, key);
+          const std::vector<Tuple>& shard = rel->shard_tuples(sh);
+          for (size_t slot : rows) {
+            SB_RETURN_IF_ERROR(try_row(shard[slot]));
+          }
         }
       } else {
-        for (const Tuple& t : rel->tuples()) {
-          SB_RETURN_IF_ERROR(try_row(t));
+        for (size_t sh = 0; sh < rel->shard_count(); ++sh) {
+          for (const Tuple& t : rel->shard_tuples(sh)) {
+            SB_RETURN_IF_ERROR(try_row(t));
+          }
         }
       }
       return Status::OK();
@@ -797,7 +809,14 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
       if (mask == 0) {
         exists = !rel->empty();
       } else {
-        exists = !rel->Probe(mask, key).empty();
+        const int only = rel->ProbeShardOf(mask, key);
+        const size_t begin = only >= 0 ? static_cast<size_t>(only) : 0;
+        const size_t end =
+            only >= 0 ? static_cast<size_t>(only) + 1 : rel->shard_count();
+        exists = false;
+        for (size_t sh = begin; sh < end && !exists; ++sh) {
+          exists = !rel->ProbeShard(sh, mask, key).empty();
+        }
       }
       if (exists) return Status::OK();  // negation fails
       return RunFrom(steps, idx + 1, env, delta, on_match);

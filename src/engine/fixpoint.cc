@@ -32,13 +32,16 @@ class ActiveSetGuard {
   std::vector<int> added_;
 };
 
-/// Delta rows per enumeration task. Small enough that a single rule firing
-/// over a large round spreads across every worker; large enough that task
-/// dispatch overhead stays negligible against the join work per row.
+/// Delta rows per enumeration window. Small enough that a single rule
+/// firing over a large round spreads across every worker; large enough
+/// that task dispatch overhead stays negligible against the join work per
+/// row. With sharded storage a delta is first partitioned on the target
+/// relation's shard boundaries and each shard partition is then windowed.
 constexpr size_t kChunkTuples = 64;
-/// Cap on chunks per (rule, occurrence) variant. Both constants are fixed
-/// — never derived from the thread count — so the work decomposition, and
-/// with it the merge order, is identical at every `threads` setting.
+/// Cap on windows per (rule, occurrence, shard) partition. Both constants
+/// are fixed — never derived from the thread count — so the work
+/// decomposition, and with it the merge order, is identical at every
+/// `threads` setting.
 constexpr size_t kMaxChunksPerVariant = 32;
 
 size_t ChunkCountFor(size_t rows) {
@@ -62,8 +65,13 @@ struct FixpointDriver::EnumTask {
   /// Shared across the chunks of one variant (read-only while running).
   std::shared_ptr<std::vector<OccView>> base_views;
   std::shared_ptr<std::vector<TupleSet>> excl;
-  /// The occurrence's delta (owned by the round snapshot, which outlives
-  /// the task) and this chunk's [lo, hi) slice of it — no copies.
+  /// Per-shard partition of the variant's delta (shared by the variant's
+  /// tasks; null when the target relation has one shard and the round
+  /// snapshot's vector is used directly).
+  std::shared_ptr<std::vector<std::vector<Tuple>>> shard_parts;
+  /// The chunk's delta source — one shard's partition, or the occurrence's
+  /// whole delta (owned by the round snapshot, which outlives the task) —
+  /// and this chunk's [lo, hi) window of it.
   const std::vector<Tuple>* only = nullptr;
   size_t lo = 0;
   size_t hi = SIZE_MAX;
@@ -375,21 +383,47 @@ void FixpointDriver::StageVariantTasks(
     auto views = std::make_shared<std::vector<OccView>>(n);
     BuildVariantViews(rule, delta, unconsumed, occ, retract, views.get(),
                       excl.get());
+    // Chunks are cut on the delta relation's shard boundaries: one
+    // partition per shard (relative delta order preserved within each),
+    // windowed so a huge shard still spreads across workers. Staging order
+    // — and with it the merge order — is (occ, shard, window). With one
+    // shard the round snapshot's vector is windowed directly, exactly the
+    // pre-shard decomposition.
+    auto stage_windows =
+        [&](const std::vector<Tuple>* part,
+            const std::shared_ptr<std::vector<std::vector<Tuple>>>& parts) {
+          const size_t chunks = ChunkCountFor(part->size());
+          for (size_t c = 0; c < chunks; ++c) {
+            auto task = std::make_unique<EnumTask>();
+            task->rule = &rule;
+            task->rule_idx = rule_idx;
+            task->gid = gid;
+            task->retract = retract;
+            task->occ = occ;
+            task->base_views = views;
+            task->excl = excl;
+            task->shard_parts = parts;
+            task->only = part;
+            task->lo = c * part->size() / chunks;
+            task->hi = (c + 1) * part->size() / chunks;
+            tasks->push_back(std::move(task));
+          }
+        };
     const std::vector<Tuple>& only = it->second;
-    const size_t chunks = ChunkCountFor(only.size());
-    for (size_t c = 0; c < chunks; ++c) {
-      auto task = std::make_unique<EnumTask>();
-      task->rule = &rule;
-      task->rule_idx = rule_idx;
-      task->gid = gid;
-      task->retract = retract;
-      task->occ = occ;
-      task->base_views = views;
-      task->excl = excl;
-      task->only = &only;
-      task->lo = c * only.size() / chunks;
-      task->hi = (c + 1) * only.size() / chunks;
-      tasks->push_back(std::move(task));
+    Relation* rel = store_.GetRelation(rule.scan_preds[occ]);
+    const size_t nshards = rel != nullptr ? rel->shard_count() : 1;
+    if (nshards <= 1) {
+      stage_windows(&only, nullptr);
+    } else {
+      auto parts =
+          std::make_shared<std::vector<std::vector<Tuple>>>(nshards);
+      for (const Tuple& t : only) {
+        (*parts)[rel->ShardOf(t)].push_back(t);
+      }
+      for (size_t s = 0; s < nshards; ++s) {
+        if ((*parts)[s].empty()) continue;
+        stage_windows(&(*parts)[s], parts);
+      }
     }
   }
 }
@@ -789,7 +823,7 @@ Status FixpointDriver::RederiveCluster(int gid) {
         Relation* rel = store_.GetRelation(p);
         if (rel == nullptr || rel->empty()) continue;
         std::vector<Tuple>& vec = delta_[g].adds[p];
-        vec = rel->tuples();
+        vec = rel->AllTuples();
         stats_.rederive_seeded += vec.size();
         budget_limit_ += vec.size();
       }
@@ -875,7 +909,7 @@ Status FixpointDriver::RecomputeAggregate(const CompiledRule& rule,
 
   if (!lattice) {
     // Full recompute: drop stale groups first.
-    std::vector<Tuple> existing = rel->tuples();
+    std::vector<Tuple> existing = rel->AllTuples();
     for (const Tuple& t : existing) {
       Tuple keys(t.begin(), t.end() - 1);
       if (!groups.count(keys)) {

@@ -11,23 +11,30 @@
 //
 // Each wave round splits into two phases:
 //   - an *enumeration* phase that fires every parallel-safe rule's
-//     semi-naïve variants on the worker pool, with large deltas split
-//     into fixed-size contiguous chunks (equal-key tuples may land in
-//     different chunks) so one rule's firing spreads across workers;
-//     relations
+//     semi-naïve variants on the worker pool, with each delta first cut on
+//     the target relation's shard boundaries (equal-shard-key tuples stay
+//     together — shard-local probes are cache-local) and large shard
+//     partitions further split into fixed-size windows so one rule's
+//     firing spreads across workers; relations
 //     are frozen (no writer exists), so enumeration is a pure read against
 //     the pre-round snapshot and tasks stage derived tuples into private
 //     buffers;
 //   - a *merge* phase on the coordinating thread that applies the staged
-//     buffers in a fixed order (group, rule, occurrence, chunk), runs
+//     buffers in a fixed order (group, rule, occurrence, shard, window),
+//     runs
 //     rules with side effects (head existentials, thread-unsafe builtins)
 //     the classic sequential way, re-runs lattice aggregates, and routes
 //     new deltas into the (multi-producer) per-group queues.
 //
 // The work decomposition — waves, rounds, chunks, merge order — depends
-// only on the program and the data, never on the thread count, so any
-// `threads` setting produces the byte-identical fixpoint (same tuples,
-// same support counts, same entity labels) as threads=1.
+// only on the program, the data, and the shard count, never on the thread
+// count, so any `threads` setting produces the byte-identical fixpoint
+// (same tuples, same support counts, same entity labels) as threads=1.
+// Across *shard* counts the decomposition differs (chunks follow shard
+// boundaries), but per-round delta sets, derivation multisets, and
+// content-addressed entity labels are all order-insensitive, so the final
+// fixpoint — tuples, support counts, labels — is byte-identical at any
+// SB_SHARDS x SB_THREADS combination; only task counts change.
 //
 // Lattice aggregates re-run after each round of their group; stratified
 // aggregates recompute on stratum entry — their classical recompute points.
@@ -119,6 +126,12 @@ struct FixpointOptions {
   /// fixpoint result is identical for every value (see file comment).
   /// Seeded from the SB_THREADS environment variable by Workspace.
   int threads = 1;
+  /// Hash-partition shards per relation (see relation.h); 1 = the
+  /// unsharded layout. Latched into each Relation when it is first
+  /// created, so set it before data arrives. Delta chunks are cut on
+  /// shard boundaries, and the fixpoint result is identical for every
+  /// value. Seeded from the SB_SHARDS environment variable by Workspace.
+  size_t shards = 1;
 };
 
 /// Database mutation callbacks the driver needs from the workspace.

@@ -4,39 +4,121 @@
 
 namespace secureblox::engine {
 
+namespace {
+
+/// Extra mixing over the tuple-content hash so shard choice is not
+/// correlated with the bucket placement inside the per-shard hash maps
+/// (both start from Value::Hash).
+size_t MixShardHash(size_t h) {
+  uint64_t x = static_cast<uint64_t>(h);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return static_cast<size_t>(x);
+}
+
+size_t HashValues(const Tuple& t, uint32_t mask) {
+  size_t h = 0x811C9DC5;
+  for (size_t i = 0; i < t.size() && i < 32; ++i) {
+    if (mask & (1u << i)) {
+      h ^= t[i].Hash() + 0x9E3779B9 + (h << 6) + (h >> 2);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+Relation::Relation(const datalog::PredicateDecl* decl, size_t shards)
+    : decl_(decl) {
+  shards_.resize(std::max<size_t>(1, shards));
+  const size_t arity = decl_->arity();
+  if (decl_->functional && arity >= 2) {
+    // FD key columns: everything but the value column.
+    shard_key_mask_ = (arity - 1 < 32)
+                          ? ((1u << (arity - 1)) - 1)
+                          : ~0u;
+  } else if (!decl_->functional && arity >= 1) {
+    // Join-key convention: route on the first column.
+    shard_key_mask_ = 1u;
+  }
+  // Zero-key cases (arity 0, functional arity 1) hash an empty projection:
+  // every tuple lands in one shard and probes never fan out.
+}
+
+size_t Relation::ShardKeyHash(const Tuple& t) const {
+  return MixShardHash(HashValues(t, shard_key_mask_));
+}
+
+size_t Relation::ShardOf(const Tuple& t) const {
+  return shards_.size() == 1 ? 0 : ShardKeyHash(t) % shards_.size();
+}
+
+size_t Relation::ShardOfProbeKey(uint32_t mask, const Tuple& key) const {
+  // `key` holds the bound values in column order; pick out the shard-key
+  // columns and hash them exactly as ShardKeyHash does on a full tuple.
+  size_t h = 0x811C9DC5;
+  size_t ki = 0;
+  for (size_t i = 0; i < 32; ++i) {
+    if (!(mask & (1u << i))) continue;
+    if (ki >= key.size()) break;
+    if (shard_key_mask_ & (1u << i)) {
+      h ^= key[ki].Hash() + 0x9E3779B9 + (h << 6) + (h >> 2);
+    }
+    ++ki;
+  }
+  return MixShardHash(h) % shards_.size();
+}
+
+int Relation::ProbeShardOf(uint32_t mask, const Tuple& key) const {
+  if (shards_.size() == 1) return 0;
+  if ((mask & shard_key_mask_) != shard_key_mask_) return -1;
+  return static_cast<int>(ShardOfProbeKey(mask, key));
+}
+
 InsertOutcome Relation::Insert(const Tuple& t) {
-  if (index_.count(t)) return InsertOutcome::kDuplicate;
+  Shard& s = shards_[ShardOf(t)];
+  if (s.index_.count(t)) return InsertOutcome::kDuplicate;
   if (decl_->functional) {
     Tuple keys(t.begin(), t.end() - 1);
-    auto it = fd_index_.find(keys);
-    if (it != fd_index_.end()) return InsertOutcome::kFdConflict;
-    fd_index_[std::move(keys)] = tuples_.size();
+    auto it = s.fd_index_.find(keys);
+    if (it != s.fd_index_.end()) return InsertOutcome::kFdConflict;
+    s.fd_index_[std::move(keys)] = s.tuples.size();
   }
-  index_[t] = tuples_.size();
-  tuples_.push_back(t);
-  counts_.push_back(0);
+  s.index_[t] = s.tuples.size();
+  s.tuples.push_back(t);
+  s.counts.push_back(0);
+  ++total_size_;
   ++version_;
   return InsertOutcome::kInserted;
 }
 
 void Relation::Reserve(size_t n) {
-  if (n <= tuples_.size()) return;
-  tuples_.reserve(n);
-  counts_.reserve(n);
-  index_.reserve(n);
-  if (decl_->functional) fd_index_.reserve(n);
+  if (n <= total_size_) return;
+  // Assume an even spread (hash-partitioned), with one extra row of slack
+  // per shard so small batches over many shards still avoid a rehash.
+  size_t per_shard = n / shards_.size() + 1;
+  for (Shard& s : shards_) {
+    s.tuples.reserve(per_shard);
+    s.counts.reserve(per_shard);
+    s.index_.reserve(per_shard);
+    if (decl_->functional) s.fd_index_.reserve(per_shard);
+  }
 }
 
 bool Relation::Erase(const Tuple& t) {
-  auto it = index_.find(t);
-  if (it == index_.end()) return false;
+  Shard& s = shards_[ShardOf(t)];
+  auto it = s.index_.find(t);
+  if (it == s.index_.end()) return false;
   size_t slot = it->second;
-  size_t last = tuples_.size() - 1;
+  size_t last = s.tuples.size() - 1;
   // Drop the erased row from built secondary buckets before the swap
   // clobbers row `slot` (`t` may alias the relation's own storage),
   // preserving bucket order so enumeration order does not depend on erase
   // history beyond the erase itself.
-  for (auto& [mask, idx] : secondary_) {
+  for (auto& [mask, idx] : s.secondary_) {
     if (slot >= idx.rows_indexed) continue;
     auto bit = idx.buckets.find(Project(t, mask));
     if (bit == idx.buckets.end()) continue;
@@ -44,27 +126,30 @@ bool Relation::Erase(const Tuple& t) {
     rows.erase(std::remove(rows.begin(), rows.end(), slot), rows.end());
     if (rows.empty()) idx.buckets.erase(bit);
   }
-  index_.erase(it);
+  s.index_.erase(it);
   if (decl_->functional) {
-    fd_index_.erase(Tuple(t.begin(), t.end() - 1));
+    s.fd_index_.erase(Tuple(t.begin(), t.end() - 1));
   }
-  // Swap-remove; fix the moved tuple's slots.
+  // Swap-remove within the shard; fix the moved tuple's slots. The moved
+  // row belongs to the same shard by construction, so no cross-shard
+  // bookkeeping is needed.
   if (slot != last) {
-    tuples_[slot] = std::move(tuples_[last]);
-    counts_[slot] = counts_[last];
-    index_[tuples_[slot]] = slot;
+    s.tuples[slot] = std::move(s.tuples[last]);
+    s.counts[slot] = s.counts[last];
+    s.index_[s.tuples[slot]] = slot;
     if (decl_->functional) {
-      fd_index_[Tuple(tuples_[slot].begin(), tuples_[slot].end() - 1)] = slot;
+      s.fd_index_[Tuple(s.tuples[slot].begin(), s.tuples[slot].end() - 1)] =
+          slot;
     }
   }
-  tuples_.pop_back();
-  counts_.pop_back();
+  s.tuples.pop_back();
+  s.counts.pop_back();
   // Re-point the moved row (old index `last`, now at `slot`) in each built
   // secondary index; an unindexed tail row moving into the indexed prefix
   // is indexed now so the prefix invariant holds.
-  for (auto& [mask, idx] : secondary_) {
+  for (auto& [mask, idx] : s.secondary_) {
     if (slot != last) {
-      const Tuple moved_key = Project(tuples_[slot], mask);
+      const Tuple moved_key = Project(s.tuples[slot], mask);
       if (last < idx.rows_indexed) {
         auto bit = idx.buckets.find(moved_key);
         if (bit != idx.buckets.end()) {
@@ -74,34 +159,41 @@ bool Relation::Erase(const Tuple& t) {
         idx.buckets[moved_key].push_back(slot);
       }
     }
-    idx.rows_indexed = std::min(idx.rows_indexed, tuples_.size());
+    idx.rows_indexed = std::min(idx.rows_indexed, s.tuples.size());
   }
+  --total_size_;
   ++version_;
   return true;
 }
 
 uint32_t Relation::SupportCount(const Tuple& t) const {
-  auto it = index_.find(t);
-  return it == index_.end() ? 0 : counts_[it->second];
+  const Shard& s = shards_[ShardOf(t)];
+  auto it = s.index_.find(t);
+  return it == s.index_.end() ? 0 : s.counts[it->second];
 }
 
 uint32_t Relation::AddSupport(const Tuple& t) {
-  auto it = index_.find(t);
-  if (it == index_.end()) return 0;
-  return ++counts_[it->second];
+  Shard& s = shards_[ShardOf(t)];
+  auto it = s.index_.find(t);
+  if (it == s.index_.end()) return 0;
+  return ++s.counts[it->second];
 }
 
 void Relation::SetSupport(const Tuple& t, uint32_t count) {
-  auto it = index_.find(t);
-  if (it != index_.end()) counts_[it->second] = count;
+  Shard& s = shards_[ShardOf(t)];
+  auto it = s.index_.find(t);
+  if (it != s.index_.end()) s.counts[it->second] = count;
 }
 
 std::optional<Tuple> Relation::ReplaceFunctional(const Tuple& t) {
   Tuple keys(t.begin(), t.end() - 1);
-  auto it = fd_index_.find(keys);
+  // The FD keys are the shard key, so the displaced tuple (same keys)
+  // lives in the same shard the replacement inserts into.
+  const Shard& s = shards_[ShardOf(t)];
+  auto it = s.fd_index_.find(keys);
   std::optional<Tuple> displaced;
-  if (it != fd_index_.end()) {
-    displaced = tuples_[it->second];
+  if (it != s.fd_index_.end()) {
+    displaced = s.tuples[it->second];
     if (*displaced == t) return std::nullopt;  // no change
     Erase(*displaced);
   }
@@ -109,12 +201,28 @@ std::optional<Tuple> Relation::ReplaceFunctional(const Tuple& t) {
   return displaced;
 }
 
-bool Relation::Contains(const Tuple& t) const { return index_.count(t) > 0; }
+bool Relation::Contains(const Tuple& t) const {
+  return shards_[ShardOf(t)].index_.count(t) > 0;
+}
 
 const Tuple* Relation::LookupByKeys(const Tuple& keys) const {
-  auto it = fd_index_.find(keys);
-  if (it == fd_index_.end()) return nullptr;
-  return &tuples_[it->second];
+  // `keys` is exactly the shard-key projection of the row it names.
+  const Shard& s =
+      shards_.size() == 1
+          ? shards_[0]
+          : shards_[MixShardHash(HashValues(keys, ~0u)) % shards_.size()];
+  auto it = s.fd_index_.find(keys);
+  if (it == s.fd_index_.end()) return nullptr;
+  return &s.tuples[it->second];
+}
+
+std::vector<Tuple> Relation::AllTuples() const {
+  std::vector<Tuple> out;
+  out.reserve(total_size_);
+  for (const Shard& s : shards_) {
+    out.insert(out.end(), s.tuples.begin(), s.tuples.end());
+  }
+  return out;
 }
 
 Tuple Relation::Project(const Tuple& t, uint32_t mask) {
@@ -125,31 +233,52 @@ Tuple Relation::Project(const Tuple& t, uint32_t mask) {
   return out;
 }
 
-void Relation::EnsureIndex(uint32_t mask) {
-  SecondaryIndex& idx = secondary_[mask];
+void Relation::EnsureShardIndex(Shard& shard, uint32_t mask) {
+  SecondaryIndex& idx = shard.secondary_[mask];
   if (idx.built_at_version == version_) return;
   // Erases are patched in place, so only the appended tail is missing.
-  if (idx.rows_indexed == 0 && !tuples_.empty()) {
+  if (idx.rows_indexed == 0 && !shard.tuples.empty()) {
     ++index_builds_;
-    idx.buckets.reserve(tuples_.size());
+    idx.buckets.reserve(shard.tuples.size());
   }
-  for (size_t i = idx.rows_indexed; i < tuples_.size(); ++i) {
-    idx.buckets[Project(tuples_[i], mask)].push_back(i);
+  for (size_t i = idx.rows_indexed; i < shard.tuples.size(); ++i) {
+    idx.buckets[Project(shard.tuples[i], mask)].push_back(i);
   }
-  idx.rows_indexed = tuples_.size();
+  idx.rows_indexed = shard.tuples.size();
   idx.built_at_version = version_;
 }
 
-const std::vector<size_t>& Relation::Probe(uint32_t mask, const Tuple& key) {
+void Relation::EnsureIndex(uint32_t mask) {
+  for (Shard& s : shards_) EnsureShardIndex(s, mask);
+}
+
+const std::vector<size_t>& Relation::ProbeShard(size_t shard, uint32_t mask,
+                                                const Tuple& key) {
   static const std::vector<size_t> kEmpty;
-  auto sit = secondary_.find(mask);
-  if (sit == secondary_.end() || sit->second.built_at_version != version_) {
-    EnsureIndex(mask);  // single-threaded phases only
-    sit = secondary_.find(mask);
+  Shard& s = shards_[shard];
+  auto sit = s.secondary_.find(mask);
+  if (sit == s.secondary_.end() ||
+      sit->second.built_at_version != version_) {
+    EnsureShardIndex(s, mask);  // single-threaded phases only
+    sit = s.secondary_.find(mask);
   }
   const SecondaryIndex& idx = sit->second;
   auto it = idx.buckets.find(key);
   return it == idx.buckets.end() ? kEmpty : it->second;
+}
+
+const std::vector<size_t>& Relation::Probe(uint32_t mask, const Tuple& key) {
+  int only = ProbeShardOf(mask, key);
+  probe_scratch_.clear();
+  const size_t n = shards_.size();
+  size_t begin = only >= 0 ? static_cast<size_t>(only) : 0;
+  size_t end = only >= 0 ? static_cast<size_t>(only) + 1 : n;
+  for (size_t sh = begin; sh < end; ++sh) {
+    for (size_t slot : ProbeShard(sh, mask, key)) {
+      probe_scratch_.push_back(slot * n + sh);
+    }
+  }
+  return probe_scratch_;
 }
 
 }  // namespace secureblox::engine

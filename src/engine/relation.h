@@ -1,6 +1,19 @@
-// Relation storage: a dense tuple vector with a full-tuple hash index for
-// set semantics, a key index enforcing functional dependencies, and lazily
-// built secondary hash indexes keyed by bound-column masks for joins.
+// Relation storage, hash-partitioned into shards: each shard holds a dense
+// tuple vector with a full-tuple hash index for set semantics, a key index
+// enforcing functional dependencies, and lazily built secondary hash
+// indexes keyed by bound-column masks for joins.
+//
+// Sharding (scale-out seam): every tuple lives in exactly one shard,
+// chosen by a hash of the declared *shard-key columns* — the functional-
+// dependency key columns for functional predicates, the first column
+// otherwise (the join key in the paper's hash-join tables and path-vector
+// route sets). A probe whose bound-column mask covers the shard key
+// touches exactly one shard; unbound scans iterate shards in ascending
+// order. Shard count is fixed per relation at construction
+// (FixpointOptions::shards / SB_SHARDS); 1 shard reproduces the unsharded
+// layout exactly. Because set membership, support counts, and FD slots
+// are per-tuple properties, the logical content of a relation is
+// independent of the shard count — only storage order changes.
 //
 // Each row additionally carries a derivation-support count used by the
 // counting-based incremental deletion path: the number of rule
@@ -9,8 +22,26 @@
 //
 // Concurrency contract (parallel fixpoint): all mutations are
 // single-threaded. Concurrent Probe() calls are safe only for masks whose
-// index is current (EnsureIndex pre-warms them before a parallel phase);
-// a current index makes Probe a pure read.
+// index is current (EnsureIndex pre-warms every shard before a parallel
+// phase); a current index makes Probe a pure read.
+//
+// Reference-stability contract: ProbeShard() returns a reference to a
+// bucket vector inside one shard's secondary index. The reference (and
+// iterators into it) stays valid across further ProbeShard()/Probe()/
+// EnsureIndex() calls while the relation's version() is unchanged — those
+// are pure reads on an up-to-date index — and across index builds for
+// *other* masks or *other* shards (bucket maps are node-based, so foreign
+// inserts never move this mask's vectors). Any mutation (Insert, Erase,
+// ReplaceFunctional, Reserve) or an EnsureIndex that catches an index up
+// to a newer version may reallocate buckets and invalidates it. The
+// executor relies on exactly the safe window: a rule body holds probe
+// results across nested probes of the same enumeration, and the fixpoint
+// drivers never mutate relations while an enumeration runs (derived heads
+// are buffered and applied between runs). Probe() — the flat convenience
+// used by tests and debug paths — additionally gathers matches across
+// shards into an internal scratch buffer, so its reference is only valid
+// until the *next* Probe() call on this relation; do not use it where
+// nested probes of the same relation can occur.
 #ifndef SECUREBLOX_ENGINE_RELATION_H_
 #define SECUREBLOX_ENGINE_RELATION_H_
 
@@ -35,7 +66,9 @@ enum class InsertOutcome {
 
 class Relation {
  public:
-  explicit Relation(const datalog::PredicateDecl* decl) : decl_(decl) {}
+  /// `shards` is clamped to >= 1 and fixed for the relation's lifetime
+  /// (re-hashing live data across a shard-count change is not supported).
+  explicit Relation(const datalog::PredicateDecl* decl, size_t shards = 1);
 
   const datalog::PredicateDecl& decl() const { return *decl_; }
 
@@ -43,7 +76,8 @@ class Relation {
   InsertOutcome Insert(const Tuple& t);
 
   /// Remove a tuple; returns true if it was present. Built secondary
-  /// indexes are patched in place (swap-remove aware), never invalidated.
+  /// indexes are patched in place (swap-remove aware, shard-local), never
+  /// invalidated.
   bool Erase(const Tuple& t);
 
   /// For functional predicates: replace any existing tuple with the same
@@ -54,11 +88,24 @@ class Relation {
   bool Contains(const Tuple& t) const;
 
   /// Functional lookup: full tuple for `keys` (arity-1 values) or nullptr.
+  /// The keys determine the shard, so this is a single-shard probe.
   const Tuple* LookupByKeys(const Tuple& keys) const;
 
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return total_size_; }
+  bool empty() const { return total_size_ == 0; }
+
+  // -- sharded access --------------------------------------------------------
+
+  size_t shard_count() const { return shards_.size(); }
+  /// Shard owning `t` (hash of the shard-key columns).
+  size_t ShardOf(const Tuple& t) const;
+  /// Tuples of one shard, in shard-local insertion order (stable except
+  /// for swap-remove erasure). Full scans iterate shards in order.
+  const std::vector<Tuple>& shard_tuples(size_t shard) const {
+    return shards_[shard].tuples;
+  }
+  /// Materialized copy of every tuple, shard-by-shard (snapshots, reseeds).
+  std::vector<Tuple> AllTuples() const;
 
   /// Pre-size storage and hash indexes for `n` total rows (batch inserts).
   void Reserve(size_t n);
@@ -75,41 +122,80 @@ class Relation {
   /// Monotonically increasing change counter (secondary index freshness).
   uint64_t version() const { return version_; }
 
-  /// Rows whose columns selected by `mask` (bit i = column i) equal `key`
-  /// (the bound values in column order). Returns indices into tuples().
+  // -- secondary-index probing -----------------------------------------------
+
+  /// Shard a bound-column probe resolves to when `mask` covers every
+  /// shard-key column (the key tuple holds the bound values in column
+  /// order), or -1 when the probe must fan out over all shards.
+  int ProbeShardOf(uint32_t mask, const Tuple& key) const;
+
+  /// Rows of `shard` whose columns selected by `mask` (bit i = column i)
+  /// equal `key`. Returns shard-local indices into shard_tuples(shard);
+  /// see the reference-stability contract in the file comment.
+  const std::vector<size_t>& ProbeShard(size_t shard, uint32_t mask,
+                                        const Tuple& key);
+
+  /// Flat probe across all shards: encoded row ids (decode with row()).
+  /// Convenience for tests/debug only — the returned reference aliases an
+  /// internal scratch buffer valid until the next Probe() call; hot paths
+  /// use ProbeShard()/shard_tuples() instead.
   const std::vector<size_t>& Probe(uint32_t mask, const Tuple& key);
 
-  /// Bring the secondary index for `mask` up to the current version
-  /// (indexing only the appended tail — erases are patched in place).
-  /// Called single-threaded before a parallel phase probes this mask.
+  /// Decode a row id produced by Probe(). With one shard the id is the
+  /// plain row index, so `row(i) == shard_tuples(0)[i]`.
+  const Tuple& row(size_t encoded) const {
+    return shards_[encoded % shards_.size()]
+        .tuples[encoded / shards_.size()];
+  }
+
+  /// Bring every shard's secondary index for `mask` up to the current
+  /// version (indexing only the appended tail — erases are patched in
+  /// place). Called single-threaded before a parallel phase probes `mask`.
   void EnsureIndex(uint32_t mask);
 
   /// Bucket-map (re)constructions for this relation: first builds plus any
-  /// rebuild after an invalidation. With in-place erase maintenance this
-  /// stays at one per (mask, relation) — the EngineStats counter benches
-  /// watch.
+  /// rebuild after an invalidation, counted per (shard, mask). With
+  /// in-place erase maintenance this stays at one per (shard, mask,
+  /// relation) — the EngineStats counter benches watch.
   uint64_t index_builds() const { return index_builds_; }
 
  private:
   struct SecondaryIndex {
     uint64_t built_at_version = 0;
-    /// Rows [0, rows_indexed) are in the buckets; a grow-only relation
-    /// (the common case inside a fixpoint round) appends the tail instead
-    /// of rebuilding.
+    /// Rows [0, rows_indexed) of the owning shard are in the buckets; a
+    /// grow-only shard (the common case inside a fixpoint round) appends
+    /// the tail instead of rebuilding.
     size_t rows_indexed = 0;
     std::unordered_map<Tuple, std::vector<size_t>, TupleHash> buckets;
   };
 
+  /// One hash partition: the pre-shard Relation layout in miniature. All
+  /// slot values (index_, fd_index_, secondary buckets) are shard-local.
+  struct Shard {
+    std::vector<Tuple> tuples;
+    std::vector<uint32_t> counts;  // parallel to tuples
+    std::unordered_map<Tuple, size_t, TupleHash> index_;     // tuple -> slot
+    std::unordered_map<Tuple, size_t, TupleHash> fd_index_;  // keys -> slot
+    std::unordered_map<uint32_t, SecondaryIndex> secondary_;
+  };
+
   static Tuple Project(const Tuple& t, uint32_t mask);
+  /// Hash of the shard-key columns of a full tuple.
+  size_t ShardKeyHash(const Tuple& t) const;
+  /// Shard for a probe key (bound values in column order) — only valid
+  /// when the probe mask covers shard_key_mask_.
+  size_t ShardOfProbeKey(uint32_t mask, const Tuple& key) const;
+  void EnsureShardIndex(Shard& shard, uint32_t mask);
 
   const datalog::PredicateDecl* decl_;
-  std::vector<Tuple> tuples_;
-  std::vector<uint32_t> counts_;  // parallel to tuples_
-  std::unordered_map<Tuple, size_t, TupleHash> index_;     // tuple -> slot
-  std::unordered_map<Tuple, size_t, TupleHash> fd_index_;  // keys -> slot
-  std::unordered_map<uint32_t, SecondaryIndex> secondary_;
+  /// Bit i set = column i participates in the shard key.
+  uint32_t shard_key_mask_ = 0;
+  std::vector<Shard> shards_;
+  size_t total_size_ = 0;
   uint64_t version_ = 1;
   uint64_t index_builds_ = 0;
+  /// Probe() gather buffer (see reference-stability contract).
+  std::vector<size_t> probe_scratch_;
 };
 
 }  // namespace secureblox::engine

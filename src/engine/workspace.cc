@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "common/bytes.h"
 #include "common/logging.h"
+#include "crypto/sha256.h"
 #include "datalog/typecheck.h"
 
 namespace secureblox::engine {
@@ -29,6 +31,15 @@ Workspace::Workspace() : catalog_(std::make_unique<Catalog>()) {
       fixpoint_options_.threads = static_cast<int>(n);
     }
   }
+  // Relation storage shards: SB_SHARDS=N (unset/1 = unsharded layout).
+  // Any value computes the identical fixpoint; garbage keeps the default.
+  if (const char* env = std::getenv("SB_SHARDS")) {
+    char* end = nullptr;
+    long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n >= 1 && n <= 4096) {
+      fixpoint_options_.shards = static_cast<size_t>(n);
+    }
+  }
   // Empty rule graph + driver so transactions work before the first Install.
   rule_graph_ = RuleGraph::Build({}, *catalog_, false).value();
   driver_ = std::make_unique<FixpointDriver>(
@@ -42,7 +53,10 @@ Relation* Workspace::GetRelation(PredId pred) {
     relations_.resize(pred + 1);
   }
   if (relations_[pred] == nullptr) {
-    relations_[pred] = std::make_unique<Relation>(&catalog_->decl(pred));
+    // The shard count is latched per relation at creation (first touch),
+    // so FixpointOptions::shards must be set before data arrives.
+    relations_[pred] = std::make_unique<Relation>(&catalog_->decl(pred),
+                                                 fixpoint_options_.shards);
   }
   return relations_[pred].get();
 }
@@ -285,7 +299,7 @@ Result<bool> Workspace::RetractSupport(PredId pred, const Tuple& tuple) {
 Result<uint64_t> Workspace::OverDeleteDerived(PredId pred) {
   Relation* rel = GetRelation(pred);
   const auto& base = base_tuples_[pred];
-  std::vector<Tuple> copy = rel->tuples();
+  std::vector<Tuple> copy = rel->AllTuples();
   uint64_t erased = 0;
   for (const Tuple& t : copy) {
     if (base.count(t)) {
@@ -312,12 +326,34 @@ Status Workspace::BindExistentials(const CompiledRule& rule, Env* envp,
   auto key = std::make_pair(rule.id, std::move(memo_key));
   auto it = existential_memo_.find(key);
   if (it == existential_memo_.end()) {
+    // Content-addressed label: derived from the creating rule and the
+    // binding of its head-relevant variables, not from a creation-order
+    // counter. The same instantiation therefore yields the same label in
+    // every run regardless of enumeration order — the property the
+    // sharded/parallel fixpoint's byte-identical guarantee rests on. The
+    // node tag keeps labels from colliding across nodes, the rule id and
+    // ordinal keep them from colliding within a node. Each component is
+    // length-prefixed so no choice of value contents (entity labels are
+    // internable verbatim off the wire) can make two distinct bindings
+    // serialize identically, and the full 128-bit digest prefix keeps
+    // birthday collisions out of reach.
+    std::string seed = std::to_string(rule.id);
+    for (const Value& v : key.second) {
+      std::string part = catalog_->ValueToString(v);
+      seed += '|' + std::to_string(part.size()) + ':' + part;
+    }
+    Bytes digest =
+        crypto::Sha256Digest(Bytes(seed.begin(), seed.end()));
+    std::string suffix = ToHex(digest.data(), 16);
     std::vector<Value> entities;
     for (size_t k = 0; k < rule.existential_slots.size(); ++k) {
       PredId type = rule.existential_types[k];
-      SB_ASSIGN_OR_RETURN(
-          Value e,
-          catalog_->CreateAnonymousEntity(type, catalog_->decl(type).name));
+      std::string label = catalog_->decl(type).name + "@" +
+                          catalog_->node_tag() + "#" + suffix;
+      if (rule.existential_slots.size() > 1) {
+        label += "." + std::to_string(k);
+      }
+      SB_ASSIGN_OR_RETURN(Value e, catalog_->InternEntity(type, label));
       entities.push_back(std::move(e));
     }
     it = existential_memo_.emplace(std::move(key), std::move(entities)).first;
@@ -561,7 +597,7 @@ Result<std::vector<Tuple>> Workspace::Query(const std::string& pred) const {
   SB_ASSIGN_OR_RETURN(PredId id, catalog_->Lookup(pred));
   const Relation* rel = GetRelationIfExists(id);
   if (rel == nullptr) return std::vector<Tuple>{};
-  return rel->tuples();
+  return rel->AllTuples();
 }
 
 Result<bool> Workspace::ContainsFact(
@@ -595,7 +631,12 @@ Result<Value> Workspace::SingletonValue(const std::string& pred) const {
   if (rel == nullptr || rel->empty()) {
     return Status::NotFound("singleton '" + pred + "' has no value");
   }
-  return rel->tuples()[0].back();
+  for (size_t sh = 0; sh < rel->shard_count(); ++sh) {
+    if (!rel->shard_tuples(sh).empty()) {
+      return rel->shard_tuples(sh)[0].back();
+    }
+  }
+  return Status::NotFound("singleton '" + pred + "' has no value");
 }
 
 }  // namespace secureblox::engine

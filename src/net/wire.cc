@@ -5,6 +5,59 @@ namespace secureblox::net {
 using datalog::Value;
 using datalog::ValueKind;
 
+namespace {
+
+/// Skip one serialized value by structure alone — the single source of
+/// the per-kind wire layout for consumers that must not intern (the
+/// receive-thread tuple counter). DeserializeValue reads the same shapes;
+/// a new ValueKind must extend both switches (the compiler flags the one
+/// here via the default-free enum switch warning in DeserializeValue).
+Status SkipValue(ByteReader* r) {
+  SB_ASSIGN_OR_RETURN(uint8_t kind_byte, r->GetU8());
+  if (kind_byte > static_cast<uint8_t>(ValueKind::kEntity)) {
+    return Status::InvalidArgument("bad value kind tag on wire");
+  }
+  switch (static_cast<ValueKind>(kind_byte)) {
+    case ValueKind::kBool:
+      return r->GetU8().status();
+    case ValueKind::kInt:
+      return r->GetU64().status();
+    case ValueKind::kString:
+    case ValueKind::kBlob:
+      return r->GetLengthPrefixed().status();
+    case ValueKind::kEntity:
+      SB_RETURN_IF_ERROR(r->GetLengthPrefixed().status());  // type name
+      return r->GetLengthPrefixed().status();               // label
+  }
+  return Status::Internal("unreachable");
+}
+
+/// Parse the batch header (magic, version, src, dst, entry count) —
+/// shared by DecodeBatch and CountBatchTuples so the grammar cannot
+/// drift between them.
+Status ReadBatchHeader(ByteReader* r, NodeIndex* src, NodeIndex* dst,
+                       uint64_t* num_entries) {
+  SB_ASSIGN_OR_RETURN(uint8_t m1, r->GetU8());
+  SB_ASSIGN_OR_RETURN(uint8_t m2, r->GetU8());
+  if (m1 != 'S' || m2 != 'B') {
+    return Status::InvalidArgument("bad wire magic");
+  }
+  SB_ASSIGN_OR_RETURN(uint16_t version, r->GetU16());
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(version));
+  }
+  SB_ASSIGN_OR_RETURN(*src, r->GetU32());
+  SB_ASSIGN_OR_RETURN(*dst, r->GetU32());
+  SB_ASSIGN_OR_RETURN(*num_entries, r->GetVarint());
+  if (*num_entries > 1 << 20) {
+    return Status::InvalidArgument("batch too large on wire");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status SerializeValue(ByteWriter* w, const Value& v,
                       const datalog::Catalog& catalog) {
   w->PutU8(static_cast<uint8_t>(v.kind()));
@@ -109,23 +162,10 @@ Result<Bytes> EncodeBatch(const WireBatch& batch,
 Result<WireBatch> DecodeBatch(const Bytes& payload,
                               datalog::Catalog* catalog) {
   ByteReader r(payload);
-  SB_ASSIGN_OR_RETURN(uint8_t m1, r.GetU8());
-  SB_ASSIGN_OR_RETURN(uint8_t m2, r.GetU8());
-  if (m1 != 'S' || m2 != 'B') {
-    return Status::InvalidArgument("bad wire magic");
-  }
-  SB_ASSIGN_OR_RETURN(uint16_t version, r.GetU16());
-  if (version != kWireVersion) {
-    return Status::InvalidArgument("unsupported wire version " +
-                                   std::to_string(version));
-  }
   WireBatch batch;
-  SB_ASSIGN_OR_RETURN(batch.src, r.GetU32());
-  SB_ASSIGN_OR_RETURN(batch.dst, r.GetU32());
-  SB_ASSIGN_OR_RETURN(uint64_t num_entries, r.GetVarint());
-  if (num_entries > 1 << 20) {
-    return Status::InvalidArgument("batch too large on wire");
-  }
+  uint64_t num_entries = 0;
+  SB_RETURN_IF_ERROR(ReadBatchHeader(&r, &batch.src, &batch.dst,
+                                     &num_entries));
   for (uint64_t i = 0; i < num_entries; ++i) {
     WireBatch::Entry entry;
     SB_ASSIGN_OR_RETURN(entry.pred, r.GetLengthPrefixedString());
@@ -143,6 +183,36 @@ Result<WireBatch> DecodeBatch(const Bytes& payload,
     return Status::InvalidArgument("trailing bytes after wire batch");
   }
   return batch;
+}
+
+Result<size_t> CountBatchTuples(const Bytes& payload) {
+  ByteReader r(payload);
+  NodeIndex src = 0;
+  NodeIndex dst = 0;
+  uint64_t num_entries = 0;
+  SB_RETURN_IF_ERROR(ReadBatchHeader(&r, &src, &dst, &num_entries));
+  size_t total = 0;
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    SB_RETURN_IF_ERROR(r.GetLengthPrefixed().status());  // pred name
+    SB_ASSIGN_OR_RETURN(uint64_t num_tuples, r.GetVarint());
+    if (num_tuples > 1 << 20) {
+      return Status::InvalidArgument("entry too large on wire");
+    }
+    for (uint64_t j = 0; j < num_tuples; ++j) {
+      SB_ASSIGN_OR_RETURN(uint64_t arity, r.GetVarint());
+      if (arity > 1 << 20) {
+        return Status::InvalidArgument("tuple too large on wire");
+      }
+      for (uint64_t k = 0; k < arity; ++k) {
+        SB_RETURN_IF_ERROR(SkipValue(&r));
+      }
+    }
+    total += num_tuples;
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after wire batch");
+  }
+  return total;
 }
 
 }  // namespace secureblox::net

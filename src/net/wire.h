@@ -62,6 +62,14 @@ Result<Bytes> EncodeBatch(const WireBatch& batch,
 Result<WireBatch> DecodeBatch(const Bytes& payload,
                               datalog::Catalog* catalog);
 
+/// Total tuples in an encoded batch, by structural parse only: values are
+/// skipped, nothing is interned, no catalog is needed — safe to run on a
+/// receive thread concurrently with the apply loop. The size limits match
+/// DecodeBatch. Used to validate sender-declared tuple-count hints before
+/// they feed batching accounting (the hint rides outside the seal, so it
+/// is attacker-controlled even when the payload authenticates).
+Result<size_t> CountBatchTuples(const Bytes& payload);
+
 }  // namespace secureblox::net
 
 #endif  // SECUREBLOX_NET_WIRE_H_

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 #include <string>
@@ -87,7 +88,7 @@ std::string CanonicalDump(const engine::Workspace& ws) {
     const engine::Relation* rel = ws.GetRelationIfExists(id);
     if (rel == nullptr || rel->empty()) continue;
     const std::string& pred_name = catalog.decl(id).name;
-    for (const auto& t : rel->tuples()) {
+    for (const auto& t : rel->AllTuples()) {
       RawAtom a;
       a.pred = pred_name;
       a.support = rel->SupportCount(t);
@@ -389,6 +390,117 @@ TEST(BatchingEquivalence, UdpClusterGranularityInvariant) {
   ASSERT_TRUE(coarse.ok()) << coarse.status().ToString();
   EXPECT_EQ(*fine, *coarse);
   EXPECT_NE(fine->find("reachable("), std::string::npos);
+}
+
+// max_batch_delay_s over real sockets: the apply loop must hold a
+// non-full batch open for the configured window (it used to close
+// immediately, so the knob only worked in SimCluster), coalescing the
+// second source's datagram into the first's transaction — and the held
+// batch changes scheduling only, never the fixpoint.
+TEST(BatchingEquivalence, UdpClusterHonorsBatchDelay) {
+  auto run = [](double delay_s)
+      -> Result<std::pair<UdpCluster::Stats, std::string>> {
+    policy::SaysPolicyOptions popts;
+    popts.accept = policy::AcceptMode::kBenign;
+    UdpCluster::Config cfg;
+    cfg.num_nodes = 3;
+    cfg.sources = {policy::PreludeSource(), kReachableApp,
+                   policy::SaysPolicySource(popts)};
+    cfg.batch_security.auth = AuthScheme::kHmac;
+    cfg.credentials.rsa_bits = 512;
+    cfg.credentials.seed = "batching-udp-delay";
+    cfg.max_batch_tuples = 0;
+    cfg.max_batch_delay_s = delay_s;
+    SB_ASSIGN_OR_RETURN(std::unique_ptr<UdpCluster> cluster,
+                        UdpCluster::Create(std::move(cfg)));
+    // Two sources, one destination: both exports address node 2.
+    SB_RETURN_IF_ERROR(cluster->Insert(
+        0, {{"link", {Value::Str("p0"), Value::Str("p2")}}}));
+    SB_RETURN_IF_ERROR(cluster->Insert(
+        1, {{"link", {Value::Str("p1"), Value::Str("p2")}}}));
+    SB_ASSIGN_OR_RETURN(UdpCluster::Stats stats, cluster->Run());
+    std::string out;
+    for (net::NodeIndex i = 0; i < 3; ++i) {
+      out += CanonicalDump(cluster->node(i).workspace());
+    }
+    return std::make_pair(stats, std::move(out));
+  };
+
+  auto immediate = run(0);
+  ASSERT_TRUE(immediate.ok()) << immediate.status().ToString();
+
+  const double kDelay = 0.25;
+  auto t0 = std::chrono::steady_clock::now();
+  auto delayed = run(kDelay);
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_TRUE(delayed.ok()) << delayed.status().ToString();
+
+  // The batch was genuinely held open...
+  EXPECT_GE(elapsed, kDelay);
+  // ...both deliveries shared its transaction...
+  EXPECT_EQ(delayed->first.messages_delivered, 2u);
+  EXPECT_EQ(delayed->first.apply_transactions, 1u);
+  EXPECT_EQ(delayed->first.coalesced_messages, 2u);
+  EXPECT_EQ(delayed->first.rejected, 0u);
+  // ...and the distributed fixpoint is unchanged.
+  EXPECT_EQ(delayed->second, immediate->second);
+}
+
+// The same knob in simulated time, pinned on a star workload: three
+// sources advertise to one hub at t=0, so without a delay the hub fires
+// on the first arrival, while a held batch must absorb all three into a
+// single delivery transaction whose start reflects the hold. (A line
+// topology cannot pin this: its traffic is strictly causal, one in-flight
+// message per node, so there is never anything to coalesce — and the
+// path-vector app's split horizon never advertises a hub route back to
+// the hub, so the reachable closure is the right star workload.)
+TEST(BatchingEquivalence, SimClusterBatchDelayCoalesces) {
+  auto run = [](double delay_s) -> Result<SimCluster::Metrics> {
+    policy::SaysPolicyOptions popts;
+    popts.accept = policy::AcceptMode::kBenign;
+    SimCluster::Config cfg;
+    cfg.num_nodes = 4;
+    cfg.sources = {policy::PreludeSource(), kReachableApp,
+                   policy::SaysPolicySource(popts)};
+    cfg.batch_security = {AuthScheme::kNone, EncScheme::kNone};
+    cfg.credentials.rsa_bits = 512;
+    cfg.credentials.seed = "batching-pv-delay";
+    cfg.max_batch_tuples = 0;
+    cfg.max_batch_delay_s = delay_s;
+    SB_ASSIGN_OR_RETURN(std::unique_ptr<SimCluster> cluster,
+                        SimCluster::Create(std::move(cfg)));
+    for (size_t i = 1; i < 4; ++i) {
+      cluster->ScheduleInsert(
+          static_cast<net::NodeIndex>(i),
+          {{"link",
+            {Value::Str("p" + std::to_string(i)), Value::Str("p0")}}});
+    }
+    return cluster->Run();
+  };
+  const double kDelay = 0.5;
+  auto immediate = run(0);
+  ASSERT_TRUE(immediate.ok()) << immediate.status().ToString();
+  auto delayed = run(kDelay);
+  ASSERT_TRUE(delayed.ok()) << delayed.status().ToString();
+  EXPECT_EQ(delayed->rejected_batches, 0u);
+  // Held open: all three advertisements share one delivery transaction...
+  size_t hub_deliveries = 0;
+  for (const SimCluster::TxRecord& tx : delayed->transactions) {
+    if (tx.node != 0 || !tx.is_delivery) continue;
+    ++hub_deliveries;
+    EXPECT_EQ(tx.num_payloads, 3u);
+    // ...which could not start before the hold expired.
+    EXPECT_GE(tx.start_s, kDelay);
+  }
+  EXPECT_EQ(hub_deliveries, 1u);
+  EXPECT_EQ(delayed->coalesced_messages, 3u);
+  // Without the delay the hub fires on first arrival — well before any
+  // hold — and needs at least as many delivery transactions.
+  EXPECT_LT(immediate->fixpoint_latency_s, kDelay);
+  EXPECT_GE(immediate->delivery_transactions,
+            delayed->delivery_transactions);
 }
 
 // ---------------------------------------------------------------------------

@@ -294,7 +294,7 @@ std::string SortedDump(const engine::Workspace& ws) {
     datalog::PredId id = static_cast<datalog::PredId>(p);
     const engine::Relation* rel = ws.GetRelationIfExists(id);
     if (rel == nullptr || rel->empty()) continue;
-    for (const auto& t : rel->tuples()) {
+    for (const auto& t : rel->AllTuples()) {
       std::string line = catalog.decl(id).name + "(";
       for (size_t i = 0; i < t.size(); ++i) {
         if (i) line += ",";

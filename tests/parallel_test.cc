@@ -2,7 +2,10 @@
 // must produce the byte-identical fixpoint — same tuples, same
 // derivation-support counts, same anonymous-entity labels — at every
 // thread count, for insert convergence, the counting/DRed deletion paths,
-// and interleaved insert/delete churn.
+// and interleaved insert/delete churn. With sharded relation storage the
+// same guarantee holds at every SB_SHARDS x SB_THREADS combination: the
+// chunk decomposition follows shard boundaries (so task counts differ),
+// but the database the fixpoint converges to does not.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -42,7 +45,7 @@ Snapshot Snap(const Workspace& ws) {
         ws.GetRelationIfExists(static_cast<datalog::PredId>(id));
     if (rel == nullptr || rel->empty()) continue;
     auto& rows = out[decl.name];
-    for (const Tuple& t : rel->tuples()) {
+    for (const Tuple& t : rel->AllTuples()) {
       rows.emplace(TupleToString(t, catalog), rel->SupportCount(t));
     }
   }
@@ -87,15 +90,27 @@ std::vector<FactUpdate> ConvergenceLinks(int nodes, int degree) {
 }
 
 Snapshot RunConvergence(int threads, FixpointStats* fixpoint,
-                        EngineStats* engine) {
+                        EngineStats* engine, size_t shards = 1) {
   Workspace ws;
   ws.fixpoint_options().threads = threads;
+  ws.fixpoint_options().shards = shards;
   Install(&ws, kConvergenceProgram);
   auto commit = ws.Apply(ConvergenceLinks(48, 2));
   EXPECT_TRUE(commit.ok()) << commit.status().ToString();
   if (commit.ok()) *fixpoint = commit->fixpoint;
   *engine = ws.stats();
   return Snap(ws);
+}
+
+/// The shard-count-invariant face of FixpointStats: everything except
+/// parallel_tasks, which by design counts shard-aligned chunks and so
+/// scales with the shard count (it stays thread-count-invariant).
+std::vector<uint64_t> SemanticCounters(const FixpointStats& fp) {
+  return {fp.rounds,        fp.rule_firings, fp.firings_skipped,
+          fp.agg_recomputes, fp.agg_skipped,  fp.derivations,
+          fp.waves,          fp.retract_firings, fp.retractions,
+          fp.deleted,        fp.rescued,      fp.group_rederives,
+          fp.rederive_seeded};
 }
 
 TEST(ParallelFixpointTest, ConvergenceIdenticalAcrossThreadCounts) {
@@ -293,6 +308,147 @@ TEST(ParallelFixpointTest, EraseDoesNotRebuildSecondaryIndexes) {
   }
   EXPECT_EQ(builds_after_seed, ws.stats().index_rebuilds)
       << "erase churn forced secondary-index rebuilds";
+}
+
+// ---------------------------------------------------------------------------
+// Sharded storage: SB_SHARDS x SB_THREADS determinism.
+// ---------------------------------------------------------------------------
+
+// fig08-flavoured convergence at shard counts {1, 4, 7} crossed with
+// thread counts {1, 4}: identical database, support counts, and semantic
+// fixpoint counters everywhere (see SemanticCounters for the one
+// intentionally shard-dependent field).
+TEST(ShardedFixpointTest, ConvergenceIdenticalAcrossShardAndThreadCounts) {
+  FixpointStats base_fp;
+  EngineStats base_stats;
+  Snapshot base = RunConvergence(1, &base_fp, &base_stats, /*shards=*/1);
+  ASSERT_FALSE(base.empty());
+  for (size_t shards : {size_t{4}, size_t{7}}) {
+    for (int threads : {1, 4}) {
+      FixpointStats fp;
+      EngineStats stats;
+      Snapshot snap = RunConvergence(threads, &fp, &stats, shards);
+      EXPECT_EQ(base, snap) << "fixpoint diverged at shards=" << shards
+                            << " threads=" << threads;
+      EXPECT_EQ(SemanticCounters(base_fp), SemanticCounters(fp))
+          << "counters diverged at shards=" << shards
+          << " threads=" << threads;
+      EXPECT_EQ(base_stats.derived_tuples, stats.derived_tuples);
+    }
+  }
+  // At a fixed shard count the full stats — chunk decomposition included —
+  // must still be thread-count invariant.
+  FixpointStats fp_t1, fp_t4;
+  EngineStats unused;
+  Snapshot s1 = RunConvergence(1, &fp_t1, &unused, /*shards=*/4);
+  Snapshot s4 = RunConvergence(4, &fp_t4, &unused, /*shards=*/4);
+  EXPECT_EQ(s1, s4);
+  EXPECT_EQ(fp_t1.parallel_tasks, fp_t4.parallel_tasks);
+}
+
+// Erase-heavy and FD-replacement workload: recursive closure with
+// counting deletes, bridge deletes (group-local DRed over-delete +
+// reseed, i.e. swap-remove churn patched per shard), and a recursive
+// min-lattice whose functional head is replaced as costs improve and
+// re-route. Transaction-by-transaction snapshots must match at every
+// shard x thread combination.
+TEST(ShardedFixpointTest, DeleteAndLatticeIdenticalAcrossShardCounts) {
+  const std::string program = R"(
+    node(X) -> .
+    e(X, Y) -> string(X), string(Y).
+    tc(X, Y) -> string(X), string(Y).
+    tc(X, Y) <- e(X, Y).
+    tc(X, Y) <- e(X, Z), tc(Z, Y).
+    link(X, Y, C) -> node(X), node(Y), int(C).
+    cost(X, Y, C) -> node(X), node(Y), int(C).
+    bestcost[X, Y] = C -> node(X), node(Y), int(C).
+    cost(X, Y, C) <- link(X, Y, C).
+    cost(X, Y, C1 + C2) <- bestcost[X, Z] = C1, link(Z, Y, C2).
+    bestcost[X, Y] = C <- agg<< C = min(Cx) >> cost(X, Y, Cx).
+  )";
+  auto run = [&](size_t shards, int threads) {
+    std::vector<Snapshot> trace;
+    Workspace ws;
+    ws.fixpoint_options().threads = threads;
+    ws.fixpoint_options().shards = shards;
+    Install(&ws, program);
+    // Seed: a closure-heavy edge set plus a weighted triangle fan.
+    std::vector<FactUpdate> seed;
+    for (int i = 0; i < 14; ++i) {
+      seed.push_back({"e", {Value::Str(Label(i)), Value::Str(Label(i + 1))}});
+    }
+    seed.push_back({"e", {Value::Str(Label(0)), Value::Str(Label(7))}});
+    for (int i = 0; i < 6; ++i) {
+      seed.push_back({"link",
+                      {Value::Str("n" + std::to_string(i)),
+                       Value::Str("n" + std::to_string(i + 1)),
+                       Value::Int(1)}});
+      seed.push_back({"link",
+                      {Value::Str("n0"),
+                       Value::Str("n" + std::to_string(i + 1)),
+                       Value::Int(10)}});
+    }
+    auto seeded = ws.Apply(seed);
+    EXPECT_TRUE(seeded.ok()) << seeded.status().ToString();
+    trace.push_back(Snap(ws));
+    // Erase-heavy churn: delete every third closure edge (counting path +
+    // DRed for the recursive group), then the cheap lattice legs so every
+    // bestcost row is displaced by a worse value (FD replacement).
+    for (int i = 0; i < 14; i += 3) {
+      auto del = ws.Apply(
+          {}, {{"e", {Value::Str(Label(i)), Value::Str(Label(i + 1))}}});
+      EXPECT_TRUE(del.ok()) << del.status().ToString();
+      trace.push_back(Snap(ws));
+    }
+    for (int i = 0; i < 6; i += 2) {
+      auto del = ws.Apply({}, {{"link",
+                                {Value::Str("n" + std::to_string(i)),
+                                 Value::Str("n" + std::to_string(i + 1)),
+                                 Value::Int(1)}}});
+      EXPECT_TRUE(del.ok()) << del.status().ToString();
+      trace.push_back(Snap(ws));
+    }
+    return trace;
+  };
+  auto base = run(1, 1);
+  for (size_t shards : {size_t{4}, size_t{7}}) {
+    for (int threads : {1, 4}) {
+      auto trace = run(shards, threads);
+      ASSERT_EQ(base.size(), trace.size());
+      for (size_t step = 0; step < base.size(); ++step) {
+        EXPECT_EQ(base[step], trace[step])
+            << "divergence at step " << step << ", shards=" << shards
+            << ", threads=" << threads;
+      }
+    }
+  }
+}
+
+// Existential labels are content-addressed (rule id + head-relevant
+// binding), so even entity creation survives shard-count changes intact.
+TEST(ShardedFixpointTest, ExistentialLabelsIdenticalAcrossShardCounts) {
+  const std::string program = R"(
+    node(X) -> .
+    pathvar(P) -> .
+    link(X, Y) -> node(X), node(Y).
+    hop(P, X, Y) -> pathvar(P), node(X), node(Y).
+    hop(P, X, Y) <- link(X, Y).
+  )";
+  auto run = [&](size_t shards, int threads) {
+    Workspace ws;
+    ws.fixpoint_options().threads = threads;
+    ws.fixpoint_options().shards = shards;
+    Install(&ws, program);
+    auto commit = ws.Apply(ConvergenceLinks(32, 2));
+    EXPECT_TRUE(commit.ok()) << commit.status().ToString();
+    return Snap(ws);
+  };
+  Snapshot base = run(1, 1);
+  ASSERT_TRUE(base.count("hop"));
+  for (size_t shards : {size_t{4}, size_t{7}}) {
+    EXPECT_EQ(base, run(shards, 1)) << "shards=" << shards;
+    EXPECT_EQ(base, run(shards, 4)) << "shards=" << shards;
+  }
 }
 
 }  // namespace

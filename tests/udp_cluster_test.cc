@@ -101,6 +101,68 @@ TEST(UdpClusterTest, HostileDatagramsAreRejectedNotFatal) {
   EXPECT_GT((*cluster)->node(1).workspace().Query("link").value().size(), 0u);
 }
 
+TEST(UdpClusterTest, LyingTupleCountHintsAreClampedAndCounted) {
+  // The envelope's tuple-count hint rides outside the seal, so an on-path
+  // attacker can forge it around an otherwise authentic payload. The
+  // receiver must clamp batching accounting to the decoded payload's
+  // actual tuple count — an oversized hint must not burst the batch cap's
+  // accounting and a zero hint must not starve it — and count the lie.
+  policy::SaysPolicyOptions popts;
+  popts.accept = policy::AcceptMode::kBenign;
+
+  UdpCluster::Config cfg;
+  cfg.num_nodes = 2;
+  cfg.sources = {policy::PreludeSource(), kApp,
+                 policy::SaysPolicySource(popts)};
+  cfg.batch_security.auth = policy::AuthScheme::kHmac;
+  cfg.credentials.rsa_bits = 512;
+  cfg.credentials.seed = "udp-hints";
+  cfg.max_batch_tuples = 1;  // every lying weight would distort this cap
+
+  auto cluster = UdpCluster::Create(std::move(cfg));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  // A genuine sealed export from node 1, captured instead of sent.
+  auto outcome = (*cluster)->node(1).InsertLocal(
+      {{"link", {Value::Str("p1"), Value::Str("p0")}}});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->accepted);
+  ASSERT_FALSE(outcome->outgoing.empty());
+  const NodeRuntime::Outgoing& out = outcome->outgoing[0];
+  ASSERT_EQ(out.dst, 0u);
+  ASSERT_GT(out.num_tuples, 0u);
+
+  // Replay it three times from an attacker socket aimed at node 0: an
+  // oversized hint, a zero hint, and the honest count.
+  std::vector<net::UdpEndpoint> eps = {
+      {"127.0.0.1", 0}, {"127.0.0.1", (*cluster)->port_of(0)}};
+  auto attacker = net::UdpTransport::Bind(0, eps);
+  ASSERT_TRUE(attacker.ok()) << attacker.status().ToString();
+  for (uint32_t hint : {0xFFFFFFu, 0u,
+                        static_cast<uint32_t>(out.num_tuples)}) {
+    ByteWriter w;
+    w.PutU32(1);  // truthful source: the seal verifies
+    w.PutU32(hint);
+    w.PutRaw(out.payload);
+    ASSERT_TRUE(attacker->Send(1, w.Take()).ok());
+  }
+
+  auto stats = (*cluster)->Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // All three payloads authenticate and apply (duplicates are set-
+  // semantics no-ops); with actual-count accounting and cap 1 each gets
+  // its own transaction — a lying weight can neither merge nor split
+  // them.
+  EXPECT_EQ(stats->messages_delivered, 3u);
+  EXPECT_EQ(stats->apply_transactions, 3u);
+  EXPECT_EQ(stats->hint_mismatches, 2u);
+  EXPECT_EQ(stats->rejected, 2u);  // the two lies, nothing else
+
+  // The content still landed exactly once.
+  auto rows = (*cluster)->node(0).workspace().Query("reachable").value();
+  EXPECT_EQ(rows.size(), 1u);
+}
+
 TEST(UdpClusterTest, PortsAreDistinct) {
   UdpCluster::Config cfg;
   cfg.num_nodes = 2;
