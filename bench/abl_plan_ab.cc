@@ -1,0 +1,257 @@
+// Ablation: cost-based rule execution planning (SB_PLAN) A/B.
+//
+// Two workloads, each run with the planner off (baseline written-order
+// bodies) and on (cardinality-driven reordering + static probe paths):
+//
+//   adversarial_join — a deliberately worst-ordered body
+//       out(X, Y) <- big(X, Y), filt(X).
+//     over a large seeded `big` (default 20k rows) with tiny `filt`
+//     churn transactions. The written order enumerates all of `big` per
+//     delta and probes `filt`; the planner leads with the delta/selective
+//     atom and turns `big` into an indexed probe on its bound join
+//     column. Acceptance gate: planner-on >= 1.5x faster.
+//
+//   small_recursion — a fig08-flavoured transitive-closure + aggregate
+//     workload whose bodies are already well ordered. The planner cannot
+//     win here; the gate checks it does not lose: planner-on must stay
+//     within 1.35x of planner-off (min-of-trials on both sides to shed
+//     scheduler noise).
+//
+// Timings are min-of-SB_TRIALS (default 3). SB_QUICK=1 shrinks sizes for
+// CI. Set SB_BENCH_OUT=<path> to record results as BENCH_plan.json.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "datalog/parser.h"
+#include "engine/workspace.h"
+
+using namespace secureblox;
+using namespace secureblox::bench;
+using engine::FactUpdate;
+using engine::Workspace;
+using datalog::Value;
+
+namespace {
+
+bool Install(Workspace* ws, const std::string& src) {
+  auto program = datalog::Parse(src);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse: %s\n", program.status().ToString().c_str());
+    return false;
+  }
+  Status st = ws->Install(program.value());
+  if (!st.ok()) {
+    std::fprintf(stderr, "install: %s\n", st.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+bool Apply(Workspace* ws, const std::vector<FactUpdate>& ins,
+           const std::vector<FactUpdate>& del = {}) {
+  auto r = ws->Apply(ins, del);
+  if (!r.ok()) {
+    std::fprintf(stderr, "apply: %s\n", r.status().ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct RunStats {
+  double seconds = -1;       // measured churn phase, seed excluded
+  double plan_builds = 0;
+  double frame_allocs = 0;   // process-global delta across the run
+};
+
+/// Worst-ordered join: big seeded once, tiny filt churn measured.
+RunStats RunAdversarialJoin(bool plan) {
+  const size_t big_rows = QuickMode() ? 4000 : 20000;
+  const size_t keys = big_rows / 4;  // ~4 rows per join key
+  const int iters = QuickMode() ? 20 : 60;
+
+  Workspace ws;
+  ws.fixpoint_options().plan = plan;
+  if (!Install(&ws, R"(
+        big(X, Y) -> int(X), int(Y).
+        filt(X) -> int(X).
+        out(X, Y) -> int(X), int(Y).
+        out(X, Y) <- big(X, Y), filt(X).
+      )")) {
+    return {};
+  }
+  std::vector<FactUpdate> seed;
+  seed.reserve(big_rows);
+  for (size_t i = 0; i < big_rows; ++i) {
+    seed.push_back({"big", {Value::Int(static_cast<int64_t>(i % keys)),
+                            Value::Int(static_cast<int64_t>(i))}});
+  }
+  if (!Apply(&ws, seed)) return {};
+
+  const uint64_t frames_before = engine::EvalFrameAllocs();
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    FactUpdate f{"filt", {Value::Int(static_cast<int64_t>((i * 37) % keys))}};
+    if (!Apply(&ws, {f})) return {};
+    if (!Apply(&ws, {}, {f})) return {};
+  }
+  RunStats out;
+  out.seconds = Seconds(t0);
+  out.plan_builds = static_cast<double>(ws.stats().plan_builds);
+  out.frame_allocs =
+      static_cast<double>(engine::EvalFrameAllocs() - frames_before);
+  return out;
+}
+
+/// Already-well-ordered recursion: the planner must not regress it.
+RunStats RunSmallRecursion(bool plan) {
+  const int nodes = QuickMode() ? 24 : 48;
+
+  Workspace ws;
+  ws.fixpoint_options().plan = plan;
+  if (!Install(&ws, R"(
+        node(X) -> .
+        link(X, Y) -> node(X), node(Y).
+        reachable(X, Y) -> node(X), node(Y).
+        reachable(X, Y) <- link(X, Y).
+        reachable(X, Y) <- link(X, Z), reachable(Z, Y).
+        dist[X] = D -> node(X), int(D).
+        dist[X] = D <- agg<< D = count() >> reachable(X, _anon).
+      )")) {
+    return {};
+  }
+  auto label = [](int i) { return Value::Str("v" + std::to_string(i)); };
+  uint64_t lcg = 0x5eedULL;
+  auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg >> 33;
+  };
+  std::vector<FactUpdate> links;
+  for (int i = 0; i < nodes; ++i) {
+    links.push_back({"link", {label(i), label((i + 1) % nodes)}});
+    links.push_back(
+        {"link", {label(i), label(static_cast<int>(next() % nodes))}});
+  }
+
+  const uint64_t frames_before = engine::EvalFrameAllocs();
+  auto t0 = std::chrono::steady_clock::now();
+  if (!Apply(&ws, links)) return {};
+  for (int i = 0; i < nodes; i += 5) {
+    FactUpdate f{"link", {label(i), label((i + 1) % nodes)}};
+    if (!Apply(&ws, {}, {f})) return {};
+    if (!Apply(&ws, {f})) return {};
+  }
+  RunStats out;
+  out.seconds = Seconds(t0);
+  out.plan_builds = static_cast<double>(ws.stats().plan_builds);
+  out.frame_allocs =
+      static_cast<double>(engine::EvalFrameAllocs() - frames_before);
+  return out;
+}
+
+RunStats MinOfTrials(RunStats (*fn)(bool), bool plan) {
+  RunStats best;
+  for (size_t t = 0; t < Trials(); ++t) {
+    RunStats r = fn(plan);
+    if (r.seconds < 0) return r;  // propagate failure
+    if (best.seconds < 0 || r.seconds < best.seconds) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle(
+      "Ablation: cost-based rule planning (SB_PLAN) A/B — adversarial "
+      "worst-ordered join and an already-well-ordered recursion");
+  PrintHeader({"workload", "plan", "seconds", "plan_builds", "frame_allocs"});
+
+  struct Workload {
+    const char* name;
+    RunStats (*fn)(bool);
+  };
+  const Workload workloads[] = {
+      {"adversarial_join", RunAdversarialJoin},
+      {"small_recursion", RunSmallRecursion},
+  };
+
+  const char* out_path = std::getenv("SB_BENCH_OUT");
+  FILE* json = nullptr;
+  if (out_path != nullptr) {
+    json = std::fopen(out_path, "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path);
+      return 1;
+    }
+    std::fprintf(json,
+                 "{\n  \"benchmark\": \"abl_plan_ab\",\n"
+                 "  \"trials\": %zu,\n  \"rows\": [\n",
+                 Trials());
+  }
+
+  bool gate_ok = true;
+  bool first_row = true;
+  std::vector<std::pair<std::string, double>> speedups;
+  for (const Workload& w : workloads) {
+    RunStats off = MinOfTrials(w.fn, false);
+    RunStats on = MinOfTrials(w.fn, true);
+    if (off.seconds < 0 || on.seconds < 0) {
+      if (json) std::fclose(json);
+      return 1;
+    }
+    for (const auto& [plan, r] :
+         {std::pair<int, const RunStats&>{0, off}, {1, on}}) {
+      std::printf("%s\t%d\t%.4f\t%.0f\t%.0f\n", w.name, plan, r.seconds,
+                  r.plan_builds, r.frame_allocs);
+      if (json) {
+        std::fprintf(json,
+                     "%s    {\"workload\": \"%s\", \"plan\": %d, "
+                     "\"seconds\": %.6f, \"plan_builds\": %.0f, "
+                     "\"frame_allocs\": %.0f}",
+                     first_row ? "" : ",\n", w.name, plan, r.seconds,
+                     r.plan_builds, r.frame_allocs);
+        first_row = false;
+      }
+    }
+    const double speedup = off.seconds / on.seconds;
+    speedups.emplace_back(w.name, speedup);
+    std::printf("# %s speedup (off/on): %.2fx\n", w.name, speedup);
+  }
+
+  // Gates: the adversarial join must win big; the well-ordered workload
+  // must not regress (generous bound — both sides are min-of-trials).
+  const double adversarial = speedups[0].second;
+  const double small = speedups[1].second;
+  if (adversarial < 1.5) {
+    std::fprintf(stderr,
+                 "GATE FAILED: adversarial_join speedup %.2fx < 1.5x\n",
+                 adversarial);
+    gate_ok = false;
+  }
+  if (small < 1.0 / 1.35) {
+    std::fprintf(stderr,
+                 "GATE FAILED: small_recursion regression %.2fx slower "
+                 "with planner on (bound 1.35x)\n",
+                 1.0 / small);
+    gate_ok = false;
+  }
+
+  if (json) {
+    std::fprintf(json,
+                 "\n  ],\n  \"speedup\": {\"adversarial_join\": %.4f, "
+                 "\"small_recursion\": %.4f},\n"
+                 "  \"gates\": {\"adversarial_min\": 1.5, "
+                 "\"small_regression_max\": 1.35, \"ok\": %s}\n}\n",
+                 adversarial, small, gate_ok ? "true" : "false");
+    std::fclose(json);
+  }
+  return gate_ok ? 0 : 1;
+}

@@ -48,4 +48,15 @@ SB_QUICK=1 SB_MAX_NODES=6 "$build/fig04_fixpoint_latency"
 SB_QUICK=1 SB_BENCH_OUT="$build/BENCH_dist.json" "$build/abl_txn_granularity"
 echo "wrote $build/BENCH_dist.json"
 
+# Cost-based planner A/B (SB_PLAN): worst-ordered join plus an
+# already-well-ordered recursion, recorded as BENCH_plan.json. The
+# harness exits nonzero unless planner-on is >= 1.5x faster on the
+# adversarial join and within 1.35x on the well-ordered workload.
+SB_QUICK=1 SB_TRIALS=3 SB_BENCH_OUT="$build/BENCH_plan.json" \
+    "$build/abl_plan_ab"
+echo "wrote $build/BENCH_plan.json"
+# Planner-off smoke: the baseline written-order paths must stay green.
+SB_PLAN=0 ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
+    -R 'engine_test|parallel_test|delete_test|planner_test'
+
 echo "check.sh: OK"

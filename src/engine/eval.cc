@@ -1,6 +1,8 @@
 #include "engine/eval.h"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -384,6 +386,23 @@ class BodyPlanner {
 
 }  // namespace
 
+void ComputeProbeInfo(std::vector<Step>* steps) {
+  for (Step& s : *steps) {
+    s.probe_mask = 0;
+    s.key_cols.clear();
+    if (s.kind != Step::Kind::kScan && s.kind != Step::Kind::kNegCheck) {
+      continue;
+    }
+    for (size_t i = 0; i < s.args.size() && i < 32; ++i) {
+      if (s.args[i].kind == ArgPat::Kind::kConst ||
+          s.args[i].kind == ArgPat::Kind::kBound) {
+        s.probe_mask |= 1u << i;
+        s.key_cols.push_back(static_cast<int>(i));
+      }
+    }
+  }
+}
+
 // --- RuleCompiler ----------------------------------------------------------
 
 Result<CompiledRule> RuleCompiler::CompileRule(const Rule& rule,
@@ -407,6 +426,7 @@ Result<CompiledRule> RuleCompiler::CompileRule(const Rule& rule,
       out.parallel_safe = false;
     }
   }
+  ComputeProbeInfo(&out.steps);
 
   if (rule.agg.has_value()) {
     if (rule.heads.size() != 1 || !rule.heads[0].functional) {
@@ -525,6 +545,8 @@ Result<CompiledConstraint> RuleCompiler::CompileConstraint(
   SB_ASSIGN_OR_RETURN(out.rhs_steps,
                       rhs_planner.Plan(c.rhs, &rhs_occurrences,
                                        &rhs_scan_preds));
+  ComputeProbeInfo(&out.lhs_steps);
+  ComputeProbeInfo(&out.rhs_steps);
   out.num_slots = slots.size();
   out.slot_names = slots.names();
   return out;
@@ -629,7 +651,29 @@ const OccView* ViewFor(const DeltaOverride* delta, const Step& step) {
   return v.active() ? &v : nullptr;
 }
 
+/// Reusable per-depth scratch for one body step: probe-key materialization,
+/// slots bound at this depth, and builtin argument staging. Frames live in a
+/// thread-local pool indexed by absolute depth (`Executor::frame_base_` +
+/// step index); containers keep their capacity across calls, so steady-state
+/// enumeration allocates nothing here.
+struct EvalFrame {
+  Tuple key;
+  std::vector<int> bound_here;
+  std::vector<datalog::Value> inputs;
+  std::vector<datalog::Value> outputs;
+};
+
+std::atomic<uint64_t> g_frame_allocs{0};
+// std::deque: references to existing frames stay valid while nested Run
+// calls grow the pool.
+thread_local std::deque<EvalFrame> t_frames;
+thread_local size_t t_frame_top = 0;
+
 }  // namespace
+
+uint64_t EvalFrameAllocs() {
+  return g_frame_allocs.load(std::memory_order_relaxed);
+}
 
 Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
                          const DeltaOverride* delta,
@@ -641,17 +685,18 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
     case Step::Kind::kScan: {
       Relation* rel = store_.GetRelation(step.pred);
       const OccView* view = ViewFor(delta, step);
+      EvalFrame& frame = t_frames[frame_base_ + idx];
       auto try_tuple = [&](const Tuple& t) -> Status {
         if (!TupleMatches(step.args, t, env)) return Status::OK();
-        std::vector<int> bound_here;
+        frame.bound_here.clear();
         for (size_t i = 0; i < step.args.size(); ++i) {
           if (step.args[i].kind == ArgPat::Kind::kBind) {
             env[step.args[i].slot] = t[i];
-            bound_here.push_back(step.args[i].slot);
+            frame.bound_here.push_back(step.args[i].slot);
           }
         }
         Status st = RunFrom(steps, idx + 1, env, delta, on_match);
-        for (int s : bound_here) env[s].reset();
+        for (int s : frame.bound_here) env[s].reset();
         return st;
       };
 
@@ -680,27 +725,28 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
         }
       }
       if (rel == nullptr) return Status::OK();  // no facts yet
-      // Probe a secondary index on the bound columns when possible.
-      uint32_t mask = 0;
-      Tuple& key = key_scratch_[idx];
-      key.clear();
-      for (size_t i = 0; i < step.args.size() && i < 32; ++i) {
-        const ArgPat& p = step.args[i];
-        if (p.kind == ArgPat::Kind::kConst) {
-          mask |= 1u << i;
-          key.push_back(p.constant);
-        } else if (p.kind == ArgPat::Kind::kBound) {
-          mask |= 1u << i;
-          key.push_back(*env[p.slot]);
+      // Probe a secondary index on the bound columns when possible. The
+      // bound-column mask and key recipe are precomputed on the step
+      // (ComputeProbeInfo); materializing the key is a flat walk over
+      // key_cols into this depth's reusable frame.
+      const uint32_t mask = step.probe_mask;
+      if (mask != 0 && step.probe != Step::Probe::kScanAll) {
+        Tuple& key = frame.key;
+        key.clear();
+        for (int col : step.key_cols) {
+          const ArgPat& p = step.args[col];
+          key.push_back(p.kind == ArgPat::Kind::kConst ? p.constant
+                                                       : *env[p.slot]);
         }
-      }
-      if (mask != 0) {
         // NOTE: callbacks must not mutate relations (fixpoint drivers buffer
         // head insertions), so the probe result stays valid — see the
         // reference-stability contract in relation.h. A probe that covers
         // the shard key touches exactly one shard; otherwise it fans out
-        // over the shards in order.
-        const int only = rel->ProbeShardOf(mask, key);
+        // over the shards in order. Planner-built steps carry the choice
+        // statically; kAuto (baseline) resolves it here per call.
+        const int only = step.probe == Step::Probe::kFanout
+                             ? -1
+                             : rel->ProbeShardOf(mask, key);
         const size_t begin = only >= 0 ? static_cast<size_t>(only) : 0;
         const size_t end =
             only >= 0 ? static_cast<size_t>(only) + 1 : rel->shard_count();
@@ -771,7 +817,7 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
       }
       Relation* rel = store_.GetRelation(step.pred);
       if (rel == nullptr) return Status::OK();
-      Tuple& keys = key_scratch_[idx];
+      Tuple& keys = t_frames[frame_base_ + idx].key;
       keys.clear();
       for (size_t i = 0; i + 1 < step.args.size(); ++i) {
         const ArgPat& p = step.args[i];
@@ -792,24 +838,21 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
       if (rel == nullptr || rel->empty()) {
         return RunFrom(steps, idx + 1, env, delta, on_match);
       }
-      uint32_t mask = 0;
-      Tuple& key = key_scratch_[idx];
-      key.clear();
-      for (size_t i = 0; i < step.args.size() && i < 32; ++i) {
-        const ArgPat& p = step.args[i];
-        if (p.kind == ArgPat::Kind::kConst) {
-          mask |= 1u << i;
-          key.push_back(p.constant);
-        } else if (p.kind == ArgPat::Kind::kBound) {
-          mask |= 1u << i;
-          key.push_back(*env[p.slot]);
-        }
-      }
+      const uint32_t mask = step.probe_mask;
       bool exists;
       if (mask == 0) {
         exists = !rel->empty();
       } else {
-        const int only = rel->ProbeShardOf(mask, key);
+        Tuple& key = t_frames[frame_base_ + idx].key;
+        key.clear();
+        for (int col : step.key_cols) {
+          const ArgPat& p = step.args[col];
+          key.push_back(p.kind == ArgPat::Kind::kConst ? p.constant
+                                                       : *env[p.slot]);
+        }
+        const int only = step.probe == Step::Probe::kFanout
+                             ? -1
+                             : rel->ProbeShardOf(mask, key);
         const size_t begin = only >= 0 ? static_cast<size_t>(only) : 0;
         const size_t end =
             only >= 0 ? static_cast<size_t>(only) + 1 : rel->shard_count();
@@ -840,32 +883,34 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
 
     case Step::Kind::kBuiltin: {
       const auto& sig = step.builtin->sig;
-      std::vector<Value> inputs;
+      EvalFrame& frame = t_frames[frame_base_ + idx];
+      frame.inputs.clear();
       for (int i = 0; i < sig.num_inputs; ++i) {
         const ArgPat& p = step.args[i];
-        inputs.push_back(p.kind == ArgPat::Kind::kConst ? p.constant
-                                                        : *env[p.slot]);
+        frame.inputs.push_back(p.kind == ArgPat::Kind::kConst ? p.constant
+                                                              : *env[p.slot]);
       }
-      std::vector<Value> outputs;
+      frame.outputs.clear();
       SB_ASSIGN_OR_RETURN(bool produced,
-                          step.builtin->fn(ctx_, inputs, &outputs));
+                          step.builtin->fn(ctx_, frame.inputs,
+                                           &frame.outputs));
       if (!produced) return Status::OK();
       size_t num_outputs = step.args.size() - sig.num_inputs;
-      if (outputs.size() != num_outputs) {
+      if (frame.outputs.size() != num_outputs) {
         return Status::Internal("builtin '" + step.builtin_name +
                                 "' produced wrong number of outputs");
       }
-      std::vector<int> bound_here;
+      frame.bound_here.clear();
       bool ok = true;
       for (size_t i = 0; i < num_outputs; ++i) {
         const ArgPat& p = step.args[sig.num_inputs + i];
         if (p.kind == ArgPat::Kind::kBind) {
-          env[p.slot] = outputs[i];
-          bound_here.push_back(p.slot);
+          env[p.slot] = frame.outputs[i];
+          frame.bound_here.push_back(p.slot);
         } else {
           const Value& want =
               p.kind == ArgPat::Kind::kConst ? p.constant : *env[p.slot];
-          if (!(outputs[i] == want)) {
+          if (!(frame.outputs[i] == want)) {
             ok = false;
             break;
           }
@@ -873,7 +918,7 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
       }
       Status st = Status::OK();
       if (ok) st = RunFrom(steps, idx + 1, env, delta, on_match);
-      for (int s : bound_here) env[s].reset();
+      for (int s : frame.bound_here) env[s].reset();
       return st;
     }
 
@@ -891,15 +936,29 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
 Status Executor::Run(const std::vector<Step>& steps, Env* env,
                      const DeltaOverride* delta,
                      const std::function<Status(Env&)>& on_match) {
-  if (key_scratch_.size() < steps.size()) key_scratch_.resize(steps.size());
-  return RunFrom(steps, 0, *env, delta, on_match);
+  // Claim a window of per-depth frames above any enclosing Run on this
+  // thread (the constraint checker nests an rhs Exists inside its lhs
+  // enumeration), so equal depths in nested enumerations never share
+  // scratch. Frames persist in the thread-local pool; after warm-up this
+  // allocates nothing.
+  const size_t saved_base = frame_base_;
+  const size_t saved_top = t_frame_top;
+  frame_base_ = t_frame_top;
+  t_frame_top += steps.size();
+  while (t_frames.size() < t_frame_top) {
+    t_frames.emplace_back();
+    g_frame_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  Status st = RunFrom(steps, 0, *env, delta, on_match);
+  t_frame_top = saved_top;
+  frame_base_ = saved_base;
+  return st;
 }
 
 Result<bool> Executor::Exists(const std::vector<Step>& steps, Env* env) {
-  if (key_scratch_.size() < steps.size()) key_scratch_.resize(steps.size());
   bool found = false;
   // A sentinel "error" short-circuits enumeration after the first match.
-  Status st = RunFrom(steps, 0, *env, nullptr, [&](Env&) -> Status {
+  Status st = Run(steps, env, nullptr, [&](Env&) -> Status {
     found = true;
     return Status(StatusCode::kInternal, "__found__");
   });

@@ -70,6 +70,15 @@ struct Step {
     kBuiltin,   // builtin function call
     kTypeCheck, // primitive type predicate over a bound slot
   };
+  /// How a kScan/kNegCheck step reads its relation. The compiler leaves
+  /// kAuto (resolve single-shard vs fan-out from the mask per call — the
+  /// pre-planner behavior); planner-built steps carry an explicit choice.
+  enum class Probe : uint8_t {
+    kAuto,        // decide per call from probe_mask and the shard key
+    kScanAll,     // no bound columns: walk every shard's tuple array
+    kShardProbe,  // mask covers the shard key: probe exactly one shard
+    kFanout,      // indexed probe fanned out over all shards
+  };
   Kind kind;
   datalog::PredId pred = datalog::kInvalidPred;
   std::vector<ArgPat> args;
@@ -80,6 +89,42 @@ struct Step {
   const BuiltinImpl* builtin = nullptr;
   std::string builtin_name;
   datalog::ValueKind check_kind = datalog::ValueKind::kInt;  // kTypeCheck
+  /// Static probe shape (kScan/kNegCheck), precomputed by ComputeProbeInfo:
+  /// bound/const column mask (bit i = column i, first 32 columns) and the
+  /// same columns in ascending order — the probe-key recipe the executor
+  /// materializes keys from without re-inspecting arg kinds.
+  uint32_t probe_mask = 0;
+  std::vector<int> key_cols;
+  Probe probe = Probe::kAuto;
+};
+
+/// Recompute each step's static probe info (probe_mask / key_cols) from its
+/// arg patterns. Run by the compiler on every compiled body and by the
+/// planner after reordering and rebinding.
+void ComputeProbeInfo(std::vector<Step>* steps);
+
+/// One planned body execution: the baseline steps reordered and rebound for
+/// a semi-naïve occurrence variant, or for the full body (aggregate
+/// recomputes). Built by ExecPlanner (engine/planner.h) from online
+/// relation statistics; executing `steps` enumerates exactly the bindings
+/// of the baseline order.
+struct VariantPlan {
+  std::vector<Step> steps;           // empty = planning declined (use baseline)
+  std::vector<size_t> source_index;  // baseline step index per position
+  std::vector<double> est_rows;      // estimated matches per position (<0 = Δ)
+  /// (pred, mask) pairs the plan probes — the index warm list.
+  std::vector<std::pair<datalog::PredId, uint32_t>> probe_masks;
+  /// Body relation sizes at plan time — the replan drift reference.
+  std::vector<std::pair<datalog::PredId, size_t>> stat_rows;
+  uint64_t builds = 0;  // times this slot was (re)planned
+};
+
+/// Per-rule plan cache, attached to CompiledRule: slot 0 holds the
+/// full-body plan, slot occ+1 the occurrence-`occ` variant. Sized once
+/// (plans hand out interior pointers) and mutated only by the planner from
+/// the fixpoint's single-threaded merge phase.
+struct RulePlanCache {
+  std::vector<std::optional<VariantPlan>> variants;
 };
 
 struct CompiledHead {
@@ -115,6 +160,10 @@ struct CompiledRule {
   /// thread-unsafe builtins), so the parallel fixpoint may run it on
   /// worker threads; other rules are pinned to the sequential merge phase.
   bool parallel_safe = true;
+  /// Cost-based plans per semi-naïve variant (see RulePlanCache). Shared
+  /// across copies of the compiled rule; null only for value-initialized
+  /// placeholders.
+  std::shared_ptr<RulePlanCache> plan_cache = std::make_shared<RulePlanCache>();
 };
 
 struct CompiledConstraint {
@@ -204,10 +253,19 @@ class Executor {
 
   EvalContext& ctx_;
   RelationStore& store_;
-  /// Per-step-depth probe keys, reused across bindings instead of
-  /// allocating a fresh Tuple per index lookup (hot join path).
-  std::vector<Tuple> key_scratch_;
+  /// Base of this Run's window into the thread-local frame stack (see
+  /// EvalFrame in eval.cc): depth `idx` uses frame `frame_base_ + idx`.
+  /// Nested Run/Exists calls on the same thread — the constraint checker
+  /// probes its rhs from inside the lhs enumeration — stack their windows
+  /// above the caller's, so scratch at equal depths never aliases.
+  size_t frame_base_ = 0;
 };
+
+/// Process-wide count of evaluation frames ever allocated across all
+/// thread-local frame pools. Flat once the pools reach the workload's
+/// maximum body depth — EngineStats snapshots it so tests and benches can
+/// pin the no-allocation-in-steady-state property of the probe paths.
+uint64_t EvalFrameAllocs();
 
 // (Stratification and the rule dependency graph live in engine/rule_graph.)
 

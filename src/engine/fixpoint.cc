@@ -5,6 +5,8 @@
 #include <thread>
 #include <tuple>
 
+#include "engine/planner.h"
+
 namespace secureblox::engine {
 
 using datalog::PredId;
@@ -58,6 +60,10 @@ size_t ChunkCountFor(size_t rows) {
 /// merge phase.
 struct FixpointDriver::EnumTask {
   const CompiledRule* rule = nullptr;
+  /// Step list to enumerate: the rule's planned variant when the planner
+  /// produced one (interior pointer into the rule's RulePlanCache, stable
+  /// for the task's lifetime), the baseline rule->steps otherwise.
+  const std::vector<Step>* steps = nullptr;
   size_t rule_idx = 0;
   int gid = 0;
   bool retract = false;
@@ -97,6 +103,8 @@ void FixpointDriver::Begin() {
   active_.clear();
   touched_.clear();
   stats_ = {};
+  plans_built_at_begin_ =
+      planner_ != nullptr ? planner_->plans_built() : 0;
 }
 
 bool FixpointDriver::EraseFromDeltaMap(DeltaMap* m, PredId pred,
@@ -209,6 +217,9 @@ Status FixpointDriver::Run() {
       SB_RETURN_IF_ERROR(RunStratum(s));
     }
   }
+  if (planner_ != nullptr) {
+    stats_.plans_built = planner_->plans_built() - plans_built_at_begin_;
+  }
   return Status::OK();
 }
 
@@ -304,20 +315,15 @@ void FixpointDriver::WarmIndexes(const CompiledRule& rule, size_t rule_idx) {
   }
   if (!probe_masks_ready_[rule_idx]) {
     probe_masks_ready_[rule_idx] = true;
-    // Bound-column masks are static per compiled step (mirrors the mask
-    // computation in Executor::RunFrom).
+    // Bound-column masks are precomputed per step by the compiler
+    // (ComputeProbeInfo) — exactly what Executor::RunFrom probes with.
     for (const Step& s : rule.steps) {
       if (s.kind != Step::Kind::kScan && s.kind != Step::Kind::kNegCheck) {
         continue;
       }
-      uint32_t mask = 0;
-      for (size_t i = 0; i < s.args.size() && i < 32; ++i) {
-        if (s.args[i].kind == ArgPat::Kind::kConst ||
-            s.args[i].kind == ArgPat::Kind::kBound) {
-          mask |= 1u << i;
-        }
+      if (s.probe_mask != 0) {
+        probe_masks_[rule_idx].emplace_back(s.pred, s.probe_mask);
       }
-      if (mask != 0) probe_masks_[rule_idx].emplace_back(s.pred, mask);
     }
   }
   for (const auto& [pred, mask] : probe_masks_[rule_idx]) {
@@ -368,7 +374,6 @@ void FixpointDriver::BuildVariantViews(const CompiledRule& rule,
 void FixpointDriver::StageVariantTasks(
     const CompiledRule& rule, size_t rule_idx, int gid, const DeltaMap& delta,
     bool retract, std::vector<std::unique_ptr<EnumTask>>* tasks) {
-  WarmIndexes(rule, rule_idx);
   // Insert deltas this group has not consumed yet (meaningful on the
   // retract path; always empty during a wave round, whose snapshot just
   // drained the queue). Copied into the exclude sets so workers never read
@@ -379,6 +384,20 @@ void FixpointDriver::StageVariantTasks(
   for (int occ = 0; occ < n; ++occ) {
     auto it = delta.find(rule.scan_preds[occ]);
     if (it == delta.end() || it->second.empty()) continue;
+    // Plan (or fetch the cached plan for) this variant, and warm exactly
+    // the indexes its probes hit — still on the coordinating thread, so
+    // plan building and stats seeding stay deterministic. One plan serves
+    // both the insert and the retract direction of a variant: the step
+    // order is cardinality-driven, the delta routing is per occurrence.
+    const std::vector<Step>* steps = &rule.steps;
+    ExecPlanner* pl = planner();
+    const VariantPlan* vp = pl != nullptr ? pl->PlanFor(rule, occ) : nullptr;
+    if (vp != nullptr) {
+      steps = &vp->steps;
+      WarmPlanMasks(*vp);
+    } else {
+      WarmIndexes(rule, rule_idx);
+    }
     auto excl = std::make_shared<std::vector<TupleSet>>(n);
     auto views = std::make_shared<std::vector<OccView>>(n);
     BuildVariantViews(rule, delta, unconsumed, occ, retract, views.get(),
@@ -396,6 +415,7 @@ void FixpointDriver::StageVariantTasks(
           for (size_t c = 0; c < chunks; ++c) {
             auto task = std::make_unique<EnumTask>();
             task->rule = &rule;
+            task->steps = steps;
             task->rule_idx = rule_idx;
             task->gid = gid;
             task->retract = retract;
@@ -428,6 +448,24 @@ void FixpointDriver::StageVariantTasks(
   }
 }
 
+ExecPlanner* FixpointDriver::planner() {
+  // Checked live (not latched): benches and tests flip
+  // FixpointOptions::plan between transactions for A/B runs.
+  if (!options_.plan) return nullptr;
+  if (planner_ == nullptr) {
+    planner_ =
+        std::make_unique<ExecPlanner>(ctx_.catalog, &store_, &options_);
+  }
+  return planner_.get();
+}
+
+void FixpointDriver::WarmPlanMasks(const VariantPlan& plan) {
+  for (const auto& [pred, mask] : plan.probe_masks) {
+    Relation* rel = store_.GetRelation(pred);
+    if (rel != nullptr) rel->EnsureIndex(mask);
+  }
+}
+
 WorkerPool* FixpointDriver::pool() {
   int want = options_.threads;
   if (want == 0) {
@@ -457,7 +495,7 @@ Status FixpointDriver::RunStagedTasks(
     Executor executor(&ctx_, &store_);
     Env env(t.rule->num_slots);
     t.status = executor.Run(
-        t.rule->steps, &env, &override, [&](Env& e) -> Status {
+        *t.steps, &env, &override, [&](Env& e) -> Status {
           return InstantiateHeads(*t.rule, e, &t.pending);
         });
   };
@@ -726,9 +764,12 @@ Status FixpointDriver::RunRuleVariants(const CompiledRule& rule,
                       &excl);
     DeltaOverride override;
     override.views = &views;
+    ExecPlanner* pl = planner();
+    const VariantPlan* vp = pl != nullptr ? pl->PlanFor(rule, occ) : nullptr;
     Env env(rule.num_slots);
     SB_RETURN_IF_ERROR(executor.Run(
-        rule.steps, &env, &override, [&](Env& e) -> Status {
+        vp != nullptr ? vp->steps : rule.steps, &env, &override,
+        [&](Env& e) -> Status {
           return InstantiateHeads(rule, e, &pending);
         }));
   }
@@ -759,9 +800,12 @@ Status FixpointDriver::RunRetractVariants(const CompiledRule& rule,
                       &excl);
     DeltaOverride override;
     override.views = &views;
+    ExecPlanner* pl = planner();
+    const VariantPlan* vp = pl != nullptr ? pl->PlanFor(rule, occ) : nullptr;
     Env env(rule.num_slots);
     SB_RETURN_IF_ERROR(executor.Run(
-        rule.steps, &env, &override, [&](Env& e) -> Status {
+        vp != nullptr ? vp->steps : rule.steps, &env, &override,
+        [&](Env& e) -> Status {
           return InstantiateHeads(rule, e, &pending);
         }));
   }
@@ -868,12 +912,16 @@ Status FixpointDriver::RecomputeAggregate(const CompiledRule& rule,
                                           bool lattice) {
   const CompiledAgg& agg = *rule.agg;
   Executor executor(&ctx_, &store_);
+  ExecPlanner* pl = planner();
+  const VariantPlan* vp =
+      pl != nullptr ? pl->PlanFor(rule, ExecPlanner::kFullBody) : nullptr;
 
   // Group body bindings by the head keys.
   std::map<Tuple, int64_t> groups;
   Env env(rule.num_slots);
   SB_RETURN_IF_ERROR(executor.Run(
-      rule.steps, &env, nullptr, [&](Env& e) -> Status {
+      vp != nullptr ? vp->steps : rule.steps, &env, nullptr,
+      [&](Env& e) -> Status {
         Tuple key;
         for (const ArgPat& p : agg.key_args) {
           key.push_back(p.kind == ArgPat::Kind::kConst ? p.constant

@@ -113,6 +113,10 @@ struct FixpointStats {
   /// Tuples reseeded into rederived groups — the rederivation footprint,
   /// bounded by the affected groups instead of the whole database.
   uint64_t rederive_seeded = 0;
+  // -- cost-based planning ---------------------------------------------------
+  /// Execution plans built or rebuilt (stats drift) this transaction.
+  /// Deterministic: planning inputs are thread- and shard-independent.
+  uint64_t plans_built = 0;
 };
 
 struct FixpointOptions {
@@ -132,6 +136,16 @@ struct FixpointOptions {
   /// shard boundaries, and the fixpoint result is identical for every
   /// value. Seeded from the SB_SHARDS environment variable by Workspace.
   size_t shards = 1;
+  /// Cost-based rule execution planning (engine/planner.h): reorder body
+  /// literals by estimated bound-cardinality per semi-naïve variant and
+  /// fix probe strategies statically. false = the compiler's written-order
+  /// steps (the pre-planner behavior); the fixpoint is byte-identical
+  /// either way. Seeded from SB_PLAN (0/1) by Workspace; read live on
+  /// every plan request, so A/B toggling between transactions works.
+  bool plan = true;
+  /// Dump each built plan to stderr (SB_EXPLAIN=1; format in
+  /// docs/engine.md).
+  bool explain = false;
 };
 
 /// Database mutation callbacks the driver needs from the workspace.
@@ -165,6 +179,8 @@ class FixpointHost {
   virtual Status BindExistentials(const CompiledRule& rule, Env* env,
                                   std::vector<int>* bound_here) = 0;
 };
+
+class ExecPlanner;
 
 class FixpointDriver {
  public:
@@ -282,6 +298,13 @@ class FixpointDriver {
   /// Run staged tasks on the pool (inline when threads=1); fails with the
   /// first task error in staging order.
   Status RunStagedTasks(std::vector<std::unique_ptr<EnumTask>>* tasks);
+  /// The cost-based planner, created on first use; nullptr while
+  /// options_.plan is off (checked live, so benches can A/B between
+  /// transactions). Only called from single-threaded phases.
+  ExecPlanner* planner();
+  /// Build the secondary indexes a plan's probes will hit before worker
+  /// threads read them (the planned analogue of WarmIndexes).
+  void WarmPlanMasks(const VariantPlan& plan);
   /// Apply the staged buffers tasks[begin, end) — one rule's contiguous
   /// staging range — in order: InsertHeadTuple for insert tasks,
   /// RetractSupport for retract tasks.
@@ -317,6 +340,9 @@ class FixpointDriver {
   std::vector<bool> probe_masks_ready_;
   bool relations_ensured_ = false;
   std::unique_ptr<WorkerPool> pool_;
+  std::unique_ptr<ExecPlanner> planner_;
+  /// planner()->plans_built() at Begin(): Run() reports the delta.
+  uint64_t plans_built_at_begin_ = 0;
 };
 
 }  // namespace secureblox::engine

@@ -1,0 +1,387 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <utility>
+
+namespace secureblox::engine {
+
+namespace {
+
+using datalog::PredId;
+
+/// Is every slot the expression reads bound?
+bool ExprBound(const CExpr& e, const std::vector<bool>& bound) {
+  switch (e.kind) {
+    case CExpr::Kind::kConst:
+      return true;
+    case CExpr::Kind::kSlot:
+      return bound[e.slot];
+    case CExpr::Kind::kArith:
+      return ExprBound(*e.lhs, bound) && ExprBound(*e.rhs, bound);
+  }
+  return false;
+}
+
+bool ArgReady(const ArgPat& p, const std::vector<bool>& bound) {
+  if (p.kind == ArgPat::Kind::kConst || p.kind == ArgPat::Kind::kWild) {
+    return true;
+  }
+  return bound[p.slot];
+}
+
+/// Can `step` run at a position where exactly `bound` is bound? Scans can
+/// always run (they bind their free arguments); everything else needs its
+/// inputs ready.
+bool StepReady(const Step& step, const std::vector<bool>& bound) {
+  switch (step.kind) {
+    case Step::Kind::kScan:
+      return true;
+    case Step::Kind::kLookup:
+      for (size_t i = 0; i + 1 < step.args.size(); ++i) {
+        if (!ArgReady(step.args[i], bound)) return false;
+      }
+      return true;
+    case Step::Kind::kNegCheck:
+      for (const ArgPat& p : step.args) {
+        if (!ArgReady(p, bound)) return false;
+      }
+      return true;
+    case Step::Kind::kCompare:
+      return ExprBound(*step.lhs, bound) && ExprBound(*step.rhs, bound);
+    case Step::Kind::kAssign:
+      return ExprBound(*step.rhs, bound);
+    case Step::Kind::kBuiltin:
+      for (int i = 0; i < step.builtin->sig.num_inputs; ++i) {
+        if (!ArgReady(step.args[i], bound)) return false;
+      }
+      return true;
+    case Step::Kind::kTypeCheck:
+      return ArgReady(step.args[0], bound);
+  }
+  return false;
+}
+
+/// Priority class for a ready step: cheap filters first, then bound
+/// probes, then negations and builtins; class 6 (scans, plus lookups whose
+/// keys are not yet bound) is ranked by cardinality estimate instead.
+int StepClass(const Step& step, const std::vector<bool>& bound) {
+  switch (step.kind) {
+    case Step::Kind::kCompare:
+      return 0;
+    case Step::Kind::kAssign:
+      return 1;
+    case Step::Kind::kTypeCheck:
+      return 2;
+    case Step::Kind::kLookup:
+      return StepReady(step, bound) ? 3 : 6;
+    case Step::Kind::kNegCheck:
+      return 4;
+    case Step::Kind::kBuiltin:
+      return 5;
+    case Step::Kind::kScan:
+      return 6;
+  }
+  return 6;
+}
+
+/// Recompute one argument pattern for a new position. `may_bind` says the
+/// step can bind the slot from a tuple / output at this position.
+bool RebindArg(ArgPat* p, std::vector<bool>* bound, bool may_bind) {
+  if (p->kind == ArgPat::Kind::kConst || p->kind == ArgPat::Kind::kWild) {
+    return true;
+  }
+  if ((*bound)[p->slot]) {
+    p->kind = ArgPat::Kind::kBound;
+    return true;
+  }
+  if (!may_bind) return false;
+  p->kind = ArgPat::Kind::kBind;
+  (*bound)[p->slot] = true;
+  return true;
+}
+
+/// Copy `base` rebound for a position where exactly `bound` is bound,
+/// updating `bound` with the slots the step binds. `force_scan` turns a
+/// kLookup into a kScan over the same atom (delta-first forcing, or keys
+/// not yet bound) — sound because a functional relation scanned by pattern
+/// enumerates the same rows the lookup would. Occurrence numbers are
+/// preserved so semi-naïve views keep applying. Returns false when the
+/// step cannot run here (planner bug guard; callers discard the plan).
+bool RebindStep(const Step& base, std::vector<bool>* bound, bool force_scan,
+                Step* out) {
+  *out = base;
+  switch (out->kind) {
+    case Step::Kind::kScan:
+      for (ArgPat& p : out->args) {
+        if (!RebindArg(&p, bound, /*may_bind=*/true)) return false;
+      }
+      return true;
+    case Step::Kind::kLookup: {
+      if (force_scan) {
+        out->kind = Step::Kind::kScan;
+        for (ArgPat& p : out->args) {
+          if (!RebindArg(&p, bound, /*may_bind=*/true)) return false;
+        }
+        return true;
+      }
+      for (size_t i = 0; i + 1 < out->args.size(); ++i) {
+        if (!RebindArg(&out->args[i], bound, /*may_bind=*/false)) {
+          return false;
+        }
+      }
+      return RebindArg(&out->args.back(), bound, /*may_bind=*/true);
+    }
+    case Step::Kind::kNegCheck:
+      for (ArgPat& p : out->args) {
+        if (!RebindArg(&p, bound, /*may_bind=*/false)) return false;
+      }
+      return true;
+    case Step::Kind::kCompare:
+      return ExprBound(*out->lhs, *bound) && ExprBound(*out->rhs, *bound);
+    case Step::Kind::kAssign:
+      if (!ExprBound(*out->rhs, *bound)) return false;
+      if ((*bound)[out->assign_slot]) {
+        // The target slot got bound by an earlier (reordered) step: the
+        // assignment degenerates to an equality filter.
+        auto lhs = std::make_shared<CExpr>();
+        lhs->kind = CExpr::Kind::kSlot;
+        lhs->slot = out->assign_slot;
+        out->kind = Step::Kind::kCompare;
+        out->cmp_op = datalog::CmpOp::kEq;
+        out->lhs = std::move(lhs);
+        out->assign_slot = -1;
+        return true;
+      }
+      (*bound)[out->assign_slot] = true;
+      return true;
+    case Step::Kind::kBuiltin: {
+      const int num_inputs = out->builtin->sig.num_inputs;
+      for (size_t i = 0; i < out->args.size(); ++i) {
+        const bool may_bind = static_cast<int>(i) >= num_inputs;
+        if (!RebindArg(&out->args[i], bound, may_bind)) return false;
+      }
+      return true;
+    }
+    case Step::Kind::kTypeCheck:
+      return RebindArg(&out->args[0], bound, /*may_bind=*/false);
+  }
+  return false;
+}
+
+const char* KindName(Step::Kind k) {
+  switch (k) {
+    case Step::Kind::kScan:      return "scan";
+    case Step::Kind::kLookup:    return "lookup";
+    case Step::Kind::kNegCheck:  return "neg";
+    case Step::Kind::kCompare:   return "cmp";
+    case Step::Kind::kAssign:    return "assign";
+    case Step::Kind::kBuiltin:   return "builtin";
+    case Step::Kind::kTypeCheck: return "typecheck";
+  }
+  return "?";
+}
+
+const char* ProbeName(Step::Probe p) {
+  switch (p) {
+    case Step::Probe::kAuto:       return "auto";
+    case Step::Probe::kScanAll:    return "scan-all";
+    case Step::Probe::kShardProbe: return "shard";
+    case Step::Probe::kFanout:     return "fanout";
+  }
+  return "?";
+}
+
+}  // namespace
+
+double ExecPlanner::EstimateBound(const Step& step,
+                                  const std::vector<bool>& bound) const {
+  Relation* rel = store_.GetRelation(step.pred);
+  if (rel == nullptr) return 0.0;
+  uint32_t mask = 0;
+  for (size_t i = 0; i < step.args.size() && i < 32; ++i) {
+    const ArgPat& p = step.args[i];
+    if (p.kind == ArgPat::Kind::kConst ||
+        (p.kind != ArgPat::Kind::kWild && bound[p.slot])) {
+      mask |= 1u << i;
+    }
+  }
+  if (mask == 0) return static_cast<double>(rel->size());
+  const datalog::PredicateDecl& decl = rel->decl();
+  if (decl.functional && decl.arity() >= 2) {
+    const uint32_t key_mask = (1u << (decl.arity() - 1)) - 1;
+    if ((mask & key_mask) == key_mask) return 1.0;  // FD: at most one row
+  }
+  rel->EnsureKeyStat(mask);
+  return rel->EstimateMatches(mask);
+}
+
+VariantPlan ExecPlanner::Build(const CompiledRule& rule, int occ) const {
+  VariantPlan plan;
+  const std::vector<Step>& base = rule.steps;
+  const size_t n = base.size();
+  std::vector<bool> placed(n, false);
+  std::vector<bool> bound(rule.num_slots, false);
+  VariantPlan declined;  // empty steps = use the baseline order
+
+  while (plan.steps.size() < n) {
+    int pick = -1;
+    bool force_scan = false;
+    double pick_est = 0.0;
+    if (plan.steps.empty() && occ >= 0) {
+      // Delta atom first: the semi-naïve premise — the round's delta is
+      // the small side of every join in this variant.
+      for (size_t i = 0; i < n; ++i) {
+        if (base[i].occurrence == occ) {
+          pick = static_cast<int>(i);
+          force_scan = base[i].kind == Step::Kind::kLookup;
+          pick_est = -1.0;  // Δ: sized per round, not estimable here
+          break;
+        }
+      }
+      if (pick < 0) return declined;
+    } else {
+      int pick_class = std::numeric_limits<int>::max();
+      for (size_t i = 0; i < n; ++i) {
+        if (placed[i]) continue;
+        const int cls = StepClass(base[i], bound);
+        if (cls < 6) {
+          if (!StepReady(base[i], bound)) continue;
+          if (cls < pick_class) {
+            pick_class = cls;
+            pick = static_cast<int>(i);
+            force_scan = false;
+            pick_est = 1.0;
+          }
+          continue;
+        }
+        const double est = EstimateBound(base[i], bound);
+        if (cls < pick_class || (pick_class == 6 && est < pick_est)) {
+          pick_class = 6;
+          pick = static_cast<int>(i);
+          force_scan = base[i].kind == Step::Kind::kLookup;
+          pick_est = est;
+        }
+      }
+      if (pick < 0) return declined;  // unreachable (see planner.h)
+    }
+
+    Step s;
+    if (!RebindStep(base[pick], &bound, force_scan, &s)) return declined;
+    plan.steps.push_back(std::move(s));
+    plan.source_index.push_back(static_cast<size_t>(pick));
+    plan.est_rows.push_back(pick_est);
+    placed[pick] = true;
+  }
+
+  ComputeProbeInfo(&plan.steps);
+  for (Step& s : plan.steps) {
+    if (s.kind != Step::Kind::kScan && s.kind != Step::Kind::kNegCheck) {
+      continue;
+    }
+    Relation* rel = store_.GetRelation(s.pred);
+    const uint32_t skm = rel != nullptr ? rel->shard_key_mask() : 0;
+    if (s.probe_mask == 0) {
+      s.probe = Step::Probe::kScanAll;
+    } else if ((s.probe_mask & skm) == skm) {
+      s.probe = Step::Probe::kShardProbe;
+    } else {
+      s.probe = Step::Probe::kFanout;
+    }
+    if (s.probe_mask != 0) {
+      plan.probe_masks.emplace_back(s.pred, s.probe_mask);
+    }
+  }
+  for (const Step& s : base) {
+    if (s.pred == datalog::kInvalidPred) continue;
+    bool seen = false;
+    for (const auto& [pred, rows] : plan.stat_rows) {
+      if (pred == s.pred) { seen = true; break; }
+    }
+    if (seen) continue;
+    Relation* rel = store_.GetRelation(s.pred);
+    plan.stat_rows.emplace_back(s.pred,
+                                rel != nullptr ? rel->size() : 0);
+  }
+  return plan;
+}
+
+bool ExecPlanner::Stale(const VariantPlan& plan) const {
+  for (const auto& [pred, rows] : plan.stat_rows) {
+    Relation* rel = store_.GetRelation(pred);
+    const size_t now = rel != nullptr ? rel->size() : 0;
+    const size_t hi = std::max(now, rows);
+    const size_t lo = std::min(now, rows);
+    // Replan on a >2x grow/shrink; the +8 floor keeps tiny relations from
+    // thrashing the cache on every insert.
+    if (hi + 8 > 2 * (lo + 8)) return true;
+  }
+  return false;
+}
+
+const VariantPlan* ExecPlanner::PlanFor(const CompiledRule& rule, int occ) {
+  RulePlanCache& cache = *rule.plan_cache;
+  if (cache.variants.empty()) {
+    // Sized exactly once: executing code holds interior pointers into the
+    // slots, so the vector must never reallocate after this.
+    cache.variants.resize(static_cast<size_t>(rule.num_scan_occurrences) + 1);
+  }
+  const size_t slot = static_cast<size_t>(occ + 1);  // kFullBody -> 0
+  if (slot >= cache.variants.size()) return nullptr;
+  std::optional<VariantPlan>& vp = cache.variants[slot];
+  if (!vp.has_value() || Stale(*vp)) {
+    const uint64_t builds = vp.has_value() ? vp->builds : 0;
+    VariantPlan fresh = Build(rule, occ);
+    fresh.builds = builds + 1;
+    vp.emplace(std::move(fresh));
+    ++plans_built_;
+    if (options_.explain && !vp->steps.empty()) {
+      const std::string dump = Explain(rule, occ, *vp);
+      fwrite(dump.data(), 1, dump.size(), stderr);
+    }
+  }
+  return vp->steps.empty() ? nullptr : &*vp;
+}
+
+std::string ExecPlanner::Explain(const CompiledRule& rule, int occ,
+                                 const VariantPlan& plan) const {
+  std::string out = "[plan] rule#" + std::to_string(rule.id) + " variant=";
+  out += occ < 0 ? "full" : "d" + std::to_string(occ);
+  out += " builds=" + std::to_string(plan.builds) + "\n";
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const Step& s = plan.steps[i];
+    out += "  " + std::to_string(i) + ": ";
+    out += KindName(s.kind);
+    if (s.pred != datalog::kInvalidPred) {
+      out += " " + catalog_.decl(s.pred).name;
+    }
+    if (s.occurrence >= 0) {
+      out += " (occ " + std::to_string(s.occurrence) + ")";
+    }
+    out += " est=";
+    if (i < plan.est_rows.size() && plan.est_rows[i] < 0) {
+      out += "delta";
+    } else if (i < plan.est_rows.size()) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.3g", plan.est_rows[i]);
+      out += buf;
+    } else {
+      out += "?";
+    }
+    if (s.kind == Step::Kind::kScan || s.kind == Step::Kind::kNegCheck) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, " probe=%s mask=0x%x",
+                    ProbeName(s.probe), s.probe_mask);
+      out += buf;
+    }
+    if (i < plan.source_index.size()) {
+      out += " src=" + std::to_string(plan.source_index[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace secureblox::engine

@@ -1,0 +1,93 @@
+// Cost-based execution planning for compiled rule bodies.
+//
+// The planner sits between the RuleCompiler and the Executor: per compiled
+// rule it builds one VariantPlan per semi-naïve occurrence variant (plus one
+// for the full body, used by aggregate recomputes), reordering the baseline
+// steps greedily by estimated bound-cardinality and fixing each probe's
+// strategy (single-shard probe / indexed fan-out / full scan) statically
+// instead of per call. Plans are cached on the rule's RulePlanCache and
+// rebuilt when body-relation sizes drift past a threshold, so long fixpoints
+// replan as relations grow.
+//
+// Cost model. Statistics come from Relation's online counters: total rows
+// plus distinct-key estimates per probe mask (Relation::EstimateMatches),
+// maintained incrementally across inserts *and* erases. A candidate step's
+// cost is the estimated number of rows matching its currently-bound
+// columns; the delta occurrence is forced first (its cardinality is the
+// round's delta, the semi-naïve premise), filters/lookups/negations/
+// builtins run as early as their bindings allow, and remaining scans go
+// ascending by estimate. Reordering is a pure enumeration-order change —
+// RebindStep recomputes each argument's bound/bind pattern for the new
+// position — so a plan enumerates exactly the bindings of the baseline
+// order.
+//
+// Determinism. Plans are built and cached only from the fixpoint's
+// single-threaded merge phase, and every input to a planning decision —
+// relation sizes, content-hashed distinct counts, the shard-key mask — is
+// independent of SB_THREADS and SB_SHARDS. Identical transaction streams
+// therefore produce identical plans (and identical replan points) at every
+// thread × shard combination, preserving the engine's byte-identical
+// fixpoint contract.
+#ifndef SECUREBLOX_ENGINE_PLANNER_H_
+#define SECUREBLOX_ENGINE_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/eval.h"
+#include "engine/fixpoint.h"
+
+namespace secureblox::engine {
+
+class ExecPlanner {
+ public:
+  /// Variant index for the full-body plan (aggregate recomputes).
+  static constexpr int kFullBody = -1;
+
+  /// All pointers are borrowed and must outlive the planner.
+  ExecPlanner(const datalog::Catalog* catalog, RelationStore* store,
+              const FixpointOptions* options)
+      : catalog_(*catalog), store_(*store), options_(*options) {}
+
+  /// The cached plan for `rule`'s occurrence-`occ` variant (kFullBody for
+  /// the whole body), building or rebuilding it when absent or stale.
+  /// Returns nullptr when planning declined (callers fall back to the
+  /// baseline rule.steps). The returned pointer stays valid for the
+  /// relation-frozen window the caller executes in: plans mutate only
+  /// through this method, only on the merge phase, and the cache vector is
+  /// sized once. Must be called single-threaded (it reads and seeds
+  /// relation statistics).
+  const VariantPlan* PlanFor(const CompiledRule& rule, int occ);
+
+  /// Plans built or rebuilt through this planner (EngineStats feed).
+  uint64_t plans_built() const { return plans_built_; }
+
+  /// Human-readable plan dump (the SB_EXPLAIN format; see docs/engine.md).
+  std::string Explain(const CompiledRule& rule, int occ,
+                      const VariantPlan& plan) const;
+
+ private:
+  /// Greedy bound-cardinality ordering of `rule`'s baseline steps for one
+  /// variant. Returns a plan with empty steps when any step cannot be
+  /// rebound (defensive: cached so staleness governs retry).
+  VariantPlan Build(const CompiledRule& rule, int occ) const;
+
+  /// Has any body relation grown or shrunk past the replan threshold since
+  /// `plan` was built?
+  bool Stale(const VariantPlan& plan) const;
+
+  /// Estimated rows one enumeration of `step` yields given the bound slot
+  /// set (uses and seeds the per-mask distinct-key statistics).
+  double EstimateBound(const Step& step, const std::vector<bool>& bound)
+      const;
+
+  const datalog::Catalog& catalog_;
+  RelationStore& store_;
+  const FixpointOptions& options_;
+  uint64_t plans_built_ = 0;
+};
+
+}  // namespace secureblox::engine
+
+#endif  // SECUREBLOX_ENGINE_PLANNER_H_

@@ -90,6 +90,7 @@ InsertOutcome Relation::Insert(const Tuple& t) {
   s.index_[t] = s.tuples.size();
   s.tuples.push_back(t);
   s.counts.push_back(0);
+  if (!key_stats_.empty()) StatsInsert(t);
   ++total_size_;
   ++version_;
   return InsertOutcome::kInserted;
@@ -114,6 +115,10 @@ bool Relation::Erase(const Tuple& t) {
   if (it == s.index_.end()) return false;
   size_t slot = it->second;
   size_t last = s.tuples.size() - 1;
+  // Decrement key statistics before the swap clobbers row `slot` (`t` may
+  // alias the relation's own storage) — the symmetric counterpart of the
+  // StatsInsert in Insert().
+  if (!key_stats_.empty()) StatsErase(s.tuples[slot]);
   // Drop the erased row from built secondary buckets before the swap
   // clobbers row `slot` (`t` may alias the relation's own storage),
   // preserving bucket order so enumeration order does not depend on erase
@@ -153,10 +158,21 @@ bool Relation::Erase(const Tuple& t) {
       if (last < idx.rows_indexed) {
         auto bit = idx.buckets.find(moved_key);
         if (bit != idx.buckets.end()) {
-          std::replace(bit->second.begin(), bit->second.end(), last, slot);
+          // Re-insert the moved row at its sort position instead of
+          // patching in place: buckets stay sorted ascending (the
+          // sorted-run probe contract). `last` is the shard's final row,
+          // so its entry — when indexed — is the bucket's back element.
+          auto& rows = bit->second;
+          auto lit = std::find(rows.begin(), rows.end(), last);
+          if (lit != rows.end()) {
+            rows.erase(lit);
+            rows.insert(std::lower_bound(rows.begin(), rows.end(), slot),
+                        slot);
+          }
         }
       } else if (slot < idx.rows_indexed) {
-        idx.buckets[moved_key].push_back(slot);
+        auto& rows = idx.buckets[moved_key];
+        rows.insert(std::lower_bound(rows.begin(), rows.end(), slot), slot);
       }
     }
     idx.rows_indexed = std::min(idx.rows_indexed, s.tuples.size());
@@ -265,6 +281,49 @@ const std::vector<size_t>& Relation::ProbeShard(size_t shard, uint32_t mask,
   const SecondaryIndex& idx = sit->second;
   auto it = idx.buckets.find(key);
   return it == idx.buckets.end() ? kEmpty : it->second;
+}
+
+void Relation::StatsInsert(const Tuple& t) {
+  for (auto& [mask, stat] : key_stats_) {
+    ++stat.counts[HashValues(t, mask)];
+  }
+}
+
+void Relation::StatsErase(const Tuple& t) {
+  for (auto& [mask, stat] : key_stats_) {
+    auto it = stat.counts.find(HashValues(t, mask));
+    if (it == stat.counts.end()) continue;  // collision-safety: never go negative
+    if (--it->second == 0) stat.counts.erase(it);
+  }
+}
+
+void Relation::EnsureKeyStat(uint32_t mask) {
+  if (key_stats_.count(mask)) return;
+  KeyStat& stat = key_stats_[mask];
+  stat.counts.reserve(total_size_);
+  for (const Shard& s : shards_) {
+    for (const Tuple& t : s.tuples) {
+      ++stat.counts[HashValues(t, mask)];
+    }
+  }
+}
+
+std::optional<size_t> Relation::DistinctKeys(uint32_t mask) const {
+  auto it = key_stats_.find(mask);
+  if (it == key_stats_.end()) return std::nullopt;
+  return it->second.counts.size();
+}
+
+double Relation::EstimateMatches(uint32_t mask) const {
+  if (mask == 0 || total_size_ == 0) {
+    return static_cast<double>(total_size_);
+  }
+  auto it = key_stats_.find(mask);
+  if (it == key_stats_.end() || it->second.counts.empty()) {
+    return static_cast<double>(total_size_);
+  }
+  return static_cast<double>(total_size_) /
+         static_cast<double>(it->second.counts.size());
 }
 
 const std::vector<size_t>& Relation::Probe(uint32_t mask, const Tuple& key) {

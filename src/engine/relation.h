@@ -122,6 +122,30 @@ class Relation {
   /// Monotonically increasing change counter (secondary index freshness).
   uint64_t version() const { return version_; }
 
+  // -- online statistics (cost-based planning) -------------------------------
+
+  /// Columns that route a tuple to its shard (bit i = column i). Static per
+  /// declaration, so planner probe-strategy choices are identical at every
+  /// shard count.
+  uint32_t shard_key_mask() const { return shard_key_mask_; }
+
+  /// Start tracking distinct-key statistics for `mask` (no-op when already
+  /// tracked): seeds a counting map with one scan, after which Insert and
+  /// Erase maintain it incrementally — and symmetrically, so heavy
+  /// retraction never leaves inflated cardinalities behind. Counting is by
+  /// hash of the projected values (content-based), so the statistics are
+  /// independent of shard count and insertion order — the property the
+  /// planner's determinism rests on. Single-threaded, like all mutations.
+  void EnsureKeyStat(uint32_t mask);
+
+  /// Distinct projections onto `mask` among the current rows, or nullopt
+  /// when the mask is not tracked.
+  std::optional<size_t> DistinctKeys(uint32_t mask) const;
+
+  /// Estimated rows matching one probe on `mask`: size()/distinct for a
+  /// tracked mask, the full size for mask 0 or an untracked mask.
+  double EstimateMatches(uint32_t mask) const;
+
   // -- secondary-index probing -----------------------------------------------
 
   /// Shard a bound-column probe resolves to when `mask` covers every
@@ -166,7 +190,18 @@ class Relation {
     /// grow-only shard (the common case inside a fixpoint round) appends
     /// the tail instead of rebuilding.
     size_t rows_indexed = 0;
+    /// Bucket entries are kept sorted ascending (builds append in row
+    /// order, erase patching re-inserts at the sort position), so probes
+    /// walk each shard's tuple array as a sorted run — forward in memory —
+    /// and enumeration order is independent of erase history.
     std::unordered_map<Tuple, std::vector<size_t>, TupleHash> buckets;
+  };
+
+  /// Distinct-key statistics for one tracked mask: rows per projected-key
+  /// hash. Relation-level (not per shard), so the counts do not depend on
+  /// how keys distribute over shards.
+  struct KeyStat {
+    std::unordered_map<uint64_t, uint32_t> counts;
   };
 
   /// One hash partition: the pre-shard Relation layout in miniature. All
@@ -186,6 +221,9 @@ class Relation {
   /// when the probe mask covers shard_key_mask_.
   size_t ShardOfProbeKey(uint32_t mask, const Tuple& key) const;
   void EnsureShardIndex(Shard& shard, uint32_t mask);
+  /// Maintain every tracked KeyStat for an inserted / erased tuple.
+  void StatsInsert(const Tuple& t);
+  void StatsErase(const Tuple& t);
 
   const datalog::PredicateDecl* decl_;
   /// Bit i set = column i participates in the shard key.
@@ -194,6 +232,8 @@ class Relation {
   size_t total_size_ = 0;
   uint64_t version_ = 1;
   uint64_t index_builds_ = 0;
+  /// Tracked distinct-key statistics by mask (EnsureKeyStat).
+  std::unordered_map<uint32_t, KeyStat> key_stats_;
   /// Probe() gather buffer (see reference-stability contract).
   std::vector<size_t> probe_scratch_;
 };

@@ -40,6 +40,24 @@ Workspace::Workspace() : catalog_(std::make_unique<Catalog>()) {
       fixpoint_options_.shards = static_cast<size_t>(n);
     }
   }
+  // Cost-based rule planning: SB_PLAN=0 disables (baseline written-order
+  // bodies), unset/1 enables. Either value computes the identical
+  // fixpoint; garbage keeps the default.
+  if (const char* env = std::getenv("SB_PLAN")) {
+    char* end = nullptr;
+    long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && (n == 0 || n == 1)) {
+      fixpoint_options_.plan = n == 1;
+    }
+  }
+  // SB_EXPLAIN=1 dumps every built plan to stderr (docs/engine.md).
+  if (const char* env = std::getenv("SB_EXPLAIN")) {
+    char* end = nullptr;
+    long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n == 1) {
+      fixpoint_options_.explain = true;
+    }
+  }
   // Empty rule graph + driver so transactions work before the first Install.
   rule_graph_ = RuleGraph::Build({}, *catalog_, false).value();
   driver_ = std::make_unique<FixpointDriver>(
@@ -577,6 +595,8 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
   stats_.deleted_tuples += commit.fixpoint.deleted;
   stats_.rescued_tuples += commit.fixpoint.rescued;
   stats_.group_rederives += commit.fixpoint.group_rederives;
+  stats_.plan_builds += commit.fixpoint.plans_built;
+  stats_.eval_frame_allocs = EvalFrameAllocs();
   uint64_t index_builds = 0;
   for (const auto& rel : relations_) {
     if (rel != nullptr) index_builds += rel->index_builds();

@@ -81,6 +81,13 @@ struct EngineStats {
   /// (relation, probe mask); benches watch it to catch regressions to
   /// rebuild-on-erase behaviour.
   uint64_t index_rebuilds = 0;
+  /// Execution plans built or rebuilt by the cost-based planner (SB_PLAN).
+  uint64_t plan_builds = 0;
+  /// Process-wide evaluation frames ever allocated (EvalFrameAllocs):
+  /// flat in steady state — benches and tests pin the no-allocation
+  /// property of the Executor's probe paths on this staying constant
+  /// across repeated identical transactions.
+  uint64_t eval_frame_allocs = 0;
 };
 
 class Workspace : public RelationStore, private FixpointHost {
@@ -137,6 +144,12 @@ class Workspace : public RelationStore, private FixpointHost {
 
   /// Dependency structure of the installed rules (rebuilt per Install).
   const RuleGraph& rule_graph() const { return rule_graph_; }
+
+  /// Installed compiled rules (planner tests inspect baseline step order
+  /// and plan caches).
+  const std::vector<CompiledRule>& compiled_rules() const {
+    return compiled_rules_;
+  }
 
   // -- stats -----------------------------------------------------------------
 

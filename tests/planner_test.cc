@@ -1,0 +1,474 @@
+// Cost-based rule execution planning: online relation statistics stay
+// symmetric under insert/erase churn, worst-ordered rule bodies are
+// reordered selective-first, planner on/off computes the byte-identical
+// fixpoint at every SB_THREADS x SB_SHARDS combination, the Executor's
+// probe paths allocate nothing in steady state, and the SB_EXPLAIN dump
+// describes the chosen plan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "engine/planner.h"
+#include "engine/workspace.h"
+
+namespace secureblox::engine {
+namespace {
+
+using datalog::Parse;
+using datalog::PredicateDecl;
+using datalog::Value;
+
+void Install(Workspace* ws, const std::string& src) {
+  auto program = Parse(src);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Status st = ws->Install(program.value());
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+PredicateDecl MakeDecl(size_t arity, bool functional) {
+  PredicateDecl d;
+  d.name = "t";
+  d.arg_types.assign(arity, 0);
+  d.functional = functional;
+  return d;
+}
+
+Tuple T(std::initializer_list<int64_t> vals) {
+  Tuple t;
+  for (int64_t v : vals) t.push_back(Value::Int(v));
+  return t;
+}
+
+std::string Label(int i) { return "v" + std::to_string(i); }
+
+/// Full database image: every predicate's tuples (rendered with entity
+/// labels) with their support counts, order-insensitive.
+using Snapshot = std::map<std::string, std::set<std::pair<std::string,
+                                                          uint32_t>>>;
+
+Snapshot Snap(const Workspace& ws) {
+  Snapshot out;
+  const datalog::Catalog& catalog = ws.catalog();
+  for (size_t id = 0; id < catalog.num_predicates(); ++id) {
+    const datalog::PredicateDecl& decl =
+        catalog.decl(static_cast<datalog::PredId>(id));
+    const Relation* rel =
+        ws.GetRelationIfExists(static_cast<datalog::PredId>(id));
+    if (rel == nullptr || rel->empty()) continue;
+    auto& rows = out[decl.name];
+    for (const Tuple& t : rel->AllTuples()) {
+      rows.emplace(TupleToString(t, catalog), rel->SupportCount(t));
+    }
+  }
+  return out;
+}
+
+/// The plan- and shard-count-invariant face of FixpointStats (everything
+/// except parallel_tasks, which counts shard-aligned chunks, and
+/// plans_built, which is zero with the planner off).
+std::vector<uint64_t> SemanticCounters(const FixpointStats& fp) {
+  return {fp.rounds,         fp.rule_firings,    fp.firings_skipped,
+          fp.agg_recomputes, fp.agg_skipped,     fp.derivations,
+          fp.waves,          fp.retract_firings, fp.retractions,
+          fp.deleted,        fp.rescued,         fp.group_rederives,
+          fp.rederive_seeded};
+}
+
+// ---------------------------------------------------------------------------
+// Online statistics: symmetric maintenance across Insert and Erase.
+// ---------------------------------------------------------------------------
+
+TEST(RelationStatsTest, DistinctKeysSymmetricUnderEraseChurn) {
+  PredicateDecl decl = MakeDecl(2, false);
+  Relation r(&decl, /*shards=*/3);
+  EXPECT_FALSE(r.DistinctKeys(0x1).has_value());  // untracked
+  r.EnsureKeyStat(0x1);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 4; ++j) r.Insert(T({i, j}));
+  }
+  ASSERT_TRUE(r.DistinctKeys(0x1).has_value());
+  EXPECT_EQ(*r.DistinctKeys(0x1), 8u);
+  EXPECT_DOUBLE_EQ(r.EstimateMatches(0x1), 4.0);
+
+  // Heavy retraction: erase every odd key completely (swap-remove churn in
+  // every shard). Stats must shrink with the data, never inflate.
+  for (int i = 1; i < 8; i += 2) {
+    for (int j = 0; j < 4; ++j) EXPECT_TRUE(r.Erase(T({i, j})));
+  }
+  EXPECT_EQ(*r.DistinctKeys(0x1), 4u);
+  EXPECT_DOUBLE_EQ(r.EstimateMatches(0x1), 4.0);
+
+  // Partial erase of a surviving key: distinct count holds, estimate drops.
+  for (int j = 0; j < 3; ++j) EXPECT_TRUE(r.Erase(T({0, j})));
+  EXPECT_EQ(*r.DistinctKeys(0x1), 4u);
+  EXPECT_DOUBLE_EQ(r.EstimateMatches(0x1), 13.0 / 4.0);
+
+  // Erase the last row of that key: the key disappears from the stats.
+  EXPECT_TRUE(r.Erase(T({0, 3})));
+  EXPECT_EQ(*r.DistinctKeys(0x1), 3u);
+
+  // Reinsert-after-erase must recount from the live data, not resurrect
+  // stale counts.
+  r.Insert(T({0, 0}));
+  EXPECT_EQ(*r.DistinctKeys(0x1), 4u);
+  EXPECT_DOUBLE_EQ(r.EstimateMatches(0x1), 13.0 / 4.0);
+
+  // A stat seeded *after* the same churn agrees with the incrementally
+  // maintained one (seed-vs-maintain equivalence).
+  Relation fresh(&decl, /*shards=*/3);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 4; ++j) fresh.Insert(T({i, j}));
+  }
+  for (int i = 1; i < 8; i += 2) {
+    for (int j = 0; j < 4; ++j) fresh.Erase(T({i, j}));
+  }
+  for (int j = 0; j < 3; ++j) fresh.Erase(T({0, j}));
+  fresh.Erase(T({0, 3}));
+  fresh.Insert(T({0, 0}));
+  fresh.EnsureKeyStat(0x1);
+  EXPECT_EQ(*fresh.DistinctKeys(0x1), *r.DistinctKeys(0x1));
+  EXPECT_DOUBLE_EQ(fresh.EstimateMatches(0x1), r.EstimateMatches(0x1));
+}
+
+TEST(RelationStatsTest, EmptyAndUntrackedMasksFallBackToSize) {
+  PredicateDecl decl = MakeDecl(2, false);
+  Relation r(&decl);
+  EXPECT_DOUBLE_EQ(r.EstimateMatches(0x1), 0.0);  // empty relation
+  r.Insert(T({1, 2}));
+  r.Insert(T({1, 3}));
+  EXPECT_DOUBLE_EQ(r.EstimateMatches(0), 2.0);    // mask 0 = full scan
+  EXPECT_DOUBLE_EQ(r.EstimateMatches(0x2), 2.0);  // untracked mask
+  r.EnsureKeyStat(0x2);
+  EXPECT_DOUBLE_EQ(r.EstimateMatches(0x2), 1.0);  // 2 rows / 2 values
+}
+
+TEST(RelationStatsTest, ProbeBucketsStaySortedAcrossEraseChurn) {
+  PredicateDecl decl = MakeDecl(2, false);
+  Relation r(&decl, /*shards=*/1);
+  for (int j = 0; j < 20; ++j) {
+    r.Insert(T({1, j}));
+    r.Insert(T({2, j}));
+  }
+  Tuple key = T({1});
+  ASSERT_EQ(r.ProbeShard(0, 0x1, key).size(), 20u);
+  // Swap-remove churn: erases repoint moved rows, and the patched buckets
+  // must stay ascending so scans walk each shard as a sorted run.
+  for (int j = 0; j < 20; j += 2) ASSERT_TRUE(r.Erase(T({2, j})));
+  for (int j = 1; j < 20; j += 3) ASSERT_TRUE(r.Erase(T({1, j})));
+  for (uint32_t who = 1; who <= 2; ++who) {
+    Tuple k = T({static_cast<int64_t>(who)});
+    const std::vector<size_t>& rows = r.ProbeShard(0, 0x1, k);
+    EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()))
+        << "bucket for key " << who << " lost its sort order";
+    for (size_t slot : rows) {
+      EXPECT_EQ(r.shard_tuples(0)[slot][0], Value::Int(who));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan shape: worst-ordered bodies get reordered selective-first.
+// ---------------------------------------------------------------------------
+
+const char* kWorstOrderedProgram = R"(
+  big(X, Y) -> int(X), int(Y).
+  filt(X) -> int(X).
+  hit(Y) -> int(Y).
+  hit(Y) <- big(X, Y), filt(X).
+)";
+
+TEST(PlannerTest, WorstOrderedBodyReorderedSelectiveFirst) {
+  Workspace ws;
+  Install(&ws, kWorstOrderedProgram);
+  // big: 300 rows over 100 keys; filt: 2 rows. Written order enumerates
+  // all of big and probes filt 300 times; selective-first scans filt and
+  // probes big's index twice.
+  std::vector<FactUpdate> facts;
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      facts.push_back({"big", {Value::Int(i), Value::Int(1000 + 3 * i + j)}});
+    }
+  }
+  facts.push_back({"filt", {Value::Int(7)}});
+  facts.push_back({"filt", {Value::Int(42)}});
+  ASSERT_TRUE(ws.Apply(facts).ok());
+
+  const datalog::PredId big_id = ws.catalog().Lookup("big").value();
+  const datalog::PredId filt_id = ws.catalog().Lookup("filt").value();
+  const CompiledRule* rule = nullptr;
+  for (const CompiledRule& r : ws.compiled_rules()) {
+    if (r.num_scan_occurrences == 2) rule = &r;
+  }
+  ASSERT_NE(rule, nullptr);
+  // Baseline (written order): big before filt — the worst order.
+  ASSERT_EQ(rule->steps[0].pred, big_id);
+
+  ExecPlanner planner(&ws.catalog(), &ws, &ws.fixpoint_options());
+  const VariantPlan* full = planner.PlanFor(*rule, ExecPlanner::kFullBody);
+  ASSERT_NE(full, nullptr);
+  ASSERT_EQ(full->steps.size(), rule->steps.size());
+  // Selective-first: the 2-row filt scan leads, and big becomes an
+  // indexed probe on its now-bound join column.
+  EXPECT_EQ(full->steps[0].pred, filt_id);
+  EXPECT_EQ(full->steps[0].kind, Step::Kind::kScan);
+  const Step* big_step = nullptr;
+  for (const Step& s : full->steps) {
+    if (s.pred == big_id) big_step = &s;
+  }
+  ASSERT_NE(big_step, nullptr);
+  EXPECT_EQ(big_step->probe_mask, 0x1u) << "big should probe on bound X";
+  EXPECT_NE(big_step->probe, Step::Probe::kScanAll);
+
+  // Semi-naïve variants put their delta atom first regardless of cost.
+  const VariantPlan* d0 = planner.PlanFor(*rule, 0);
+  ASSERT_NE(d0, nullptr);
+  EXPECT_EQ(d0->steps[0].pred, big_id);
+  EXPECT_EQ(d0->steps[0].occurrence, 0);
+  const VariantPlan* d1 = planner.PlanFor(*rule, 1);
+  ASSERT_NE(d1, nullptr);
+  EXPECT_EQ(d1->steps[0].pred, filt_id);
+  EXPECT_EQ(d1->steps[0].occurrence, 1);
+  // With filt's delta bound first, big is again an indexed probe.
+  const Step& after = d1->steps[1];
+  EXPECT_EQ(after.pred, big_id);
+  EXPECT_EQ(after.probe_mask, 0x1u);
+
+  // The workspace's own driver may have populated the shared cache's
+  // occurrence slots during Apply; the full-body slot is ours.
+  EXPECT_GE(planner.plans_built(), 1u);
+}
+
+TEST(PlannerTest, PlansReplanWhenStatsDrift) {
+  Workspace ws;
+  Install(&ws, kWorstOrderedProgram);
+  ASSERT_TRUE(ws.Apply({{"big", {Value::Int(1), Value::Int(2)}},
+                        {"filt", {Value::Int(1)}}})
+                  .ok());
+  ExecPlanner planner(&ws.catalog(), &ws, &ws.fixpoint_options());
+  const CompiledRule* rule = nullptr;
+  for (const CompiledRule& r : ws.compiled_rules()) {
+    if (r.num_scan_occurrences == 2) rule = &r;
+  }
+  ASSERT_NE(rule, nullptr);
+  ASSERT_NE(planner.PlanFor(*rule, ExecPlanner::kFullBody), nullptr);
+  const uint64_t built = planner.plans_built();
+  // Same sizes: cached plan, no rebuild.
+  ASSERT_NE(planner.PlanFor(*rule, ExecPlanner::kFullBody), nullptr);
+  EXPECT_EQ(planner.plans_built(), built);
+  // Grow big far past the drift threshold: the next request replans.
+  std::vector<FactUpdate> more;
+  for (int i = 0; i < 200; ++i) {
+    more.push_back({"big", {Value::Int(i + 10), Value::Int(i)}});
+  }
+  ASSERT_TRUE(ws.Apply(more).ok());
+  const VariantPlan* rebuilt = planner.PlanFor(*rule, ExecPlanner::kFullBody);
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_GT(planner.plans_built(), built);
+  EXPECT_GE(rebuilt->builds, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: SB_PLAN={0,1} x SB_THREADS={1,4} x SB_SHARDS={1,7}.
+// ---------------------------------------------------------------------------
+
+// fig08-flavoured convergence plus deletion churn — recursion, a lattice
+// aggregate recomputing, counting deletes and group-local DRed all run
+// under both the baseline written-order bodies and the planner's
+// reordered ones.
+const char* kConvergenceProgram = R"(
+  node(X) -> .
+  link(X, Y) -> node(X), node(Y).
+  reachable(X, Y) -> node(X), node(Y).
+  reachable(X, Y) <- link(X, Y).
+  reachable(X, Y) <- link(X, Z), reachable(Z, Y).
+  cost(X, Y) -> node(X), node(Y).
+  cost(X, Y) <- link(X, Y).
+  dist[X] = D -> node(X), int(D).
+  dist[X] = D <- agg<< D = count() >> reachable(X, _anon).
+)";
+
+std::vector<FactUpdate> ConvergenceLinks(int nodes, int degree) {
+  uint64_t seed = 0x5eedULL;
+  auto next = [&seed] {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return seed >> 33;
+  };
+  std::vector<FactUpdate> links;
+  for (int i = 0; i < nodes; ++i) {
+    links.push_back({"link", {Value::Str(Label(i)),
+                              Value::Str(Label(static_cast<int>(
+                                  (i + 1) % nodes)))}});
+    for (int d = 0; d < degree; ++d) {
+      links.push_back({"link", {Value::Str(Label(i)),
+                                Value::Str(Label(static_cast<int>(
+                                    next() % nodes)))}});
+    }
+  }
+  return links;
+}
+
+TEST(PlannerTest, PlanOnOffFixpointEquivalence) {
+  struct Run {
+    std::vector<Snapshot> trace;
+    std::vector<std::vector<uint64_t>> counters;
+  };
+  auto run = [&](bool plan, int threads, size_t shards) {
+    Run out;
+    Workspace ws;
+    ws.fixpoint_options().plan = plan;
+    ws.fixpoint_options().threads = threads;
+    ws.fixpoint_options().shards = shards;
+    Install(&ws, kConvergenceProgram);
+    auto seeded = ws.Apply(ConvergenceLinks(40, 2));
+    EXPECT_TRUE(seeded.ok()) << seeded.status().ToString();
+    out.trace.push_back(Snap(ws));
+    out.counters.push_back(SemanticCounters(seeded->fixpoint));
+    // Deletion churn: counting path + group-local DRed for the recursive
+    // group, aggregate recompute on top.
+    for (int i = 0; i < 40; i += 7) {
+      auto del = ws.Apply({}, {{"link", {Value::Str(Label(i)),
+                                         Value::Str(Label((i + 1) % 40))}}});
+      EXPECT_TRUE(del.ok()) << del.status().ToString();
+      out.trace.push_back(Snap(ws));
+      out.counters.push_back(SemanticCounters(del->fixpoint));
+    }
+    return out;
+  };
+  Run base = run(false, 1, 1);
+  ASSERT_FALSE(base.trace.empty());
+  ASSERT_FALSE(base.trace[0].empty());
+  for (bool plan : {false, true}) {
+    for (int threads : {1, 4}) {
+      for (size_t shards : {size_t{1}, size_t{7}}) {
+        if (!plan && threads == 1 && shards == 1) continue;
+        Run other = run(plan, threads, shards);
+        ASSERT_EQ(base.trace.size(), other.trace.size());
+        for (size_t step = 0; step < base.trace.size(); ++step) {
+          EXPECT_EQ(base.trace[step], other.trace[step])
+              << "fixpoint diverged at step " << step << " plan=" << plan
+              << " threads=" << threads << " shards=" << shards;
+          EXPECT_EQ(base.counters[step], other.counters[step])
+              << "semantic counters diverged at step " << step
+              << " plan=" << plan << " threads=" << threads
+              << " shards=" << shards;
+        }
+      }
+    }
+  }
+}
+
+// Plan building itself is deterministic: identical transaction streams
+// build the same number of plans at every thread x shard combination.
+TEST(PlannerTest, PlanBuildCountsThreadAndShardInvariant) {
+  auto run = [&](int threads, size_t shards) {
+    Workspace ws;
+    ws.fixpoint_options().plan = true;
+    ws.fixpoint_options().threads = threads;
+    ws.fixpoint_options().shards = shards;
+    Install(&ws, kConvergenceProgram);
+    auto commit = ws.Apply(ConvergenceLinks(40, 2));
+    EXPECT_TRUE(commit.ok()) << commit.status().ToString();
+    return ws.stats().plan_builds;
+  };
+  const uint64_t base = run(1, 1);
+  EXPECT_GT(base, 0u);
+  EXPECT_EQ(base, run(4, 1));
+  EXPECT_EQ(base, run(1, 7));
+  EXPECT_EQ(base, run(4, 7));
+}
+
+// ---------------------------------------------------------------------------
+// Cache-friendliness: no per-call allocation in steady state.
+// ---------------------------------------------------------------------------
+
+TEST(PlannerTest, SteadyStateEvaluationAllocatesNoFrames) {
+  Workspace ws;
+  ws.fixpoint_options().threads = 1;
+  Install(&ws, R"(
+    e(X, Y) -> string(X), string(Y).
+    tc(X, Y) -> string(X), string(Y).
+    tc(X, Y) <- e(X, Y).
+    tc(X, Y) <- e(X, Z), tc(Z, Y).
+  )");
+  std::vector<FactUpdate> edges;
+  for (int i = 0; i < 10; ++i) {
+    edges.push_back({"e", {Value::Str(Label(i)), Value::Str(Label(i + 1))}});
+  }
+  ASSERT_TRUE(ws.Apply(edges).ok());
+  FactUpdate churn{"e", {Value::Str(Label(3)), Value::Str(Label(8))}};
+  // Warm-up: the first insert/delete pair reaches this workload's maximum
+  // body depth and fills the thread-local frame pool.
+  ASSERT_TRUE(ws.Apply({churn}).ok());
+  ASSERT_TRUE(ws.Apply({}, {churn}).ok());
+  const uint64_t warm = EvalFrameAllocs();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ws.Apply({churn}).ok());
+    ASSERT_TRUE(ws.Apply({}, {churn}).ok());
+  }
+  EXPECT_EQ(EvalFrameAllocs(), warm)
+      << "probe paths allocated evaluation frames in steady state";
+  EXPECT_EQ(ws.stats().eval_frame_allocs, EvalFrameAllocs());
+}
+
+// ---------------------------------------------------------------------------
+// SB_EXPLAIN dump and environment knobs.
+// ---------------------------------------------------------------------------
+
+TEST(PlannerTest, ExplainDescribesChosenPlan) {
+  Workspace ws;
+  Install(&ws, kWorstOrderedProgram);
+  std::vector<FactUpdate> facts;
+  for (int i = 0; i < 50; ++i) {
+    facts.push_back({"big", {Value::Int(i), Value::Int(i + 100)}});
+  }
+  facts.push_back({"filt", {Value::Int(7)}});
+  ASSERT_TRUE(ws.Apply(facts).ok());
+  const CompiledRule* rule = nullptr;
+  for (const CompiledRule& r : ws.compiled_rules()) {
+    if (r.num_scan_occurrences == 2) rule = &r;
+  }
+  ASSERT_NE(rule, nullptr);
+  ExecPlanner planner(&ws.catalog(), &ws, &ws.fixpoint_options());
+  const VariantPlan* vp = planner.PlanFor(*rule, ExecPlanner::kFullBody);
+  ASSERT_NE(vp, nullptr);
+  const std::string dump =
+      planner.Explain(*rule, ExecPlanner::kFullBody, *vp);
+  EXPECT_NE(dump.find("[plan] rule#"), std::string::npos);
+  EXPECT_NE(dump.find("variant=full"), std::string::npos);
+  EXPECT_NE(dump.find("scan filt"), std::string::npos);
+  EXPECT_NE(dump.find("scan big"), std::string::npos);
+  EXPECT_NE(dump.find("probe="), std::string::npos);
+  EXPECT_NE(dump.find("est="), std::string::npos);
+  const std::string delta_dump = planner.Explain(
+      *rule, 0, *planner.PlanFor(*rule, 0));
+  EXPECT_NE(delta_dump.find("variant=d0"), std::string::npos);
+  EXPECT_NE(delta_dump.find("est=delta"), std::string::npos);
+}
+
+TEST(PlannerTest, EnvironmentKnobsParsed) {
+  ASSERT_EQ(setenv("SB_PLAN", "0", 1), 0);
+  ASSERT_EQ(setenv("SB_EXPLAIN", "1", 1), 0);
+  {
+    Workspace ws;
+    EXPECT_FALSE(ws.fixpoint_options().plan);
+    EXPECT_TRUE(ws.fixpoint_options().explain);
+  }
+  ASSERT_EQ(setenv("SB_PLAN", "garbage", 1), 0);
+  ASSERT_EQ(unsetenv("SB_EXPLAIN"), 0);
+  {
+    Workspace ws;
+    EXPECT_TRUE(ws.fixpoint_options().plan) << "garbage keeps the default";
+    EXPECT_FALSE(ws.fixpoint_options().explain);
+  }
+  ASSERT_EQ(unsetenv("SB_PLAN"), 0);
+}
+
+}  // namespace
+}  // namespace secureblox::engine
