@@ -59,4 +59,15 @@ echo "wrote $build/BENCH_plan.json"
 SB_PLAN=0 ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
     -R 'engine_test|parallel_test|delete_test|planner_test'
 
+# Columnar storage A/B (SB_COLUMNAR): wide string-heavy filter join plus
+# a narrow row-at-a-time recursion, recorded as BENCH_column.json. The
+# harness exits nonzero unless columnar-on wins the wide workload
+# (>= 1.10x) and stays within 1.35x on the narrow one.
+SB_QUICK=1 SB_TRIALS=3 SB_BENCH_OUT="$build/BENCH_column.json" \
+    "$build/abl_column_ab"
+echo "wrote $build/BENCH_column.json"
+# Row-layout smoke: the row-major storage paths must stay green.
+SB_COLUMNAR=0 ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
+    -R 'engine_test|parallel_test|delete_test|relation_test|planner_test'
+
 echo "check.sh: OK"

@@ -661,6 +661,11 @@ struct EvalFrame {
   std::vector<int> bound_here;
   std::vector<datalog::Value> inputs;
   std::vector<datalog::Value> outputs;
+  /// Columnar scans: (column, expected code) per const/bound argument,
+  /// resolved through the dictionaries once per step invocation.
+  std::vector<std::pair<int, uint32_t>> col_filters;
+  /// Row materialization scratch (columnar lookups, exclude-set checks).
+  Tuple row;
 };
 
 std::atomic<uint64_t> g_frame_allocs{0};
@@ -701,9 +706,15 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
       };
 
       if (view != nullptr && view->only != nullptr) {
-        const size_t end = std::min(view->only_end, view->only->size());
+        // Segment slice: a staged chunk reads the round's delta vector
+        // through an index list instead of a per-shard copy.
+        const std::vector<uint32_t>* oi = view->only_index;
+        const size_t limit = oi != nullptr ? oi->size() : view->only->size();
+        const size_t end = std::min(view->only_end, limit);
         for (size_t k = view->only_begin; k < end; ++k) {
-          SB_RETURN_IF_ERROR(try_tuple((*view->only)[k]));
+          const Tuple& t =
+              oi != nullptr ? (*view->only)[(*oi)[k]] : (*view->only)[k];
+          SB_RETURN_IF_ERROR(try_tuple(t));
         }
         return Status::OK();
       }
@@ -730,6 +741,77 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
       // (ComputeProbeInfo); materializing the key is a flat walk over
       // key_cols into this depth's reusable frame.
       const uint32_t mask = step.probe_mask;
+      if (rel->columnar()) {
+        // Resolve every const/bound argument to its dictionary code once
+        // per invocation. Any miss proves no row matches — the whole scan
+        // (and any index work) is skipped. Per-row filtering then compares
+        // u32 codes on contiguous column segments; values are only decoded
+        // for the slots the step binds.
+        auto& filters = frame.col_filters;
+        filters.clear();
+        for (size_t i = 0; i < step.args.size(); ++i) {
+          const ArgPat& p = step.args[i];
+          if (p.kind != ArgPat::Kind::kConst &&
+              p.kind != ArgPat::Kind::kBound) {
+            continue;
+          }
+          const Value& want =
+              p.kind == ArgPat::Kind::kConst ? p.constant : *env[p.slot];
+          auto code = rel->CodeOf(i, want);
+          if (!code) return Status::OK();  // dictionary miss: zero matches
+          filters.emplace_back(static_cast<int>(i), *code);
+        }
+        auto try_slot = [&](size_t sh, size_t slot) -> Status {
+          for (const auto& [col, code] : filters) {
+            if (rel->shard_codes(sh, col)[slot] != code) return Status::OK();
+          }
+          if (exclude != nullptr) {
+            frame.row.clear();
+            for (size_t c = 0; c < step.args.size(); ++c) {
+              frame.row.push_back(rel->At(sh, slot, c));
+            }
+            if (exclude->count(frame.row)) return Status::OK();
+          }
+          frame.bound_here.clear();
+          for (size_t i = 0; i < step.args.size(); ++i) {
+            if (step.args[i].kind == ArgPat::Kind::kBind) {
+              env[step.args[i].slot] = rel->At(sh, slot, i);
+              frame.bound_here.push_back(step.args[i].slot);
+            }
+          }
+          Status st = RunFrom(steps, idx + 1, env, delta, on_match);
+          for (int s : frame.bound_here) env[s].reset();
+          return st;
+        };
+        if (mask != 0 && step.probe != Step::Probe::kScanAll) {
+          Tuple& key = frame.key;
+          key.clear();
+          for (int col : step.key_cols) {
+            const ArgPat& p = step.args[col];
+            key.push_back(p.kind == ArgPat::Kind::kConst ? p.constant
+                                                         : *env[p.slot]);
+          }
+          const int only = step.probe == Step::Probe::kFanout
+                               ? -1
+                               : rel->ProbeShardOf(mask, key);
+          const size_t begin = only >= 0 ? static_cast<size_t>(only) : 0;
+          const size_t end =
+              only >= 0 ? static_cast<size_t>(only) + 1 : rel->shard_count();
+          for (size_t sh = begin; sh < end; ++sh) {
+            for (size_t slot : rel->ProbeShard(sh, mask, key)) {
+              SB_RETURN_IF_ERROR(try_slot(sh, slot));
+            }
+          }
+        } else {
+          for (size_t sh = 0; sh < rel->shard_count(); ++sh) {
+            const size_t rows = rel->shard_size(sh);
+            for (size_t slot = 0; slot < rows; ++slot) {
+              SB_RETURN_IF_ERROR(try_slot(sh, slot));
+            }
+          }
+        }
+        return Status::OK();
+      }
       if (mask != 0 && step.probe != Step::Probe::kScanAll) {
         Tuple& key = frame.key;
         key.clear();
@@ -796,11 +878,14 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
                      ? delta->tuples
                      : nullptr);
       if (only != nullptr) {
+        const std::vector<uint32_t>* oi =
+            view != nullptr ? view->only_index : nullptr;
+        const size_t limit = oi != nullptr ? oi->size() : only->size();
         size_t begin = view != nullptr ? view->only_begin : 0;
-        size_t end = std::min(view != nullptr ? view->only_end : SIZE_MAX,
-                              only->size());
+        size_t end =
+            std::min(view != nullptr ? view->only_end : SIZE_MAX, limit);
         for (size_t k = begin; k < end; ++k) {
-          const Tuple& t = (*only)[k];
+          const Tuple& t = oi != nullptr ? (*only)[(*oi)[k]] : (*only)[k];
           if (!TupleMatches(step.args, t, env)) continue;
           SB_RETURN_IF_ERROR(try_row(t));
         }
@@ -817,14 +902,15 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
       }
       Relation* rel = store_.GetRelation(step.pred);
       if (rel == nullptr) return Status::OK();
-      Tuple& keys = t_frames[frame_base_ + idx].key;
+      EvalFrame& frame = t_frames[frame_base_ + idx];
+      Tuple& keys = frame.key;
       keys.clear();
       for (size_t i = 0; i + 1 < step.args.size(); ++i) {
         const ArgPat& p = step.args[i];
         keys.push_back(p.kind == ArgPat::Kind::kConst ? p.constant
                                                       : *env[p.slot]);
       }
-      const Tuple* t = rel->LookupByKeys(keys);
+      const Tuple* t = rel->LookupByKeys(keys, &frame.row);
       if (t == nullptr) return Status::OK();
       if (view != nullptr && view->exclude != nullptr &&
           view->exclude->count(*t)) {

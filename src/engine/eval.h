@@ -112,6 +112,12 @@ struct VariantPlan {
   std::vector<Step> steps;           // empty = planning declined (use baseline)
   std::vector<size_t> source_index;  // baseline step index per position
   std::vector<double> est_rows;      // estimated matches per position (<0 = Δ)
+  /// Where each position's estimate came from (kSize for filter/Δ/lookup
+  /// positions whose cost is fixed, kDict/kStat for scans) and the distinct
+  /// count behind it (-1 when no distinct statistic was consulted). Both
+  /// parallel to est_rows; surfaced by SB_EXPLAIN.
+  std::vector<EstimateSource> est_src;
+  std::vector<int64_t> est_distinct;
   /// (pred, mask) pairs the plan probes — the index warm list.
   std::vector<std::pair<datalog::PredId, uint32_t>> probe_masks;
   /// Body relation sizes at plan time — the replan drift reference.
@@ -208,6 +214,12 @@ struct OccView {
   const std::vector<Tuple>* only = nullptr;
   size_t only_begin = 0;
   size_t only_end = SIZE_MAX;  // clamped to only->size()
+  /// When set, the view reads `only` through this indirection: row k of the
+  /// slice is (*only)[(*only_index)[k]] and [only_begin, only_end) ranges
+  /// over only_index. The parallel fixpoint stages shard-aligned delta
+  /// chunks as index lists into the round's one delta vector — segment
+  /// slices — instead of materializing per-shard tuple copies.
+  const std::vector<uint32_t>* only_index = nullptr;
   const TupleSet* exclude = nullptr;
   const std::vector<Tuple>* extra = nullptr;
   bool active() const { return only || exclude || extra; }

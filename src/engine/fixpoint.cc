@@ -71,14 +71,18 @@ struct FixpointDriver::EnumTask {
   /// Shared across the chunks of one variant (read-only while running).
   std::shared_ptr<std::vector<OccView>> base_views;
   std::shared_ptr<std::vector<TupleSet>> excl;
-  /// Per-shard partition of the variant's delta (shared by the variant's
-  /// tasks; null when the target relation has one shard and the round
-  /// snapshot's vector is used directly).
-  std::shared_ptr<std::vector<std::vector<Tuple>>> shard_parts;
-  /// The chunk's delta source — one shard's partition, or the occurrence's
-  /// whole delta (owned by the round snapshot, which outlives the task) —
-  /// and this chunk's [lo, hi) window of it.
+  /// Per-shard partition of the variant's delta as index lists into the
+  /// round snapshot's delta vector — segment slices, no tuple copies
+  /// (shared by the variant's tasks; null when the target relation has one
+  /// shard and the snapshot's vector is windowed directly).
+  std::shared_ptr<std::vector<std::vector<uint32_t>>> shard_parts;
+  /// The chunk's delta source: the occurrence's whole delta vector (owned
+  /// by the round snapshot, which outlives the task), read through
+  /// `only_index` when the chunk covers one shard's slice of it, and this
+  /// chunk's [lo, hi) window (over only_index when set, over `only`
+  /// otherwise).
   const std::vector<Tuple>* only = nullptr;
+  const std::vector<uint32_t>* only_index = nullptr;
   size_t lo = 0;
   size_t hi = SIZE_MAX;
   /// Instantiated head tuples (insert) / destroyed instantiations
@@ -409,9 +413,13 @@ void FixpointDriver::StageVariantTasks(
     // shard the round snapshot's vector is windowed directly, exactly the
     // pre-shard decomposition.
     auto stage_windows =
-        [&](const std::vector<Tuple>* part,
-            const std::shared_ptr<std::vector<std::vector<Tuple>>>& parts) {
-          const size_t chunks = ChunkCountFor(part->size());
+        [&](const std::vector<Tuple>* source,
+            const std::vector<uint32_t>* index,
+            const std::shared_ptr<std::vector<std::vector<uint32_t>>>&
+                parts) {
+          const size_t rows = index != nullptr ? index->size()
+                                               : source->size();
+          const size_t chunks = ChunkCountFor(rows);
           for (size_t c = 0; c < chunks; ++c) {
             auto task = std::make_unique<EnumTask>();
             task->rule = &rule;
@@ -423,9 +431,10 @@ void FixpointDriver::StageVariantTasks(
             task->base_views = views;
             task->excl = excl;
             task->shard_parts = parts;
-            task->only = part;
-            task->lo = c * part->size() / chunks;
-            task->hi = (c + 1) * part->size() / chunks;
+            task->only = source;
+            task->only_index = index;
+            task->lo = c * rows / chunks;
+            task->hi = (c + 1) * rows / chunks;
             tasks->push_back(std::move(task));
           }
         };
@@ -433,16 +442,21 @@ void FixpointDriver::StageVariantTasks(
     Relation* rel = store_.GetRelation(rule.scan_preds[occ]);
     const size_t nshards = rel != nullptr ? rel->shard_count() : 1;
     if (nshards <= 1) {
-      stage_windows(&only, nullptr);
+      stage_windows(&only, nullptr, nullptr);
     } else {
+      // Segment slices: partition the delta into per-shard index lists
+      // over the snapshot's one vector (relative order preserved within
+      // each shard) instead of materializing per-shard tuple copies. The
+      // partition sizes — and with them the window decomposition and merge
+      // order — are exactly those of the copying layout.
       auto parts =
-          std::make_shared<std::vector<std::vector<Tuple>>>(nshards);
-      for (const Tuple& t : only) {
-        (*parts)[rel->ShardOf(t)].push_back(t);
+          std::make_shared<std::vector<std::vector<uint32_t>>>(nshards);
+      for (size_t k = 0; k < only.size(); ++k) {
+        (*parts)[rel->ShardOf(only[k])].push_back(static_cast<uint32_t>(k));
       }
       for (size_t s = 0; s < nshards; ++s) {
         if ((*parts)[s].empty()) continue;
-        stage_windows(&(*parts)[s], parts);
+        stage_windows(&only, &(*parts)[s], parts);
       }
     }
   }
@@ -488,6 +502,7 @@ Status FixpointDriver::RunStagedTasks(
     // occurrence slot points at this task's chunk of the delta.
     std::vector<OccView> views = *t.base_views;
     views[t.occ].only = t.only;
+    views[t.occ].only_index = t.only_index;
     views[t.occ].only_begin = t.lo;
     views[t.occ].only_end = t.hi;
     DeltaOverride override;
@@ -966,10 +981,11 @@ Status FixpointDriver::RecomputeAggregate(const CompiledRule& rule,
     }
   }
 
+  Tuple lookup_scratch;
   for (const auto& [keys, v] : groups) {
     Tuple desired = keys;
     desired.push_back(Value::Int(v));
-    const Tuple* current = rel->LookupByKeys(keys);
+    const Tuple* current = rel->LookupByKeys(keys, &lookup_scratch);
     if (current != nullptr) {
       int64_t cur = current->back().AsInt();
       bool improve;

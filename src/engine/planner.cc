@@ -194,10 +194,23 @@ const char* ProbeName(Step::Probe p) {
   return "?";
 }
 
+const char* SourceName(EstimateSource s) {
+  switch (s) {
+    case EstimateSource::kSize: return "size";
+    case EstimateSource::kDict: return "dict";
+    case EstimateSource::kStat: return "stat";
+  }
+  return "?";
+}
+
 }  // namespace
 
 double ExecPlanner::EstimateBound(const Step& step,
-                                  const std::vector<bool>& bound) const {
+                                  const std::vector<bool>& bound,
+                                  EstimateSource* src,
+                                  int64_t* distinct) const {
+  *src = EstimateSource::kSize;
+  *distinct = -1;
   Relation* rel = store_.GetRelation(step.pred);
   if (rel == nullptr) return 0.0;
   uint32_t mask = 0;
@@ -215,6 +228,10 @@ double ExecPlanner::EstimateBound(const Step& step,
     if ((mask & key_mask) == key_mask) return 1.0;  // FD: at most one row
   }
   rel->EnsureKeyStat(mask);
+  *src = rel->EstimateSourceFor(mask);
+  if (auto d = rel->DistinctKeys(mask)) {
+    *distinct = static_cast<int64_t>(*d);
+  }
   return rel->EstimateMatches(mask);
 }
 
@@ -230,6 +247,8 @@ VariantPlan ExecPlanner::Build(const CompiledRule& rule, int occ) const {
     int pick = -1;
     bool force_scan = false;
     double pick_est = 0.0;
+    EstimateSource pick_src = EstimateSource::kSize;
+    int64_t pick_distinct = -1;
     if (plan.steps.empty() && occ >= 0) {
       // Delta atom first: the semi-naïve premise — the round's delta is
       // the small side of every join in this variant.
@@ -254,15 +273,21 @@ VariantPlan ExecPlanner::Build(const CompiledRule& rule, int occ) const {
             pick = static_cast<int>(i);
             force_scan = false;
             pick_est = 1.0;
+            pick_src = EstimateSource::kSize;
+            pick_distinct = -1;
           }
           continue;
         }
-        const double est = EstimateBound(base[i], bound);
+        EstimateSource src = EstimateSource::kSize;
+        int64_t distinct = -1;
+        const double est = EstimateBound(base[i], bound, &src, &distinct);
         if (cls < pick_class || (pick_class == 6 && est < pick_est)) {
           pick_class = 6;
           pick = static_cast<int>(i);
           force_scan = base[i].kind == Step::Kind::kLookup;
           pick_est = est;
+          pick_src = src;
+          pick_distinct = distinct;
         }
       }
       if (pick < 0) return declined;  // unreachable (see planner.h)
@@ -273,6 +298,8 @@ VariantPlan ExecPlanner::Build(const CompiledRule& rule, int occ) const {
     plan.steps.push_back(std::move(s));
     plan.source_index.push_back(static_cast<size_t>(pick));
     plan.est_rows.push_back(pick_est);
+    plan.est_src.push_back(pick_src);
+    plan.est_distinct.push_back(pick_distinct);
     placed[pick] = true;
   }
 
@@ -369,6 +396,17 @@ std::string ExecPlanner::Explain(const CompiledRule& rule, int occ,
       out += buf;
     } else {
       out += "?";
+    }
+    // Estimate provenance: which statistic priced this position (exact
+    // dictionary distinct count, hashed mask stat, or bare size) and the
+    // distinct count it consulted. Only meaningful on estimated scans.
+    if (i < plan.est_src.size() && plan.est_rows[i] >= 0 &&
+        (s.kind == Step::Kind::kScan || s.kind == Step::Kind::kNegCheck)) {
+      out += " via=";
+      out += SourceName(plan.est_src[i]);
+      if (i < plan.est_distinct.size() && plan.est_distinct[i] >= 0) {
+        out += " distinct=" + std::to_string(plan.est_distinct[i]);
+      }
     }
     if (s.kind == Step::Kind::kScan || s.kind == Step::Kind::kNegCheck) {
       char buf[32];

@@ -78,9 +78,12 @@ class ExecPlanner {
   bool Stale(const VariantPlan& plan) const;
 
   /// Estimated rows one enumeration of `step` yields given the bound slot
-  /// set (uses and seeds the per-mask distinct-key statistics).
-  double EstimateBound(const Step& step, const std::vector<bool>& bound)
-      const;
+  /// set (uses and seeds the per-mask distinct-key statistics). `src` and
+  /// `distinct` report which statistic answered — exact dictionary live
+  /// count, hashed mask stat, or the bare relation size — and the distinct
+  /// count consulted (-1 when none was).
+  double EstimateBound(const Step& step, const std::vector<bool>& bound,
+                       EstimateSource* src, int64_t* distinct) const;
 
   const datalog::Catalog& catalog_;
   RelationStore& store_;

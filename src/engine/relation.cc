@@ -6,6 +6,11 @@ namespace secureblox::engine {
 
 namespace {
 
+/// "Value absent from this column's dictionary" sentinel in lookup-only
+/// encodings (EncodeLookup). Never a real code: dictionaries would need
+/// 2^32 distinct values in one column first.
+constexpr uint32_t kNoCode = 0xFFFFFFFFu;
+
 /// Extra mixing over the tuple-content hash so shard choice is not
 /// correlated with the bucket placement inside the per-shard hash maps
 /// (both start from Value::Hash).
@@ -29,10 +34,28 @@ size_t HashValues(const Tuple& t, uint32_t mask) {
   return h;
 }
 
+bool SingleColumnMask(uint32_t mask) {
+  return mask != 0 && (mask & (mask - 1)) == 0;
+}
+
+size_t MaskColumn(uint32_t mask) {
+  size_t col = 0;
+  while (!(mask & (1u << col))) ++col;
+  return col;
+}
+
+/// Approximate heap bytes of one unordered_map: the bucket array plus a
+/// node per entry (payload + two pointers of allocator/link overhead).
+size_t MapBytes(size_t bucket_count, size_t entries, size_t entry_payload) {
+  return bucket_count * sizeof(void*) +
+         entries * (entry_payload + 2 * sizeof(void*));
+}
+
 }  // namespace
 
-Relation::Relation(const datalog::PredicateDecl* decl, size_t shards)
-    : decl_(decl) {
+Relation::Relation(const datalog::PredicateDecl* decl, size_t shards,
+                   bool columnar)
+    : decl_(decl), columnar_(columnar) {
   shards_.resize(std::max<size_t>(1, shards));
   const size_t arity = decl_->arity();
   if (decl_->functional && arity >= 2) {
@@ -46,6 +69,10 @@ Relation::Relation(const datalog::PredicateDecl* decl, size_t shards)
   }
   // Zero-key cases (arity 0, functional arity 1) hash an empty projection:
   // every tuple lands in one shard and probes never fan out.
+  if (columnar_) {
+    dicts_.resize(arity);
+    for (Shard& s : shards_) s.cols.resize(arity);
+  }
 }
 
 size_t Relation::ShardKeyHash(const Tuple& t) const {
@@ -53,6 +80,8 @@ size_t Relation::ShardKeyHash(const Tuple& t) const {
 }
 
 size_t Relation::ShardOf(const Tuple& t) const {
+  // Hash of the shard-key *values* in both layouts, so row placement is
+  // identical under SB_COLUMNAR=0 and 1 (the determinism contract).
   return shards_.size() == 1 ? 0 : ShardKeyHash(t) % shards_.size();
 }
 
@@ -78,8 +107,65 @@ int Relation::ProbeShardOf(uint32_t mask, const Tuple& key) const {
   return static_cast<int>(ShardOfProbeKey(mask, key));
 }
 
+void Relation::EncodeLookup(const Tuple& t, CodeKey* out) const {
+  out->clear();
+  out->reserve(t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    const ColumnDict& d = dicts_[i];
+    auto it = d.codes.find(t[i]);
+    out->push_back(it == d.codes.end() ? kNoCode : it->second);
+  }
+}
+
 InsertOutcome Relation::Insert(const Tuple& t) {
   Shard& s = shards_[ShardOf(t)];
+  if (columnar_) {
+    // Phase A — lookup-only encode. Duplicate and FD checks run on codes;
+    // a kNoCode anywhere means the full tuple cannot already be present,
+    // and a kNoCode in a key column means no FD conflict is possible. No
+    // dictionary state changes until the row is known to commit, so a
+    // rejected insert leaves refcounts and live counts untouched.
+    thread_local CodeKey ck;  // mutations are single-threaded; reused buffer
+    EncodeLookup(t, &ck);
+    const bool all_known =
+        std::find(ck.begin(), ck.end(), kNoCode) == ck.end();
+    if (all_known && s.cindex_.count(ck)) return InsertOutcome::kDuplicate;
+    if (decl_->functional) {
+      const bool keys_known =
+          std::find(ck.begin(), ck.end() - 1, kNoCode) == ck.end() - 1;
+      if (keys_known &&
+          s.cfd_index_.count(CodeKey(ck.begin(), ck.end() - 1))) {
+        return InsertOutcome::kFdConflict;
+      }
+    }
+    // Phase B — commit: allocate codes for novel values, take a live
+    // reference on every column, append the row to the column segments.
+    const size_t slot = s.counts.size();
+    for (size_t i = 0; i < t.size(); ++i) {
+      ColumnDict& d = dicts_[i];
+      uint32_t code = ck[i];
+      if (code == kNoCode) {
+        code = static_cast<uint32_t>(d.values.size());
+        d.values.push_back(t[i]);
+        d.codes.emplace(t[i], code);
+        d.refs.push_back(1);
+        ++d.live;
+      } else if (d.refs[code]++ == 0) {
+        ++d.live;  // erased-out value revived by this row
+      }
+      s.cols[i].push_back(code);
+      ck[i] = code;
+    }
+    s.counts.push_back(0);
+    s.cindex_[ck] = slot;
+    if (decl_->functional) {
+      s.cfd_index_[CodeKey(ck.begin(), ck.end() - 1)] = slot;
+    }
+    if (!key_stats_.empty()) StatsInsert(t);
+    ++total_size_;
+    ++version_;
+    return InsertOutcome::kInserted;
+  }
   if (s.index_.count(t)) return InsertOutcome::kDuplicate;
   if (decl_->functional) {
     Tuple keys(t.begin(), t.end() - 1);
@@ -102,6 +188,13 @@ void Relation::Reserve(size_t n) {
   // per shard so small batches over many shards still avoid a rehash.
   size_t per_shard = n / shards_.size() + 1;
   for (Shard& s : shards_) {
+    if (columnar_) {
+      for (auto& col : s.cols) col.reserve(per_shard);
+      s.counts.reserve(per_shard);
+      s.cindex_.reserve(per_shard);
+      if (decl_->functional) s.cfd_index_.reserve(per_shard);
+      continue;
+    }
     s.tuples.reserve(per_shard);
     s.counts.reserve(per_shard);
     s.index_.reserve(per_shard);
@@ -109,8 +202,91 @@ void Relation::Reserve(size_t n) {
   }
 }
 
+void Relation::EraseColumnarSlot(Shard& s, size_t slot, const CodeKey& ck) {
+  const size_t last = s.counts.size() - 1;
+  // Drop the erased row from built secondary buckets before the swap
+  // clobbers row `slot`, preserving bucket order so enumeration order does
+  // not depend on erase history beyond the erase itself.
+  for (auto& [mask, idx] : s.secondary_) {
+    if (slot >= idx.rows_indexed) continue;
+    auto bit = idx.cbuckets.find(ProjectCodes(s, slot, mask));
+    if (bit == idx.cbuckets.end()) continue;
+    auto& rows = bit->second;
+    rows.erase(std::remove(rows.begin(), rows.end(), slot), rows.end());
+    if (rows.empty()) idx.cbuckets.erase(bit);
+  }
+  s.cindex_.erase(ck);
+  if (decl_->functional) {
+    s.cfd_index_.erase(CodeKey(ck.begin(), ck.end() - 1));
+  }
+  // Release this row's dictionary references. Codes are never reclaimed —
+  // only the live counts (the planner's distinct statistics) move.
+  for (size_t i = 0; i < ck.size(); ++i) {
+    ColumnDict& d = dicts_[i];
+    if (--d.refs[ck[i]] == 0) --d.live;
+  }
+  // Swap-remove within the shard's column segments; fix the moved row's
+  // slots. The moved row belongs to the same shard by construction.
+  if (slot != last) {
+    for (auto& col : s.cols) col[slot] = col[last];
+    s.counts[slot] = s.counts[last];
+    CodeKey moved;
+    moved.reserve(s.cols.size());
+    for (const auto& col : s.cols) moved.push_back(col[slot]);
+    s.cindex_[moved] = slot;
+    if (decl_->functional) {
+      s.cfd_index_[CodeKey(moved.begin(), moved.end() - 1)] = slot;
+    }
+  }
+  for (auto& col : s.cols) col.pop_back();
+  s.counts.pop_back();
+  // Re-point the moved row (old index `last`, now at `slot`) in each built
+  // secondary index; an unindexed tail row moving into the indexed prefix
+  // is indexed now so the prefix invariant holds.
+  for (auto& [mask, idx] : s.secondary_) {
+    if (slot != last) {
+      const CodeKey moved_key = ProjectCodes(s, slot, mask);
+      if (last < idx.rows_indexed) {
+        auto bit = idx.cbuckets.find(moved_key);
+        if (bit != idx.cbuckets.end()) {
+          // Re-insert the moved row at its sort position instead of
+          // patching in place: buckets stay sorted ascending (the
+          // sorted-run probe contract). `last` is the shard's final row,
+          // so its entry — when indexed — is the bucket's back element.
+          auto& rows = bit->second;
+          auto lit = std::find(rows.begin(), rows.end(), last);
+          if (lit != rows.end()) {
+            rows.erase(lit);
+            rows.insert(std::lower_bound(rows.begin(), rows.end(), slot),
+                        slot);
+          }
+        }
+      } else if (slot < idx.rows_indexed) {
+        auto& rows = idx.cbuckets[moved_key];
+        rows.insert(std::lower_bound(rows.begin(), rows.end(), slot), slot);
+      }
+    }
+    idx.rows_indexed = std::min(idx.rows_indexed, s.counts.size());
+  }
+}
+
 bool Relation::Erase(const Tuple& t) {
   Shard& s = shards_[ShardOf(t)];
+  if (columnar_) {
+    thread_local CodeKey ck;
+    EncodeLookup(t, &ck);
+    if (std::find(ck.begin(), ck.end(), kNoCode) != ck.end()) return false;
+    auto it = s.cindex_.find(ck);
+    if (it == s.cindex_.end()) return false;
+    const size_t slot = it->second;
+    // `t` never aliases columnar storage (accessors hand out materialized
+    // copies), so the stats decrement can use it directly.
+    if (!key_stats_.empty()) StatsErase(t);
+    EraseColumnarSlot(s, slot, ck);
+    --total_size_;
+    ++version_;
+    return true;
+  }
   auto it = s.index_.find(t);
   if (it == s.index_.end()) return false;
   size_t slot = it->second;
@@ -184,12 +360,27 @@ bool Relation::Erase(const Tuple& t) {
 
 uint32_t Relation::SupportCount(const Tuple& t) const {
   const Shard& s = shards_[ShardOf(t)];
+  if (columnar_) {
+    thread_local CodeKey ck;
+    EncodeLookup(t, &ck);
+    if (std::find(ck.begin(), ck.end(), kNoCode) != ck.end()) return 0;
+    auto it = s.cindex_.find(ck);
+    return it == s.cindex_.end() ? 0 : s.counts[it->second];
+  }
   auto it = s.index_.find(t);
   return it == s.index_.end() ? 0 : s.counts[it->second];
 }
 
 uint32_t Relation::AddSupport(const Tuple& t) {
   Shard& s = shards_[ShardOf(t)];
+  if (columnar_) {
+    thread_local CodeKey ck;
+    EncodeLookup(t, &ck);
+    if (std::find(ck.begin(), ck.end(), kNoCode) != ck.end()) return 0;
+    auto it = s.cindex_.find(ck);
+    if (it == s.cindex_.end()) return 0;
+    return ++s.counts[it->second];
+  }
   auto it = s.index_.find(t);
   if (it == s.index_.end()) return 0;
   return ++s.counts[it->second];
@@ -197,6 +388,14 @@ uint32_t Relation::AddSupport(const Tuple& t) {
 
 void Relation::SetSupport(const Tuple& t, uint32_t count) {
   Shard& s = shards_[ShardOf(t)];
+  if (columnar_) {
+    thread_local CodeKey ck;
+    EncodeLookup(t, &ck);
+    if (std::find(ck.begin(), ck.end(), kNoCode) != ck.end()) return;
+    auto it = s.cindex_.find(ck);
+    if (it != s.cindex_.end()) s.counts[it->second] = count;
+    return;
+  }
   auto it = s.index_.find(t);
   if (it != s.index_.end()) s.counts[it->second] = count;
 }
@@ -205,11 +404,11 @@ std::optional<Tuple> Relation::ReplaceFunctional(const Tuple& t) {
   Tuple keys(t.begin(), t.end() - 1);
   // The FD keys are the shard key, so the displaced tuple (same keys)
   // lives in the same shard the replacement inserts into.
-  const Shard& s = shards_[ShardOf(t)];
-  auto it = s.fd_index_.find(keys);
+  Tuple scratch;
+  const Tuple* existing = LookupByKeys(keys, &scratch);
   std::optional<Tuple> displaced;
-  if (it != s.fd_index_.end()) {
-    displaced = s.tuples[it->second];
+  if (existing) {
+    displaced = *existing;  // materialized before Erase invalidates it
     if (*displaced == t) return std::nullopt;  // no change
     Erase(*displaced);
   }
@@ -218,27 +417,79 @@ std::optional<Tuple> Relation::ReplaceFunctional(const Tuple& t) {
 }
 
 bool Relation::Contains(const Tuple& t) const {
-  return shards_[ShardOf(t)].index_.count(t) > 0;
+  const Shard& s = shards_[ShardOf(t)];
+  if (columnar_) {
+    thread_local CodeKey ck;
+    EncodeLookup(t, &ck);
+    if (std::find(ck.begin(), ck.end(), kNoCode) != ck.end()) return false;
+    return s.cindex_.count(ck) > 0;
+  }
+  return s.index_.count(t) > 0;
 }
 
-const Tuple* Relation::LookupByKeys(const Tuple& keys) const {
+const Tuple* Relation::LookupByKeys(const Tuple& keys, Tuple* scratch) const {
   // `keys` is exactly the shard-key projection of the row it names.
   const Shard& s =
       shards_.size() == 1
           ? shards_[0]
           : shards_[MixShardHash(HashValues(keys, ~0u)) % shards_.size()];
+  if (columnar_) {
+    thread_local CodeKey ck;
+    EncodeLookup(keys, &ck);
+    if (std::find(ck.begin(), ck.end(), kNoCode) != ck.end()) return nullptr;
+    auto it = s.cfd_index_.find(ck);
+    if (it == s.cfd_index_.end()) return nullptr;
+    const size_t slot = it->second;
+    scratch->clear();
+    scratch->reserve(s.cols.size());
+    for (size_t c = 0; c < s.cols.size(); ++c) {
+      scratch->push_back(dicts_[c].values[s.cols[c][slot]]);
+    }
+    return scratch;
+  }
   auto it = s.fd_index_.find(keys);
   if (it == s.fd_index_.end()) return nullptr;
   return &s.tuples[it->second];
 }
 
+Tuple Relation::MaterializeTuple(size_t shard, size_t slot) const {
+  const Shard& s = shards_[shard];
+  if (!columnar_) return s.tuples[slot];
+  Tuple out;
+  out.reserve(s.cols.size());
+  for (size_t c = 0; c < s.cols.size(); ++c) {
+    out.push_back(dicts_[c].values[s.cols[c][slot]]);
+  }
+  return out;
+}
+
 std::vector<Tuple> Relation::AllTuples() const {
   std::vector<Tuple> out;
   out.reserve(total_size_);
+  if (columnar_) {
+    for (size_t sh = 0; sh < shards_.size(); ++sh) {
+      const size_t rows = shards_[sh].counts.size();
+      for (size_t r = 0; r < rows; ++r) out.push_back(MaterializeTuple(sh, r));
+    }
+    return out;
+  }
   for (const Shard& s : shards_) {
     out.insert(out.end(), s.tuples.begin(), s.tuples.end());
   }
   return out;
+}
+
+std::optional<uint32_t> Relation::CodeOf(size_t col,
+                                         const datalog::Value& v) const {
+  const ColumnDict& d = dicts_[col];
+  auto it = d.codes.find(v);
+  if (it == d.codes.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<size_t> Relation::ColumnDistinct(size_t col) const {
+  if (!columnar_) return std::nullopt;
+  return dicts_[col].live;
 }
 
 Tuple Relation::Project(const Tuple& t, uint32_t mask) {
@@ -249,18 +500,36 @@ Tuple Relation::Project(const Tuple& t, uint32_t mask) {
   return out;
 }
 
+Relation::CodeKey Relation::ProjectCodes(const Shard& s, size_t slot,
+                                         uint32_t mask) {
+  CodeKey out;
+  for (size_t i = 0; i < s.cols.size() && i < 32; ++i) {
+    if (mask & (1u << i)) out.push_back(s.cols[i][slot]);
+  }
+  return out;
+}
+
 void Relation::EnsureShardIndex(Shard& shard, uint32_t mask) {
   SecondaryIndex& idx = shard.secondary_[mask];
   if (idx.built_at_version == version_) return;
+  const size_t rows = columnar_ ? shard.counts.size() : shard.tuples.size();
   // Erases are patched in place, so only the appended tail is missing.
-  if (idx.rows_indexed == 0 && !shard.tuples.empty()) {
+  if (idx.rows_indexed == 0 && rows != 0) {
     ++index_builds_;
-    idx.buckets.reserve(shard.tuples.size());
+    if (columnar_) {
+      idx.cbuckets.reserve(rows);
+    } else {
+      idx.buckets.reserve(rows);
+    }
   }
-  for (size_t i = idx.rows_indexed; i < shard.tuples.size(); ++i) {
-    idx.buckets[Project(shard.tuples[i], mask)].push_back(i);
+  for (size_t i = idx.rows_indexed; i < rows; ++i) {
+    if (columnar_) {
+      idx.cbuckets[ProjectCodes(shard, i, mask)].push_back(i);
+    } else {
+      idx.buckets[Project(shard.tuples[i], mask)].push_back(i);
+    }
   }
-  idx.rows_indexed = shard.tuples.size();
+  idx.rows_indexed = rows;
   idx.built_at_version = version_;
 }
 
@@ -272,6 +541,21 @@ const std::vector<size_t>& Relation::ProbeShard(size_t shard, uint32_t mask,
                                                 const Tuple& key) {
   static const std::vector<size_t> kEmpty;
   Shard& s = shards_[shard];
+  thread_local CodeKey ck;  // per-thread: workers probe concurrently
+  if (columnar_) {
+    // Encode the probe key through the column dictionaries. A value absent
+    // from its column's dictionary proves no row matches — answered here,
+    // before any index is consulted or built (the selective-filter fast
+    // negative). Pure dictionary reads, safe under concurrent probing.
+    ck.clear();
+    size_t ki = 0;
+    for (size_t i = 0; i < 32 && ki < key.size(); ++i) {
+      if (!(mask & (1u << i))) continue;
+      auto code = CodeOf(i, key[ki++]);
+      if (!code) return kEmpty;
+      ck.push_back(*code);
+    }
+  }
   auto sit = s.secondary_.find(mask);
   if (sit == s.secondary_.end() ||
       sit->second.built_at_version != version_) {
@@ -279,6 +563,10 @@ const std::vector<size_t>& Relation::ProbeShard(size_t shard, uint32_t mask,
     sit = s.secondary_.find(mask);
   }
   const SecondaryIndex& idx = sit->second;
+  if (columnar_) {
+    auto it = idx.cbuckets.find(ck);
+    return it == idx.cbuckets.end() ? kEmpty : it->second;
+  }
   auto it = idx.buckets.find(key);
   return it == idx.buckets.end() ? kEmpty : it->second;
 }
@@ -298,9 +586,33 @@ void Relation::StatsErase(const Tuple& t) {
 }
 
 void Relation::EnsureKeyStat(uint32_t mask) {
+  // A single bound column in columnar mode is covered exactly by that
+  // column's dictionary live count — no hashed statistic to maintain.
+  if (columnar_ && SingleColumnMask(mask) &&
+      MaskColumn(mask) < dicts_.size()) {
+    return;
+  }
   if (key_stats_.count(mask)) return;
   KeyStat& stat = key_stats_[mask];
   stat.counts.reserve(total_size_);
+  if (columnar_) {
+    // Seed by hashing the decoded column values with the same mixing
+    // StatsInsert/StatsErase apply to value tuples.
+    for (size_t sh = 0; sh < shards_.size(); ++sh) {
+      const Shard& s = shards_[sh];
+      const size_t rows = s.counts.size();
+      for (size_t r = 0; r < rows; ++r) {
+        size_t h = 0x811C9DC5;
+        for (size_t i = 0; i < s.cols.size() && i < 32; ++i) {
+          if (mask & (1u << i)) {
+            h ^= At(sh, r, i).Hash() + 0x9E3779B9 + (h << 6) + (h >> 2);
+          }
+        }
+        ++stat.counts[h];
+      }
+    }
+    return;
+  }
   for (const Shard& s : shards_) {
     for (const Tuple& t : s.tuples) {
       ++stat.counts[HashValues(t, mask)];
@@ -309,6 +621,10 @@ void Relation::EnsureKeyStat(uint32_t mask) {
 }
 
 std::optional<size_t> Relation::DistinctKeys(uint32_t mask) const {
+  if (columnar_ && SingleColumnMask(mask)) {
+    const size_t col = MaskColumn(mask);
+    if (col < dicts_.size()) return dicts_[col].live;
+  }
   auto it = key_stats_.find(mask);
   if (it == key_stats_.end()) return std::nullopt;
   return it->second.counts.size();
@@ -318,12 +634,76 @@ double Relation::EstimateMatches(uint32_t mask) const {
   if (mask == 0 || total_size_ == 0) {
     return static_cast<double>(total_size_);
   }
-  auto it = key_stats_.find(mask);
-  if (it == key_stats_.end() || it->second.counts.empty()) {
+  auto distinct = DistinctKeys(mask);
+  if (!distinct || *distinct == 0) {
     return static_cast<double>(total_size_);
   }
-  return static_cast<double>(total_size_) /
-         static_cast<double>(it->second.counts.size());
+  return static_cast<double>(total_size_) / static_cast<double>(*distinct);
+}
+
+EstimateSource Relation::EstimateSourceFor(uint32_t mask) const {
+  if (mask == 0 || total_size_ == 0) return EstimateSource::kSize;
+  if (columnar_ && SingleColumnMask(mask) &&
+      MaskColumn(mask) < dicts_.size()) {
+    return EstimateSource::kDict;
+  }
+  auto it = key_stats_.find(mask);
+  if (it == key_stats_.end() || it->second.counts.empty()) {
+    return EstimateSource::kSize;
+  }
+  return EstimateSource::kStat;
+}
+
+Relation::MemoryFootprint Relation::Memory() const {
+  // Capacity-based approximation, O(containers) not O(rows): per-row value
+  // payloads are counted at sizeof(Value) (string heap excluded) and
+  // bucket vectors at one size_t per indexed row. Good enough for the
+  // relative layout comparisons the EngineStats gauges exist for.
+  MemoryFootprint m;
+  const size_t arity = decl_->arity();
+  for (const ColumnDict& d : dicts_) {
+    m.dict_bytes += d.values.capacity() * sizeof(datalog::Value);
+    m.dict_bytes += d.refs.capacity() * sizeof(uint32_t);
+    m.dict_bytes += MapBytes(d.codes.bucket_count(), d.codes.size(),
+                             sizeof(datalog::Value) + sizeof(uint32_t));
+  }
+  for (const Shard& s : shards_) {
+    for (const auto& col : s.cols) {
+      m.column_bytes += col.capacity() * sizeof(uint32_t);
+    }
+    m.column_bytes += s.tuples.capacity() * sizeof(Tuple) +
+                      s.tuples.size() * arity * sizeof(datalog::Value);
+    m.column_bytes += s.counts.capacity() * sizeof(uint32_t);
+    m.index_bytes +=
+        MapBytes(s.index_.bucket_count(), s.index_.size(),
+                 sizeof(Tuple) + arity * sizeof(datalog::Value) +
+                     sizeof(size_t));
+    m.index_bytes +=
+        MapBytes(s.fd_index_.bucket_count(), s.fd_index_.size(),
+                 sizeof(Tuple) +
+                     (arity == 0 ? 0 : arity - 1) * sizeof(datalog::Value) +
+                     sizeof(size_t));
+    m.index_bytes += MapBytes(s.cindex_.bucket_count(), s.cindex_.size(),
+                              sizeof(CodeKey) + arity * sizeof(uint32_t));
+    m.index_bytes +=
+        MapBytes(s.cfd_index_.bucket_count(), s.cfd_index_.size(),
+                 sizeof(CodeKey) +
+                     (arity == 0 ? 0 : arity - 1) * sizeof(uint32_t));
+    for (const auto& [mask, idx] : s.secondary_) {
+      const size_t nbuckets =
+          columnar_ ? idx.cbuckets.size() : idx.buckets.size();
+      const size_t key_cols =
+          static_cast<size_t>(__builtin_popcount(mask));
+      m.index_bytes += MapBytes(
+          columnar_ ? idx.cbuckets.bucket_count() : idx.buckets.bucket_count(),
+          nbuckets,
+          sizeof(std::vector<size_t>) +
+              key_cols * (columnar_ ? sizeof(uint32_t)
+                                    : sizeof(datalog::Value)));
+      m.index_bytes += idx.rows_indexed * sizeof(size_t);
+    }
+  }
+  return m;
 }
 
 const std::vector<size_t>& Relation::Probe(uint32_t mask, const Tuple& key) {

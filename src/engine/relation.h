@@ -1,19 +1,44 @@
-// Relation storage, hash-partitioned into shards: each shard holds a dense
-// tuple vector with a full-tuple hash index for set semantics, a key index
-// enforcing functional dependencies, and lazily built secondary hash
-// indexes keyed by bound-column masks for joins.
+// Relation storage, hash-partitioned into shards, in one of two layouts:
+//
+//  * Row-major (the seed layout): each shard holds a dense tuple vector
+//    with a full-tuple hash index for set semantics, a key index enforcing
+//    functional dependencies, and lazily built secondary hash indexes
+//    keyed by bound-column masks for joins.
+//  * Columnar (FixpointOptions::columnar / SB_COLUMNAR, default on for
+//    workspace-created relations): each shard stores its rows as
+//    append-ordered column segments — one dictionary-encoded column per
+//    attribute. A relation-level dictionary per column maps each distinct
+//    Value to a dense u32 code (codes are append-only and never reused;
+//    live-row refcounts track exact per-column distinct counts), and each
+//    shard keeps one contiguous code vector per column. All indexes key on
+//    code vectors, so probes hash and compare u32 codes instead of values,
+//    and a probe value missing from a column's dictionary answers the
+//    probe (empty) before any shard or index is touched. Row-major
+//    consumers keep working through the accessor layer (At /
+//    MaterializeTuple / AllTuples / row); shard_tuples() remains the
+//    zero-overhead row-mode accessor and must not be used in columnar
+//    mode.
+//
+// The two layouts hold the identical logical content under the identical
+// mutation sequence: shard routing, slot assignment (insertion order +
+// swap-remove), duplicate/FD detection, support counts, secondary-bucket
+// order, and the per-mask statistics all behave the same, so the fixpoint
+// is byte-identical under either layout (tests/planner_test.cc pins this
+// across the SB_PLAN x SB_THREADS x SB_SHARDS matrix).
 //
 // Sharding (scale-out seam): every tuple lives in exactly one shard,
 // chosen by a hash of the declared *shard-key columns* — the functional-
 // dependency key columns for functional predicates, the first column
 // otherwise (the join key in the paper's hash-join tables and path-vector
-// route sets). A probe whose bound-column mask covers the shard key
-// touches exactly one shard; unbound scans iterate shards in ascending
-// order. Shard count is fixed per relation at construction
-// (FixpointOptions::shards / SB_SHARDS); 1 shard reproduces the unsharded
-// layout exactly. Because set membership, support counts, and FD slots
-// are per-tuple properties, the logical content of a relation is
-// independent of the shard count — only storage order changes.
+// route sets). The shard hash is computed from the tuple's values in both
+// layouts, so shard choice is layout-independent. A probe whose
+// bound-column mask covers the shard key touches exactly one shard;
+// unbound scans iterate shards in ascending order. Shard count is fixed
+// per relation at construction (FixpointOptions::shards / SB_SHARDS);
+// 1 shard reproduces the unsharded layout exactly. Because set membership,
+// support counts, and FD slots are per-tuple properties, the logical
+// content of a relation is independent of the shard count — only storage
+// order changes.
 //
 // Each row additionally carries a derivation-support count used by the
 // counting-based incremental deletion path: the number of rule
@@ -23,7 +48,9 @@
 // Concurrency contract (parallel fixpoint): all mutations are
 // single-threaded. Concurrent Probe() calls are safe only for masks whose
 // index is current (EnsureIndex pre-warms every shard before a parallel
-// phase); a current index makes Probe a pure read.
+// phase); a current index makes Probe a pure read. Dictionary lookups
+// (CodeOf, ProbeShard's internal key encoding) are pure reads of maps that
+// only mutations grow, so they share the same contract.
 //
 // Reference-stability contract: ProbeShard() returns a reference to a
 // bucket vector inside one shard's secondary index. The reference (and
@@ -64,20 +91,45 @@ enum class InsertOutcome {
   kFdConflict,   // functional dependency violated (same keys, other value)
 };
 
+/// Where a cardinality estimate for a bound-column mask comes from
+/// (SB_EXPLAIN surfaces this per plan step).
+enum class EstimateSource : uint8_t {
+  kSize = 0,  // no usable statistic: the full relation size
+  kDict,      // exact per-column distinct count from a columnar dictionary
+  kStat,      // content-hashed distinct-key statistic (EnsureKeyStat)
+};
+
 class Relation {
  public:
+  /// Approximate heap bytes by storage component, from container
+  /// capacities (string payloads excluded — the estimate is for relative
+  /// layout comparisons, not an allocator audit). Row-major relations
+  /// report their tuple vectors as column_bytes so the two layouts are
+  /// directly comparable.
+  struct MemoryFootprint {
+    size_t dict_bytes = 0;    // dictionaries: values, code maps, refcounts
+    size_t column_bytes = 0;  // code columns + support counts (or tuple rows)
+    size_t index_bytes = 0;   // full-tuple/FD indexes + secondary buckets
+  };
+
   /// `shards` is clamped to >= 1 and fixed for the relation's lifetime
   /// (re-hashing live data across a shard-count change is not supported).
-  explicit Relation(const datalog::PredicateDecl* decl, size_t shards = 1);
+  /// `columnar` selects the dictionary-encoded column-segment layout; it
+  /// is likewise latched for the relation's lifetime.
+  explicit Relation(const datalog::PredicateDecl* decl, size_t shards = 1,
+                    bool columnar = false);
 
   const datalog::PredicateDecl& decl() const { return *decl_; }
+  bool columnar() const { return columnar_; }
 
   /// Insert with set semantics and FD checking.
   InsertOutcome Insert(const Tuple& t);
 
   /// Remove a tuple; returns true if it was present. Built secondary
   /// indexes are patched in place (swap-remove aware, shard-local), never
-  /// invalidated.
+  /// invalidated. In columnar mode `t` must not alias this relation's
+  /// storage (accessors hand out materialized copies, so callers never
+  /// hold such a reference).
   bool Erase(const Tuple& t);
 
   /// For functional predicates: replace any existing tuple with the same
@@ -88,8 +140,11 @@ class Relation {
   bool Contains(const Tuple& t) const;
 
   /// Functional lookup: full tuple for `keys` (arity-1 values) or nullptr.
-  /// The keys determine the shard, so this is a single-shard probe.
-  const Tuple* LookupByKeys(const Tuple& keys) const;
+  /// The keys determine the shard, so this is a single-shard probe. In
+  /// row mode the result points into storage (stable until the next
+  /// mutation); in columnar mode the row is materialized into `*scratch`
+  /// and the result points there — pass a reusable buffer on hot paths.
+  const Tuple* LookupByKeys(const Tuple& keys, Tuple* scratch) const;
 
   size_t size() const { return total_size_; }
   bool empty() const { return total_size_ == 0; }
@@ -97,18 +152,55 @@ class Relation {
   // -- sharded access --------------------------------------------------------
 
   size_t shard_count() const { return shards_.size(); }
-  /// Shard owning `t` (hash of the shard-key columns).
+  /// Shard owning `t` (hash of the shard-key columns' values).
   size_t ShardOf(const Tuple& t) const;
+  /// Rows in one shard (both layouts).
+  size_t shard_size(size_t shard) const {
+    const Shard& s = shards_[shard];
+    return columnar_ ? s.counts.size() : s.tuples.size();
+  }
   /// Tuples of one shard, in shard-local insertion order (stable except
   /// for swap-remove erasure). Full scans iterate shards in order.
+  /// Row-major layout only — columnar consumers go through shard_codes()/
+  /// At()/MaterializeTuple().
   const std::vector<Tuple>& shard_tuples(size_t shard) const {
     return shards_[shard].tuples;
   }
+  /// One column's value at (shard, slot). Columnar mode returns a
+  /// reference into the column dictionary (stable: dictionaries are
+  /// append-only).
+  const datalog::Value& At(size_t shard, size_t slot, size_t col) const {
+    const Shard& s = shards_[shard];
+    return columnar_ ? dicts_[col].values[s.cols[col][slot]]
+                     : s.tuples[slot][col];
+  }
+  /// Materialized copy of the row at (shard, slot), either layout.
+  Tuple MaterializeTuple(size_t shard, size_t slot) const;
   /// Materialized copy of every tuple, shard-by-shard (snapshots, reseeds).
   std::vector<Tuple> AllTuples() const;
 
   /// Pre-size storage and hash indexes for `n` total rows (batch inserts).
   void Reserve(size_t n);
+
+  // -- columnar access (dictionary-encoded layout only) ----------------------
+
+  /// Dense dictionary code of `v` in column `col`, or nullopt when the
+  /// value was never inserted there — a miss proves no row matches on that
+  /// column, the executor's selective-filter fast path. Codes outlive
+  /// erasure (they are never reused), so a hit does not imply a live row.
+  std::optional<uint32_t> CodeOf(size_t col, const datalog::Value& v) const;
+  /// One shard's contiguous code vector for `col` (parallel to slots).
+  const std::vector<uint32_t>& shard_codes(size_t shard, size_t col) const {
+    return shards_[shard].cols[col];
+  }
+  /// The value a column code decodes to (reference into the dictionary).
+  const datalog::Value& Decode(size_t col, uint32_t code) const {
+    return dicts_[col].values[code];
+  }
+  /// Exact number of distinct values currently live in `col` (columnar
+  /// mode; nullopt in the row-major layout, which only tracks hashed
+  /// per-mask statistics).
+  std::optional<size_t> ColumnDistinct(size_t col) const;
 
   // -- derivation-support counts (counting-based deletion) -------------------
 
@@ -135,16 +227,26 @@ class Relation {
   /// retraction never leaves inflated cardinalities behind. Counting is by
   /// hash of the projected values (content-based), so the statistics are
   /// independent of shard count and insertion order — the property the
-  /// planner's determinism rests on. Single-threaded, like all mutations.
+  /// planner's determinism rests on. In columnar mode a single-column mask
+  /// is already covered exactly by the column dictionary's live count and
+  /// is not tracked. Single-threaded, like all mutations.
   void EnsureKeyStat(uint32_t mask);
 
-  /// Distinct projections onto `mask` among the current rows, or nullopt
-  /// when the mask is not tracked.
+  /// Distinct projections onto `mask` among the current rows: the exact
+  /// dictionary live count for a single-column mask in columnar mode, the
+  /// hashed statistic for a tracked mask, nullopt otherwise.
   std::optional<size_t> DistinctKeys(uint32_t mask) const;
 
-  /// Estimated rows matching one probe on `mask`: size()/distinct for a
-  /// tracked mask, the full size for mask 0 or an untracked mask.
+  /// Estimated rows matching one probe on `mask`: size()/distinct when a
+  /// distinct count is available (dictionary or tracked stat), the full
+  /// size for mask 0 or an untracked mask.
   double EstimateMatches(uint32_t mask) const;
+
+  /// Which statistic EstimateMatches(mask) would draw on (SB_EXPLAIN).
+  EstimateSource EstimateSourceFor(uint32_t mask) const;
+
+  /// Approximate storage footprint by component (EngineStats gauges).
+  MemoryFootprint Memory() const;
 
   // -- secondary-index probing -----------------------------------------------
 
@@ -154,22 +256,25 @@ class Relation {
   int ProbeShardOf(uint32_t mask, const Tuple& key) const;
 
   /// Rows of `shard` whose columns selected by `mask` (bit i = column i)
-  /// equal `key`. Returns shard-local indices into shard_tuples(shard);
-  /// see the reference-stability contract in the file comment.
+  /// equal `key`. Returns shard-local indices into the shard's rows;
+  /// see the reference-stability contract in the file comment. In
+  /// columnar mode the key values are encoded through the column
+  /// dictionaries first, and any dictionary miss returns empty without
+  /// touching the index.
   const std::vector<size_t>& ProbeShard(size_t shard, uint32_t mask,
                                         const Tuple& key);
 
   /// Flat probe across all shards: encoded row ids (decode with row()).
   /// Convenience for tests/debug only — the returned reference aliases an
   /// internal scratch buffer valid until the next Probe() call; hot paths
-  /// use ProbeShard()/shard_tuples() instead.
+  /// use ProbeShard()/shard_tuples()/shard_codes() instead.
   const std::vector<size_t>& Probe(uint32_t mask, const Tuple& key);
 
-  /// Decode a row id produced by Probe(). With one shard the id is the
-  /// plain row index, so `row(i) == shard_tuples(0)[i]`.
-  const Tuple& row(size_t encoded) const {
-    return shards_[encoded % shards_.size()]
-        .tuples[encoded / shards_.size()];
+  /// Decode a row id produced by Probe() into a materialized tuple. With
+  /// one shard the id is the plain row index.
+  Tuple row(size_t encoded) const {
+    return MaterializeTuple(encoded % shards_.size(),
+                            encoded / shards_.size());
   }
 
   /// Bring every shard's secondary index for `mask` up to the current
@@ -184,6 +289,28 @@ class Relation {
   uint64_t index_builds() const { return index_builds_; }
 
  private:
+  /// Projected dictionary codes, the columnar layout's index key.
+  using CodeKey = std::vector<uint32_t>;
+  struct CodeKeyHash {
+    size_t operator()(const CodeKey& k) const {
+      size_t h = 0x811C9DC5;
+      for (uint32_t c : k) h ^= c + 0x9E3779B9 + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  /// One column's relation-level dictionary. Codes are dense and
+  /// append-only: a value keeps its code across erasure (refs drop to 0),
+  /// so codes are comparable across shards and across time within one
+  /// relation. `live` counts codes with refs > 0 — the exact distinct
+  /// count the planner reads.
+  struct ColumnDict {
+    std::vector<datalog::Value> values;  // code -> value
+    std::unordered_map<datalog::Value, uint32_t, datalog::ValueHash> codes;
+    std::vector<uint32_t> refs;  // live rows per code
+    size_t live = 0;
+  };
+
   struct SecondaryIndex {
     uint64_t built_at_version = 0;
     /// Rows [0, rows_indexed) of the owning shard are in the buckets; a
@@ -193,8 +320,10 @@ class Relation {
     /// Bucket entries are kept sorted ascending (builds append in row
     /// order, erase patching re-inserts at the sort position), so probes
     /// walk each shard's tuple array as a sorted run — forward in memory —
-    /// and enumeration order is independent of erase history.
+    /// and enumeration order is independent of erase history. Exactly one
+    /// of the maps is populated, per the relation's layout.
     std::unordered_map<Tuple, std::vector<size_t>, TupleHash> buckets;
+    std::unordered_map<CodeKey, std::vector<size_t>, CodeKeyHash> cbuckets;
   };
 
   /// Distinct-key statistics for one tracked mask: rows per projected-key
@@ -205,22 +334,34 @@ class Relation {
   };
 
   /// One hash partition: the pre-shard Relation layout in miniature. All
-  /// slot values (index_, fd_index_, secondary buckets) are shard-local.
+  /// slot values (indexes, secondary buckets) are shard-local. Row mode
+  /// populates tuples/index_/fd_index_; columnar mode populates cols (one
+  /// code vector per column) and the code-keyed cindex_/cfd_index_.
   struct Shard {
     std::vector<Tuple> tuples;
-    std::vector<uint32_t> counts;  // parallel to tuples
+    std::vector<std::vector<uint32_t>> cols;  // [column][slot] -> code
+    std::vector<uint32_t> counts;             // parallel to rows
     std::unordered_map<Tuple, size_t, TupleHash> index_;     // tuple -> slot
     std::unordered_map<Tuple, size_t, TupleHash> fd_index_;  // keys -> slot
+    std::unordered_map<CodeKey, size_t, CodeKeyHash> cindex_;
+    std::unordered_map<CodeKey, size_t, CodeKeyHash> cfd_index_;
     std::unordered_map<uint32_t, SecondaryIndex> secondary_;
   };
 
   static Tuple Project(const Tuple& t, uint32_t mask);
+  static CodeKey ProjectCodes(const Shard& s, size_t slot, uint32_t mask);
   /// Hash of the shard-key columns of a full tuple.
   size_t ShardKeyHash(const Tuple& t) const;
   /// Shard for a probe key (bound values in column order) — only valid
   /// when the probe mask covers shard_key_mask_.
   size_t ShardOfProbeKey(uint32_t mask, const Tuple& key) const;
   void EnsureShardIndex(Shard& shard, uint32_t mask);
+  /// Lookup-only full-tuple encoding: out[i] = code of t[i], or kNoCode
+  /// for a value absent from column i's dictionary.
+  void EncodeLookup(const Tuple& t, CodeKey* out) const;
+  /// Columnar swap-remove erase of (shard, slot); mirrors the row-mode
+  /// bucket-patch and index-repoint sequence exactly.
+  void EraseColumnarSlot(Shard& s, size_t slot, const CodeKey& ck);
   /// Maintain every tracked KeyStat for an inserted / erased tuple.
   void StatsInsert(const Tuple& t);
   void StatsErase(const Tuple& t);
@@ -228,7 +369,13 @@ class Relation {
   const datalog::PredicateDecl* decl_;
   /// Bit i set = column i participates in the shard key.
   uint32_t shard_key_mask_ = 0;
+  bool columnar_ = false;
   std::vector<Shard> shards_;
+  /// Relation-level per-column dictionaries (columnar mode; empty in the
+  /// row-major layout). Relation-level — not per shard — so codes are
+  /// shard-comparable and the live counts feeding planner estimates are
+  /// independent of SB_SHARDS.
+  std::vector<ColumnDict> dicts_;
   size_t total_size_ = 0;
   uint64_t version_ = 1;
   uint64_t index_builds_ = 0;

@@ -50,6 +50,17 @@ Workspace::Workspace() : catalog_(std::make_unique<Catalog>()) {
       fixpoint_options_.plan = n == 1;
     }
   }
+  // Columnar relation storage: SB_COLUMNAR=0 selects the row-major tuple
+  // layout, unset/1 the dictionary-encoded column segments. Either value
+  // computes the identical fixpoint; garbage keeps the default. Latched
+  // per relation at first touch, like SB_SHARDS.
+  if (const char* env = std::getenv("SB_COLUMNAR")) {
+    char* end = nullptr;
+    long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && (n == 0 || n == 1)) {
+      fixpoint_options_.columnar = n == 1;
+    }
+  }
   // SB_EXPLAIN=1 dumps every built plan to stderr (docs/engine.md).
   if (const char* env = std::getenv("SB_EXPLAIN")) {
     char* end = nullptr;
@@ -71,10 +82,12 @@ Relation* Workspace::GetRelation(PredId pred) {
     relations_.resize(pred + 1);
   }
   if (relations_[pred] == nullptr) {
-    // The shard count is latched per relation at creation (first touch),
-    // so FixpointOptions::shards must be set before data arrives.
+    // The shard count and storage layout are latched per relation at
+    // creation (first touch), so FixpointOptions::shards/columnar must be
+    // set before data arrives.
     relations_[pred] = std::make_unique<Relation>(&catalog_->decl(pred),
-                                                 fixpoint_options_.shards);
+                                                 fixpoint_options_.shards,
+                                                 fixpoint_options_.columnar);
   }
   return relations_[pred].get();
 }
@@ -214,8 +227,9 @@ Result<bool> Workspace::InsertTuple(PredId pred, const Tuple& tuple,
   Relation* rel = GetRelation(pred);
   InsertOutcome outcome = rel->Insert(tuple);
   if (outcome == InsertOutcome::kFdConflict) {
+    Tuple scratch;
     const Tuple* existing = rel->LookupByKeys(
-        Tuple(tuple.begin(), tuple.end() - 1));
+        Tuple(tuple.begin(), tuple.end() - 1), &scratch);
     return Status::ConstraintViolation(
         "functional dependency violation on '" + catalog_->decl(pred).name +
         "': keys map to " +
@@ -449,9 +463,14 @@ void Workspace::Rollback(TxState* tx) {
                         << "' still occupied while restoring "
                         << TupleToString(it->tuple, *catalog_)
                         << "; displacing the occupant";
+          Tuple scratch;
           const Tuple* occupant = rel->LookupByKeys(
-              Tuple(it->tuple.begin(), it->tuple.end() - 1));
-          if (occupant != nullptr) rel->Erase(*occupant);
+              Tuple(it->tuple.begin(), it->tuple.end() - 1), &scratch);
+          if (occupant != nullptr) {
+            // Copy before Erase: in row mode the pointer aliases storage.
+            Tuple displaced = *occupant;
+            rel->Erase(displaced);
+          }
           outcome = rel->Insert(it->tuple);
         }
         if (outcome == InsertOutcome::kInserted) {
@@ -598,10 +617,19 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
   stats_.plan_builds += commit.fixpoint.plans_built;
   stats_.eval_frame_allocs = EvalFrameAllocs();
   uint64_t index_builds = 0;
+  Relation::MemoryFootprint mem;
   for (const auto& rel : relations_) {
-    if (rel != nullptr) index_builds += rel->index_builds();
+    if (rel == nullptr) continue;
+    index_builds += rel->index_builds();
+    const Relation::MemoryFootprint m = rel->Memory();
+    mem.dict_bytes += m.dict_bytes;
+    mem.column_bytes += m.column_bytes;
+    mem.index_bytes += m.index_bytes;
   }
   stats_.index_rebuilds = index_builds;
+  stats_.relation_dict_bytes = mem.dict_bytes;
+  stats_.relation_column_bytes = mem.column_bytes;
+  stats_.relation_index_bytes = mem.index_bytes;
   finish_timing();
   commit.duration_us = tx_durations_us_.back();
   return commit;
@@ -652,8 +680,8 @@ Result<Value> Workspace::SingletonValue(const std::string& pred) const {
     return Status::NotFound("singleton '" + pred + "' has no value");
   }
   for (size_t sh = 0; sh < rel->shard_count(); ++sh) {
-    if (!rel->shard_tuples(sh).empty()) {
-      return rel->shard_tuples(sh)[0].back();
+    if (rel->shard_size(sh) > 0) {
+      return rel->At(sh, 0, rel->decl().arity() - 1);
     }
   }
   return Status::NotFound("singleton '" + pred + "' has no value");

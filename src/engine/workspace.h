@@ -88,6 +88,14 @@ struct EngineStats {
   /// property of the Executor's probe paths on this staying constant
   /// across repeated identical transactions.
   uint64_t eval_frame_allocs = 0;
+  /// Storage-footprint gauges (not counters): approximate heap bytes
+  /// across all relations by component, recomputed at each commit from
+  /// Relation::Memory(). Dictionary bytes are zero under the row-major
+  /// layout; columnar savings on wide relations show up as column_bytes
+  /// (+ dictionary) undercutting the row layout's tuple storage.
+  uint64_t relation_dict_bytes = 0;
+  uint64_t relation_column_bytes = 0;
+  uint64_t relation_index_bytes = 0;
 };
 
 class Workspace : public RelationStore, private FixpointHost {

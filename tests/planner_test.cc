@@ -319,12 +319,13 @@ TEST(PlannerTest, PlanOnOffFixpointEquivalence) {
     std::vector<Snapshot> trace;
     std::vector<std::vector<uint64_t>> counters;
   };
-  auto run = [&](bool plan, int threads, size_t shards) {
+  auto run = [&](bool plan, int threads, size_t shards, bool columnar) {
     Run out;
     Workspace ws;
     ws.fixpoint_options().plan = plan;
     ws.fixpoint_options().threads = threads;
     ws.fixpoint_options().shards = shards;
+    ws.fixpoint_options().columnar = columnar;
     Install(&ws, kConvergenceProgram);
     auto seeded = ws.Apply(ConvergenceLinks(40, 2));
     EXPECT_TRUE(seeded.ok()) << seeded.status().ToString();
@@ -341,23 +342,26 @@ TEST(PlannerTest, PlanOnOffFixpointEquivalence) {
     }
     return out;
   };
-  Run base = run(false, 1, 1);
+  Run base = run(false, 1, 1, /*columnar=*/false);
   ASSERT_FALSE(base.trace.empty());
   ASSERT_FALSE(base.trace[0].empty());
-  for (bool plan : {false, true}) {
-    for (int threads : {1, 4}) {
-      for (size_t shards : {size_t{1}, size_t{7}}) {
-        if (!plan && threads == 1 && shards == 1) continue;
-        Run other = run(plan, threads, shards);
-        ASSERT_EQ(base.trace.size(), other.trace.size());
-        for (size_t step = 0; step < base.trace.size(); ++step) {
-          EXPECT_EQ(base.trace[step], other.trace[step])
-              << "fixpoint diverged at step " << step << " plan=" << plan
-              << " threads=" << threads << " shards=" << shards;
-          EXPECT_EQ(base.counters[step], other.counters[step])
-              << "semantic counters diverged at step " << step
-              << " plan=" << plan << " threads=" << threads
-              << " shards=" << shards;
+  for (bool columnar : {false, true}) {
+    for (bool plan : {false, true}) {
+      for (int threads : {1, 4}) {
+        for (size_t shards : {size_t{1}, size_t{7}}) {
+          if (!columnar && !plan && threads == 1 && shards == 1) continue;
+          Run other = run(plan, threads, shards, columnar);
+          ASSERT_EQ(base.trace.size(), other.trace.size());
+          for (size_t step = 0; step < base.trace.size(); ++step) {
+            EXPECT_EQ(base.trace[step], other.trace[step])
+                << "fixpoint diverged at step " << step << " plan=" << plan
+                << " threads=" << threads << " shards=" << shards
+                << " columnar=" << columnar;
+            EXPECT_EQ(base.counters[step], other.counters[step])
+                << "semantic counters diverged at step " << step
+                << " plan=" << plan << " threads=" << threads
+                << " shards=" << shards << " columnar=" << columnar;
+          }
         }
       }
     }
@@ -423,6 +427,9 @@ TEST(PlannerTest, SteadyStateEvaluationAllocatesNoFrames) {
 
 TEST(PlannerTest, ExplainDescribesChosenPlan) {
   Workspace ws;
+  // Pin the layout: the provenance assertions below distinguish
+  // dictionary-sourced estimates from hashed-mask statistics.
+  ws.fixpoint_options().columnar = true;
   Install(&ws, kWorstOrderedProgram);
   std::vector<FactUpdate> facts;
   for (int i = 0; i < 50; ++i) {
@@ -446,28 +453,61 @@ TEST(PlannerTest, ExplainDescribesChosenPlan) {
   EXPECT_NE(dump.find("scan big"), std::string::npos);
   EXPECT_NE(dump.find("probe="), std::string::npos);
   EXPECT_NE(dump.find("est="), std::string::npos);
+  // Estimate provenance: big's single-column probe estimate comes straight
+  // from the dictionary's live distinct count under the columnar layout;
+  // the unkeyed filt scan falls back to relation size.
+  EXPECT_NE(dump.find("via=dict"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("via=size"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("distinct=50"), std::string::npos) << dump;
   const std::string delta_dump = planner.Explain(
       *rule, 0, *planner.PlanFor(*rule, 0));
   EXPECT_NE(delta_dump.find("variant=d0"), std::string::npos);
   EXPECT_NE(delta_dump.find("est=delta"), std::string::npos);
+
+  // The row-major layout sources the same estimate from the hashed-mask
+  // statistic instead of the dictionary.
+  Workspace row_ws;
+  row_ws.fixpoint_options().columnar = false;
+  Install(&row_ws, kWorstOrderedProgram);
+  ASSERT_TRUE(row_ws.Apply(facts).ok());
+  const CompiledRule* row_rule = nullptr;
+  for (const CompiledRule& r : row_ws.compiled_rules()) {
+    if (r.num_scan_occurrences == 2) row_rule = &r;
+  }
+  ASSERT_NE(row_rule, nullptr);
+  ExecPlanner row_planner(&row_ws.catalog(), &row_ws,
+                          &row_ws.fixpoint_options());
+  const VariantPlan* rvp =
+      row_planner.PlanFor(*row_rule, ExecPlanner::kFullBody);
+  ASSERT_NE(rvp, nullptr);
+  const std::string row_dump =
+      row_planner.Explain(*row_rule, ExecPlanner::kFullBody, *rvp);
+  EXPECT_NE(row_dump.find("via=stat"), std::string::npos) << row_dump;
+  EXPECT_NE(row_dump.find("distinct=50"), std::string::npos) << row_dump;
 }
 
 TEST(PlannerTest, EnvironmentKnobsParsed) {
   ASSERT_EQ(setenv("SB_PLAN", "0", 1), 0);
   ASSERT_EQ(setenv("SB_EXPLAIN", "1", 1), 0);
+  ASSERT_EQ(setenv("SB_COLUMNAR", "0", 1), 0);
   {
     Workspace ws;
     EXPECT_FALSE(ws.fixpoint_options().plan);
     EXPECT_TRUE(ws.fixpoint_options().explain);
+    EXPECT_FALSE(ws.fixpoint_options().columnar);
   }
   ASSERT_EQ(setenv("SB_PLAN", "garbage", 1), 0);
+  ASSERT_EQ(setenv("SB_COLUMNAR", "2", 1), 0);
   ASSERT_EQ(unsetenv("SB_EXPLAIN"), 0);
   {
     Workspace ws;
     EXPECT_TRUE(ws.fixpoint_options().plan) << "garbage keeps the default";
     EXPECT_FALSE(ws.fixpoint_options().explain);
+    EXPECT_TRUE(ws.fixpoint_options().columnar)
+        << "out-of-range keeps the default";
   }
   ASSERT_EQ(unsetenv("SB_PLAN"), 0);
+  ASSERT_EQ(unsetenv("SB_COLUMNAR"), 0);
 }
 
 }  // namespace

@@ -28,6 +28,13 @@ Tuple T(std::initializer_list<int64_t> vals) {
   return t;
 }
 
+// LookupByKeys needs caller-provided materialization space under the
+// columnar layout; row-mode tests just want the pointer.
+const Tuple* Lookup(const Relation& r, const Tuple& keys) {
+  static Tuple scratch;
+  return r.LookupByKeys(keys, &scratch);
+}
+
 TEST(RelationTest, InsertAndDuplicate) {
   PredicateDecl decl = MakeDecl(2, false);
   Relation r(&decl);
@@ -46,10 +53,10 @@ TEST(RelationTest, FunctionalDependency) {
   EXPECT_EQ(r.Insert(T({1, 10})), InsertOutcome::kDuplicate);
   EXPECT_EQ(r.Insert(T({1, 20})), InsertOutcome::kFdConflict);
   EXPECT_EQ(r.Insert(T({2, 20})), InsertOutcome::kInserted);
-  const Tuple* found = r.LookupByKeys(T({1}));
+  const Tuple* found = Lookup(r, T({1}));
   ASSERT_NE(found, nullptr);
   EXPECT_EQ(found->back().AsInt(), 10);
-  EXPECT_EQ(r.LookupByKeys(T({3})), nullptr);
+  EXPECT_EQ(Lookup(r, T({3})), nullptr);
 }
 
 TEST(RelationTest, EraseMaintainsIndexes) {
@@ -60,10 +67,10 @@ TEST(RelationTest, EraseMaintainsIndexes) {
   EXPECT_FALSE(r.Erase(T({4, 40})));
   EXPECT_EQ(r.size(), 9u);
   EXPECT_FALSE(r.Contains(T({4, 40})));
-  EXPECT_EQ(r.LookupByKeys(T({4})), nullptr);
+  EXPECT_EQ(Lookup(r, T({4})), nullptr);
   // The swap-removed last element is still reachable.
   EXPECT_TRUE(r.Contains(T({9, 90})));
-  ASSERT_NE(r.LookupByKeys(T({9})), nullptr);
+  ASSERT_NE(Lookup(r, T({9})), nullptr);
   // Reinsert after erase works (FD slot freed).
   EXPECT_EQ(r.Insert(T({4, 44})), InsertOutcome::kInserted);
 }
@@ -75,7 +82,7 @@ TEST(RelationTest, ReplaceFunctional) {
   auto displaced = r.ReplaceFunctional(T({1, 5}));
   ASSERT_TRUE(displaced.has_value());
   EXPECT_EQ(displaced->back().AsInt(), 10);
-  EXPECT_EQ(r.LookupByKeys(T({1}))->back().AsInt(), 5);
+  EXPECT_EQ(Lookup(r, T({1}))->back().AsInt(), 5);
   // Replacing with the same value is a no-op.
   EXPECT_FALSE(r.ReplaceFunctional(T({1, 5})).has_value());
   // Replacing a fresh key inserts.
@@ -178,9 +185,10 @@ TEST(RelationTest, SupportCountsSurviveSwapRemove) {
 std::multiset<std::string> Contents(const Relation& r) {
   std::multiset<std::string> out;
   for (size_t sh = 0; sh < r.shard_count(); ++sh) {
-    for (const Tuple& t : r.shard_tuples(sh)) {
+    for (size_t slot = 0; slot < r.shard_size(sh); ++slot) {
+      Tuple t = r.MaterializeTuple(sh, slot);
       std::string line;
-      for (const Value& v : t) line += std::to_string(v.AsInt()) + ",";
+      for (const Value& v : t) line += v.ToString() + ",";
       line += "#" + std::to_string(r.SupportCount(t));
       out.insert(std::move(line));
     }
@@ -246,7 +254,7 @@ TEST(ShardedRelationTest, FunctionalShardsByKeysAndReplaces) {
   for (int64_t i = 0; i < 60; ++i) r.Insert(T({i, i % 4, i * 10}));
   // LookupByKeys is a single-shard probe and agrees with Contains.
   for (int64_t i = 0; i < 60; ++i) {
-    const Tuple* row = r.LookupByKeys(T({i, i % 4}));
+    const Tuple* row = Lookup(r, T({i, i % 4}));
     ASSERT_NE(row, nullptr);
     EXPECT_EQ(row->back().AsInt(), i * 10);
   }
@@ -257,7 +265,7 @@ TEST(ShardedRelationTest, FunctionalShardsByKeysAndReplaces) {
   auto displaced = r.ReplaceFunctional(T({3, 3, 31}));
   ASSERT_TRUE(displaced.has_value());
   EXPECT_EQ(displaced->back().AsInt(), 30);
-  EXPECT_EQ(r.LookupByKeys(T({3, 3}))->back().AsInt(), 31);
+  EXPECT_EQ(Lookup(r, T({3, 3}))->back().AsInt(), 31);
   EXPECT_EQ(r.size(), 60u);
 }
 
@@ -316,6 +324,181 @@ TEST(ShardedRelationTest, ProbeShardReferenceSurvivesForeignIndexWork) {
   EXPECT_EQ(rows[0], first);
   EXPECT_EQ(r.shard_tuples(static_cast<size_t>(shard))[rows[0]][0].AsInt(),
             1);
+}
+
+// ---------------------------------------------------------------------------
+// Columnar storage: dictionary-encoded column segments must agree with the
+// row-major layout under churn, at every shard count.
+// ---------------------------------------------------------------------------
+
+Tuple Mixed(int64_t k, int64_t tag) {
+  Tuple t;
+  t.push_back(Value::Int(k));
+  t.push_back(Value::Str("name-" + std::to_string(k % 9)));
+  t.push_back(Value::Int(tag));
+  return t;
+}
+
+TEST(ColumnarRelationTest, DictionaryRoundTripUnderChurn) {
+  PredicateDecl decl = MakeDecl(3, false);
+  for (size_t shards : {size_t{1}, size_t{4}, size_t{7}}) {
+    Relation r(&decl, shards, /*columnar=*/true);
+    ASSERT_TRUE(r.columnar());
+    for (int64_t i = 0; i < 150; ++i) r.Insert(Mixed(i, i % 5));
+    // Every stored code decodes back to the value the accessor reports,
+    // and MaterializeTuple reassembles the logical row.
+    for (size_t sh = 0; sh < r.shard_count(); ++sh) {
+      for (size_t slot = 0; slot < r.shard_size(sh); ++slot) {
+        Tuple t = r.MaterializeTuple(sh, slot);
+        ASSERT_EQ(t.size(), 3u);
+        for (size_t col = 0; col < t.size(); ++col) {
+          uint32_t code = r.shard_codes(sh, col)[slot];
+          EXPECT_EQ(r.Decode(col, code), t[col]);
+          EXPECT_EQ(r.At(sh, slot, col), t[col]);
+          auto back = r.CodeOf(col, t[col]);
+          ASSERT_TRUE(back.has_value());
+          EXPECT_EQ(*back, code);
+        }
+        EXPECT_TRUE(r.Contains(t));
+      }
+    }
+    // Erase a stride (middle rows force swap-remove repointing), then
+    // verify content and codes again, then reinsert.
+    for (int64_t i = 0; i < 150; i += 3) EXPECT_TRUE(r.Erase(Mixed(i, i % 5)));
+    EXPECT_EQ(r.size(), 100u);
+    for (int64_t i = 0; i < 150; ++i) {
+      EXPECT_EQ(r.Contains(Mixed(i, i % 5)), i % 3 != 0) << "i=" << i;
+    }
+    for (int64_t i = 0; i < 150; i += 3) {
+      EXPECT_EQ(r.Insert(Mixed(i, i % 5)), InsertOutcome::kInserted);
+    }
+    EXPECT_EQ(r.size(), 150u);
+    for (size_t sh = 0; sh < r.shard_count(); ++sh) {
+      for (size_t slot = 0; slot < r.shard_size(sh); ++slot) {
+        Tuple t = r.MaterializeTuple(sh, slot);
+        for (size_t col = 0; col < t.size(); ++col) {
+          EXPECT_EQ(r.Decode(col, r.shard_codes(sh, col)[slot]), t[col]);
+        }
+      }
+    }
+  }
+}
+
+TEST(ColumnarRelationTest, ColumnDistinctTracksLiveValuesExactly) {
+  PredicateDecl decl = MakeDecl(3, false);
+  Relation r(&decl, 4, /*columnar=*/true);
+  auto expect_distinct = [&](int64_t upto) {
+    std::set<std::string> c0, c1, c2;
+    for (size_t sh = 0; sh < r.shard_count(); ++sh) {
+      for (size_t slot = 0; slot < r.shard_size(sh); ++slot) {
+        c0.insert(r.At(sh, slot, 0).ToString());
+        c1.insert(r.At(sh, slot, 1).ToString());
+        c2.insert(r.At(sh, slot, 2).ToString());
+      }
+    }
+    EXPECT_EQ(r.ColumnDistinct(0), c0.size()) << "upto=" << upto;
+    EXPECT_EQ(r.ColumnDistinct(1), c1.size()) << "upto=" << upto;
+    EXPECT_EQ(r.ColumnDistinct(2), c2.size()) << "upto=" << upto;
+  };
+  for (int64_t i = 0; i < 120; ++i) r.Insert(Mixed(i, i % 7));
+  expect_distinct(120);
+  // Erase churn must decay live counts exactly: erasing the only row
+  // using a value frees it; shared values stay live.
+  for (int64_t i = 0; i < 120; i += 2) r.Erase(Mixed(i, i % 7));
+  expect_distinct(60);
+  // Reinserting erased values revives retired codes (refcount 0 -> 1).
+  for (int64_t i = 0; i < 120; i += 2) r.Insert(Mixed(i, i % 7));
+  expect_distinct(120);
+}
+
+TEST(ColumnarRelationTest, ContentMatchesRowLayoutAcrossShardCounts) {
+  PredicateDecl decl = MakeDecl(3, false);
+  auto fill = [&](Relation* r) {
+    for (int64_t i = 0; i < 200; ++i) {
+      r->Insert(Mixed(i % 31, i));
+      if (i % 4 == 0) r->AddSupport(Mixed(i % 31, i));
+    }
+    for (int64_t i = 0; i < 200; i += 5) r->Erase(Mixed(i % 31, i));
+  };
+  Relation rows(&decl, 1, /*columnar=*/false);
+  fill(&rows);
+  for (size_t shards : {size_t{1}, size_t{4}, size_t{7}}) {
+    Relation cols(&decl, shards, /*columnar=*/true);
+    fill(&cols);
+    EXPECT_EQ(cols.size(), rows.size());
+    EXPECT_EQ(Contents(cols), Contents(rows)) << "shards=" << shards;
+    for (int64_t i = 0; i < 200; ++i) {
+      EXPECT_EQ(cols.Contains(Mixed(i % 31, i)), rows.Contains(Mixed(i % 31, i)));
+    }
+  }
+}
+
+TEST(ColumnarRelationTest, FunctionalReplaceAndSupportSurviveSwapRemove) {
+  PredicateDecl decl = MakeDecl(3, true);  // keys = columns 0..1
+  Relation r(&decl, 7, /*columnar=*/true);
+  for (int64_t i = 0; i < 60; ++i) r.Insert(Mixed(i, i * 10));
+  EXPECT_EQ(r.Insert(Mixed(3, 999)), InsertOutcome::kFdConflict);
+  for (int64_t i = 0; i < 60; ++i) {
+    const Tuple* row = Lookup(r, {Value::Int(i),
+                                  Value::Str("name-" + std::to_string(i % 9))});
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->back().AsInt(), i * 10);
+  }
+  auto displaced = r.ReplaceFunctional(Mixed(3, 31));
+  ASSERT_TRUE(displaced.has_value());
+  EXPECT_EQ(displaced->back().AsInt(), 30);
+  EXPECT_EQ(r.size(), 60u);
+  // Support moves with swap-removed rows, same as the row layout.
+  for (int64_t i = 0; i < 8; ++i) {
+    for (int64_t j = 0; j <= i; ++j) r.AddSupport(Mixed(i, i * 10));
+  }
+  r.Erase(r.MaterializeTuple(r.ShardOf(Mixed(2, 20)), 0));  // arbitrary row
+  for (int64_t i = 4; i < 8; ++i) {
+    if (!r.Contains(Mixed(i, i * 10))) continue;
+    EXPECT_EQ(r.SupportCount(Mixed(i, i * 10)), static_cast<uint32_t>(i + 1));
+  }
+}
+
+TEST(ColumnarRelationTest, ProbeComparesCodesAndMissesFast) {
+  PredicateDecl decl = MakeDecl(3, false);
+  Relation r(&decl, 4, /*columnar=*/true);
+  for (int64_t i = 0; i < 100; ++i) r.Insert(Mixed(i % 5, i));
+  const auto& rows = r.Probe(0b001, T({2}));
+  EXPECT_EQ(rows.size(), 20u);
+  for (size_t row : rows) EXPECT_EQ(r.row(row)[0].AsInt(), 2);
+  // A key absent from the dictionary answers without touching buckets.
+  EXPECT_TRUE(r.Probe(0b001, T({77})).empty());
+  EXPECT_FALSE(r.CodeOf(0, Value::Int(77)).has_value());
+  // Bound-key single-shard probes agree with the row layout's routing.
+  int shard = r.ProbeShardOf(0b001, T({2}));
+  ASSERT_GE(shard, 0);
+  EXPECT_EQ(static_cast<size_t>(shard), r.ShardOf(T({2, 0, 0})));
+  // Erase churn patches columnar buckets in place, no rebuilds.
+  r.EnsureIndex(0b001);
+  uint64_t builds = r.index_builds();
+  for (int64_t i = 0; i < 50; ++i) r.Erase(Mixed(i % 5, i));
+  for (int64_t k = 0; k < 5; ++k) {
+    const auto& got = r.Probe(0b001, T({k}));
+    EXPECT_EQ(got.size(), 10u);
+    for (size_t row : got) EXPECT_EQ(r.row(row)[0].AsInt(), k);
+  }
+  EXPECT_EQ(r.index_builds(), builds);
+}
+
+TEST(ColumnarRelationTest, MemoryFootprintReportsDictionaryAndColumns) {
+  PredicateDecl decl = MakeDecl(3, false);
+  Relation rows(&decl, 2, /*columnar=*/false);
+  Relation cols(&decl, 2, /*columnar=*/true);
+  for (int64_t i = 0; i < 64; ++i) {
+    rows.Insert(Mixed(i % 4, i % 8));
+    cols.Insert(Mixed(i % 4, i % 8));
+  }
+  Relation::MemoryFootprint rm = rows.Memory();
+  Relation::MemoryFootprint cm = cols.Memory();
+  EXPECT_EQ(rm.dict_bytes, 0u);
+  EXPECT_GT(rm.column_bytes, 0u);  // row storage reported as column bytes
+  EXPECT_GT(cm.dict_bytes, 0u);
+  EXPECT_GT(cm.column_bytes, 0u);
 }
 
 TEST(RelationTest, TupleHashingQuality) {
