@@ -70,4 +70,16 @@ echo "wrote $build/BENCH_column.json"
 SB_COLUMNAR=0 ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
     -R 'engine_test|parallel_test|delete_test|relation_test|planner_test'
 
+# SIMD kernel A/B (SB_SIMD): wide selective batch scan plus a narrow
+# recursion, recorded as BENCH_simd.json. On AVX2 hosts the harness
+# exits nonzero unless auto beats scalar >= 1.25x on the wide scan; the
+# wide gate auto-skips (with a logged note) elsewhere. Everywhere, auto
+# must stay within 1.10x of scalar on the narrow workload.
+SB_QUICK=1 SB_TRIALS=3 SB_BENCH_OUT="$build/BENCH_simd.json" \
+    "$build/abl_simd_ab"
+echo "wrote $build/BENCH_simd.json"
+# Scalar-kernel smoke: the SB_SIMD=0 paths must stay green.
+SB_SIMD=0 ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
+    -R 'engine_test|parallel_test|delete_test|relation_test|planner_test|kernels_test'
+
 echo "check.sh: OK"

@@ -666,7 +666,23 @@ struct EvalFrame {
   std::vector<std::pair<int, uint32_t>> col_filters;
   /// Row materialization scratch (columnar lookups, exclude-set checks).
   Tuple row;
+  /// Batch scan path: the per-shard filter descriptors handed to the
+  /// fused kernels, and the selection vector of surviving slots they emit.
+  std::vector<CodeFilter> kernel_filters;
+  std::vector<uint32_t> sel;
+  /// Exclude set encoded to dictionary codes once per invocation
+  /// (arity-stride chunks in exclude_flat, chunk indices sorted
+  /// lexicographically in exclude_order) plus the candidate-row code
+  /// scratch the membership probe compares against.
+  std::vector<uint32_t> exclude_flat;
+  std::vector<uint32_t> exclude_order;
+  std::vector<uint32_t> row_codes;
 };
+
+/// Initial selection-vector capacity reserved when a pooled frame is
+/// first constructed, so small steady-state scans never allocate on the
+/// batch path (larger shards grow the buffer once, then keep it).
+constexpr size_t kSelReserve = 256;
 
 std::atomic<uint64_t> g_frame_allocs{0};
 // std::deque: references to existing frames stay valid while nested Run
@@ -761,17 +777,50 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
           if (!code) return Status::OK();  // dictionary miss: zero matches
           filters.emplace_back(static_cast<int>(i), *code);
         }
-        auto try_slot = [&](size_t sh, size_t slot) -> Status {
-          for (const auto& [col, code] : filters) {
-            if (rel->shard_codes(sh, col)[slot] != code) return Status::OK();
-          }
-          if (exclude != nullptr) {
-            frame.row.clear();
-            for (size_t c = 0; c < step.args.size(); ++c) {
-              frame.row.push_back(rel->At(sh, slot, c));
+        // Exclude sets are value tuples; encode each to dictionary codes
+        // once per invocation. A tuple with any dictionary miss cannot be
+        // stored in the relation and is dropped from the encoded set. The
+        // encoded chunks are sorted (by index) so membership per surviving
+        // slot is a binary search over u32 codes — no per-candidate row
+        // materialization.
+        const size_t arity = step.args.size();
+        frame.exclude_flat.clear();
+        frame.exclude_order.clear();
+        if (exclude != nullptr && !exclude->empty()) {
+          for (const Tuple& t : *exclude) {
+            if (rel->EncodeTuple(t, &frame.exclude_flat)) {
+              frame.exclude_order.push_back(
+                  static_cast<uint32_t>(frame.exclude_order.size()));
             }
-            if (exclude->count(frame.row)) return Status::OK();
           }
+          const uint32_t* flat = frame.exclude_flat.data();
+          std::sort(frame.exclude_order.begin(), frame.exclude_order.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      return std::lexicographical_compare(
+                          flat + a * arity, flat + (a + 1) * arity,
+                          flat + b * arity, flat + (b + 1) * arity);
+                    });
+        }
+        auto excluded = [&](size_t sh, uint32_t slot) -> bool {
+          frame.row_codes.clear();
+          for (size_t c = 0; c < arity; ++c) {
+            frame.row_codes.push_back(rel->shard_codes(sh, c)[slot]);
+          }
+          const uint32_t* flat = frame.exclude_flat.data();
+          const uint32_t* want = frame.row_codes.data();
+          auto it = std::lower_bound(
+              frame.exclude_order.begin(), frame.exclude_order.end(), want,
+              [&](uint32_t a, const uint32_t* w) {
+                return std::lexicographical_compare(
+                    flat + a * arity, flat + (a + 1) * arity, w, w + arity);
+              });
+          return it != frame.exclude_order.end() &&
+                 std::equal(flat + *it * arity, flat + (*it + 1) * arity,
+                            want);
+        };
+        const bool have_exclude = !frame.exclude_order.empty();
+        auto emit_slot = [&](size_t sh, uint32_t slot) -> Status {
+          if (have_exclude && excluded(sh, slot)) return Status::OK();
           frame.bound_here.clear();
           for (size_t i = 0; i < step.args.size(); ++i) {
             if (step.args[i].kind == ArgPat::Kind::kBind) {
@@ -782,6 +831,16 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
           Status st = RunFrom(steps, idx + 1, env, delta, on_match);
           for (int s : frame.bound_here) env[s].reset();
           return st;
+        };
+        // Per-shard kernel descriptors: the filters' column base pointers
+        // for this shard plus the resolved codes.
+        auto shard_filters = [&](size_t sh) -> const CodeFilter* {
+          frame.kernel_filters.clear();
+          for (const auto& [col, code] : filters) {
+            frame.kernel_filters.push_back(
+                CodeFilter{rel->shard_codes(sh, col).data(), code});
+          }
+          return frame.kernel_filters.data();
         };
         if (mask != 0 && step.probe != Step::Probe::kScanAll) {
           Tuple& key = frame.key;
@@ -798,15 +857,55 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
           const size_t end =
               only >= 0 ? static_cast<size_t>(only) + 1 : rel->shard_count();
           for (size_t sh = begin; sh < end; ++sh) {
-            for (size_t slot : rel->ProbeShard(sh, mask, key)) {
-              SB_RETURN_IF_ERROR(try_slot(sh, slot));
+            const std::vector<size_t>& rows = rel->ProbeShard(sh, mask, key);
+            if (rows.empty()) continue;
+            // The probe bucket already matched the masked columns, but the
+            // filters can cover more than the mask (arity > 32); refine
+            // the slot list through the same fused kernels as full scans.
+            frame.sel.clear();
+            FilterFusedSelect(simd_, shard_filters(sh), filters.size(),
+                              rows.data(), rows.size(), &frame.sel);
+            for (uint32_t slot : frame.sel) {
+              SB_RETURN_IF_ERROR(emit_slot(sh, slot));
             }
           }
         } else {
           for (size_t sh = 0; sh < rel->shard_count(); ++sh) {
             const size_t rows = rel->shard_size(sh);
-            for (size_t slot = 0; slot < rows; ++slot) {
-              SB_RETURN_IF_ERROR(try_slot(sh, slot));
+            if (rows == 0) continue;
+            frame.sel.clear();
+            // Single-column filters binary-search warm sorted-run metadata
+            // (EnsureSortedRuns, warmed by the fixpoint's staging phase)
+            // instead of touching every slot; runs are consecutive slot
+            // ranges, so emission order stays ascending. Cold or
+            // fragmented runs fall through to the fused filter kernels.
+            bool emitted = false;
+            if (filters.size() == 1) {
+              const auto* bounds =
+                  rel->SortedRunBoundsIfWarm(sh, filters[0].first);
+              if (bounds != nullptr && bounds->size() >= 2 &&
+                  (bounds->size() - 1) * 16 <= rows) {
+                const std::vector<uint32_t>& codes =
+                    rel->shard_codes(sh, filters[0].first);
+                const uint32_t code = filters[0].second;
+                for (size_t r = 0; r + 1 < bounds->size(); ++r) {
+                  auto lo = codes.begin() + (*bounds)[r];
+                  auto hi = codes.begin() + (*bounds)[r + 1];
+                  auto [first, last] = std::equal_range(lo, hi, code);
+                  for (auto it = first; it != last; ++it) {
+                    frame.sel.push_back(static_cast<uint32_t>(
+                        it - codes.begin()));
+                  }
+                }
+                emitted = true;
+              }
+            }
+            if (!emitted) {
+              FilterFusedRange(simd_, shard_filters(sh), filters.size(), 0,
+                               static_cast<uint32_t>(rows), &frame.sel);
+            }
+            for (uint32_t slot : frame.sel) {
+              SB_RETURN_IF_ERROR(emit_slot(sh, slot));
             }
           }
         }
@@ -1033,6 +1132,12 @@ Status Executor::Run(const std::vector<Step>& steps, Env* env,
   t_frame_top += steps.size();
   while (t_frames.size() < t_frame_top) {
     t_frames.emplace_back();
+    // Pre-size the batch-path buffers so small steady-state scans never
+    // allocate; a larger scan grows them once and the capacity persists
+    // with the pooled frame.
+    t_frames.back().sel.reserve(kSelReserve);
+    t_frames.back().row_codes.reserve(8);
+    t_frames.back().kernel_filters.reserve(8);
     g_frame_allocs.fetch_add(1, std::memory_order_relaxed);
   }
   Status st = RunFrom(steps, 0, *env, delta, on_match);

@@ -402,6 +402,7 @@ void FixpointDriver::StageVariantTasks(
     } else {
       WarmIndexes(rule, rule_idx);
     }
+    WarmScanRuns(*steps);
     auto excl = std::make_shared<std::vector<TupleSet>>(n);
     auto views = std::make_shared<std::vector<OccView>>(n);
     BuildVariantViews(rule, delta, unconsumed, occ, retract, views.get(),
@@ -480,6 +481,22 @@ void FixpointDriver::WarmPlanMasks(const VariantPlan& plan) {
   }
 }
 
+void FixpointDriver::WarmScanRuns(const std::vector<Step>& steps) {
+  for (const Step& s : steps) {
+    // Only a planner-built scan-all step with exactly one bound column
+    // takes the executor's sorted-run path; kAuto steps with bound
+    // columns always probe an index instead.
+    if (s.kind != Step::Kind::kScan || s.probe != Step::Probe::kScanAll ||
+        s.key_cols.size() != 1) {
+      continue;
+    }
+    Relation* rel = store_.GetRelation(s.pred);
+    if (rel != nullptr && rel->columnar()) {
+      rel->EnsureSortedRuns(static_cast<size_t>(s.key_cols[0]));
+    }
+  }
+}
+
 WorkerPool* FixpointDriver::pool() {
   int want = options_.threads;
   if (want == 0) {
@@ -507,7 +524,7 @@ Status FixpointDriver::RunStagedTasks(
     views[t.occ].only_end = t.hi;
     DeltaOverride override;
     override.views = &views;
-    Executor executor(&ctx_, &store_);
+    Executor executor(&ctx_, &store_, ResolveSimdMode(options_.simd));
     Env env(t.rule->num_slots);
     t.status = executor.Run(
         *t.steps, &env, &override, [&](Env& e) -> Status {
@@ -762,7 +779,7 @@ Status FixpointDriver::InstantiateHeads(
 
 Status FixpointDriver::RunRuleVariants(const CompiledRule& rule,
                                        const DeltaMap& delta, int gid) {
-  Executor executor(&ctx_, &store_);
+  Executor executor(&ctx_, &store_, ResolveSimdMode(options_.simd));
   std::vector<std::pair<PredId, Tuple>> pending;
   // Tuples born earlier in the current round (queued for the next one):
   // enumerating against them now would count their instantiations twice.
@@ -798,7 +815,7 @@ Status FixpointDriver::RunRuleVariants(const CompiledRule& rule,
 
 Status FixpointDriver::RunRetractVariants(const CompiledRule& rule,
                                           const DeltaMap& dels, int gid) {
-  Executor executor(&ctx_, &store_);
+  Executor executor(&ctx_, &store_, ResolveSimdMode(options_.simd));
   std::vector<std::pair<PredId, Tuple>> pending;
   // Insert deltas this group has not consumed yet: their instantiations
   // were never counted, so retraction must not see those tuples either.
@@ -926,7 +943,7 @@ Status FixpointDriver::RederiveCluster(int gid) {
 Status FixpointDriver::RecomputeAggregate(const CompiledRule& rule,
                                           bool lattice) {
   const CompiledAgg& agg = *rule.agg;
-  Executor executor(&ctx_, &store_);
+  Executor executor(&ctx_, &store_, ResolveSimdMode(options_.simd));
   ExecPlanner* pl = planner();
   const VariantPlan* vp =
       pl != nullptr ? pl->PlanFor(rule, ExecPlanner::kFullBody) : nullptr;

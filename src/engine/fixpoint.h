@@ -150,6 +150,14 @@ struct FixpointOptions {
   /// each Relation when it is first created, so set it before data
   /// arrives. Seeded from SB_COLUMNAR (0/1) by Workspace.
   bool columnar = true;
+  /// SIMD level for the columnar filter kernels (engine/kernels.h):
+  /// 0 = scalar, 1 = the best level the CPU supports, 2 = auto (runtime
+  /// dispatch — the same resolution as 1, kept distinct so "explicitly
+  /// requested" and "defaulted" are distinguishable). The fixpoint is
+  /// byte-identical at every level: kernels only change how a selection
+  /// vector is computed, never its contents or order. Seeded from SB_SIMD
+  /// (0/1/auto) by Workspace.
+  int simd = 2;
   /// Dump each built plan to stderr (SB_EXPLAIN=1; format in
   /// docs/engine.md).
   bool explain = false;
@@ -312,6 +320,12 @@ class FixpointDriver {
   /// Build the secondary indexes a plan's probes will hit before worker
   /// threads read them (the planned analogue of WarmIndexes).
   void WarmPlanMasks(const VariantPlan& plan);
+  /// Refresh sorted-run metadata for every single-column filtered full
+  /// scan in `steps` (planner-chosen kScanAll probes over columnar
+  /// relations), so worker threads read warm run boundaries — the
+  /// executor only ever takes the run fast path when the cache is
+  /// current (Relation::SortedRunBoundsIfWarm).
+  void WarmScanRuns(const std::vector<Step>& steps);
   /// Apply the staged buffers tasks[begin, end) — one rule's contiguous
   /// staging range — in order: InsertHeadTuple for insert tasks,
   /// RetractSupport for retract tasks.

@@ -310,14 +310,28 @@ VariantPlan ExecPlanner::Build(const CompiledRule& rule, int occ) const {
     }
     Relation* rel = store_.GetRelation(s.pred);
     const uint32_t skm = rel != nullptr ? rel->shard_key_mask() : 0;
-    if (s.probe_mask == 0) {
+    // A columnar probe expected to keep a quarter or more of the relation
+    // saves little filtering over a linear pass, and the pass runs through
+    // the SIMD filter kernels on contiguous code vectors (engine/kernels.h)
+    // with no bucket indirection and no index to maintain. Only a real
+    // statistic (dictionary live count or tracked mask stat) may make that
+    // call — a bare-size default would send every untracked mask down the
+    // scan path. Index buckets enumerate slots ascending, exactly the
+    // scan's order, so the choice never changes the fixpoint.
+    const bool wide_match =
+        s.kind == Step::Kind::kScan && rel != nullptr && rel->columnar() &&
+        s.probe_mask != 0 &&
+        rel->EstimateSourceFor(s.probe_mask) != EstimateSource::kSize &&
+        rel->EstimateMatches(s.probe_mask) * 4 >=
+            static_cast<double>(rel->size());
+    if (s.probe_mask == 0 || wide_match) {
       s.probe = Step::Probe::kScanAll;
     } else if ((s.probe_mask & skm) == skm) {
       s.probe = Step::Probe::kShardProbe;
     } else {
       s.probe = Step::Probe::kFanout;
     }
-    if (s.probe_mask != 0) {
+    if (s.probe_mask != 0 && s.probe != Step::Probe::kScanAll) {
       plan.probe_masks.emplace_back(s.pred, s.probe_mask);
     }
   }
@@ -376,7 +390,12 @@ std::string ExecPlanner::Explain(const CompiledRule& rule, int occ,
                                  const VariantPlan& plan) const {
   std::string out = "[plan] rule#" + std::to_string(rule.id) + " variant=";
   out += occ < 0 ? "full" : "d" + std::to_string(occ);
-  out += " builds=" + std::to_string(plan.builds) + "\n";
+  out += " builds=" + std::to_string(plan.builds);
+  // The kernel instruction set scans will run with (engine/kernels.h) —
+  // a throughput property only; it never changes the plan or the result.
+  out += " simd=";
+  out += SimdModeName(ResolveSimdMode(options_.simd));
+  out += "\n";
   for (size_t i = 0; i < plan.steps.size(); ++i) {
     const Step& s = plan.steps[i];
     out += "  " + std::to_string(i) + ": ";

@@ -492,6 +492,50 @@ std::optional<size_t> Relation::ColumnDistinct(size_t col) const {
   return dicts_[col].live;
 }
 
+bool Relation::EncodeTuple(const Tuple& t, std::vector<uint32_t>* out) const {
+  const size_t base = out->size();
+  for (size_t i = 0; i < t.size(); ++i) {
+    const ColumnDict& d = dicts_[i];
+    auto it = d.codes.find(t[i]);
+    if (it == d.codes.end()) {
+      out->resize(base);
+      return false;
+    }
+    out->push_back(it->second);
+  }
+  return true;
+}
+
+void Relation::EnsureSortedRuns(size_t col) {
+  if (!columnar_) return;
+  for (Shard& s : shards_) {
+    if (s.runs_.size() < s.cols.size()) s.runs_.resize(s.cols.size());
+    RunCache& rc = s.runs_[col];
+    if (rc.built_at_version == version_) continue;
+    const std::vector<uint32_t>& codes = s.cols[col];
+    rc.bounds.clear();
+    rc.bounds.push_back(0);
+    for (size_t i = 1; i < codes.size(); ++i) {
+      if (codes[i] < codes[i - 1]) {
+        rc.bounds.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (!codes.empty()) {
+      rc.bounds.push_back(static_cast<uint32_t>(codes.size()));
+    }
+    rc.built_at_version = version_;
+  }
+}
+
+const std::vector<uint32_t>* Relation::SortedRunBoundsIfWarm(
+    size_t shard, size_t col) const {
+  const Shard& s = shards_[shard];
+  if (col >= s.runs_.size()) return nullptr;
+  const RunCache& rc = s.runs_[col];
+  if (rc.built_at_version != version_) return nullptr;
+  return &rc.bounds;
+}
+
 Tuple Relation::Project(const Tuple& t, uint32_t mask) {
   Tuple out;
   for (size_t i = 0; i < t.size(); ++i) {
@@ -701,6 +745,9 @@ Relation::MemoryFootprint Relation::Memory() const {
               key_cols * (columnar_ ? sizeof(uint32_t)
                                     : sizeof(datalog::Value)));
       m.index_bytes += idx.rows_indexed * sizeof(size_t);
+    }
+    for (const RunCache& rc : s.runs_) {
+      m.index_bytes += rc.bounds.capacity() * sizeof(uint32_t);
     }
   }
   return m;

@@ -202,6 +202,29 @@ class Relation {
   /// per-mask statistics).
   std::optional<size_t> ColumnDistinct(size_t col) const;
 
+  /// Append the dictionary code of each of `t`'s values to `out` (columnar
+  /// mode). Returns false — leaving `out` as it was passed in — when any
+  /// value is absent from its column's dictionary: such a tuple cannot be
+  /// stored in this relation, the executor's exclude-set fast negative.
+  bool EncodeTuple(const Tuple& t, std::vector<uint32_t>* out) const;
+
+  // -- sorted-run metadata (columnar layout only) ----------------------------
+
+  /// Build or refresh the sorted-run cache for column `col` in every
+  /// shard: the boundaries of the maximal non-decreasing runs of the
+  /// shard's append-ordered code vector, stored as slot offsets b with
+  /// b.front() == 0 and b.back() == shard rows. Rebuilt only when the
+  /// relation's version moved (O(rows) per stale shard). Single-threaded,
+  /// like all mutations — call before a parallel phase reads the runs.
+  void EnsureSortedRuns(size_t col);
+
+  /// The cached run boundaries for (shard, col) when current at
+  /// version(), else nullptr. Pure read — safe from worker threads under
+  /// the same contract as warm-index probes; a stale cache simply sends
+  /// the caller down the full filter-kernel path.
+  const std::vector<uint32_t>* SortedRunBoundsIfWarm(size_t shard,
+                                                     size_t col) const;
+
   // -- derivation-support counts (counting-based deletion) -------------------
 
   /// Current support of `t`; 0 when absent or purely base.
@@ -333,6 +356,13 @@ class Relation {
     std::unordered_map<uint64_t, uint32_t> counts;
   };
 
+  /// Sorted-run boundaries of one shard column's code vector, cached
+  /// against the relation version (EnsureSortedRuns / SortedRunBoundsIfWarm).
+  struct RunCache {
+    uint64_t built_at_version = 0;
+    std::vector<uint32_t> bounds;
+  };
+
   /// One hash partition: the pre-shard Relation layout in miniature. All
   /// slot values (indexes, secondary buckets) are shard-local. Row mode
   /// populates tuples/index_/fd_index_; columnar mode populates cols (one
@@ -346,6 +376,7 @@ class Relation {
     std::unordered_map<CodeKey, size_t, CodeKeyHash> cindex_;
     std::unordered_map<CodeKey, size_t, CodeKeyHash> cfd_index_;
     std::unordered_map<uint32_t, SecondaryIndex> secondary_;
+    std::vector<RunCache> runs_;  // per column, sized on first EnsureSortedRuns
   };
 
   static Tuple Project(const Tuple& t, uint32_t mask);

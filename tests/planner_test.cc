@@ -1,9 +1,9 @@
 // Cost-based rule execution planning: online relation statistics stay
 // symmetric under insert/erase churn, worst-ordered rule bodies are
 // reordered selective-first, planner on/off computes the byte-identical
-// fixpoint at every SB_THREADS x SB_SHARDS combination, the Executor's
-// probe paths allocate nothing in steady state, and the SB_EXPLAIN dump
-// describes the chosen plan.
+// fixpoint at every SB_SIMD x SB_COLUMNAR x SB_THREADS x SB_SHARDS
+// combination, the Executor's probe and batch paths allocate nothing in
+// steady state, and the SB_EXPLAIN dump describes the chosen plan.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "datalog/parser.h"
+#include "engine/kernels.h"
 #include "engine/planner.h"
 #include "engine/workspace.h"
 
@@ -319,13 +320,15 @@ TEST(PlannerTest, PlanOnOffFixpointEquivalence) {
     std::vector<Snapshot> trace;
     std::vector<std::vector<uint64_t>> counters;
   };
-  auto run = [&](bool plan, int threads, size_t shards, bool columnar) {
+  auto run = [&](bool plan, int threads, size_t shards, bool columnar,
+                 int simd) {
     Run out;
     Workspace ws;
     ws.fixpoint_options().plan = plan;
     ws.fixpoint_options().threads = threads;
     ws.fixpoint_options().shards = shards;
     ws.fixpoint_options().columnar = columnar;
+    ws.fixpoint_options().simd = simd;
     Install(&ws, kConvergenceProgram);
     auto seeded = ws.Apply(ConvergenceLinks(40, 2));
     EXPECT_TRUE(seeded.ok()) << seeded.status().ToString();
@@ -342,25 +345,31 @@ TEST(PlannerTest, PlanOnOffFixpointEquivalence) {
     }
     return out;
   };
-  Run base = run(false, 1, 1, /*columnar=*/false);
+  Run base = run(false, 1, 1, /*columnar=*/false, /*simd=*/0);
   ASSERT_FALSE(base.trace.empty());
   ASSERT_FALSE(base.trace[0].empty());
-  for (bool columnar : {false, true}) {
-    for (bool plan : {false, true}) {
-      for (int threads : {1, 4}) {
-        for (size_t shards : {size_t{1}, size_t{7}}) {
-          if (!columnar && !plan && threads == 1 && shards == 1) continue;
-          Run other = run(plan, threads, shards, columnar);
-          ASSERT_EQ(base.trace.size(), other.trace.size());
-          for (size_t step = 0; step < base.trace.size(); ++step) {
-            EXPECT_EQ(base.trace[step], other.trace[step])
-                << "fixpoint diverged at step " << step << " plan=" << plan
-                << " threads=" << threads << " shards=" << shards
-                << " columnar=" << columnar;
-            EXPECT_EQ(base.counters[step], other.counters[step])
-                << "semantic counters diverged at step " << step
-                << " plan=" << plan << " threads=" << threads
-                << " shards=" << shards << " columnar=" << columnar;
+  for (int simd : {0, 1}) {
+    for (bool columnar : {false, true}) {
+      for (bool plan : {false, true}) {
+        for (int threads : {1, 4}) {
+          for (size_t shards : {size_t{1}, size_t{7}}) {
+            if (simd == 0 && !columnar && !plan && threads == 1 &&
+                shards == 1) {
+              continue;
+            }
+            Run other = run(plan, threads, shards, columnar, simd);
+            ASSERT_EQ(base.trace.size(), other.trace.size());
+            for (size_t step = 0; step < base.trace.size(); ++step) {
+              EXPECT_EQ(base.trace[step], other.trace[step])
+                  << "fixpoint diverged at step " << step << " plan=" << plan
+                  << " threads=" << threads << " shards=" << shards
+                  << " columnar=" << columnar << " simd=" << simd;
+              EXPECT_EQ(base.counters[step], other.counters[step])
+                  << "semantic counters diverged at step " << step
+                  << " plan=" << plan << " threads=" << threads
+                  << " shards=" << shards << " columnar=" << columnar
+                  << " simd=" << simd;
+            }
           }
         }
       }
@@ -393,32 +402,38 @@ TEST(PlannerTest, PlanBuildCountsThreadAndShardInvariant) {
 // ---------------------------------------------------------------------------
 
 TEST(PlannerTest, SteadyStateEvaluationAllocatesNoFrames) {
-  Workspace ws;
-  ws.fixpoint_options().threads = 1;
-  Install(&ws, R"(
-    e(X, Y) -> string(X), string(Y).
-    tc(X, Y) -> string(X), string(Y).
-    tc(X, Y) <- e(X, Y).
-    tc(X, Y) <- e(X, Z), tc(Z, Y).
-  )");
-  std::vector<FactUpdate> edges;
-  for (int i = 0; i < 10; ++i) {
-    edges.push_back({"e", {Value::Str(Label(i)), Value::Str(Label(i + 1))}});
-  }
-  ASSERT_TRUE(ws.Apply(edges).ok());
-  FactUpdate churn{"e", {Value::Str(Label(3)), Value::Str(Label(8))}};
-  // Warm-up: the first insert/delete pair reaches this workload's maximum
-  // body depth and fills the thread-local frame pool.
-  ASSERT_TRUE(ws.Apply({churn}).ok());
-  ASSERT_TRUE(ws.Apply({}, {churn}).ok());
-  const uint64_t warm = EvalFrameAllocs();
-  for (int i = 0; i < 5; ++i) {
+  // Both layouts: the row-major probe path and the columnar batch path
+  // (selection-vector kernels) must reuse pooled frames in steady state.
+  for (bool columnar : {false, true}) {
+    Workspace ws;
+    ws.fixpoint_options().threads = 1;
+    ws.fixpoint_options().columnar = columnar;
+    Install(&ws, R"(
+      e(X, Y) -> string(X), string(Y).
+      tc(X, Y) -> string(X), string(Y).
+      tc(X, Y) <- e(X, Y).
+      tc(X, Y) <- e(X, Z), tc(Z, Y).
+    )");
+    std::vector<FactUpdate> edges;
+    for (int i = 0; i < 10; ++i) {
+      edges.push_back({"e", {Value::Str(Label(i)), Value::Str(Label(i + 1))}});
+    }
+    ASSERT_TRUE(ws.Apply(edges).ok());
+    FactUpdate churn{"e", {Value::Str(Label(3)), Value::Str(Label(8))}};
+    // Warm-up: the first insert/delete pair reaches this workload's maximum
+    // body depth and fills the thread-local frame pool.
     ASSERT_TRUE(ws.Apply({churn}).ok());
     ASSERT_TRUE(ws.Apply({}, {churn}).ok());
+    const uint64_t warm = EvalFrameAllocs();
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(ws.Apply({churn}).ok());
+      ASSERT_TRUE(ws.Apply({}, {churn}).ok());
+    }
+    EXPECT_EQ(EvalFrameAllocs(), warm)
+        << (columnar ? "batch" : "probe")
+        << " paths allocated evaluation frames in steady state";
+    EXPECT_EQ(ws.stats().eval_frame_allocs, EvalFrameAllocs());
   }
-  EXPECT_EQ(EvalFrameAllocs(), warm)
-      << "probe paths allocated evaluation frames in steady state";
-  EXPECT_EQ(ws.stats().eval_frame_allocs, EvalFrameAllocs());
 }
 
 // ---------------------------------------------------------------------------
@@ -453,6 +468,12 @@ TEST(PlannerTest, ExplainDescribesChosenPlan) {
   EXPECT_NE(dump.find("scan big"), std::string::npos);
   EXPECT_NE(dump.find("probe="), std::string::npos);
   EXPECT_NE(dump.find("est="), std::string::npos);
+  // The header names the resolved kernel level for this process.
+  EXPECT_NE(dump.find(std::string("simd=") +
+                      SimdModeName(ResolveSimdMode(
+                          ws.fixpoint_options().simd))),
+            std::string::npos)
+      << dump;
   // Estimate provenance: big's single-column probe estimate comes straight
   // from the dictionary's live distinct count under the columnar layout;
   // the unkeyed filt scan falls back to relation size.
@@ -490,14 +511,27 @@ TEST(PlannerTest, EnvironmentKnobsParsed) {
   ASSERT_EQ(setenv("SB_PLAN", "0", 1), 0);
   ASSERT_EQ(setenv("SB_EXPLAIN", "1", 1), 0);
   ASSERT_EQ(setenv("SB_COLUMNAR", "0", 1), 0);
+  ASSERT_EQ(setenv("SB_SIMD", "0", 1), 0);
   {
     Workspace ws;
     EXPECT_FALSE(ws.fixpoint_options().plan);
     EXPECT_TRUE(ws.fixpoint_options().explain);
     EXPECT_FALSE(ws.fixpoint_options().columnar);
+    EXPECT_EQ(ws.fixpoint_options().simd, 0);
+  }
+  ASSERT_EQ(setenv("SB_SIMD", "1", 1), 0);
+  {
+    Workspace ws;
+    EXPECT_EQ(ws.fixpoint_options().simd, 1);
+  }
+  ASSERT_EQ(setenv("SB_SIMD", "auto", 1), 0);
+  {
+    Workspace ws;
+    EXPECT_EQ(ws.fixpoint_options().simd, 2);
   }
   ASSERT_EQ(setenv("SB_PLAN", "garbage", 1), 0);
   ASSERT_EQ(setenv("SB_COLUMNAR", "2", 1), 0);
+  ASSERT_EQ(setenv("SB_SIMD", "7", 1), 0);
   ASSERT_EQ(unsetenv("SB_EXPLAIN"), 0);
   {
     Workspace ws;
@@ -505,9 +539,12 @@ TEST(PlannerTest, EnvironmentKnobsParsed) {
     EXPECT_FALSE(ws.fixpoint_options().explain);
     EXPECT_TRUE(ws.fixpoint_options().columnar)
         << "out-of-range keeps the default";
+    EXPECT_EQ(ws.fixpoint_options().simd, 2)
+        << "out-of-range keeps the auto default";
   }
   ASSERT_EQ(unsetenv("SB_PLAN"), 0);
   ASSERT_EQ(unsetenv("SB_COLUMNAR"), 0);
+  ASSERT_EQ(unsetenv("SB_SIMD"), 0);
 }
 
 }  // namespace

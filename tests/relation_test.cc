@@ -5,6 +5,7 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
 #include "engine/relation.h"
 
@@ -499,6 +500,66 @@ TEST(ColumnarRelationTest, MemoryFootprintReportsDictionaryAndColumns) {
   EXPECT_GT(rm.column_bytes, 0u);  // row storage reported as column bytes
   EXPECT_GT(cm.dict_bytes, 0u);
   EXPECT_GT(cm.column_bytes, 0u);
+}
+
+TEST(ColumnarRelationTest, EncodeTupleRoundTripsAndReportsMisses) {
+  PredicateDecl decl = MakeDecl(3, false);
+  Relation r(&decl, 3, /*columnar=*/true);
+  for (int64_t i = 0; i < 40; ++i) r.Insert(Mixed(i % 6, i));
+  std::vector<uint32_t> codes = {123u};  // pre-existing content survives
+  Tuple present = Mixed(4, 17);
+  ASSERT_TRUE(r.EncodeTuple(present, &codes));
+  ASSERT_EQ(codes.size(), 4u);
+  for (size_t col = 0; col < 3; ++col) {
+    auto want = r.CodeOf(col, present[col]);
+    ASSERT_TRUE(want.has_value());
+    EXPECT_EQ(codes[1 + col], *want);
+  }
+  // Any dictionary-absent value fails the whole tuple and leaves the
+  // output exactly as it was (no partial append).
+  Tuple absent = Mixed(4, 17);
+  absent[2] = Value::Int(9999);
+  EXPECT_FALSE(r.EncodeTuple(absent, &codes));
+  EXPECT_EQ(codes.size(), 4u);
+  EXPECT_EQ(codes[0], 123u);
+}
+
+TEST(ColumnarRelationTest, SortedRunBoundsWarmStaleAndCorrect) {
+  PredicateDecl decl = MakeDecl(3, false);
+  Relation r(&decl, 2, /*columnar=*/true);
+  // Cold cache: nothing warm before the first EnsureSortedRuns.
+  for (int64_t i = 0; i < 90; ++i) r.Insert(Mixed(i % 7, i));
+  EXPECT_EQ(r.SortedRunBoundsIfWarm(0, 1), nullptr);
+  r.EnsureSortedRuns(1);
+  for (size_t sh = 0; sh < r.shard_count(); ++sh) {
+    const std::vector<uint32_t>* bounds = r.SortedRunBoundsIfWarm(sh, 1);
+    ASSERT_NE(bounds, nullptr) << "shard " << sh;
+    const std::vector<uint32_t>& codes = r.shard_codes(sh, 1);
+    // Boundaries delimit maximal non-decreasing runs of the code vector.
+    ASSERT_GE(bounds->size(), 1u);
+    EXPECT_EQ(bounds->front(), 0u);
+    if (!codes.empty()) {
+      ASSERT_GE(bounds->size(), 2u);
+      EXPECT_EQ(bounds->back(), codes.size());
+      for (size_t b = 1; b + 1 < bounds->size(); ++b) {
+        uint32_t at = (*bounds)[b];
+        EXPECT_LT(codes[at], codes[at - 1]) << "boundary not a descent";
+      }
+      for (size_t b = 0; b + 1 < bounds->size(); ++b) {
+        for (uint32_t i = (*bounds)[b] + 1; i < (*bounds)[b + 1]; ++i) {
+          EXPECT_GE(codes[i], codes[i - 1]) << "run not sorted";
+        }
+      }
+    }
+  }
+  // Column out of range never reports warm.
+  EXPECT_EQ(r.SortedRunBoundsIfWarm(0, 9), nullptr);
+  // Any mutation stales the cache; rebuilding warms it again.
+  r.Insert(Mixed(3, 1000));
+  EXPECT_EQ(r.SortedRunBoundsIfWarm(0, 1), nullptr);
+  EXPECT_EQ(r.SortedRunBoundsIfWarm(1, 1), nullptr);
+  r.EnsureSortedRuns(1);
+  EXPECT_NE(r.SortedRunBoundsIfWarm(0, 1), nullptr);
 }
 
 TEST(RelationTest, TupleHashingQuality) {
