@@ -1,0 +1,251 @@
+// Query-serving ablation: magic-sets point queries (engine/query) vs the
+// whole-database fixpoint.
+//
+// Workload: two independent recursive closure families (left-recursive
+// reachability over `link`, tag propagation over `attr`) on a shared node
+// domain — a fig06-scale program where materialization derives both
+// closures in full. The serving side installs the same program with
+// deferred rules and answers one point goal, reachable(x, ?), through the
+// magic-sets front end: only the goal's dependency slice is installed,
+// and the bound first argument restricts derivation to the rows demanded
+// by the seed pattern (the left-recursive body keeps demand on a single
+// subgoal instead of cascading down the chain).
+//
+// Measured:
+//   fixpoint  — wall seconds, derived tuples, rule firings for the full
+//               materialization;
+//   cold      — the same counters for the first point query (slice
+//               install + seed + local fixpoint);
+//   seed/warm — queries/second over distinct sources (each seeds a new
+//               magic pattern) and over repeated goals (epoch-validated
+//               snapshot reads).
+//
+// Acceptance gates: the cold point query must touch < 25% of the full
+// fixpoint's derived tuples AND < 25% of its rule firings, and its
+// answers must match the materialized reference. SB_QUICK=1 shrinks the
+// graph for CI. Set SB_BENCH_OUT=<path> to record BENCH_serve.json.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "datalog/parser.h"
+#include "engine/query.h"
+#include "engine/workspace.h"
+
+using namespace secureblox;
+using namespace secureblox::bench;
+using datalog::Value;
+using engine::FactUpdate;
+using engine::QueryEngine;
+using engine::QueryGoal;
+using engine::Workspace;
+
+namespace {
+
+/// Five independent closure families (reachable over link, plus four
+/// tag-propagation families over their own edge relations) — a point
+/// goal's dependency slice is one family, 2 of the program's 10 rules.
+constexpr size_t kFamilies = 4;  // tag families, besides reachable
+
+std::string Program() {
+  std::string src = R"(
+node(X) -> .
+link(X, Y) -> node(X), node(Y).
+reachable(X, Y) -> node(X), node(Y).
+reachable(X, Y) <- link(X, Y).
+reachable(X, Y) <- reachable(X, Z), link(Z, Y).
+)";
+  for (size_t f = 0; f < kFamilies; ++f) {
+    const std::string e = "attr" + std::to_string(f);
+    const std::string t = "tag" + std::to_string(f);
+    src += e + "(X, Y) -> node(X), node(Y).\n";
+    src += t + "(X, Y) -> node(X), node(Y).\n";
+    src += t + "(X, Y) <- " + e + "(X, Y).\n";
+    src += t + "(X, Y) <- " + t + "(X, Z), " + e + "(Z, Y).\n";
+  }
+  return src;
+}
+
+bool Install(Workspace* ws, const std::string& src) {
+  auto program = datalog::Parse(src);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse: %s\n", program.status().ToString().c_str());
+    return false;
+  }
+  Status st = ws->Install(program.value());
+  if (!st.ok()) {
+    std::fprintf(stderr, "install: %s\n", st.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+Value Label(size_t i) { return Value::Str("v" + std::to_string(i)); }
+
+/// Chain backbone plus sparse skip edges, for every family.
+std::vector<FactUpdate> Edges(size_t nodes) {
+  std::vector<FactUpdate> out;
+  std::vector<std::string> edge_preds = {"link"};
+  for (size_t f = 0; f < kFamilies; ++f) {
+    edge_preds.push_back("attr" + std::to_string(f));
+  }
+  for (size_t p = 0; p < edge_preds.size(); ++p) {
+    for (size_t i = 0; i + 1 < nodes; ++i) {
+      out.push_back({edge_preds[p], {Label(i), Label(i + 1)}});
+    }
+    for (size_t i = 0; i < nodes / 4; ++i) {
+      out.push_back({edge_preds[p],
+                     {Label((i * 7 + p) % nodes),
+                      Label((i * 13 + 5 + 3 * p) % nodes)}});
+    }
+  }
+  return out;
+}
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const size_t nodes = QuickMode() ? 80 : 240;
+  const size_t sources = QuickMode() ? 20 : 50;
+  const size_t warm_reps = QuickMode() ? 200 : 1000;
+  const std::vector<FactUpdate> edges = Edges(nodes);
+
+  PrintTitle("Query serving: magic-sets point queries vs full fixpoint");
+  PrintHeader({"side", "seconds", "derived", "firings"});
+
+  // Full materialization reference.
+  const std::string program = Program();
+  Workspace mat;
+  if (!Install(&mat, program)) return 1;
+  auto t0 = std::chrono::steady_clock::now();
+  if (auto r = mat.Apply(edges); !r.ok()) {
+    std::fprintf(stderr, "apply: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  const double fix_seconds = Seconds(t0);
+  const uint64_t fix_derived = mat.stats().derived_tuples;
+  const uint64_t fix_firings = mat.stats().rule_firings;
+  std::printf("fixpoint\t%.4f\t%llu\t%llu\n", fix_seconds,
+              static_cast<unsigned long long>(fix_derived),
+              static_cast<unsigned long long>(fix_firings));
+
+  // Serving side: deferred rules, demand-driven slices.
+  Workspace qws;
+  qws.set_defer_rules(true);
+  if (!Install(&qws, program)) return 1;
+  if (auto r = qws.Apply(edges); !r.ok()) {
+    std::fprintf(stderr, "apply: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  QueryEngine qe(&qws);
+
+  const QueryGoal cold_goal{"reachable", {Label(nodes / 8), std::nullopt}};
+  const uint64_t before_derived = qws.stats().derived_tuples;
+  const uint64_t before_firings = qws.stats().rule_firings;
+  t0 = std::chrono::steady_clock::now();
+  auto cold = qe.Query(cold_goal);
+  const double cold_seconds = Seconds(t0);
+  if (!cold.ok()) {
+    std::fprintf(stderr, "query: %s\n", cold.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t cold_derived = qws.stats().derived_tuples - before_derived;
+  const uint64_t cold_firings = qws.stats().rule_firings - before_firings;
+  std::printf("cold_query\t%.4f\t%llu\t%llu\n", cold_seconds,
+              static_cast<unsigned long long>(cold_derived),
+              static_cast<unsigned long long>(cold_firings));
+
+  // Cross-check the answers against the materialized reference.
+  auto ref = mat.Query("reachable");
+  if (!ref.ok()) return 1;
+  size_t expect = 0;
+  {
+    auto e = mat.catalog().FindEntity(
+        mat.catalog().Lookup("node").value(), "v" + std::to_string(nodes / 8));
+    if (!e.ok()) return 1;
+    for (const auto& t : ref.value()) {
+      if (t[0] == e.value()) ++expect;
+    }
+  }
+  if (cold->size() != expect) {
+    std::fprintf(stderr, "ANSWER MISMATCH: query %zu rows, reference %zu\n",
+                 cold->size(), expect);
+    return 1;
+  }
+
+  // Seed-phase QPS: distinct sources, each demanding a new bound pattern
+  // through the already-installed slice.
+  t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < sources; ++i) {
+    QueryGoal g{"reachable", {Label((i * 3) % nodes), std::nullopt}};
+    if (!qe.Query(g).ok()) return 1;
+  }
+  const double seed_seconds = Seconds(t0);
+  const double seed_qps = sources / std::max(seed_seconds, 1e-9);
+
+  // Warm-phase QPS: repeats of memoized goals, through the same
+  // TryWarm-then-Query ladder NodeRuntime::Query serves from — every
+  // repeat is an epoch-validated pure snapshot read.
+  t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < warm_reps; ++i) {
+    QueryGoal g{"reachable", {Label(((i % sources) * 3) % nodes), std::nullopt}};
+    if (qe.TryWarm(g).has_value()) continue;
+    if (!qe.Query(g).ok()) return 1;
+  }
+  const double warm_seconds = Seconds(t0);
+  const double warm_qps = warm_reps / std::max(warm_seconds, 1e-9);
+  std::printf("# seed qps: %.0f, warm qps: %.0f, warm hits: %llu\n", seed_qps,
+              warm_qps,
+              static_cast<unsigned long long>(qe.stats().warm_hits));
+
+  const double derived_ratio =
+      static_cast<double>(cold_derived) / std::max<uint64_t>(fix_derived, 1);
+  const double firings_ratio =
+      static_cast<double>(cold_firings) / std::max<uint64_t>(fix_firings, 1);
+  std::printf("# cold ratios vs fixpoint: derived %.4f, firings %.4f\n",
+              derived_ratio, firings_ratio);
+
+  bool gate_ok = true;
+  if (derived_ratio >= 0.25) {
+    std::fprintf(stderr, "GATE FAILED: cold query derived %.1f%% >= 25%%\n",
+                 derived_ratio * 100);
+    gate_ok = false;
+  }
+  if (firings_ratio >= 0.25) {
+    std::fprintf(stderr, "GATE FAILED: cold query firings %.1f%% >= 25%%\n",
+                 firings_ratio * 100);
+    gate_ok = false;
+  }
+
+  if (const char* out_path = std::getenv("SB_BENCH_OUT")) {
+    FILE* json = std::fopen(out_path, "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path);
+      return 1;
+    }
+    std::fprintf(
+        json,
+        "{\n  \"benchmark\": \"serve_qps\",\n  \"nodes\": %zu,\n"
+        "  \"fixpoint\": {\"seconds\": %.6f, \"derived\": %llu, "
+        "\"firings\": %llu},\n"
+        "  \"cold_query\": {\"seconds\": %.6f, \"derived\": %llu, "
+        "\"firings\": %llu},\n"
+        "  \"qps\": {\"seed\": %.1f, \"warm\": %.1f},\n"
+        "  \"ratios\": {\"derived\": %.6f, \"firings\": %.6f},\n"
+        "  \"gates\": {\"max_ratio\": 0.25, \"ok\": %s}\n}\n",
+        nodes, fix_seconds, static_cast<unsigned long long>(fix_derived),
+        static_cast<unsigned long long>(fix_firings), cold_seconds,
+        static_cast<unsigned long long>(cold_derived),
+        static_cast<unsigned long long>(cold_firings), seed_qps, warm_qps,
+        derived_ratio, firings_ratio, gate_ok ? "true" : "false");
+    std::fclose(json);
+  }
+  return gate_ok ? 0 : 1;
+}

@@ -70,6 +70,19 @@ echo "wrote $build/BENCH_column.json"
 SB_COLUMNAR=0 ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
     -R 'engine_test|parallel_test|delete_test|relation_test|planner_test'
 
+# Query serving (engine/query): magic-sets point queries vs the full
+# fixpoint on a five-family closure program, recorded as
+# BENCH_serve.json. The harness exits nonzero unless the cold point
+# query touches < 25% of the fixpoint's derived tuples and rule
+# firings, and its answers match the materialized reference; seed and
+# warm (epoch-validated snapshot) QPS are recorded alongside.
+SB_QUICK=1 SB_BENCH_OUT="$build/BENCH_serve.json" "$build/serve_qps"
+echo "wrote $build/BENCH_serve.json"
+# Query-path determinism smoke: the query/fixpoint differential suites
+# across the planner/columnar/shard matrix the tentpole pins.
+SB_SHARDS=7 ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
+    -R 'query_test|query_fuzz_test|udp_cluster_test'
+
 # SIMD kernel A/B (SB_SIMD): wide selective batch scan plus a narrow
 # recursion, recorded as BENCH_simd.json. On AVX2 hosts the harness
 # exits nonzero unless auto beats scalar >= 1.25x on the wide scan; the

@@ -63,9 +63,14 @@ Result<std::unique_ptr<NodeRuntime>> NodeRuntime::Create(
         static_cast<size_t>(rt->config_.storage_shards);
   }
 
+  // Query-serving mode must be set before Install: the program's rules are
+  // recorded for the magic-sets front end instead of compiled bottom-up.
+  if (rt->config_.query_mode) rt->ws_->set_defer_rules(true);
+
   SB_ASSIGN_OR_RETURN(generics::ExpansionResult expanded,
                       policy::CompileWithPolicies(rt->ws_.get(), sources));
   SB_RETURN_IF_ERROR(rt->ws_->Install(expanded.program));
+  rt->query_ = std::make_unique<engine::QueryEngine>(rt->ws_.get());
 
   // Infrastructure facts: who am I, where does everyone live, and the key
   // material the policy builtins read (paper §5.1).
@@ -241,6 +246,11 @@ Result<std::vector<NodeRuntime::Outgoing>> NodeRuntime::CollectOutgoing(
 Result<NodeRuntime::ApplyOutcome> NodeRuntime::ApplyAndCollect(
     const std::vector<FactUpdate>& facts,
     const std::vector<FactUpdate>& deletes, bool from_network) {
+  // Exclude queries for the duration of the transaction (warm reads walk
+  // relation storage the fixpoint mutates). Memo invalidation is free: the
+  // commit bumps relation version stamps, which stales the affected answer
+  // snapshots.
+  std::unique_lock<std::shared_mutex> lock(query_mu_);
   ApplyOutcome outcome;
   auto commit = ws_->Apply(facts, deletes);
   if (!commit.ok()) {
@@ -269,6 +279,21 @@ Result<NodeRuntime::ApplyOutcome> NodeRuntime::ApplyLocal(
     const std::vector<FactUpdate>& inserts,
     const std::vector<FactUpdate>& deletes) {
   return ApplyAndCollect(inserts, deletes, /*from_network=*/false);
+}
+
+Result<std::vector<engine::Tuple>> NodeRuntime::Query(
+    const engine::QueryGoal& goal) {
+  {
+    // Warm path: epoch-validated memo hit under the reader lock — many
+    // point queries proceed concurrently between transactions.
+    std::shared_lock<std::shared_mutex> lock(query_mu_);
+    auto warm = query_->TryWarm(goal);
+    if (warm.has_value()) return std::move(*warm);
+  }
+  // Cold (or staled) goal: installing and seeding the slice runs a
+  // transaction, so take the writer lock and re-run from scratch.
+  std::unique_lock<std::shared_mutex> lock(query_mu_);
+  return query_->Query(goal);
 }
 
 Result<NodeRuntime::ApplyOutcome> NodeRuntime::DeliverMessage(
@@ -302,6 +327,9 @@ Result<NodeRuntime::BatchOutcome> NodeRuntime::DeliverBatch(
 
 Result<NodeRuntime::BatchOutcome> NodeRuntime::DeliverOpened(
     const std::vector<OpenedDelivery>& batch) {
+  // Exclusive against queries: decoding interns entity labels into the
+  // catalog and ApplyDecodedRange commits transactions.
+  std::unique_lock<std::shared_mutex> lock(query_mu_);
   BatchOutcome out;
   out.results.resize(batch.size());
   std::vector<DecodedPayload> decoded;

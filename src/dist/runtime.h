@@ -11,11 +11,13 @@
 #define SECUREBLOX_DIST_RUNTIME_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "engine/query.h"
 #include "engine/workspace.h"
 #include "net/wire.h"
 #include "policy/builtins.h"
@@ -56,6 +58,12 @@ class NodeRuntime {
     /// hash-partitions every relation into N shards (1 = unsharded). The
     /// fixpoint result is identical for every setting.
     int storage_shards = -1;
+    /// Query-serving mode (engine/query): installed rules feed the
+    /// magic-sets front end instead of bottom-up materialization, and
+    /// Query() answers goals on demand. Runtime constraints are dropped
+    /// (a serving replica trusts upstream validation), so the node should
+    /// not originate data of its own.
+    bool query_mode = false;
   };
 
   /// One sealed batch addressed to a peer node.
@@ -162,6 +170,18 @@ class NodeRuntime {
   Result<Bytes> SealForPeer(const Bytes& raw, net::NodeIndex peer) const;
   Result<Bytes> OpenFromPeer(const Bytes& sealed, net::NodeIndex peer) const;
 
+  /// Answer one point query (engine::QueryGoal: bound positions carry
+  /// values, free positions are nullopt). Thread-safe: concurrent Query
+  /// calls share a reader lock when the goal's memo is warm; a cold goal
+  /// (or one whose slice changed) takes the writer lock to install/seed
+  /// its rule slice. Apply/Deliver paths exclude all queries. Works in
+  /// both modes — on a materialized workspace it is a filtered scan.
+  Result<std::vector<engine::Tuple>> Query(const engine::QueryGoal& goal);
+
+  /// Query-engine counters (warm hits vs slice installs; see
+  /// engine::QueryEngine::Stats).
+  engine::QueryEngine::Stats query_stats() const { return query_->stats(); }
+
   engine::Workspace& workspace() { return *ws_; }
   const engine::Workspace& workspace() const { return *ws_; }
   policy::NodeSecurityState& security_state() { return security_; }
@@ -190,6 +210,11 @@ class NodeRuntime {
 
   Config config_;
   std::unique_ptr<engine::Workspace> ws_;
+  std::unique_ptr<engine::QueryEngine> query_;
+  /// Serializes workspace mutation (exclusive) against warm query reads
+  /// (shared). Cold queries upgrade to exclusive because they install and
+  /// seed rule slices through a transaction.
+  mutable std::shared_mutex query_mu_;
   policy::NodeSecurityState security_;
   Stats stats_;
 };

@@ -110,7 +110,13 @@ Result<UdpCluster::Stats> UdpCluster::Run() {
   // Create), validate the envelope's tuple-count hint against the opened
   // payload, and enqueue opened payloads for the apply loop.
   std::thread rx([&] {
-    while (!stop.load(std::memory_order_acquire)) {
+    bool final_sweep = false;
+    while (!final_sweep) {
+      // One more full sweep once stop is requested: datagrams already
+      // sitting in the socket buffers at shutdown get verified and handed
+      // over, so the apply side's final drain flushes them instead of the
+      // OS dropping them with the sockets.
+      final_sweep = stop.load(std::memory_order_acquire);
       bool any = false;
       for (size_t i = 0; i < nodes_.size(); ++i) {
         while (true) {
@@ -165,7 +171,7 @@ Result<UdpCluster::Stats> UdpCluster::Run() {
           cv.notify_all();
         }
       }
-      if (!any) {
+      if (!any && !final_sweep) {
         std::this_thread::sleep_for(std::chrono::microseconds(500));
       }
     }
@@ -295,17 +301,42 @@ Result<UdpCluster::Stats> UdpCluster::Run() {
     }
   }
 
-  // Drain anything still held open — unconditionally, so an error on one
-  // destination's path never silently drops another destination's
+  stop.store(true, std::memory_order_release);
+  cv.notify_all();
+  rx.join();
+
+  // The receive thread verifies seals off the apply loop, so it may have
+  // enqueued payloads between this loop's last sweep and the join —
+  // residue left in rx_queue here is a verified message silently dropped
+  // at shutdown. Fold it into the held batches first: everything still
+  // pending at stop time is *flushed, not dropped*.
+  std::deque<RxItem> residue;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    residue.swap(rx_queue);
+  }
+  for (RxItem& item : residue) {
+    if (!item.envelope_ok) {
+      ++stats_.rejected;
+      continue;
+    }
+    if (item.hint_mismatch) {
+      ++stats_.rejected;
+      ++stats_.hint_mismatches;
+    }
+    PendingBatch& b = pending[item.dst];
+    if (b.group.empty()) b.first = item.arrival;
+    b.group.push_back(std::move(item.opened));
+    b.tuples += item.tuple_count;
+  }
+
+  // Drain everything still held open — unconditionally, so an error on
+  // one destination's path never silently drops another destination's
   // verified payloads. The first error is preserved.
   for (size_t dst = 0; dst < pending.size(); ++dst) {
     Status drained = flush(dst);
     if (status.ok()) status = std::move(drained);
   }
-
-  stop.store(true, std::memory_order_release);
-  cv.notify_all();
-  rx.join();
   SB_RETURN_IF_ERROR(status);
   return stats_;
 }

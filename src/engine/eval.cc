@@ -253,7 +253,15 @@ class BodyPlanner {
     return best_scan;
   }
 
-  Result<ArgPat> PatFor(const TermPtr& arg, bool binds, bool wild_anon) {
+  /// `col`/`atom_cols`, when given, track which column of the atom being
+  /// compiled first bound each slot: a later occurrence of the same
+  /// variable in the SAME atom compiles to kSame (compare the candidate
+  /// row against its own earlier column) instead of kBound — the slot is
+  /// only bound once the row is accepted, so a kBound read of env[slot]
+  /// here would dereference an unengaged optional.
+  Result<ArgPat> PatFor(const TermPtr& arg, bool binds, bool wild_anon,
+                        int col = -1,
+                        std::vector<std::pair<int, int>>* atom_cols = nullptr) {
     ArgPat pat;
     if (arg->kind == TermKind::kConst) {
       pat.kind = ArgPat::Kind::kConst;
@@ -269,6 +277,15 @@ class BodyPlanner {
       bound_.resize(slot + 1, false);
     }
     pat.slot = slot;
+    if (atom_cols != nullptr) {
+      for (const auto& [s, c] : *atom_cols) {
+        if (s == slot) {
+          pat.kind = ArgPat::Kind::kSame;
+          pat.same_col = c;
+          return pat;
+        }
+      }
+    }
     if (bound_[slot]) {
       pat.kind = ArgPat::Kind::kBound;
     } else if (wild_anon && IsAnonymous(arg->name)) {
@@ -276,6 +293,9 @@ class BodyPlanner {
     } else if (binds) {
       pat.kind = ArgPat::Kind::kBind;
       bound_[slot] = true;
+      if (atom_cols != nullptr && col >= 0) {
+        atom_cols->push_back({slot, col});
+      }
     } else {
       return Status::Internal("unbound variable '" + arg->name +
                               "' in non-binding position");
@@ -371,8 +391,11 @@ class BodyPlanner {
     step.kind = Step::Kind::kScan;
     step.occurrence = (*scan_occurrences)++;
     scan_preds->push_back(pred);
-    for (const auto& arg : a.args) {
-      SB_ASSIGN_OR_RETURN(ArgPat pat, PatFor(arg, true, false));
+    std::vector<std::pair<int, int>> atom_cols;
+    for (size_t j = 0; j < a.args.size(); ++j) {
+      SB_ASSIGN_OR_RETURN(ArgPat pat,
+                          PatFor(a.args[j], true, false,
+                                 static_cast<int>(j), &atom_cols));
       step.args.push_back(std::move(pat));
     }
     return step;
@@ -637,6 +660,10 @@ bool TupleMatches(const std::vector<ArgPat>& pats, const Tuple& tuple,
     if (p.kind == ArgPat::Kind::kBound && !(tuple[i] == *env[p.slot])) {
       return false;
     }
+    if (p.kind == ArgPat::Kind::kSame &&
+        !(tuple[i] == tuple[p.same_col])) {
+      return false;
+    }
   }
   return true;
 }
@@ -821,6 +848,17 @@ Status Executor::RunFrom(const std::vector<Step>& steps, size_t idx, Env& env,
         const bool have_exclude = !frame.exclude_order.empty();
         auto emit_slot = [&](size_t sh, uint32_t slot) -> Status {
           if (have_exclude && excluded(sh, slot)) return Status::OK();
+          // Repeated-variable columns: codes live in per-column
+          // dictionaries and are not comparable across columns, so the
+          // equality is checked on decoded values.
+          for (size_t i = 0; i < step.args.size(); ++i) {
+            const ArgPat& p = step.args[i];
+            if (p.kind == ArgPat::Kind::kSame &&
+                !(rel->At(sh, slot, i) ==
+                  rel->At(sh, slot, static_cast<size_t>(p.same_col)))) {
+              return Status::OK();
+            }
+          }
           frame.bound_here.clear();
           for (size_t i = 0; i < step.args.size(); ++i) {
             if (step.args[i].kind == ArgPat::Kind::kBind) {

@@ -55,9 +55,15 @@ struct ArgPat {
     kBind,   // slot unbound: bind from the tuple / builtin output
     kConst,  // literal constant: match
     kWild,   // anonymous variable in a negation probe: matches anything
+    kSame,   // repeated variable within one scan atom: equal to this
+             // atom's earlier column `same_col` (the kBind occurrence).
+             // The slot is only bound when the row is accepted, so the
+             // comparison must read the candidate row, never the
+             // environment — env[slot] is still unengaged here.
   };
   Kind kind = Kind::kConst;
   int slot = -1;
+  int same_col = -1;  // kSame: earlier column of the same atom to equal
   datalog::Value constant;
 };
 

@@ -89,17 +89,40 @@ int StepClass(const Step& step, const std::vector<bool>& bound) {
 
 /// Recompute one argument pattern for a new position. `may_bind` says the
 /// step can bind the slot from a tuple / output at this position.
-bool RebindArg(ArgPat* p, std::vector<bool>* bound, bool may_bind) {
+/// `col`/`step_cols`, passed for scans, track which column of the step
+/// being rebound first bound each slot: a repeated variable within one
+/// atom must come out kSame (row-vs-row equality), never kBound — the
+/// slot is only bound once the row is accepted, so a kBound read of
+/// env[slot] at match time would dereference an unengaged optional.
+/// Within-atom column order is fixed under reordering, so a baseline
+/// kSame arg re-derives the same classification here.
+bool RebindArg(ArgPat* p, std::vector<bool>* bound, bool may_bind,
+               int col = -1,
+               std::vector<std::pair<int, int>>* step_cols = nullptr) {
   if (p->kind == ArgPat::Kind::kConst || p->kind == ArgPat::Kind::kWild) {
     return true;
   }
+  if (step_cols != nullptr) {
+    for (const auto& [s, c] : *step_cols) {
+      if (s == p->slot) {
+        p->kind = ArgPat::Kind::kSame;
+        p->same_col = c;
+        return true;
+      }
+    }
+  }
   if ((*bound)[p->slot]) {
     p->kind = ArgPat::Kind::kBound;
+    p->same_col = -1;
     return true;
   }
   if (!may_bind) return false;
   p->kind = ArgPat::Kind::kBind;
+  p->same_col = -1;
   (*bound)[p->slot] = true;
+  if (step_cols != nullptr && col >= 0) {
+    step_cols->push_back({p->slot, col});
+  }
   return true;
 }
 
@@ -114,16 +137,25 @@ bool RebindStep(const Step& base, std::vector<bool>* bound, bool force_scan,
                 Step* out) {
   *out = base;
   switch (out->kind) {
-    case Step::Kind::kScan:
-      for (ArgPat& p : out->args) {
-        if (!RebindArg(&p, bound, /*may_bind=*/true)) return false;
+    case Step::Kind::kScan: {
+      std::vector<std::pair<int, int>> step_cols;
+      for (size_t i = 0; i < out->args.size(); ++i) {
+        if (!RebindArg(&out->args[i], bound, /*may_bind=*/true,
+                       static_cast<int>(i), &step_cols)) {
+          return false;
+        }
       }
       return true;
+    }
     case Step::Kind::kLookup: {
       if (force_scan) {
         out->kind = Step::Kind::kScan;
-        for (ArgPat& p : out->args) {
-          if (!RebindArg(&p, bound, /*may_bind=*/true)) return false;
+        std::vector<std::pair<int, int>> step_cols;
+        for (size_t i = 0; i < out->args.size(); ++i) {
+          if (!RebindArg(&out->args[i], bound, /*may_bind=*/true,
+                         static_cast<int>(i), &step_cols)) {
+            return false;
+          }
         }
         return true;
       }

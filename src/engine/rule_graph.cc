@@ -393,4 +393,140 @@ const std::vector<size_t>& RuleGraph::producers_of(PredId pred) const {
   return it == producers_.end() ? kEmpty : it->second;
 }
 
+// -- query front end: adornment / slice analysis ---------------------------
+
+std::string AdornmentString(Adornment a, size_t arity) {
+  std::string out;
+  out.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    out.push_back((a >> i) & 1 ? 'b' : 'f');
+  }
+  return out;
+}
+
+namespace {
+
+// Variables appearing anywhere in a term (arith descends).
+void CollectTermVars(const datalog::TermPtr& t,
+                     std::unordered_set<std::string>* out) {
+  if (t == nullptr) return;
+  if (t->kind == datalog::TermKind::kVar) out->insert(t->name);
+  if (t->kind == datalog::TermKind::kArith) {
+    CollectTermVars(t->lhs, out);
+    CollectTermVars(t->rhs, out);
+  }
+}
+
+}  // namespace
+
+Result<DeferredRuleIndex> DeferredRuleIndex::Build(
+    const std::vector<datalog::Rule>& rules, const datalog::Catalog& catalog,
+    const datalog::BuiltinSignatureMap& builtins) {
+  DeferredRuleIndex index;
+  index.num_rules_ = rules.size();
+  for (const auto& [name, sig] : builtins) index.builtin_names_.insert(name);
+
+  // Pass 1: producers, dependency edges, negated-predicate set, and the
+  // seeds of the full-materialization set.
+  std::unordered_set<PredId> negated;
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const datalog::Rule& rule = rules[r];
+    std::unordered_set<std::string> body_vars;
+    std::vector<PredId> body_preds;
+    for (const datalog::Literal& lit : rule.body) {
+      if (lit.kind == datalog::Literal::Kind::kCompare) {
+        CollectTermVars(lit.cmp.lhs, &body_vars);
+        CollectTermVars(lit.cmp.rhs, &body_vars);
+        continue;
+      }
+      for (const auto& arg : lit.atom.args) CollectTermVars(arg, &body_vars);
+      if (index.builtin_names_.count(lit.atom.pred.name)) continue;
+      SB_ASSIGN_OR_RETURN(PredId pid, catalog.Lookup(lit.atom.pred.name));
+      body_preds.push_back(pid);
+      if (lit.atom.negated) negated.insert(pid);
+    }
+
+    // Aggregate rules need complete input groups; multi-head rules derive
+    // every head per body match, so restricting one head starves the
+    // others; head existentials create entities whose labels depend on the
+    // producing rule's identity. All three install unguarded.
+    bool unadornable = rule.agg.has_value() || rule.heads.size() > 1;
+    for (const datalog::Atom& head : rule.heads) {
+      for (const auto& arg : head.args) {
+        if (arg->kind == datalog::TermKind::kVar &&
+            !body_vars.count(arg->name)) {
+          unadornable = true;  // head existential
+        }
+      }
+    }
+    for (const datalog::Atom& head : rule.heads) {
+      SB_ASSIGN_OR_RETURN(PredId hid, catalog.Lookup(head.pred.name));
+      index.producers_[hid].push_back(r);
+      auto& deps = index.deps_[hid];
+      for (PredId p : body_preds) {
+        if (std::find(deps.begin(), deps.end(), p) == deps.end()) {
+          deps.push_back(p);
+        }
+      }
+      if (unadornable) index.full_.insert(hid);
+    }
+  }
+  for (PredId p : negated) {
+    if (index.IsIdb(p)) index.negated_idb_.insert(p);
+  }
+
+  // Pass 2: close the full set downward — an unguarded rule reads its body
+  // predicates in full, so they must be complete too.
+  std::vector<PredId> work(index.full_.begin(), index.full_.end());
+  while (!work.empty()) {
+    PredId p = work.back();
+    work.pop_back();
+    auto it = index.deps_.find(p);
+    if (it == index.deps_.end()) continue;
+    for (PredId q : it->second) {
+      if (index.IsIdb(q) && index.full_.insert(q).second) work.push_back(q);
+    }
+  }
+  return index;
+}
+
+const std::vector<size_t>& DeferredRuleIndex::ProducersOf(PredId pred) const {
+  static const std::vector<size_t> kEmpty;
+  auto it = producers_.find(pred);
+  return it == producers_.end() ? kEmpty : it->second;
+}
+
+std::vector<PredId> DeferredRuleIndex::SliceClosure(PredId pred) const {
+  std::unordered_set<PredId> seen{pred};
+  std::vector<PredId> work{pred};
+  while (!work.empty()) {
+    PredId p = work.back();
+    work.pop_back();
+    auto it = deps_.find(p);
+    if (it == deps_.end()) continue;
+    for (PredId q : it->second) {
+      if (seen.insert(q).second) work.push_back(q);
+    }
+  }
+  std::vector<PredId> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool DeferredRuleIndex::SliceHasNegatedIdb(PredId pred) const {
+  if (negated_idb_.empty()) return false;
+  for (PredId p : SliceClosure(pred)) {
+    if (negated_idb_.count(p)) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> DeferredRuleIndex::SliceRules(PredId pred) const {
+  std::set<size_t> out;
+  for (PredId p : SliceClosure(pred)) {
+    for (size_t r : ProducersOf(p)) out.insert(r);
+  }
+  return std::vector<size_t>(out.begin(), out.end());
+}
+
 }  // namespace secureblox::engine

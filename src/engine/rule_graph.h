@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "datalog/ast.h"
 #include "datalog/catalog.h"
+#include "datalog/typecheck.h"
 #include "engine/eval.h"
 
 namespace secureblox::engine {
@@ -118,6 +120,76 @@ class RuleGraph {
   std::unordered_map<datalog::PredId, std::vector<int>> negator_groups_;
   std::unordered_map<datalog::PredId, std::vector<size_t>> producers_;
   std::unordered_set<datalog::PredId> negated_preds_;
+};
+
+// -- query front end: adornment / slice analysis (engine/query) ------------
+//
+// The magic-sets rewriter works on the AST-level rules a query-serving
+// workspace records (Workspace::deferred_rules) — the static half of the
+// query module lives here next to the other rule-dependency structure.
+
+/// Bound/free pattern over a predicate's argument positions: bit i set =
+/// position i bound. 0 = every position free.
+using Adornment = uint32_t;
+
+/// Classic "bf" rendering (b = bound, f = free), used in generated magic
+/// predicate names and diagnostics.
+std::string AdornmentString(Adornment a, size_t arity);
+
+/// Static index over a query-serving workspace's deferred rules: which
+/// rules produce each predicate, which predicates are IDB, and which
+/// resist magic restriction. Borrowed pointers must outlive the index;
+/// rebuild after every Install that appends deferred rules.
+class DeferredRuleIndex {
+ public:
+  static Result<DeferredRuleIndex> Build(
+      const std::vector<datalog::Rule>& rules,
+      const datalog::Catalog& catalog,
+      const datalog::BuiltinSignatureMap& builtins);
+
+  /// Rules with `pred` among their head predicates (indexes into the
+  /// deferred-rule vector the index was built over).
+  const std::vector<size_t>& ProducersOf(datalog::PredId pred) const;
+  bool IsIdb(datalog::PredId pred) const {
+    return !ProducersOf(pred).empty();
+  }
+
+  /// Predicates whose rules cannot carry a magic guard — aggregate heads,
+  /// multi-head rules, and entity-creating head existentials — closed
+  /// downward: a fully materialized predicate needs fully materialized
+  /// body predicates.
+  bool RequiresFull(datalog::PredId pred) const {
+    return full_.count(pred) > 0;
+  }
+
+  /// True when `pred`'s dependency closure reads an IDB predicate under
+  /// negation. Magic guards re-route derivation order, which negation
+  /// semantics (stratified or derivation-time) observe, so such slices
+  /// are installed unguarded instead.
+  bool SliceHasNegatedIdb(datalog::PredId pred) const;
+
+  /// Every predicate reachable from `pred` through producing rules —
+  /// `pred` itself, IDB intermediates, and EDB leaves (negated and
+  /// positive reads alike). Sorted.
+  std::vector<datalog::PredId> SliceClosure(datalog::PredId pred) const;
+
+  /// Deferred-rule indexes reachable from `pred` (producers of every IDB
+  /// predicate in its closure). Sorted.
+  std::vector<size_t> SliceRules(datalog::PredId pred) const;
+
+  bool IsBuiltinAtom(const std::string& name) const {
+    return builtin_names_.count(name) > 0;
+  }
+  size_t num_source_rules() const { return num_rules_; }
+
+ private:
+  std::unordered_map<datalog::PredId, std::vector<size_t>> producers_;
+  /// Head pred -> body preds of its producing rules (deduplicated).
+  std::unordered_map<datalog::PredId, std::vector<datalog::PredId>> deps_;
+  std::unordered_set<datalog::PredId> full_;
+  std::unordered_set<datalog::PredId> negated_idb_;
+  std::unordered_set<std::string> builtin_names_;
+  size_t num_rules_ = 0;
 };
 
 }  // namespace secureblox::engine

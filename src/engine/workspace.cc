@@ -119,11 +119,21 @@ Status Workspace::Install(const datalog::Program& program) {
   SB_ASSIGN_OR_RETURN(
       datalog::AnalyzedProgram analyzed,
       datalog::AnalyzeProgram(program, catalog_.get(), builtins_.Signatures()));
-  for (auto& r : analyzed.rules) installed_rules_.push_back(std::move(r));
-  for (auto& c : analyzed.runtime_constraints) {
-    installed_constraints_.push_back(std::move(c));
+  if (defer_rules_) {
+    // Query-serving mode: record the rules for the query front end and
+    // drop runtime constraints — nothing is materialized until a query
+    // slice asks for it, and a partially materialized database would
+    // raise spurious violations on constraints whose right-hand side is a
+    // derived predicate. Validation happened upstream, on the node that
+    // committed the facts.
+    for (auto& r : analyzed.rules) deferred_rules_.push_back(std::move(r));
+  } else {
+    for (auto& r : analyzed.rules) installed_rules_.push_back(std::move(r));
+    for (auto& c : analyzed.runtime_constraints) {
+      installed_constraints_.push_back(std::move(c));
+    }
+    SB_RETURN_IF_ERROR(Recompile());
   }
-  SB_RETURN_IF_ERROR(Recompile());
 
   // Apply ground facts through a transaction.
   std::vector<FactUpdate> inserts;
@@ -140,6 +150,17 @@ Status Workspace::Install(const datalog::Program& program) {
     if (!commit.ok()) return commit.status();
   }
   return Status::OK();
+}
+
+Status Workspace::InstallSlice(const datalog::Program& program) {
+  SB_ASSIGN_OR_RETURN(
+      datalog::AnalyzedProgram analyzed,
+      datalog::AnalyzeProgram(program, catalog_.get(), builtins_.Signatures()));
+  if (!analyzed.facts.empty() || !analyzed.runtime_constraints.empty()) {
+    return Status::InvalidArgument("query slice must contain rules only");
+  }
+  for (auto& r : analyzed.rules) installed_rules_.push_back(std::move(r));
+  return Recompile();
 }
 
 Status Workspace::Recompile() {

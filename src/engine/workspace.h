@@ -121,10 +121,30 @@ class Workspace : public RelationStore, private FixpointHost {
   /// Fixpoint knobs (derivation budget). May be adjusted at any time.
   FixpointOptions& fixpoint_options() { return fixpoint_options_; }
 
+  /// Query-serving mode (engine/query): Install records rules for the
+  /// query front end instead of compiling them for bottom-up evaluation,
+  /// and drops runtime constraints — a serving replica trusts upstream
+  /// validation and materializes only query slices. Declarations and
+  /// ground facts behave as usual. Set before the first Install.
+  void set_defer_rules(bool defer) { defer_rules_ = defer; }
+  bool defer_rules() const { return defer_rules_; }
+
+  /// Rules recorded by Install while defer_rules is set (analyzed,
+  /// typechecked, uncompiled) — the query front end's rewrite source.
+  const std::vector<datalog::Rule>& deferred_rules() const {
+    return deferred_rules_;
+  }
+
   /// Analyze (schema + typecheck), compile, and install a program. Ground
   /// facts in the program are applied through a transaction. May be called
   /// multiple times; rules accumulate.
   Status Install(const datalog::Program& program);
+
+  /// Install a rewritten rule slice from the query front end: compiles and
+  /// activates the rules regardless of defer_rules. The program must
+  /// contain rules only (no facts, no unrecognized constraints); newly
+  /// referenced predicates must already be declared.
+  Status InstallSlice(const datalog::Program& program);
 
   /// Run one ACID transaction: apply updates, fixpoint, constraint check.
   /// On violation returns ConstraintViolation and the workspace is
@@ -233,6 +253,11 @@ class Workspace : public RelationStore, private FixpointHost {
   // Installed program (sources kept for recompilation on later installs).
   std::vector<datalog::Rule> installed_rules_;
   std::vector<datalog::ConstraintDecl> installed_constraints_;
+
+  // Query-serving mode: rules withheld from bottom-up compilation (see
+  // set_defer_rules); engine/query installs rewritten slices on demand.
+  bool defer_rules_ = false;
+  std::vector<datalog::Rule> deferred_rules_;
 
   std::vector<CompiledRule> compiled_rules_;
   std::vector<CompiledConstraint> compiled_constraints_;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <set>
@@ -148,6 +149,37 @@ TEST(RelationStatsTest, EmptyAndUntrackedMasksFallBackToSize) {
   EXPECT_DOUBLE_EQ(r.EstimateMatches(0x2), 2.0);  // untracked mask
   r.EnsureKeyStat(0x2);
   EXPECT_DOUBLE_EQ(r.EstimateMatches(0x2), 1.0);  // 2 rows / 2 values
+}
+
+TEST(RelationStatsTest, EstimateMatchesFiniteOnJustEmptiedRelation) {
+  // Pins the division guards in Relation::EstimateMatches (audit: the
+  // total_size_ == 0 early return and the distinct == 0 fallback keep
+  // every path off 0/0): a relation emptied AFTER its stats were seeded
+  // must estimate 0 matches — finite, never NaN/inf — for tracked masks,
+  // untracked masks, and the columnar dictionary path, and the planner's
+  // wide-match ratio (EstimateMatches * 4 >= size) must stay well-defined.
+  PredicateDecl decl = MakeDecl(2, false);
+  for (bool columnar : {false, true}) {
+    Relation r(&decl, /*shards=*/3, columnar);
+    r.EnsureKeyStat(0x1);
+    for (int i = 0; i < 6; ++i) r.Insert(T({i, i * 10}));
+    ASSERT_GT(r.EstimateMatches(0x1), 0.0);
+    for (int i = 0; i < 6; ++i) ASSERT_TRUE(r.Erase(T({i, i * 10})));
+    ASSERT_EQ(r.size(), 0u);
+    for (uint32_t mask : {0x0u, 0x1u, 0x2u, 0x3u}) {
+      const double est = r.EstimateMatches(mask);
+      EXPECT_TRUE(std::isfinite(est))
+          << "columnar=" << columnar << " mask=" << mask;
+      EXPECT_DOUBLE_EQ(est, 0.0);
+    }
+    // The just-emptied dictionary reports zero live keys (columnar) or an
+    // empty count map (row stats); neither may reach the division.
+    if (auto d = r.DistinctKeys(0x1)) EXPECT_EQ(*d, 0u);
+    // Refill after the empty phase: estimates recover from live data.
+    r.Insert(T({1, 2}));
+    r.Insert(T({1, 3}));
+    EXPECT_DOUBLE_EQ(r.EstimateMatches(0x1), 2.0);
+  }
 }
 
 TEST(RelationStatsTest, ProbeBucketsStaySortedAcrossEraseChurn) {

@@ -1,0 +1,473 @@
+// Query-driven evaluation (engine/query): magic-sets answers pinned
+// byte-identical against the materialized fixpoint across the planner /
+// columnar / SIMD / threads / shards knob matrix, including after
+// delete-delta churn; memo warm hits; install-after-query reconciliation;
+// fallback slices for aggregates and negation; and the NodeRuntime
+// query-serving front end under concurrent readers.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "dist/runtime.h"
+#include "engine/query.h"
+#include "engine/workspace.h"
+#include "policy/says_policy.h"
+
+namespace secureblox::engine {
+namespace {
+
+using datalog::Value;
+
+void Install(Workspace* ws, const std::string& src) {
+  auto program = datalog::Parse(src);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Status st = ws->Install(program.value());
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+std::set<std::string> Render(const std::vector<Tuple>& tuples,
+                             const Workspace& ws) {
+  std::set<std::string> out;
+  for (const Tuple& t : tuples) out.insert(TupleToString(t, ws.catalog()));
+  return out;
+}
+
+// Answers the query engine should produce, computed the slow way from a
+// fully materialized workspace: scan the relation, filter on the bound
+// positions (entity labels resolved through the catalog, exactly like
+// QueryEngine::Resolve).
+std::set<std::string> ExpectedSet(
+    Workspace& ws, const std::string& pred,
+    const std::vector<std::optional<Value>>& args) {
+  auto pid = ws.catalog().Lookup(pred);
+  EXPECT_TRUE(pid.ok());
+  const datalog::PredicateDecl& decl = ws.catalog().decl(pid.value());
+  std::vector<std::optional<Value>> bound(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (!args[i].has_value()) continue;
+    const datalog::PredicateDecl& t = ws.catalog().decl(decl.arg_types[i]);
+    if (t.is_entity_type && args[i]->kind() == datalog::ValueKind::kString) {
+      auto e = ws.catalog().FindEntity(decl.arg_types[i], args[i]->AsString());
+      if (!e.ok()) return {};  // unknown label: no answers
+      bound[i] = e.value();
+    } else {
+      bound[i] = *args[i];
+    }
+  }
+  auto rows = ws.Query(pred);
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  std::set<std::string> out;
+  for (const Tuple& t : rows.value()) {
+    bool match = true;
+    for (size_t i = 0; i < t.size() && match; ++i) {
+      if (bound[i].has_value() && !(t[i] == *bound[i])) match = false;
+    }
+    if (match) out.insert(TupleToString(t, ws.catalog()));
+  }
+  return out;
+}
+
+std::set<std::string> QueryAnswers(QueryEngine* qe, Workspace& ws,
+                                   const QueryGoal& goal) {
+  auto rows = qe->Query(goal);
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  if (!rows.ok()) return {};
+  return Render(rows.value(), ws);
+}
+
+const char* kGraphSchema = R"(
+node(X) -> .
+link(X, Y) -> node(X), node(Y).
+reachable(X, Y) -> node(X), node(Y).
+reachable(X, Y) <- link(X, Y).
+reachable(X, Y) <- link(X, Z), reachable(Z, Y).
+)";
+
+std::vector<FactUpdate> LineLinks(int n) {
+  std::vector<FactUpdate> out;
+  for (int i = 0; i + 1 < n; ++i) {
+    out.push_back({"link",
+                   {Value::Str("v" + std::to_string(i)),
+                    Value::Str("v" + std::to_string(i + 1))}});
+  }
+  return out;
+}
+
+// An unrelated second subsystem: querying `reachable` must not touch it.
+const char* kSecondSubsystem = R"(
+wire(X, Y) -> node(X), node(Y).
+connected(X, Y) -> node(X), node(Y).
+connected(X, Y) <- wire(X, Y).
+connected(X, Y) <- wire(X, Z), connected(Z, Y).
+)";
+
+TEST(QueryTest, PointQueryMatchesFixpoint) {
+  Workspace mat;
+  Install(&mat, kGraphSchema);
+  Install(&mat, kSecondSubsystem);
+  ASSERT_TRUE(mat.Apply(LineLinks(6)).ok());
+  ASSERT_TRUE(
+      mat.Apply({{"wire", {Value::Str("w0"), Value::Str("w1")}},
+                 {"wire", {Value::Str("w1"), Value::Str("w2")}}}).ok());
+
+  Workspace qws;
+  qws.set_defer_rules(true);
+  Install(&qws, kGraphSchema);
+  Install(&qws, kSecondSubsystem);
+  ASSERT_TRUE(qws.Apply(LineLinks(6)).ok());
+  ASSERT_TRUE(
+      qws.Apply({{"wire", {Value::Str("w0"), Value::Str("w1")}},
+                 {"wire", {Value::Str("w1"), Value::Str("w2")}}}).ok());
+  QueryEngine qe(&qws);
+
+  std::vector<std::vector<std::optional<Value>>> goals = {
+      {Value::Str("v0"), std::nullopt},              // bf
+      {std::nullopt, Value::Str("v5")},              // fb
+      {Value::Str("v1"), Value::Str("v4")},          // bb
+      {Value::Str("v4"), Value::Str("v1")},          // bb, empty
+      {Value::Str("nosuch"), std::nullopt},          // unknown label
+  };
+  for (const auto& args : goals) {
+    EXPECT_EQ(QueryAnswers(&qe, qws, {"reachable", args}),
+              ExpectedSet(mat, "reachable", args));
+  }
+  // The queries only demanded the reachable slice: the second subsystem's
+  // closure stays unmaterialized in the query-serving workspace.
+  EXPECT_EQ(ExpectedSet(mat, "connected", {std::nullopt, std::nullopt}).size(),
+            3u);
+  auto connected = qws.catalog().Lookup("connected");
+  ASSERT_TRUE(connected.ok());
+  const Relation* rel = qws.GetRelationIfExists(connected.value());
+  EXPECT_TRUE(rel == nullptr || rel->AllTuples().empty());
+}
+
+TEST(QueryTest, AllFreeGoalFallsBackToFullSlice) {
+  Workspace mat;
+  Install(&mat, kGraphSchema);
+  ASSERT_TRUE(mat.Apply(LineLinks(5)).ok());
+
+  Workspace qws;
+  qws.set_defer_rules(true);
+  Install(&qws, kGraphSchema);
+  ASSERT_TRUE(qws.Apply(LineLinks(5)).ok());
+  QueryEngine qe(&qws);
+
+  std::vector<std::optional<Value>> free2 = {std::nullopt, std::nullopt};
+  EXPECT_EQ(QueryAnswers(&qe, qws, {"reachable", free2}),
+            ExpectedSet(mat, "reachable", free2));
+  EXPECT_GE(qe.stats().full_slices, 1u);
+  // The full slice marks the predicate complete; a later bound goal is a
+  // probe, not a new install.
+  uint64_t installs = qe.stats().slices_installed;
+  std::vector<std::optional<Value>> bf = {Value::Str("v0"), std::nullopt};
+  EXPECT_EQ(QueryAnswers(&qe, qws, {"reachable", bf}),
+            ExpectedSet(mat, "reachable", bf));
+  EXPECT_EQ(qe.stats().slices_installed, installs);
+}
+
+// The acceptance gate: answers are byte-identical (same rendered strings,
+// same sorted order) across planner x columnar x SIMD x threads x shards,
+// including after delete-delta churn.
+TEST(QueryTest, KnobMatrixDifferential) {
+  Workspace mat;
+  Install(&mat, kGraphSchema);
+  ASSERT_TRUE(mat.Apply(LineLinks(6)).ok());
+  // Churn on the reference too: drop one edge, add a shortcut.
+  auto churn_del = FactUpdate{"link", {Value::Str("v2"), Value::Str("v3")}};
+  auto churn_add = FactUpdate{"link", {Value::Str("v1"), Value::Str("v4")}};
+  std::vector<std::optional<Value>> bf = {Value::Str("v0"), std::nullopt};
+  std::vector<std::optional<Value>> fb = {std::nullopt, Value::Str("v5")};
+  auto before_del = ExpectedSet(mat, "reachable", bf);
+  ASSERT_TRUE(mat.Apply({churn_add}, {churn_del}).ok());
+  auto after_bf = ExpectedSet(mat, "reachable", bf);
+  auto after_fb = ExpectedSet(mat, "reachable", fb);
+  ASSERT_NE(before_del, after_bf);  // the churn must actually change answers
+
+  std::vector<std::string> first_bf, first_fb;
+  bool have_first = false;
+  for (int threads : {1, 4}) {
+    for (size_t shards : {size_t{1}, size_t{7}}) {
+      for (int mask = 0; mask < 8; ++mask) {
+        Workspace qws;
+        qws.set_defer_rules(true);
+        qws.fixpoint_options().threads = threads;
+        qws.fixpoint_options().shards = shards;
+        qws.fixpoint_options().plan = (mask & 1) != 0;
+        qws.fixpoint_options().columnar = (mask & 2) != 0;
+        qws.fixpoint_options().simd = (mask & 4) ? 1 : 0;
+        Install(&qws, kGraphSchema);
+        ASSERT_TRUE(qws.Apply(LineLinks(6)).ok());
+        QueryEngine qe(&qws);
+        EXPECT_EQ(QueryAnswers(&qe, qws, {"reachable", bf}), before_del);
+        ASSERT_TRUE(qws.Apply({churn_add}, {churn_del}).ok());
+        auto rows_bf = qe.Query({"reachable", bf});
+        auto rows_fb = qe.Query({"reachable", fb});
+        ASSERT_TRUE(rows_bf.ok() && rows_fb.ok());
+        EXPECT_EQ(Render(rows_bf.value(), qws), after_bf);
+        EXPECT_EQ(Render(rows_fb.value(), qws), after_fb);
+        // Byte-identical including order, across every knob combination.
+        std::vector<std::string> r_bf, r_fb;
+        for (const Tuple& t : rows_bf.value()) {
+          r_bf.push_back(TupleToString(t, qws.catalog()));
+        }
+        for (const Tuple& t : rows_fb.value()) {
+          r_fb.push_back(TupleToString(t, qws.catalog()));
+        }
+        if (!have_first) {
+          first_bf = r_bf;
+          first_fb = r_fb;
+          have_first = true;
+        } else {
+          EXPECT_EQ(r_bf, first_bf) << "threads=" << threads
+                                    << " shards=" << shards
+                                    << " mask=" << mask;
+          EXPECT_EQ(r_fb, first_fb);
+        }
+      }
+    }
+  }
+}
+
+TEST(QueryTest, DeleteChurnInvalidatesMemo) {
+  Workspace qws;
+  qws.set_defer_rules(true);
+  Install(&qws, kGraphSchema);
+  ASSERT_TRUE(qws.Apply(LineLinks(5)).ok());
+  QueryEngine qe(&qws);
+
+  std::vector<std::optional<Value>> bf = {Value::Str("v0"), std::nullopt};
+  EXPECT_EQ(QueryAnswers(&qe, qws, {"reachable", bf}).size(), 4u);
+  // Warm repeat: answered from the snapshot.
+  auto warm = qe.TryWarm({"reachable", bf});
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->size(), 4u);
+
+  // Cut the line at v2 -> v3: the slice's delete deltas retract the
+  // dependent closure, and the version-stamp epoch stales the snapshot.
+  ASSERT_TRUE(
+      qws.Apply({}, {{"link", {Value::Str("v2"), Value::Str("v3")}}}).ok());
+  EXPECT_FALSE(qe.TryWarm({"reachable", bf}).has_value());
+  EXPECT_EQ(QueryAnswers(&qe, qws, {"reachable", bf}).size(), 2u);
+
+  // Restore the edge: answers come back, again through the delta path.
+  ASSERT_TRUE(
+      qws.Apply({{"link", {Value::Str("v2"), Value::Str("v3")}}}).ok());
+  EXPECT_EQ(QueryAnswers(&qe, qws, {"reachable", bf}).size(), 4u);
+  EXPECT_GE(qe.stats().warm_hits, 1u);
+}
+
+TEST(QueryTest, InstallAfterQueriesReconciles) {
+  const char* schema = R"(
+node(X) -> .
+link(X, Y) -> node(X), node(Y).
+shortcut(X, Y) -> node(X), node(Y).
+reachable(X, Y) -> node(X), node(Y).
+reachable(X, Y) <- link(X, Y).
+reachable(X, Y) <- link(X, Z), reachable(Z, Y).
+)";
+  const char* late = "link(X, Y) <- shortcut(X, Y).\n";
+  auto shortcut = FactUpdate{"shortcut",
+                             {Value::Str("v3"), Value::Str("v0")}};
+  Workspace qws;
+  qws.set_defer_rules(true);
+  Install(&qws, schema);
+  ASSERT_TRUE(qws.Apply(LineLinks(4)).ok());
+  ASSERT_TRUE(qws.Apply({shortcut}).ok());
+  QueryEngine qe(&qws);
+
+  std::vector<std::optional<Value>> bf = {Value::Str("v0"), std::nullopt};
+  EXPECT_EQ(QueryAnswers(&qe, qws, {"reachable", bf}).size(), 3u);
+
+  // A later Install appends a rule that closes the cycle through the
+  // pre-existing shortcut fact. `link` was EDB when the slice was
+  // installed and becomes IDB here — the reconcile must pick up the new
+  // producer over pre-existing data. (Unlike the bottom-up engine, where
+  // a late Install only applies to future deltas, the query front end is
+  // declarative: answers reflect the full rule set over the current base
+  // facts — the reference installs every rule before the data.)
+  Install(&qws, late);
+
+  Workspace mat;
+  Install(&mat, schema);
+  Install(&mat, late);
+  ASSERT_TRUE(mat.Apply(LineLinks(4)).ok());
+  ASSERT_TRUE(mat.Apply({shortcut}).ok());
+  auto expected = ExpectedSet(mat, "reachable", bf);
+  EXPECT_GT(expected.size(), 3u);  // the new rule must widen the answers
+  EXPECT_EQ(QueryAnswers(&qe, qws, {"reachable", bf}), expected);
+}
+
+TEST(QueryTest, AggregateSliceFallsBackUnguarded) {
+  const char* src = R"(
+node(X) -> .
+link(X, Y) -> node(X), node(Y).
+outdeg[X] = C -> node(X), int(C).
+outdeg[X] = C <- agg<< C = count() >> link(X, _).
+)";
+  Workspace mat;
+  Install(&mat, src);
+  ASSERT_TRUE(mat.Apply(LineLinks(5)).ok());
+  ASSERT_TRUE(
+      mat.Apply({{"link", {Value::Str("v0"), Value::Str("v2")}}}).ok());
+
+  Workspace qws;
+  qws.set_defer_rules(true);
+  Install(&qws, src);
+  ASSERT_TRUE(qws.Apply(LineLinks(5)).ok());
+  ASSERT_TRUE(
+      qws.Apply({{"link", {Value::Str("v0"), Value::Str("v2")}}}).ok());
+  QueryEngine qe(&qws);
+
+  std::vector<std::optional<Value>> bf = {Value::Str("v0"), std::nullopt};
+  EXPECT_EQ(QueryAnswers(&qe, qws, {"outdeg", bf}),
+            ExpectedSet(mat, "outdeg", bf));
+  EXPECT_GE(qe.stats().full_slices, 1u);
+}
+
+TEST(QueryTest, NegatedIdbSliceFallsBackUnguarded) {
+  const char* src = R"(
+node(X) -> .
+link(X, Y) -> node(X), node(Y).
+reachable(X, Y) -> node(X), node(Y).
+reachable(X, Y) <- link(X, Y).
+reachable(X, Y) <- link(X, Z), reachable(Z, Y).
+unreachable(X, Y) -> node(X), node(Y).
+unreachable(X, Y) <- node(X), node(Y), !reachable(X, Y).
+)";
+  Workspace mat;
+  Install(&mat, src);
+  ASSERT_TRUE(mat.Apply(LineLinks(4)).ok());
+
+  Workspace qws;
+  qws.set_defer_rules(true);
+  Install(&qws, src);
+  ASSERT_TRUE(qws.Apply(LineLinks(4)).ok());
+  QueryEngine qe(&qws);
+
+  std::vector<std::optional<Value>> bf = {Value::Str("v2"), std::nullopt};
+  EXPECT_EQ(QueryAnswers(&qe, qws, {"unreachable", bf}),
+            ExpectedSet(mat, "unreachable", bf));
+  EXPECT_GE(qe.stats().full_slices, 1u);
+  // Positive slices stay guarded even in the same workspace.
+  std::vector<std::optional<Value>> r = {Value::Str("v0"), std::nullopt};
+  EXPECT_EQ(QueryAnswers(&qe, qws, {"reachable", r}),
+            ExpectedSet(mat, "reachable", r));
+}
+
+TEST(QueryTest, EdbGoalAndMaterializedWorkspaceProbe) {
+  Workspace ws;  // materialized: queries degrade to filtered scans
+  Install(&ws, kGraphSchema);
+  ASSERT_TRUE(ws.Apply(LineLinks(4)).ok());
+  QueryEngine qe(&ws);
+  std::vector<std::optional<Value>> bf = {Value::Str("v1"), std::nullopt};
+  EXPECT_EQ(QueryAnswers(&qe, ws, {"reachable", bf}),
+            ExpectedSet(ws, "reachable", bf));
+  EXPECT_EQ(QueryAnswers(&qe, ws, {"link", bf}),
+            ExpectedSet(ws, "link", bf));
+  // EDB goals on a deferred workspace are plain probes too.
+  Workspace qws;
+  qws.set_defer_rules(true);
+  Install(&qws, kGraphSchema);
+  ASSERT_TRUE(qws.Apply(LineLinks(4)).ok());
+  QueryEngine dqe(&qws);
+  EXPECT_EQ(QueryAnswers(&dqe, qws, {"link", bf}),
+            ExpectedSet(ws, "link", bf));
+}
+
+TEST(QueryTest, GoalErrorsAreReported) {
+  Workspace qws;
+  qws.set_defer_rules(true);
+  Install(&qws, kGraphSchema);
+  QueryEngine qe(&qws);
+  EXPECT_FALSE(qe.Query({"nosuchpred", {}}).ok());
+  EXPECT_FALSE(qe.Query({"reachable", {Value::Str("v0")}}).ok());  // arity
+  EXPECT_FALSE(
+      qe.Query({"reachable", {Value::Int(3), std::nullopt}}).ok());  // type
+}
+
+}  // namespace
+}  // namespace secureblox::engine
+
+namespace secureblox::dist {
+namespace {
+
+using datalog::Value;
+using engine::FactUpdate;
+
+// NodeRuntime in query-serving mode: concurrent warm queries between
+// transactions, and exclusion against Apply.
+TEST(QueryTest, NodeRuntimeServesConcurrentQueries) {
+  policy::SaysPolicyOptions opts;
+  opts.auth = policy::AuthScheme::kNone;
+  opts.enc = policy::EncScheme::kNone;
+  opts.accept = policy::AcceptMode::kBenign;
+  const char* app = R"(
+link(X, Y) -> principal(X), principal(Y).
+reachable(X, Y) -> principal(X), principal(Y).
+reachable(X, Y) <- link(X, Y).
+reachable(X, Y) <- link(X, Z), reachable(Z, Y).
+)";
+  std::vector<std::string> principals = {"alice", "bob"};
+  policy::CredentialAuthority::Options copts;
+  copts.rsa_bits = 512;
+  copts.seed = "query-test";
+  policy::CredentialAuthority authority(principals, copts);
+
+  NodeRuntime::Config cfg;
+  cfg.index = 0;
+  cfg.principals = principals;
+  cfg.creds = authority.IssueFor("alice").value();
+  cfg.query_mode = true;
+  auto rt = NodeRuntime::Create(
+      std::move(cfg),
+      {policy::PreludeSource(), app, policy::SaysPolicySource(opts)});
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  NodeRuntime& node = **rt;
+
+  std::vector<FactUpdate> links;
+  for (int i = 0; i + 1 < 6; ++i) {
+    links.push_back({"link",
+                     {Value::Str("p" + std::to_string(i)),
+                      Value::Str("p" + std::to_string(i + 1))}});
+  }
+  ASSERT_TRUE(node.InsertLocal(links).ok());
+
+  engine::QueryGoal goal{"reachable", {Value::Str("p0"), std::nullopt}};
+  auto first = node.Query(goal);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->size(), 5u);
+
+  // Concurrent readers racing a mutating transaction; every read must see
+  // a consistent pre- or post-churn answer set (5 or 3 tuples).
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&node, &goal, &bad] {
+      for (int i = 0; i < 50; ++i) {
+        auto rows = node.Query(goal);
+        if (!rows.ok() || (rows->size() != 5 && rows->size() != 3)) {
+          bad = true;
+          return;
+        }
+      }
+    });
+  }
+  auto churn = node.ApplyLocal(
+      {}, {{"link", {Value::Str("p3"), Value::Str("p4")}}});
+  ASSERT_TRUE(churn.ok()) << churn.status().ToString();
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(bad.load());
+
+  auto after = node.Query(goal);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 3u);
+  EXPECT_GE(node.query_stats().warm_hits, 1u);
+}
+
+}  // namespace
+}  // namespace secureblox::dist

@@ -562,6 +562,92 @@ TEST(ColumnarRelationTest, SortedRunBoundsWarmStaleAndCorrect) {
   EXPECT_NE(r.SortedRunBoundsIfWarm(0, 1), nullptr);
 }
 
+TEST(ColumnarRelationTest, SortedRunsStaleAfterEraseChurnAndRewarm) {
+  // Regression pin for the sorted-run version stamp (audit: every mutation
+  // bumps version_, and SortedRunBoundsIfWarm compares stamps, so the
+  // cache can never serve bounds computed against pre-churn code
+  // vectors). Erase churn swap-removes rows INSIDE the vectors — unlike
+  // an append it shifts codes into earlier slots — so stale bounds would
+  // silently mis-delimit runs rather than crash. After a re-warm the
+  // bounds must describe the post-churn vectors exactly.
+  PredicateDecl decl = MakeDecl(3, false);
+  Relation r(&decl, 2, /*columnar=*/true);
+  for (int64_t i = 0; i < 80; ++i) r.Insert(Mixed(i % 11, i));
+  r.EnsureSortedRuns(2);
+  ASSERT_NE(r.SortedRunBoundsIfWarm(0, 2), nullptr);
+  // Swap-remove churn from the middle of every shard.
+  for (int64_t i = 10; i < 70; i += 3) ASSERT_TRUE(r.Erase(Mixed(i % 11, i)));
+  EXPECT_EQ(r.SortedRunBoundsIfWarm(0, 2), nullptr);
+  EXPECT_EQ(r.SortedRunBoundsIfWarm(1, 2), nullptr);
+  r.EnsureSortedRuns(2);
+  for (size_t sh = 0; sh < r.shard_count(); ++sh) {
+    const std::vector<uint32_t>* bounds = r.SortedRunBoundsIfWarm(sh, 2);
+    ASSERT_NE(bounds, nullptr) << "shard " << sh;
+    const std::vector<uint32_t>& codes = r.shard_codes(sh, 2);
+    ASSERT_GE(bounds->size(), 2u);
+    EXPECT_EQ(bounds->front(), 0u);
+    EXPECT_EQ(bounds->back(), codes.size());
+    for (size_t b = 0; b + 1 < bounds->size(); ++b) {
+      for (uint32_t i = (*bounds)[b] + 1; i < (*bounds)[b + 1]; ++i) {
+        EXPECT_GE(codes[i], codes[i - 1]) << "run not sorted post-churn";
+      }
+    }
+  }
+  // Erase-then-rewarm round two: the stamp keeps pace with every bump.
+  for (int64_t i = 0; i < 80; i += 7) {
+    if (r.Contains(Mixed(i % 11, i))) ASSERT_TRUE(r.Erase(Mixed(i % 11, i)));
+  }
+  EXPECT_EQ(r.SortedRunBoundsIfWarm(0, 2), nullptr);
+  r.EnsureSortedRuns(2);
+  EXPECT_NE(r.SortedRunBoundsIfWarm(0, 2), nullptr);
+}
+
+TEST(ColumnarRelationTest, RejectedInsertsLeaveDictionaryRefcountsClean) {
+  // Audit pin for dictionary refcount hygiene: Insert interns nothing
+  // until the row is known to commit (phase A is lookup-only), so a
+  // duplicate or FD-conflict rejection must leave refcounts, live counts,
+  // and dictionary sizes byte-identical — erasing the original rows
+  // afterwards must still retire every code to zero live values.
+  {
+    PredicateDecl decl = MakeDecl(3, false);
+    Relation r(&decl, 3, /*columnar=*/true);
+    for (int64_t i = 0; i < 30; ++i) {
+      ASSERT_EQ(r.Insert(Mixed(i % 6, i)), InsertOutcome::kInserted);
+    }
+    const auto live0 = r.ColumnDistinct(0);
+    const auto live2 = r.ColumnDistinct(2);
+    const Relation::MemoryFootprint before = r.Memory();
+    for (int64_t i = 0; i < 30; ++i) {
+      EXPECT_EQ(r.Insert(Mixed(i % 6, i)), InsertOutcome::kDuplicate);
+    }
+    EXPECT_EQ(r.ColumnDistinct(0), live0);
+    EXPECT_EQ(r.ColumnDistinct(2), live2);
+    EXPECT_EQ(r.Memory().dict_bytes, before.dict_bytes);
+    EXPECT_EQ(r.size(), 30u);
+    // A leaked reference from any rejected insert would keep the value
+    // alive past the erase of its only real row.
+    for (int64_t i = 0; i < 30; ++i) ASSERT_TRUE(r.Erase(Mixed(i % 6, i)));
+    for (size_t col = 0; col < 3; ++col) EXPECT_EQ(r.ColumnDistinct(col), 0u);
+  }
+  {
+    PredicateDecl decl = MakeDecl(3, true);  // keys = columns 0..1
+    Relation r(&decl, 3, /*columnar=*/true);
+    for (int64_t i = 0; i < 20; ++i) {
+      ASSERT_EQ(r.Insert(Mixed(i, i)), InsertOutcome::kInserted);
+    }
+    const auto live2 = r.ColumnDistinct(2);
+    // Conflicting value column: the key exists with a different payload.
+    // The novel payload value must NOT be interned by the rejection.
+    for (int64_t i = 0; i < 20; ++i) {
+      EXPECT_EQ(r.Insert(Mixed(i, i + 5000)), InsertOutcome::kFdConflict);
+      EXPECT_FALSE(r.CodeOf(2, Value::Int(i + 5000)).has_value());
+    }
+    EXPECT_EQ(r.ColumnDistinct(2), live2);
+    for (int64_t i = 0; i < 20; ++i) ASSERT_TRUE(r.Erase(Mixed(i, i)));
+    for (size_t col = 0; col < 3; ++col) EXPECT_EQ(r.ColumnDistinct(col), 0u);
+  }
+}
+
 TEST(RelationTest, TupleHashingQuality) {
   TupleHash h;
   // Different orderings hash differently (order matters).

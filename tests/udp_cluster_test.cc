@@ -163,6 +163,54 @@ TEST(UdpClusterTest, LyingTupleCountHintsAreClampedAndCounted) {
   EXPECT_EQ(rows.size(), 1u);
 }
 
+TEST(UdpClusterTest, ShutdownDrainsSocketBufferedDatagrams) {
+  // Regression: datagrams still sitting in a receiver's socket buffer at
+  // shutdown must be delivered, not dropped with the sockets. A tight
+  // idle budget (one zero-timeout sweep) lets the apply loop decide
+  // "quiet network" before the receive thread has handed anything over;
+  // the shutdown path must then (a) have the receive thread run one final
+  // full sweep after observing stop, (b) absorb the queue residue into
+  // the held batches, and (c) flush every destination unconditionally.
+  // Pre-fix, the messages sent below were racily lost; post-fix their
+  // delivery is deterministic (loopback sendto buffers synchronously).
+  // The apply loop's cv wait uses a predicate, so spurious wakeups only
+  // cost an empty sweep — they cannot fake traffic or skip the drain.
+  policy::SaysPolicyOptions popts;
+  popts.accept = policy::AcceptMode::kBenign;
+
+  UdpCluster::Config cfg;
+  cfg.num_nodes = 2;
+  cfg.sources = {policy::PreludeSource(), kApp,
+                 policy::SaysPolicySource(popts)};
+  cfg.batch_security.auth = policy::AuthScheme::kHmac;
+  cfg.credentials.rsa_bits = 512;
+  cfg.credentials.seed = "udp-shutdown-drain";
+  cfg.poll_timeout_ms = 0;
+  cfg.idle_sweeps = 1;
+
+  auto cluster = UdpCluster::Create(std::move(cfg));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  // Sealed exports buffered on node 1's socket before the loops start.
+  ASSERT_TRUE((*cluster)
+                  ->Insert(0, {{"link", {Value::Str("p0"), Value::Str("p1")}}})
+                  .ok());
+  ASSERT_TRUE((*cluster)
+                  ->Insert(0, {{"link", {Value::Str("p1"), Value::Str("p0")}}})
+                  .ok());
+
+  auto stats = (*cluster)->Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->messages_delivered, 2u);
+  EXPECT_EQ(stats->rejected, 0u);
+
+  // The exported closure committed on the receiver despite the immediate
+  // shutdown: reachable(p0,p1) from the first insert, then the three new
+  // closure tuples (p1,p0), (p0,p0), (p1,p1) from the second.
+  auto rows = (*cluster)->node(1).workspace().Query("reachable").value();
+  EXPECT_EQ(rows.size(), 4u);
+}
+
 TEST(UdpClusterTest, PortsAreDistinct) {
   UdpCluster::Config cfg;
   cfg.num_nodes = 2;
