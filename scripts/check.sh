@@ -41,12 +41,29 @@ if [ -x "$build/micro_delete" ]; then
 fi
 SB_QUICK=1 SB_MAX_NODES=6 "$build/fig04_fixpoint_latency"
 
-# Distribution-layer granularity sweep (§5.2): batch = 1/4/64/∞ on the
-# fig06 path-vector workload, recorded as BENCH_dist.json. The harness
-# exits nonzero unless coalescing (batch ∞) sends fewer messages than
-# one-transaction-per-message (batch 1).
-SB_QUICK=1 SB_BENCH_OUT="$build/BENCH_dist.json" "$build/abl_txn_granularity"
+# Distribution-layer sweeps, merged into BENCH_dist.json:
+#   - transaction granularity (§5.2): batch = 1/4/64/∞ on the fig06
+#     path-vector workload; exits nonzero unless coalescing (batch ∞)
+#     sends fewer messages than one-transaction-per-message (batch 1);
+#   - shard-placement scale-out: the placed-closure workload on 1/6/18
+#     nodes, recording per-node relation_*_bytes gauges and convergence;
+#     exits nonzero unless the max per-node footprint at 6 nodes is
+#     < 60% of the 1-node figure and the 18-node run converges with the
+#     identical placed fixpoint.
+SB_QUICK=1 SB_BENCH_OUT="$build/BENCH_txn.json" "$build/abl_txn_granularity"
+SB_QUICK=1 SB_BENCH_OUT="$build/BENCH_placement.json" "$build/abl_placement"
+{
+  printf '{\n"txn_granularity": '
+  cat "$build/BENCH_txn.json"
+  printf ',\n"placement": '
+  cat "$build/BENCH_placement.json"
+  printf '}\n'
+} > "$build/BENCH_dist.json"
 echo "wrote $build/BENCH_dist.json"
+# Placement determinism smoke: the partitioned-placement suite at the
+# prime storage shard count (routing, handoff, invariance matrix).
+SB_SHARDS=7 ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
+    -R 'placement_test|dist_test'
 
 # Cost-based planner A/B (SB_PLAN): worst-ordered join plus an
 # already-well-ordered recursion, recorded as BENCH_plan.json. The

@@ -42,9 +42,21 @@ Result<std::unique_ptr<SimCluster>> SimCluster::Create(Config config) {
     ncfg.principals = principals;
     SB_ASSIGN_OR_RETURN(ncfg.creds, authority.IssueFor(principals[i]));
     ncfg.batch_security = config.batch_security;
+    ncfg.placement = config.placement;
+    ncfg.placed_preds = config.placed_preds;
+    ncfg.storage_shards = config.storage_shards;
     SB_ASSIGN_OR_RETURN(std::unique_ptr<NodeRuntime> node,
                         NodeRuntime::Create(std::move(ncfg), config.sources));
     cluster->nodes_.push_back(std::move(node));
+  }
+  if (config.placement) {
+    size_t members = config.initial_members == 0 ? config.num_nodes
+                                                 : config.initial_members;
+    if (members > config.num_nodes) {
+      return Status::InvalidArgument("initial_members exceeds num_nodes");
+    }
+    cluster->map_ = ShardMap::Initial(static_cast<uint32_t>(members));
+    for (auto& node : cluster->nodes_) node->SetShardMap(cluster->map_);
   }
   cluster->net_ = net::SimNet(config.net);
   cluster->config_ = std::move(config);
@@ -61,6 +73,16 @@ void SimCluster::ScheduleUpdate(NodeIndex node,
                                 std::vector<FactUpdate> deletes,
                                 double at_s) {
   scheduled_.push_back({node, std::move(inserts), std::move(deletes), at_s});
+}
+
+void SimCluster::ScheduleJoin(NodeIndex node, double at_s) {
+  scheduled_.push_back(
+      {node, {}, {}, at_s, ScheduledTx::Kind::kJoin});
+}
+
+void SimCluster::ScheduleLeave(NodeIndex node, double at_s) {
+  scheduled_.push_back(
+      {node, {}, {}, at_s, ScheduledTx::Kind::kLeave});
 }
 
 Result<SimCluster::Metrics> SimCluster::Run() {
@@ -158,6 +180,48 @@ Result<SimCluster::Metrics> SimCluster::Run() {
 
     if (t_sched <= t_fire) {
       ScheduledTx& tx = scheduled_[next_scheduled++];
+      if (tx.kind != ScheduledTx::Kind::kTx) {
+        // Membership change. The new map is computed once; every old
+        // owner of a departing shard runs a handoff transaction (snapshot
+        // extraction + sealing, charged to its simulated clock, shipped
+        // through the network model), then the map activates everywhere —
+        // an idealized synchronous membership service. In-flight batches
+        // sealed under the old epoch land at old owners and re-route.
+        if (!config_.placement) {
+          return Status::InvalidArgument(
+              "membership event without placement mode");
+        }
+        ShardMap new_map = map_;
+        if (tx.kind == ScheduledTx::Kind::kJoin) {
+          new_map.Join(tx.node);
+        } else {
+          new_map.Leave(tx.node);
+        }
+        if (new_map.epoch() != map_.epoch()) {
+          ++metrics.membership_changes;
+          for (size_t n = 0; n < nodes_.size(); ++n) {
+            auto t0 = std::chrono::steady_clock::now();
+            auto handoff = nodes_[n]->ExtractHandoff(new_map);
+            double wall_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+            if (!handoff.ok()) return handoff.status();
+            if (handoff->empty()) continue;
+            size_t rows = 0;
+            for (const auto& o : *handoff) rows += o.num_tuples;
+            metrics.handoff_transfers += handoff->size();
+            metrics.handoff_rows += rows;
+            double start = std::max(tx.at_s, available[n]);
+            finish_tx(static_cast<NodeIndex>(n), start, wall_s,
+                      /*accepted=*/true, /*is_delivery=*/false,
+                      handoff->size(), rows, std::move(*handoff));
+            metrics.transactions.back().is_handoff = true;
+          }
+          map_ = new_map;
+          for (auto& node : nodes_) node->SetShardMap(map_);
+        }
+        continue;
+      }
       double start = std::max(tx.at_s, available[tx.node]);
       auto t0 = std::chrono::steady_clock::now();
       auto outcome = nodes_[tx.node]->ApplyLocal(tx.inserts, tx.deletes);
@@ -221,6 +285,7 @@ Result<SimCluster::Metrics> SimCluster::Run() {
   for (size_t i = 0; i < nodes_.size(); ++i) {
     metrics.node_bytes_sent.push_back(
         net_.bytes_sent(static_cast<NodeIndex>(i)));
+    metrics.rerouted_batches += nodes_[i]->stats().batches_rerouted;
   }
   return metrics;
 }

@@ -45,6 +45,17 @@ class SimCluster {
     /// queued delivery, hoping to coalesce more (0 = apply as soon as the
     /// node is free).
     double max_batch_delay_s = 0;
+    /// Partitioned shard placement (dist/placement.h): every node runs
+    /// with `placed_preds` partitioned by the cluster ShardMap instead of
+    /// fully replicated.
+    bool placement = false;
+    std::vector<std::string> placed_preds;
+    /// Nodes 0..initial_members-1 own shards at time zero; the rest hold
+    /// empty placed relations until a scheduled join admits them. 0 = all
+    /// nodes are members from the start.
+    size_t initial_members = 0;
+    /// Relation storage shards per node (-1 = the SB_SHARDS default).
+    int storage_shards = -1;
   };
 
   /// One transaction (local update or coalesced delivery) in simulated
@@ -60,6 +71,9 @@ class SimCluster {
     size_t num_payloads = 0;
     /// Sender-declared tuples across those messages.
     size_t num_tuples = 0;
+    /// Shard-snapshot extraction on a membership change: the node spent
+    /// this time detaching and sealing departing shards.
+    bool is_handoff = false;
   };
 
   struct Metrics {
@@ -76,6 +90,15 @@ class SimCluster {
     uint64_t delivery_transactions = 0;
     /// Messages that shared a delivery transaction with at least one other.
     uint64_t coalesced_messages = 0;
+    /// Membership changes executed (joins + leaves).
+    uint64_t membership_changes = 0;
+    /// Handoff batches shipped on membership changes, and the snapshot
+    /// rows they carried.
+    uint64_t handoff_transfers = 0;
+    uint64_t handoff_rows = 0;
+    /// Placement batches re-sealed and forwarded by a non-owner (stale
+    /// epoch after a membership change), summed over nodes.
+    uint64_t rerouted_batches = 0;
     std::vector<TxRecord> transactions;
     /// Bytes sent per node (Figures 6/12).
     std::vector<uint64_t> node_bytes_sent;
@@ -99,8 +122,18 @@ class SimCluster {
                       std::vector<engine::FactUpdate> deletes,
                       double at_s = 0.0);
 
+  /// Queue a membership change (placement mode only): at `at_s`, the
+  /// named node joins or leaves the shard map. Departing shards are
+  /// detached at their old owners (simulated-time-accounted handoff
+  /// transactions) and streamed to the new owners; the new map activates
+  /// on every node synchronously (an idealized membership service).
+  void ScheduleJoin(net::NodeIndex node, double at_s);
+  void ScheduleLeave(net::NodeIndex node, double at_s);
+
   /// Run scheduled updates and message deliveries until the network drains.
   Result<Metrics> Run();
+
+  const ShardMap& shard_map() const { return map_; }
 
   NodeRuntime& node(net::NodeIndex i) { return *nodes_[i]; }
   size_t num_nodes() const { return nodes_.size(); }
@@ -111,6 +144,9 @@ class SimCluster {
     std::vector<engine::FactUpdate> inserts;
     std::vector<engine::FactUpdate> deletes;
     double at_s = 0;
+    /// Membership event: kJoin/kLeave of `node` instead of a transaction.
+    enum class Kind { kTx, kJoin, kLeave };
+    Kind kind = Kind::kTx;
   };
 
   SimCluster() = default;
@@ -119,6 +155,8 @@ class SimCluster {
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   net::SimNet net_;
   std::vector<ScheduledTx> scheduled_;
+  /// Authoritative shard map in placement mode (nodes hold copies).
+  ShardMap map_;
 };
 
 }  // namespace secureblox::dist

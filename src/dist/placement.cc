@@ -1,0 +1,82 @@
+#include "dist/placement.h"
+
+#include <algorithm>
+
+namespace secureblox::dist {
+
+namespace {
+
+/// Virtual points per member. More points smooth the per-node share at
+/// the cost of a larger ring; 32 keeps the max/mean shard imbalance under
+/// ~30% for small clusters, plenty for the 60%-of-replicated memory gate.
+constexpr int kVirtualNodes = 32;
+
+/// FNV-1a over a small integer key, finished with a 64-bit avalanche
+/// (splitmix64) so consecutive inputs scatter across the whole ring.
+uint64_t Mix(uint64_t x) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+ShardMap ShardMap::Initial(uint32_t num_nodes) {
+  ShardMap map;
+  for (uint32_t n = 0; n < num_nodes; ++n) map.members_.push_back(n);
+  map.RebuildRing();
+  map.epoch_ = 1;
+  return map;
+}
+
+void ShardMap::RebuildRing() {
+  ring_.clear();
+  ring_.reserve(members_.size() * kVirtualNodes);
+  for (uint32_t node : members_) {
+    for (int v = 0; v < kVirtualNodes; ++v) {
+      // Distinct point streams per node: node in the high word, virtual
+      // index in the low.
+      uint64_t point = Mix((static_cast<uint64_t>(node) << 32) |
+                           static_cast<uint64_t>(v) | (1ull << 63));
+      ring_.emplace_back(point, node);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+uint32_t ShardMap::OwnerOf(size_t shard) const {
+  uint64_t point = Mix(static_cast<uint64_t>(shard));
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(point, uint32_t{0}));
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+bool ShardMap::HasMember(uint32_t node) const {
+  return std::binary_search(members_.begin(), members_.end(), node);
+}
+
+void ShardMap::Join(uint32_t node) {
+  if (HasMember(node)) return;
+  members_.insert(
+      std::upper_bound(members_.begin(), members_.end(), node), node);
+  RebuildRing();
+  ++epoch_;
+}
+
+void ShardMap::Leave(uint32_t node) {
+  if (!HasMember(node) || members_.size() <= 1) return;
+  members_.erase(std::find(members_.begin(), members_.end(), node));
+  RebuildRing();
+  ++epoch_;
+}
+
+}  // namespace secureblox::dist

@@ -1,0 +1,58 @@
+// ShardMap: the cluster-wide shard-ownership map (dist half of the
+// placement seam; engine half in engine/placement.h).
+//
+// Ownership is assigned by consistent hashing: each member node projects
+// a fixed set of virtual points onto a 64-bit ring, and shard s belongs
+// to the first virtual point clockwise of hash(s). Join/leave therefore
+// move only the shards adjacent to the affected node's points (expected
+// 1/n of the key space) instead of reshuffling everything — the handoff
+// volume on membership change is proportional to the data actually
+// changing owner.
+//
+// Every membership change bumps `epoch`. Batches carry the sender's
+// epoch; a receiver holding a newer map re-routes mis-addressed payloads
+// to the current owner rather than dropping them (dist/runtime.cc), so
+// the map may be updated node-by-node without a stop-the-world barrier.
+// The map is deliberately pred-agnostic: shard s of *every* placed
+// relation lives on the same owner, so one payload routes atomically.
+#ifndef SECUREBLOX_DIST_PLACEMENT_H_
+#define SECUREBLOX_DIST_PLACEMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace secureblox::dist {
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+  /// Initial map over nodes {0, .., num_nodes-1} at epoch 1.
+  static ShardMap Initial(uint32_t num_nodes);
+
+  /// Owning node of a shard index. The map must be non-empty.
+  uint32_t OwnerOf(size_t shard) const;
+
+  /// Membership changes; each bumps the epoch. Joining an existing member
+  /// or removing the last/unknown member is a no-op (epoch still bumps on
+  /// actual change only).
+  void Join(uint32_t node);
+  void Leave(uint32_t node);
+
+  uint64_t epoch() const { return epoch_; }
+  const std::vector<uint32_t>& members() const { return members_; }
+  bool HasMember(uint32_t node) const;
+
+ private:
+  void RebuildRing();
+
+  uint64_t epoch_ = 0;
+  std::vector<uint32_t> members_;  // sorted
+  /// (point on ring, owning node), sorted by point.
+  std::vector<std::pair<uint64_t, uint32_t>> ring_;
+};
+
+}  // namespace secureblox::dist
+
+#endif  // SECUREBLOX_DIST_PLACEMENT_H_

@@ -51,7 +51,12 @@ Result<std::unique_ptr<NodeRuntime>> NodeRuntime::Create(
   rt->ws_->set_allow_unstratified_negation(true);
   // Anonymous entities (e.g. path extensions) travel by label; the node tag
   // keeps labels globally unique so distinct paths never merge on import.
-  rt->ws_->catalog().SetNodeTag(NodeLabel(rt->config_.index));
+  // Placement mode instead shares one tag cluster-wide: shards (and the
+  // rule firings that mint labels into them) migrate between nodes, so a
+  // label must not record which node happened to fire the rule.
+  rt->ws_->catalog().SetNodeTag(rt->config_.placement
+                                    ? rt->config_.placement_tag
+                                    : NodeLabel(rt->config_.index));
   rt->security_.creds = rt->config_.creds;
   rt->ws_->set_user_context(&rt->security_);
   if (rt->config_.fixpoint_threads >= 0) {
@@ -71,6 +76,28 @@ Result<std::unique_ptr<NodeRuntime>> NodeRuntime::Create(
                       policy::CompileWithPolicies(rt->ws_.get(), sources));
   SB_RETURN_IF_ERROR(rt->ws_->Install(expanded.program));
   rt->query_ = std::make_unique<engine::QueryEngine>(rt->ws_.get());
+
+  if (rt->config_.placement) {
+    if (rt->config_.placed_preds.empty()) {
+      return Status::InvalidArgument(
+          "placement mode without placed predicates");
+    }
+    for (const std::string& name : rt->config_.placed_preds) {
+      SB_ASSIGN_OR_RETURN(PredId p, rt->ws_->catalog().Lookup(name));
+      rt->placement_.placed.insert(p);
+    }
+    SB_RETURN_IF_ERROR(
+        engine::ValidatePlacement(*rt->ws_, rt->placement_.placed));
+    rt->shard_map_ = ShardMap::Initial(
+        static_cast<uint32_t>(rt->config_.principals.size()));
+    rt->placement_.local_node = rt->config_.index;
+    rt->placement_.epoch = rt->shard_map_.epoch();
+    NodeRuntime* self_ptr = rt.get();
+    rt->placement_.owner_of = [self_ptr](size_t shard) {
+      return self_ptr->shard_map_.OwnerOf(shard);
+    };
+    rt->ws_->fixpoint_options().placement = &rt->placement_;
+  }
 
   // Infrastructure facts: who am I, where does everyone live, and the key
   // material the policy builtins read (paper §5.1).
@@ -198,6 +225,43 @@ Result<Bytes> NodeRuntime::OpenFromPeer(const Bytes& sealed,
   return payload;
 }
 
+namespace {
+
+net::WireEntryKind WireKindOf(engine::RemoteDelta::Kind kind) {
+  switch (kind) {
+    case engine::RemoteDelta::Kind::kBaseInsert:
+      return net::WireEntryKind::kBaseInsert;
+    case engine::RemoteDelta::Kind::kBaseDelete:
+      return net::WireEntryKind::kBaseDelete;
+    case engine::RemoteDelta::Kind::kSupportAdd:
+      return net::WireEntryKind::kSupportAdd;
+    case engine::RemoteDelta::Kind::kSupportDrop:
+      return net::WireEntryKind::kSupportDrop;
+    case engine::RemoteDelta::Kind::kHandoff:
+      return net::WireEntryKind::kHandoff;
+  }
+  return net::WireEntryKind::kFacts;
+}
+
+engine::RemoteDelta::Kind DeltaKindOf(net::WireEntryKind kind) {
+  switch (kind) {
+    case net::WireEntryKind::kBaseDelete:
+      return engine::RemoteDelta::Kind::kBaseDelete;
+    case net::WireEntryKind::kSupportAdd:
+      return engine::RemoteDelta::Kind::kSupportAdd;
+    case net::WireEntryKind::kSupportDrop:
+      return engine::RemoteDelta::Kind::kSupportDrop;
+    case net::WireEntryKind::kHandoff:
+      return engine::RemoteDelta::Kind::kHandoff;
+    case net::WireEntryKind::kFacts:
+    case net::WireEntryKind::kBaseInsert:
+      break;
+  }
+  return engine::RemoteDelta::Kind::kBaseInsert;
+}
+
+}  // namespace
+
 Result<std::vector<NodeRuntime::Outgoing>> NodeRuntime::CollectOutgoing(
     const engine::TxCommit& commit) {
   // Predicates whose first column names the destination node (§5.1 export
@@ -239,6 +303,50 @@ Result<std::vector<NodeRuntime::Outgoing>> NodeRuntime::CollectOutgoing(
     SB_ASSIGN_OR_RETURN(Bytes encoded, net::EncodeBatch(batch, catalog));
     SB_ASSIGN_OR_RETURN(Bytes sealed, SealForPeer(encoded, dst));
     out.push_back({dst, std::move(sealed), batch.TotalTuples()});
+  }
+
+  // Placement deltas: one batch per (owner, shard), so a batch either
+  // applies wholly at its owner or forwards wholly to the new one.
+  if (!commit.remote.empty()) {
+    std::map<std::pair<NodeIndex, uint32_t>, net::WireBatch> routed;
+    for (const engine::RemoteDelta& d : commit.remote) {
+      NodeIndex owner = shard_map_.OwnerOf(d.shard);
+      if (owner == config_.index) {
+        // Ownership moved back to us between staging and collection —
+        // impossible while the map only changes between transactions.
+        return Status::Internal("placement delta staged for a local shard");
+      }
+      net::WireBatch& batch =
+          routed[{owner, static_cast<uint32_t>(d.shard)}];
+      batch.src = config_.index;
+      batch.dst = owner;
+      batch.origin = config_.index;
+      batch.route_shard = static_cast<uint32_t>(d.shard);
+      batch.map_epoch = shard_map_.epoch();
+      const std::string& pred_name = catalog.decl(d.pred).name;
+      net::WireEntryKind kind = WireKindOf(d.kind);
+      net::WireBatch::Entry* entry = nullptr;
+      for (auto& e : batch.entries) {
+        if (e.pred == pred_name && e.kind == kind) entry = &e;
+      }
+      if (entry == nullptr) {
+        batch.entries.emplace_back();
+        entry = &batch.entries.back();
+        entry->pred = pred_name;
+        entry->kind = kind;
+      }
+      entry->tuples.push_back(d.tuple);
+      if (kind == net::WireEntryKind::kHandoff) {
+        entry->supports.push_back(d.support);
+        entry->base_flags.push_back(d.is_base ? 1 : 0);
+      }
+    }
+    for (auto& [key, batch] : routed) {
+      SB_ASSIGN_OR_RETURN(Bytes encoded, net::EncodeBatch(batch, catalog));
+      SB_ASSIGN_OR_RETURN(Bytes sealed, SealForPeer(encoded, key.first));
+      out.push_back({key.first, std::move(sealed), batch.TotalTuples(),
+                     key.second, shard_map_.epoch()});
+    }
   }
   return out;
 }
@@ -353,13 +461,78 @@ Result<NodeRuntime::BatchOutcome> NodeRuntime::DeliverOpened(
                                    std::to_string(config_.index) + ")"};
       continue;
     }
-    DecodedPayload dec;
-    dec.index = i;
-    for (const auto& entry : wire->entries) {
-      for (const Tuple& t : entry.tuples) {
-        dec.facts.push_back({entry.pred, t});
+    if (wire->route_shard != net::kNoShard) {
+      if (!config_.placement) {
+        ++stats_.batches_rejected_routing;
+        out.results[i] = {false,
+                          "shard-routed batch at a non-placement node"};
+        continue;
+      }
+      NodeIndex owner = shard_map_.OwnerOf(wire->route_shard);
+      if (owner != config_.index) {
+        // The sender held a stale map (or lied): re-seal hop-by-hop and
+        // forward to the current owner, preserving the origin. The batch
+        // is not dropped — the owner's deferred-retry machinery absorbs
+        // any ordering skew the extra hop introduces.
+        net::WireBatch forward = std::move(*wire);
+        forward.src = config_.index;
+        forward.dst = owner;
+        forward.map_epoch = shard_map_.epoch();
+        auto encoded = net::EncodeBatch(forward, ws_->catalog());
+        if (!encoded.ok()) {
+          out.results[i] = {false, encoded.status().ToString()};
+          continue;
+        }
+        auto sealed = SealForPeer(encoded.value(), owner);
+        if (!sealed.ok()) {
+          out.results[i] = {false, sealed.status().ToString()};
+          continue;
+        }
+        ++stats_.batches_rerouted;
+        out.results[i] = {true, ""};
+        // Forwarded payloads count as accepted (not committed here, but
+        // not rejected): callers gate outgoing sends on acceptance.
+        ++out.accepted_payloads;
+        out.outgoing.push_back({owner, std::move(sealed).value(),
+                                forward.TotalTuples(), forward.route_shard,
+                                shard_map_.epoch()});
+        continue;
       }
     }
+    DecodedPayload dec;
+    dec.index = i;
+    bool bad_entry = false;
+    for (const auto& entry : wire->entries) {
+      if (entry.kind == net::WireEntryKind::kFacts) {
+        for (const Tuple& t : entry.tuples) {
+          dec.facts.push_back({entry.pred, t});
+        }
+        continue;
+      }
+      // Placement delta entries are only meaningful on a shard-routed
+      // batch in placement mode; anywhere else they are a forgery.
+      if (!config_.placement || wire->route_shard == net::kNoShard) {
+        ++stats_.batches_rejected_routing;
+        out.results[i] = {false, "placement delta entry on an unrouted or "
+                                 "non-placement delivery"};
+        bad_entry = true;
+        break;
+      }
+      const bool handoff = entry.kind == net::WireEntryKind::kHandoff;
+      for (size_t j = 0; j < entry.tuples.size(); ++j) {
+        engine::RemoteOp op;
+        op.kind = DeltaKindOf(entry.kind);
+        op.pred = entry.pred;
+        op.values.assign(entry.tuples[j].begin(), entry.tuples[j].end());
+        if (handoff) {
+          op.support = entry.supports[j];
+          op.is_base = entry.base_flags[j] != 0;
+          ++stats_.handoff_rows_in;
+        }
+        dec.remote.push_back(std::move(op));
+      }
+    }
+    if (bad_entry) continue;
     decoded.push_back(std::move(dec));
   }
   if (!decoded.empty()) {
@@ -372,11 +545,14 @@ Status NodeRuntime::ApplyDecodedRange(
     const std::vector<DecodedPayload>& decoded, size_t lo, size_t hi,
     BatchOutcome* out) {
   std::vector<FactUpdate> facts;
+  std::vector<engine::RemoteOp> remote;
   for (size_t i = lo; i < hi; ++i) {
     facts.insert(facts.end(), decoded[i].facts.begin(),
                  decoded[i].facts.end());
+    remote.insert(remote.end(), decoded[i].remote.begin(),
+                  decoded[i].remote.end());
   }
-  auto commit = ws_->Apply(facts);
+  auto commit = ws_->Apply(facts, {}, remote);
   if (commit.ok()) {
     ++stats_.delivery_txns;
     if (hi - lo > 1) stats_.coalesced_payloads += hi - lo;
@@ -405,6 +581,61 @@ Status NodeRuntime::ApplyDecodedRange(
   size_t mid = lo + (hi - lo) / 2;
   SB_RETURN_IF_ERROR(ApplyDecodedRange(decoded, lo, mid, out));
   return ApplyDecodedRange(decoded, mid, hi, out);
+}
+
+// -- placement ----------------------------------------------------------------
+
+void NodeRuntime::SetShardMap(const ShardMap& map) {
+  std::unique_lock<std::shared_mutex> lock(query_mu_);
+  shard_map_ = map;
+  placement_.epoch = map.epoch();
+}
+
+Result<std::vector<NodeRuntime::Outgoing>> NodeRuntime::ExtractHandoff(
+    const ShardMap& new_map) {
+  if (!config_.placement) {
+    return Status::InvalidArgument("ExtractHandoff without placement mode");
+  }
+  std::unique_lock<std::shared_mutex> lock(query_mu_);
+  const size_t num_shards = ws_->fixpoint_options().shards;
+  const datalog::Catalog& catalog = ws_->catalog();
+  // One handoff batch per (new owner, shard), mirroring CollectOutgoing's
+  // routing granularity.
+  std::map<std::pair<NodeIndex, uint32_t>, net::WireBatch> batches;
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    if (shard_map_.OwnerOf(shard) != config_.index) continue;
+    NodeIndex new_owner = new_map.OwnerOf(shard);
+    if (new_owner == config_.index) continue;
+    for (PredId pred : placement_.placed) {
+      SB_ASSIGN_OR_RETURN(std::vector<engine::RemoteDelta> rows,
+                          ws_->DetachShard(pred, shard));
+      if (rows.empty()) continue;
+      net::WireBatch& batch =
+          batches[{new_owner, static_cast<uint32_t>(shard)}];
+      batch.src = config_.index;
+      batch.dst = new_owner;
+      batch.origin = config_.index;
+      batch.route_shard = static_cast<uint32_t>(shard);
+      batch.map_epoch = new_map.epoch();
+      net::WireBatch::Entry entry;
+      entry.pred = catalog.decl(pred).name;
+      entry.kind = net::WireEntryKind::kHandoff;
+      for (engine::RemoteDelta& d : rows) {
+        entry.tuples.push_back(std::move(d.tuple));
+        entry.supports.push_back(d.support);
+        entry.base_flags.push_back(d.is_base ? 1 : 0);
+      }
+      batch.entries.push_back(std::move(entry));
+    }
+  }
+  std::vector<Outgoing> out;
+  for (auto& [key, batch] : batches) {
+    SB_ASSIGN_OR_RETURN(Bytes encoded, net::EncodeBatch(batch, catalog));
+    SB_ASSIGN_OR_RETURN(Bytes sealed, SealForPeer(encoded, key.first));
+    out.push_back({key.first, std::move(sealed), batch.TotalTuples(),
+                   key.second, new_map.epoch()});
+  }
+  return out;
 }
 
 }  // namespace secureblox::dist

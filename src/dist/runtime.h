@@ -17,6 +17,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "dist/placement.h"
 #include "engine/query.h"
 #include "engine/workspace.h"
 #include "net/wire.h"
@@ -64,6 +65,17 @@ class NodeRuntime {
     /// (a serving replica trusts upstream validation), so the node should
     /// not originate data of its own.
     bool query_mode = false;
+    /// Partitioned shard placement: this node owns only its hash-assigned
+    /// subset of every placed relation's shards (ShardMap); mutations
+    /// targeting foreign shards route to their owners as sealed deltas.
+    /// Requires `placed_preds` to pass engine::ValidatePlacement.
+    bool placement = false;
+    /// Predicate names under placement (must exist after Install).
+    std::vector<std::string> placed_preds;
+    /// Catalog node tag in placement mode. Placed shards migrate between
+    /// nodes, so content-addressed labels must not depend on which node
+    /// fired the creating rule — every member uses this shared tag.
+    std::string placement_tag = "cluster";
   };
 
   /// One sealed batch addressed to a peer node.
@@ -71,6 +83,11 @@ class NodeRuntime {
     net::NodeIndex dst = 0;
     Bytes payload;
     size_t num_tuples = 0;
+    /// Routing hints mirrored from the (sealed) batch header for
+    /// transports that surface them outside the seal: target shard
+    /// (net::kNoShard for exports) and the sender's map epoch.
+    uint32_t shard = net::kNoShard;
+    uint64_t map_epoch = 0;
   };
 
   /// Result of one local transaction (insert or delivery).
@@ -129,6 +146,14 @@ class NodeRuntime {
     /// Constraint-violation bisections (batch splits isolating a poisoned
     /// source from its peers).
     uint64_t bisect_splits = 0;
+    /// Placement batches that arrived at a non-owner (stale map epoch or
+    /// lying envelope) and were re-sealed and forwarded to the owner.
+    uint64_t batches_rerouted = 0;
+    /// Placement batches whose header claimed a shard this deployment
+    /// cannot route (placement off, or shard index out of range).
+    uint64_t batches_rejected_routing = 0;
+    /// Handoff snapshot rows installed by deliveries.
+    uint64_t handoff_rows_in = 0;
   };
 
   /// Build the workspace: expand `sources` through BloxGenerics (policies
@@ -182,6 +207,22 @@ class NodeRuntime {
   /// engine::QueryEngine::Stats).
   engine::QueryEngine::Stats query_stats() const { return query_->stats(); }
 
+  // -- placement -------------------------------------------------------------
+
+  bool placement_enabled() const { return config_.placement; }
+  const ShardMap& shard_map() const { return shard_map_; }
+
+  /// Adopt a new shard-ownership map (membership change). Takes the
+  /// exclusive lock: transactions see one epoch end-to-end. Any state the
+  /// *old* map owned here but the new map assigns elsewhere must have been
+  /// extracted with ExtractHandoff first.
+  void SetShardMap(const ShardMap& map);
+
+  /// Detach every locally-owned shard that `new_map` assigns to another
+  /// node and return the sealed handoff batches addressed to the new
+  /// owners. Call between transactions, before SetShardMap(new_map).
+  Result<std::vector<Outgoing>> ExtractHandoff(const ShardMap& new_map);
+
   engine::Workspace& workspace() { return *ws_; }
   const engine::Workspace& workspace() const { return *ws_; }
   policy::NodeSecurityState& security_state() { return security_; }
@@ -192,10 +233,12 @@ class NodeRuntime {
  private:
   NodeRuntime() = default;
 
-  /// One decoded payload: its index in the caller's batch plus its facts.
+  /// One decoded payload: its index in the caller's batch plus its facts
+  /// and placement deltas.
   struct DecodedPayload {
     size_t index = 0;
     std::vector<engine::FactUpdate> facts;
+    std::vector<engine::RemoteOp> remote;
   };
 
   Result<ApplyOutcome> ApplyAndCollect(
@@ -209,6 +252,11 @@ class NodeRuntime {
   Result<const std::string*> PrincipalOf(net::NodeIndex peer) const;
 
   Config config_;
+  /// Cluster shard-ownership map (placement mode; epoch 0 = unset).
+  ShardMap shard_map_;
+  /// Engine-side placement view handed to FixpointOptions; owner_of reads
+  /// shard_map_ live, so SetShardMap needs no engine round trip.
+  engine::ShardPlacement placement_;
   std::unique_ptr<engine::Workspace> ws_;
   std::unique_ptr<engine::QueryEngine> query_;
   /// Serializes workspace mutation (exclusive) against warm query reads

@@ -32,6 +32,9 @@ Result<std::unique_ptr<UdpCluster>> UdpCluster::Create(Config config) {
     ncfg.principals = principals;
     SB_ASSIGN_OR_RETURN(ncfg.creds, authority.IssueFor(principals[i]));
     ncfg.batch_security = config.batch_security;
+    ncfg.placement = config.placement;
+    ncfg.placed_preds = config.placed_preds;
+    ncfg.storage_shards = config.storage_shards;
     SB_ASSIGN_OR_RETURN(std::unique_ptr<NodeRuntime> node,
                         NodeRuntime::Create(std::move(ncfg), config.sources));
     cluster->nodes_.push_back(std::move(node));
@@ -60,12 +63,16 @@ Status UdpCluster::SendOutgoing(
     NodeIndex src, const std::vector<NodeRuntime::Outgoing>& outgoing) {
   for (const auto& out : outgoing) {
     // Datagram envelope: the sender's index (sealed payloads do not reveal
-    // it before verification) and its declared tuple count. The count is a
-    // plaintext hint outside the seal — receivers verify it against the
-    // decoded payload and never let an unverified value steer batching.
+    // it before verification), its declared tuple count, and the shard
+    // routing hints (target shard + map-epoch low word; net::kNoShard for
+    // exports). Everything here is plaintext outside the seal — receivers
+    // verify the values against the decoded payload and never let an
+    // unverified envelope steer batching or routing.
     ByteWriter w;
     w.PutU32(src);
     w.PutU32(static_cast<uint32_t>(out.num_tuples));
+    w.PutU32(out.shard);
+    w.PutU32(static_cast<uint32_t>(out.map_epoch));
     w.PutRaw(out.payload);
     SB_RETURN_IF_ERROR(transports_[src].Send(out.dst, w.Take()));
   }
@@ -92,6 +99,8 @@ Result<UdpCluster::Stats> UdpCluster::Run() {
     /// Envelope hint contradicted the decoded payload (trust-boundary
     /// violation: the hint rides outside the seal).
     bool hint_mismatch = false;
+    /// Envelope shard/epoch hints contradicted the sealed batch header.
+    bool routing_mismatch = false;
     /// Tuples actually carried, from the structural parse of the opened
     /// payload — never the sender's claim. Unverifiable payloads (failed
     /// seal or unparseable plaintext) count 1, pending their rejection.
@@ -136,12 +145,15 @@ Result<UdpCluster::Stats> UdpCluster::Run() {
           ByteReader r(**datagram);
           auto src = r.GetU32();
           auto hint = r.GetU32();
-          if (!src.ok() || !hint.ok() || *src >= nodes_.size()) {
+          auto shard_hint = r.GetU32();
+          auto epoch_hint = r.GetU32();
+          if (!src.ok() || !hint.ok() || !shard_hint.ok() ||
+              !epoch_hint.ok() || *src >= nodes_.size()) {
             item.envelope_ok = false;
           } else {
             item.opened.src = static_cast<NodeIndex>(*src);
             auto payload =
-                r.GetRaw((*datagram)->size() - 2 * sizeof(uint32_t));
+                r.GetRaw((*datagram)->size() - 4 * sizeof(uint32_t));
             if (!payload.ok()) {
               item.envelope_ok = false;
             } else {
@@ -160,6 +172,15 @@ Result<UdpCluster::Stats> UdpCluster::Run() {
                 if (actual.ok()) {
                   item.tuple_count = std::max<size_t>(1, *actual);
                   item.hint_mismatch = *hint != *actual;
+                }
+                // Same canary for the routing hints: the sealed header is
+                // what routes; a lying envelope only gets counted.
+                auto routing = net::PeekBatchRouting(item.opened.opened);
+                if (routing.ok()) {
+                  item.routing_mismatch =
+                      *shard_hint != routing->route_shard ||
+                      *epoch_hint !=
+                          static_cast<uint32_t>(routing->map_epoch);
                 }
               }
             }
@@ -264,6 +285,10 @@ Result<UdpCluster::Stats> UdpCluster::Run() {
         ++stats_.rejected;
         ++stats_.hint_mismatches;
       }
+      if (item.routing_mismatch) {
+        ++stats_.rejected;
+        ++stats_.routing_mismatches;
+      }
       PendingBatch& b = pending[item.dst];
       if (!b.group.empty() && cap != 0 && b.tuples >= cap) {
         status = flush(item.dst);
@@ -323,6 +348,10 @@ Result<UdpCluster::Stats> UdpCluster::Run() {
     if (item.hint_mismatch) {
       ++stats_.rejected;
       ++stats_.hint_mismatches;
+    }
+    if (item.routing_mismatch) {
+      ++stats_.rejected;
+      ++stats_.routing_mismatches;
     }
     PendingBatch& b = pending[item.dst];
     if (b.group.empty()) b.first = item.arrival;

@@ -44,6 +44,14 @@ class UdpCluster {
     /// `max_batch_tuples` closes immediately — the same §5.2 semantics
     /// SimCluster implements in simulated time.
     double max_batch_delay_s = 0;
+    /// Partitioned shard placement (dist/placement.h) over a static
+    /// membership of all nodes. Join/leave handoff is exercised through
+    /// the runtimes directly (ExtractHandoff/SetShardMap); the transport
+    /// only adds the envelope routing hints.
+    bool placement = false;
+    std::vector<std::string> placed_preds;
+    /// Relation storage shards per node (-1 = the SB_SHARDS default).
+    int storage_shards = -1;
   };
 
   struct Stats {
@@ -59,6 +67,11 @@ class UdpCluster {
     /// actual tuple count — the hint rides outside the seal, so this is
     /// the MITM/bug canary for batch-sizing abuse.
     uint64_t hint_mismatches = 0;
+    /// Datagrams whose envelope shard/epoch hints disagreed with the
+    /// sealed batch header. Routing decisions always come from the sealed
+    /// header, so a lying envelope cannot misroute — but it is counted
+    /// here, same canary contract as hint_mismatches.
+    uint64_t routing_mismatches = 0;
     /// Coalesced apply transactions executed by the drain loop.
     uint64_t apply_transactions = 0;
     /// Datagrams that shared an apply transaction with at least one other.

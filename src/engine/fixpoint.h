@@ -78,6 +78,8 @@
 
 namespace secureblox::engine {
 
+struct ShardPlacement;
+
 /// Per-transaction fixpoint counters (also accumulated in EngineStats).
 struct FixpointStats {
   /// Delta rounds executed across all rule groups.
@@ -161,6 +163,12 @@ struct FixpointOptions {
   /// Dump each built plan to stderr (SB_EXPLAIN=1; format in
   /// docs/engine.md).
   bool explain = false;
+  /// Partitioned shard placement (engine/placement.h): non-null when this
+  /// workspace owns a subset of each placed relation's shards. Mutations
+  /// targeting remote shards are staged on the commit (TxCommit::remote)
+  /// instead of applied locally. Borrowed; must outlive the workspace's
+  /// transactions. nullptr = the replicated baseline.
+  const ShardPlacement* placement = nullptr;
 };
 
 /// Database mutation callbacks the driver needs from the workspace.

@@ -1,0 +1,153 @@
+#include "engine/placement.h"
+
+#include <string>
+
+#include "engine/workspace.h"
+
+namespace secureblox::engine {
+
+using datalog::Atom;
+using datalog::Catalog;
+using datalog::Literal;
+using datalog::PredId;
+using datalog::Rule;
+using datalog::TermKind;
+using datalog::TermPtr;
+
+namespace {
+
+/// Rendering of an anchor term for comparison and diagnostics: variables
+/// compare by name, constants by value. Returns nullopt for terms that
+/// cannot serve as a shard anchor (arithmetic, varargs).
+std::optional<std::string> AnchorKey(const TermPtr& term) {
+  if (term == nullptr) return std::nullopt;
+  switch (term->kind) {
+    case TermKind::kVar:
+      return "v:" + term->name;
+    case TermKind::kConst:
+      return "c:" + term->constant.ToString();
+    default:
+      return std::nullopt;
+  }
+}
+
+Status RuleError(const Rule& rule, const std::string& what) {
+  return Status::InvalidArgument("placement: " + what + " in rule " +
+                                 rule.ToString());
+}
+
+}  // namespace
+
+Status ValidatePlacement(
+    const Workspace& ws,
+    const std::unordered_set<datalog::PredId>& placed) {
+  const Catalog& catalog = ws.catalog();
+  for (PredId p : placed) {
+    const datalog::PredicateDecl& decl = catalog.decl(p);
+    if (decl.functional) {
+      return Status::InvalidArgument(
+          "placement: functional predicate '" + decl.name +
+          "' cannot be placed (shard anchoring assumes first-column keys)");
+    }
+    if (decl.arity() == 0) {
+      return Status::InvalidArgument("placement: nullary predicate '" +
+                                     decl.name + "' cannot be placed");
+    }
+    const datalog::PredicateDecl& key_type = catalog.decl(decl.arg_types[0]);
+    if (!key_type.is_primitive) {
+      return Status::InvalidArgument(
+          "placement: predicate '" + decl.name + "' shard-key column has "
+          "entity type '" + key_type.name + "'; entity intern ids are "
+          "node-local, so nodes would disagree on shard routing — use a "
+          "primitive-typed (int/string/bool/blob) key column");
+    }
+    const Relation* rel = ws.GetRelationIfExists(p);
+    if (rel != nullptr && !rel->empty()) {
+      return Status::InvalidArgument(
+          "placement: predicate '" + decl.name +
+          "' must start empty — placed data arrives through transactions, "
+          "not program facts");
+    }
+  }
+
+  const std::vector<Rule>& rules = ws.installed_rules();
+  const RuleGraph& graph = ws.rule_graph();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const Rule& rule = rules[i];
+    auto is_placed_atom = [&](const Atom& a) {
+      auto id = catalog.Lookup(a.pred.name);
+      return id.ok() && placed.count(id.value()) > 0;
+    };
+
+    bool head_placed = false;
+    for (const Atom& h : rule.heads) head_placed |= is_placed_atom(h);
+
+    std::optional<std::string> body_anchor;
+    bool body_placed = false;
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kAtom) continue;
+      if (!is_placed_atom(lit.atom)) continue;
+      if (lit.atom.negated) {
+        return RuleError(rule,
+                         "placed predicate '" + lit.atom.pred.name +
+                             "' under negation (a node only sees its owned "
+                             "shards, so negation is unsound)");
+      }
+      body_placed = true;
+      auto anchor = AnchorKey(lit.atom.args.empty() ? nullptr
+                                                    : lit.atom.args[0]);
+      if (!anchor.has_value()) {
+        return RuleError(rule, "placed atom '" + lit.atom.pred.name +
+                                   "' needs a variable or constant in its "
+                                   "shard-key (first) position");
+      }
+      if (!body_anchor.has_value()) {
+        body_anchor = anchor;
+      } else if (*body_anchor != *anchor) {
+        return RuleError(rule,
+                         "placed body atoms disagree on the shard anchor (" +
+                             *body_anchor + " vs " + *anchor +
+                             "); co-shardable rules join placed atoms on "
+                             "one shared first-column term");
+      }
+    }
+
+    if (!head_placed && !body_placed) continue;  // rule outside placement
+
+    if (rule.agg.has_value()) {
+      return RuleError(rule,
+                       "aggregation over placed predicates (aggregates need "
+                       "the whole relation, a node owns a subset)");
+    }
+    if (head_placed && !body_placed) {
+      return RuleError(rule,
+                       "placed head without a placed body anchor (the rule "
+                       "would fire at every replica, multiplying supports)");
+    }
+    if (!head_placed && body_placed) {
+      return RuleError(rule,
+                       "non-placed head derived from placed body (replicas "
+                       "of the head predicate would diverge across nodes)");
+    }
+
+    const bool recursive =
+        graph.groups()[graph.group_of_rule(i)].recursive;
+    if (recursive) {
+      for (const Atom& h : rule.heads) {
+        if (!is_placed_atom(h)) continue;
+        auto head_anchor =
+            AnchorKey(h.args.empty() ? nullptr : h.args[0]);
+        if (!head_anchor.has_value() || *head_anchor != *body_anchor) {
+          return RuleError(
+              rule,
+              "recursive rule re-keys its placed head '" + h.pred.name +
+                  "' off the body anchor; recursion must stay shard-local "
+                  "(route through a non-recursive re-keying rule instead)");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace secureblox::engine

@@ -1,0 +1,111 @@
+// Partitioned shard placement: the engine half of the scale-out seam.
+//
+// PR 5 hash-sharded every relation *within* a node; placement assigns each
+// shard index to exactly one owning node, so a cluster holds one logical
+// database partitioned by shard instead of a replica per node. The
+// workspace consults a ShardPlacement during transactions: a base insert,
+// base delete, rule-head derivation, or support retraction whose target
+// shard is owned elsewhere is *staged* as a RemoteDelta on the commit
+// instead of applied locally; the distribution layer ships staged deltas
+// to their owners (per-shard sealed batches) where they apply through the
+// same transaction machinery. Handoff snapshots (node join/leave) travel
+// the same way as kHandoff deltas carrying support counts.
+//
+// Supported program class ("co-shardable", the placement analogue of
+// declarative networking's link restriction): every rule that touches a
+// placed predicate must anchor all its placed body atoms on one shared
+// shard-key term, so each rule instantiation exists wholly within one
+// shard — and therefore fires at exactly one owner. Non-recursive rules
+// may re-key their heads (the derived tuple's shard differs from the
+// body anchor's; the head routes to its owner as a support-carrying
+// delta); recursive rules must be shard-local. ValidatePlacement enforces
+// the class statically, which is what makes the distributed fixpoint
+// byte-identical to the replicated baseline: the union of owned shards
+// across the cluster equals the single-workspace fixpoint — same tuples,
+// same support counts, same content-addressed labels — at any node count.
+#ifndef SECUREBLOX_ENGINE_PLACEMENT_H_
+#define SECUREBLOX_ENGINE_PLACEMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/catalog.h"
+#include "engine/tuple.h"
+
+namespace secureblox::engine {
+
+class Workspace;
+
+/// One staged mutation addressed to a remote shard owner, produced by a
+/// committing transaction (TxCommit::remote). The tuple is normalized
+/// (entities interned) so the wire layer can serialize it directly.
+struct RemoteDelta {
+  enum class Kind : uint8_t {
+    kBaseInsert,   // base fact asserted; owner inserts uncounted
+    kBaseDelete,   // base assertion withdrawn; owner seeds a delete delta
+    kSupportAdd,   // one rule instantiation derived the tuple remotely
+    kSupportDrop,  // one remote instantiation was destroyed
+    kHandoff,      // shard snapshot row (join/leave transfer)
+  };
+  Kind kind = Kind::kBaseInsert;
+  datalog::PredId pred = datalog::kInvalidPred;
+  Tuple tuple;
+  /// Shard index of `tuple` within `pred`'s relation (routing key).
+  size_t shard = 0;
+  /// kHandoff: derivation-support count travelling with the row.
+  uint32_t support = 0;
+  /// kHandoff: the row is also asserted as a base fact.
+  bool is_base = false;
+};
+
+/// One decoded incoming placement mutation, handed by the distribution
+/// layer to Workspace::Apply alongside ordinary fact updates. Values in
+/// entity positions may be interned entities or string labels.
+struct RemoteOp {
+  RemoteDelta::Kind kind = RemoteDelta::Kind::kBaseInsert;
+  std::string pred;
+  std::vector<datalog::Value> values;
+  uint32_t support = 0;
+  bool is_base = false;
+};
+
+/// Placement map threaded through FixpointOptions. `owner_of` must be
+/// deterministic for the lifetime of a transaction (the distribution
+/// layer only moves ownership between transactions, bumping `epoch`).
+struct ShardPlacement {
+  /// This node's index in the cluster.
+  uint32_t local_node = 0;
+  /// Shard-map epoch, bumped on every membership change.
+  uint64_t epoch = 0;
+  /// Predicates under placement. Everything else (infrastructure facts,
+  /// policy state, export queues) stays node-local as before.
+  std::unordered_set<datalog::PredId> placed;
+  /// Owning node of `shard` (shard indexes are pred-agnostic: shard s of
+  /// every placed relation lives on the same owner, so one sealed payload
+  /// routes atomically).
+  std::function<uint32_t(size_t shard)> owner_of;
+
+  bool IsPlaced(datalog::PredId pred) const { return placed.count(pred) > 0; }
+};
+
+/// Static validation of the co-shardable program class for `placed`
+/// predicates against the workspace's installed rules:
+///   - placed predicates must not be functional (shard key = first column),
+///     must not appear negated or in aggregate rules, and must start empty
+///     (placed data arrives through transactions, never program facts);
+///   - every rule with a placed head needs at least one positive placed
+///     body atom, and all placed body atoms must share one first-argument
+///     anchor term (variable or constant);
+///   - rules in recursive groups must also anchor their placed heads on
+///     the same term (shard-local recursion); only non-recursive rules may
+///     re-key.
+Status ValidatePlacement(const Workspace& ws,
+                         const std::unordered_set<datalog::PredId>& placed);
+
+}  // namespace secureblox::engine
+
+#endif  // SECUREBLOX_ENGINE_PLACEMENT_H_

@@ -1,6 +1,7 @@
 #include "engine/query.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <unordered_set>
 
 namespace secureblox::engine {
@@ -33,6 +34,27 @@ std::string MagicPredName(const datalog::PredicateDecl& decl, Adornment a) {
 }
 
 }  // namespace
+
+QueryEngine::QueryEngine(Workspace* ws) : ws_(ws) {
+  if (const char* env = std::getenv("SB_QUERY_ANSWER_CAP")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') answer_cap_ = static_cast<size_t>(v);
+  }
+}
+
+void QueryEngine::set_answer_cap(size_t cap) {
+  answer_cap_ = cap;
+  TrimAnswers();
+}
+
+void QueryEngine::TrimAnswers() {
+  while (answer_cap_ != 0 && answers_.size() > answer_cap_) {
+    answers_.erase(lru_.back());
+    lru_.pop_back();
+    ++answer_evictions_;
+  }
+}
 
 Result<QueryEngine::ResolvedGoal> QueryEngine::Resolve(
     const QueryGoal& goal) const {
@@ -168,8 +190,13 @@ Result<std::vector<Tuple>> QueryEngine::Query(const QueryGoal& goal) {
       closure_memo_[resolved.pred] = index_->SliceClosure(resolved.pred);
     }
     reprobes_.fetch_add(1, std::memory_order_relaxed);
-    answers_[SubgoalKey{resolved.pred, resolved.adornment, resolved.bound}] =
-        AnswerSnapshot{answers, *EpochIfKnown(resolved.pred)};
+    SubgoalKey key{resolved.pred, resolved.adornment, resolved.bound};
+    auto [it, inserted] = answers_.try_emplace(key);
+    if (!inserted) lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second =
+        AnswerSnapshot{answers, *EpochIfKnown(resolved.pred), lru_.begin()};
+    TrimAnswers();
   }
   return answers;
 }
@@ -205,6 +232,7 @@ Status QueryEngine::RefreshIndex() {
   indexed_rules_ = ws_->deferred_rules().size();
   closure_memo_.clear();
   answers_.clear();
+  lru_.clear();
   if (first) return Status::OK();
 
   // Install happened after queries ran: reconcile every live slice with
@@ -532,6 +560,7 @@ QueryEngine::Stats QueryEngine::stats() const {
   s.magic_preds = magic_preds_;
   s.seeds = seeds_;
   s.full_slices = full_slices_;
+  s.answer_evictions = answer_evictions_;
   return s;
 }
 

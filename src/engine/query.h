@@ -39,6 +39,7 @@
 #define SECUREBLOX_ENGINE_QUERY_H_
 
 #include <atomic>
+#include <list>
 #include <map>
 #include <optional>
 #include <set>
@@ -78,12 +79,19 @@ class QueryEngine {
     /// Goals answered through an unguarded (non-magic) slice install:
     /// aggregate/multi-head/existential closures or negated-IDB slices.
     uint64_t full_slices = 0;
+    /// Answer snapshots dropped by the SB_QUERY_ANSWER_CAP LRU bound.
+    /// Eviction only discards the memoized snapshot — the slice and its
+    /// magic seeds stay installed, so a repeat query re-probes (cold/warm
+    /// accounting shifts) but answers never change.
+    uint64_t answer_evictions = 0;
   };
 
   /// The workspace is borrowed and must outlive the engine. On a
   /// materialized workspace (defer_rules off) queries degrade to direct
-  /// relation probes — everything is already derived.
-  explicit QueryEngine(Workspace* ws) : ws_(ws) {}
+  /// relation probes — everything is already derived. The answer-snapshot
+  /// cap is seeded from the SB_QUERY_ANSWER_CAP environment variable
+  /// (unset/0 = unbounded).
+  explicit QueryEngine(Workspace* ws);
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
@@ -101,6 +109,12 @@ class QueryEngine {
   std::optional<std::vector<Tuple>> TryWarm(const QueryGoal& goal) const;
 
   Stats stats() const;
+
+  /// Bound on memoized answer snapshots (0 = unbounded). Shrinking below
+  /// the current population evicts least-recently-stored snapshots
+  /// immediately. Not thread-safe against Query/TryWarm.
+  void set_answer_cap(size_t cap);
+  size_t answer_cap() const { return answer_cap_; }
 
  private:
   struct SubgoalKey {
@@ -120,6 +134,9 @@ class QueryEngine {
   struct AnswerSnapshot {
     std::vector<Tuple> tuples;
     uint64_t epoch = 0;
+    /// Position in lru_ (recency is maintained on the exclusive Query
+    /// path only; the concurrent TryWarm read path never reorders).
+    std::list<SubgoalKey>::iterator lru_it;
   };
   /// Normalized goal: resolved predicate plus bound pattern. `missing` is
   /// set when a bound entity label was never interned here — the answer
@@ -170,8 +187,16 @@ class QueryEngine {
   std::set<datalog::PredId> full_ready_;
   /// Demanded bound patterns already seeded into magic predicates.
   std::unordered_map<SubgoalKey, bool, SubgoalKeyHash> seeded_;
-  /// Per-subgoal answer snapshots with their slice epoch.
+  /// Evict answer snapshots past answer_cap_ (least recently stored
+  /// first), counting each drop.
+  void TrimAnswers();
+
+  /// Per-subgoal answer snapshots with their slice epoch, LRU-bounded by
+  /// answer_cap_ over lru_ (front = most recently stored).
   std::unordered_map<SubgoalKey, AnswerSnapshot, SubgoalKeyHash> answers_;
+  std::list<SubgoalKey> lru_;
+  size_t answer_cap_ = 0;
+  uint64_t answer_evictions_ = 0;
   /// Memoized SliceClosure per goal predicate (reset on index refresh).
   mutable std::unordered_map<datalog::PredId, std::vector<datalog::PredId>>
       closure_memo_;

@@ -326,10 +326,182 @@ Status Workspace::EraseTupleTx(PredId pred, const Tuple& tuple, TxState* tx) {
   return Status::OK();
 }
 
+Status Workspace::EnsureEntityMembershipRaw(const Value& v, TxState* tx) {
+  if (!v.is_entity()) return Status::OK();
+  std::vector<PredId> types = {v.entity_type()};
+  for (PredId up : catalog_->SupertypesOf(v.entity_type())) types.push_back(up);
+  for (PredId type : types) {
+    Relation* rel = GetRelation(type);
+    Tuple membership = {v};
+    if (rel->Contains(membership)) continue;
+    rel->Insert(membership);
+    tx->undo.push_back({UndoOp::Kind::kInserted, type, membership, 0});
+    base_tuples_[type].insert(membership);
+    tx->undo.push_back({UndoOp::Kind::kBaseAdded, type, membership, 0});
+  }
+  return Status::OK();
+}
+
+// -- placement ----------------------------------------------------------------
+
+std::optional<size_t> Workspace::RemoteShardOf(PredId pred,
+                                               const Tuple& tuple) {
+  const ShardPlacement* p = fixpoint_options_.placement;
+  if (p == nullptr || !p->IsPlaced(pred)) return std::nullopt;
+  size_t shard = GetRelation(pred)->ShardOf(tuple);
+  if (p->owner_of(shard) == p->local_node) return std::nullopt;
+  return shard;
+}
+
+Status Workspace::ApplyRemoteOps(const std::vector<RemoteOp>& ops,
+                                 std::vector<RemoteOp>* deferred,
+                                 TxState* tx) {
+  // Kind order inside one delivery transaction: a shard snapshot lands
+  // before the live traffic that assumes it, inserts before the deletes
+  // that may target them.
+  auto apply_kind = [&](RemoteDelta::Kind k) -> Status {
+    for (const RemoteOp& op : ops) {
+      if (op.kind != k) continue;
+      SB_RETURN_IF_ERROR(ApplyOneRemoteOp(op, deferred, tx));
+    }
+    return Status::OK();
+  };
+  SB_RETURN_IF_ERROR(apply_kind(RemoteDelta::Kind::kHandoff));
+  SB_RETURN_IF_ERROR(apply_kind(RemoteDelta::Kind::kBaseInsert));
+  SB_RETURN_IF_ERROR(apply_kind(RemoteDelta::Kind::kSupportAdd));
+  // Parked out-of-order deletes retry now that this delivery's inserts
+  // landed. Failures park again into `deferred`; deferred_remote_ itself
+  // is only replaced at commit, so a rollback forgets the retries.
+  for (const RemoteOp& op : deferred_remote_) {
+    SB_RETURN_IF_ERROR(ApplyOneRemoteOp(op, deferred, tx));
+  }
+  SB_RETURN_IF_ERROR(apply_kind(RemoteDelta::Kind::kBaseDelete));
+  return apply_kind(RemoteDelta::Kind::kSupportDrop);
+}
+
+Status Workspace::ApplyOneRemoteOp(const RemoteOp& op,
+                                   std::vector<RemoteOp>* deferred,
+                                   TxState* tx) {
+  SB_ASSIGN_OR_RETURN(PredId pred, catalog_->Lookup(op.pred));
+  SB_ASSIGN_OR_RETURN(Tuple t, NormalizeTuple(pred, op.values));
+  // Ownership may have moved since the sender staged this op (stale map
+  // epoch, or a parked op surviving a membership change): re-stage for the
+  // current owner instead of applying at the wrong node.
+  if (auto shard = RemoteShardOf(pred, t)) {
+    tx->remote.push_back(
+        {op.kind, pred, std::move(t), *shard, op.support, op.is_base});
+    return Status::OK();
+  }
+  Relation* rel = GetRelation(pred);
+  switch (op.kind) {
+    case RemoteDelta::Kind::kHandoff: {
+      // Shard snapshot row: raw install of storage + base mark + support
+      // count. No delta is seeded and no rule fires — the support count
+      // already includes every shard-local instantiation at the old
+      // owner; firing here would double-count. A replayed handoff finds
+      // the row present and is ignored.
+      if (rel->Contains(t)) return Status::OK();
+      rel->Insert(t);
+      tx->undo.push_back({UndoOp::Kind::kInserted, pred, t, 0});
+      if (op.is_base) {
+        base_tuples_[pred].insert(t);
+        tx->undo.push_back({UndoOp::Kind::kBaseAdded, pred, t, 0});
+      }
+      if (op.support > 0) {
+        tx->undo.push_back({UndoOp::Kind::kSupportCleared, pred, t, 0});
+        rel->SetSupport(t, op.support);
+      }
+      for (const Value& v : t) {
+        SB_RETURN_IF_ERROR(EnsureEntityMembershipRaw(v, tx));
+      }
+      return Status::OK();
+    }
+    case RemoteDelta::Kind::kBaseInsert: {
+      auto r = InsertTuple(pred, t, /*is_base=*/true, /*counted=*/false, tx);
+      return r.ok() ? Status::OK() : r.status();
+    }
+    case RemoteDelta::Kind::kSupportAdd: {
+      auto r = InsertTuple(pred, t, /*is_base=*/false, /*counted=*/true, tx);
+      return r.ok() ? Status::OK() : r.status();
+    }
+    case RemoteDelta::Kind::kBaseDelete: {
+      if (!rel->Contains(t) || !base_tuples_[pred].count(t)) {
+        // The matching insert is still in flight (deliveries are not
+        // FIFO): park and retry on the next transaction.
+        deferred->push_back(op);
+        return Status::OK();
+      }
+      base_tuples_[pred].erase(t);
+      tx->undo.push_back({UndoOp::Kind::kBaseRemoved, pred, t, 0});
+      if (rel->SupportCount(t) == 0) {
+        SB_RETURN_IF_ERROR(EraseTupleTx(pred, t, tx));
+      }
+      return Status::OK();
+    }
+    case RemoteDelta::Kind::kSupportDrop: {
+      if (!rel->Contains(t) || rel->SupportCount(t) == 0) {
+        deferred->push_back(op);
+        return Status::OK();
+      }
+      auto r = RetractSupport(pred, t);
+      return r.ok() ? Status::OK() : r.status();
+    }
+  }
+  return Status::Internal("unknown remote op kind");
+}
+
+Result<std::vector<RemoteDelta>> Workspace::DetachShard(PredId pred,
+                                                        size_t shard) {
+  if (current_tx_ != nullptr) {
+    return Status::Internal("DetachShard called inside a transaction");
+  }
+  Relation* rel = GetRelation(pred);
+  if (shard >= rel->shard_count()) {
+    return Status::InvalidArgument("DetachShard: shard " +
+                                   std::to_string(shard) + " out of range");
+  }
+  std::vector<Tuple> rows;
+  rows.reserve(rel->shard_size(shard));
+  for (size_t i = 0; i < rel->shard_size(shard); ++i) {
+    rows.push_back(rel->MaterializeTuple(shard, i));
+  }
+  auto& base = base_tuples_[pred];
+  std::vector<RemoteDelta> out;
+  out.reserve(rows.size());
+  for (Tuple& t : rows) {
+    RemoteDelta d;
+    d.kind = RemoteDelta::Kind::kHandoff;
+    d.pred = pred;
+    d.shard = shard;
+    d.support = rel->SupportCount(t);
+    d.is_base = base.count(t) > 0;
+    d.tuple = std::move(t);
+    out.push_back(std::move(d));
+  }
+  // Erase after snapshotting: co-shardability guarantees no rule at this
+  // node can rederive into the departing shard between transactions, so a
+  // plain storage erase (no delete deltas, no cascades) is sound.
+  for (const RemoteDelta& d : out) {
+    base.erase(d.tuple);
+    rel->Erase(d.tuple);
+  }
+  return out;
+}
+
 // -- FixpointHost -------------------------------------------------------------
 
 Result<bool> Workspace::InsertHeadTuple(PredId pred, const Tuple& tuple) {
   SB_ASSIGN_OR_RETURN(Tuple normalized, NormalizeTuple(pred, tuple));
+  // Placement: a non-recursive rule may re-key its head off the body
+  // anchor; when the derived tuple's shard is owned elsewhere, ship one
+  // support-add to the owner instead of storing locally. Returning false
+  // keeps the firing out of the local delta (the owner's fixpoint
+  // continues from it).
+  if (auto shard = RemoteShardOf(pred, normalized)) {
+    current_tx_->remote.push_back({RemoteDelta::Kind::kSupportAdd, pred,
+                                   std::move(normalized), *shard, 0, false});
+    return false;
+  }
   return InsertTuple(pred, normalized, /*is_base=*/false, /*counted=*/true,
                      current_tx_);
 }
@@ -345,6 +517,13 @@ Status Workspace::EraseTuple(PredId pred, const Tuple& tuple) {
 }
 
 Result<bool> Workspace::RetractSupport(PredId pred, const Tuple& tuple) {
+  // Placement: mirror of the InsertHeadTuple re-key path — the destroyed
+  // instantiation supported a tuple stored at a remote owner.
+  if (auto shard = RemoteShardOf(pred, tuple)) {
+    current_tx_->remote.push_back({RemoteDelta::Kind::kSupportDrop, pred,
+                                   tuple, *shard, 0, false});
+    return false;
+  }
   Relation* rel = GetRelation(pred);
   uint32_t support = rel->SupportCount(tuple);
   if (!rel->Contains(tuple) || support == 0) {
@@ -547,7 +726,8 @@ void Workspace::Rollback(TxState* tx) {
 }
 
 Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
-                                  const std::vector<FactUpdate>& deletes) {
+                                  const std::vector<FactUpdate>& deletes,
+                                  const std::vector<RemoteOp>& remote_ops) {
   auto start = std::chrono::steady_clock::now();
   TxState tx;
   current_tx_ = &tx;
@@ -572,6 +752,11 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
   // which invalidates the insert-delta shortcut the constraint checker
   // normally uses.
   bool may_retract = !deletes.empty();
+  for (const RemoteOp& op : remote_ops) {
+    may_retract |= op.kind == RemoteDelta::Kind::kBaseDelete ||
+                   op.kind == RemoteDelta::Kind::kSupportDrop;
+  }
+  may_retract |= !deferred_remote_.empty();
   if (!may_retract) {
     for (const FactUpdate& ins : inserts) {
       auto pred = catalog_->Lookup(ins.pred);
@@ -583,6 +768,17 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
   }
   tx.full_constraint_check = may_retract;
 
+  // Peer placement deliveries apply first: their insert-kind ops may be
+  // the targets of this transaction's local deletes, and parked
+  // out-of-order deletes retry against them. Failures roll the whole
+  // delivery back (the distribution layer bisects).
+  std::vector<RemoteOp> still_deferred;
+  const bool ran_remote = !remote_ops.empty() || !deferred_remote_.empty();
+  if (ran_remote) {
+    Status st = ApplyRemoteOps(remote_ops, &still_deferred, &tx);
+    if (!st.ok()) return fail(st);
+  }
+
   // Base-fact deletions seed delete deltas; a tuple with remaining
   // derivation support merely loses its base assertion and stays.
   for (const FactUpdate& d : deletes) {
@@ -590,6 +786,13 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
     if (!pred.ok()) return fail(pred.status());
     auto normalized = NormalizeTuple(pred.value(), d.values);
     if (!normalized.ok()) return fail(normalized.status());
+    // Placement: the shard owner executes the delete (it alone knows the
+    // tuple's base/derived status).
+    if (auto shard = RemoteShardOf(pred.value(), *normalized)) {
+      tx.remote.push_back({RemoteDelta::Kind::kBaseDelete, pred.value(),
+                           std::move(*normalized), *shard, 0, false});
+      continue;
+    }
     Relation* rel = GetRelation(pred.value());
     if (!rel->Contains(*normalized)) continue;
     if (!base_tuples_[pred.value()].count(*normalized)) {
@@ -610,6 +813,12 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
     if (!pred.ok()) return fail(pred.status());
     auto normalized = NormalizeTuple(pred.value(), ins.values);
     if (!normalized.ok()) return fail(normalized.status());
+    // Placement: route the base fact to its shard owner.
+    if (auto shard = RemoteShardOf(pred.value(), *normalized)) {
+      tx.remote.push_back({RemoteDelta::Kind::kBaseInsert, pred.value(),
+                           std::move(*normalized), *shard, 0, false});
+      continue;
+    }
     auto inserted = InsertTuple(pred.value(), *normalized, /*is_base=*/true,
                                 /*counted=*/false, &tx);
     if (!inserted.ok()) return fail(inserted.status());
@@ -636,6 +845,8 @@ Result<TxCommit> Workspace::Apply(const std::vector<FactUpdate>& inserts,
     }
     if (!live.empty()) commit.inserted[pred] = std::move(live);
   }
+  commit.remote = std::move(tx.remote);
+  if (ran_remote) deferred_remote_ = std::move(still_deferred);
   commit.num_derived = tx.num_derived;
   commit.fixpoint = driver_->stats();
   ++stats_.transactions;

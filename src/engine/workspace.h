@@ -24,6 +24,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -35,6 +36,7 @@
 #include "engine/builtins.h"
 #include "engine/eval.h"
 #include "engine/fixpoint.h"
+#include "engine/placement.h"
 #include "engine/relation.h"
 #include "engine/rule_graph.h"
 
@@ -51,6 +53,10 @@ struct FactUpdate {
 struct TxCommit {
   /// New tuples per predicate (base + derived) that survived the commit.
   std::map<datalog::PredId, std::vector<Tuple>> inserted;
+  /// Mutations staged for remote shard owners (placement mode; see
+  /// engine/placement.h). The distribution layer ships these per owner
+  /// and shard; empty without a placement map.
+  std::vector<RemoteDelta> remote;
   int64_t duration_us = 0;
   size_t num_derived = 0;
   /// Fixpoint counters for this transaction (rounds, firings, skips).
@@ -148,9 +154,28 @@ class Workspace : public RelationStore, private FixpointHost {
 
   /// Run one ACID transaction: apply updates, fixpoint, constraint check.
   /// On violation returns ConstraintViolation and the workspace is
-  /// unchanged.
+  /// unchanged. `remote_ops` are placement mutations decoded from peer
+  /// deliveries (engine/placement.h); they apply before the local updates
+  /// in kind order (handoff, base insert, support add, base delete,
+  /// support drop) so a single delivery transaction can carry a shard
+  /// snapshot plus live traffic.
   Result<TxCommit> Apply(const std::vector<FactUpdate>& inserts,
-                         const std::vector<FactUpdate>& deletes = {});
+                         const std::vector<FactUpdate>& deletes = {},
+                         const std::vector<RemoteOp>& remote_ops = {});
+
+  /// Extract and remove one shard of a placed relation for handoff to a
+  /// new owner: every stored row (base or derived) with its support count.
+  /// Raw storage surgery — runs outside any transaction, fires no rules,
+  /// and must only be called between transactions on shards this node owns
+  /// under the outgoing map. Co-shardability makes the result closed: the
+  /// new owner installs rows + supports verbatim and the global fixpoint
+  /// is unchanged.
+  Result<std::vector<RemoteDelta>> DetachShard(datalog::PredId pred,
+                                               size_t shard);
+
+  /// Placement deliveries whose delete/drop arrived before the matching
+  /// insert/add (network reordering): parked and retried each transaction.
+  size_t deferred_remote_count() const { return deferred_remote_.size(); }
 
   /// Convenience single-fact insert.
   Status Insert(const std::string& pred, std::vector<datalog::Value> values);
@@ -177,6 +202,12 @@ class Workspace : public RelationStore, private FixpointHost {
   /// and plan caches).
   const std::vector<CompiledRule>& compiled_rules() const {
     return compiled_rules_;
+  }
+
+  /// Installed source rules, index-aligned with rule_graph() (placement
+  /// validation walks them).
+  const std::vector<datalog::Rule>& installed_rules() const {
+    return installed_rules_;
   }
 
   // -- stats -----------------------------------------------------------------
@@ -207,6 +238,8 @@ class Workspace : public RelationStore, private FixpointHost {
   struct TxState {
     std::vector<UndoOp> undo;
     std::map<datalog::PredId, std::vector<Tuple>> inserted;
+    /// Mutations staged for remote shard owners (placement mode).
+    std::vector<RemoteDelta> remote;
     size_t num_derived = 0;
     /// Tuples physically erased (any cause: base delete, retraction,
     /// over-delete, stale aggregate) — erasures invalidate the
@@ -224,6 +257,9 @@ class Workspace : public RelationStore, private FixpointHost {
                            bool is_base, bool counted, TxState* tx);
   Status EraseTupleTx(datalog::PredId pred, const Tuple& tuple, TxState* tx);
   Status EnsureEntityMembership(const datalog::Value& v, TxState* tx);
+  // Handoff variant: installs membership rows without seeding deltas (the
+  // snapshot's supports already include every shard-local derivation).
+  Status EnsureEntityMembershipRaw(const datalog::Value& v, TxState* tx);
 
   // FixpointHost (the driver's mutation interface; current_tx_ is the
   // transaction being applied).
@@ -240,6 +276,19 @@ class Workspace : public RelationStore, private FixpointHost {
 
   Status CheckConstraints(TxState* tx);
   void Rollback(TxState* tx);
+
+  // Placement helpers. RemoteShardOf: shard index of a normalized tuple
+  // when the active placement assigns it to another node, nullopt when it
+  // applies locally (no placement, unplaced pred, or locally owned shard).
+  std::optional<size_t> RemoteShardOf(datalog::PredId pred,
+                                      const Tuple& tuple);
+  // Apply decoded peer mutations inside the open transaction. `deferred`
+  // accumulates delete/drop ops whose target is not (yet) present — the
+  // commit path swaps it into deferred_remote_; rollback discards it.
+  Status ApplyRemoteOps(const std::vector<RemoteOp>& ops,
+                        std::vector<RemoteOp>* deferred, TxState* tx);
+  Status ApplyOneRemoteOp(const RemoteOp& op, std::vector<RemoteOp>* deferred,
+                          TxState* tx);
 
   std::unique_ptr<datalog::Catalog> catalog_;
   BuiltinRegistry builtins_;
@@ -271,6 +320,11 @@ class Workspace : public RelationStore, private FixpointHost {
 
   // Head-existential memoization: (rule id, key binding) -> entity values.
   std::map<std::pair<int, Tuple>, std::vector<datalog::Value>> existential_memo_;
+
+  // Out-of-order placement deliveries parked for retry (see
+  // deferred_remote_count). Mutated only at commit; transactions operate
+  // on a copy so rollback leaves it untouched.
+  std::vector<RemoteOp> deferred_remote_;
 
   EngineStats stats_;
   std::vector<int64_t> tx_durations_us_;

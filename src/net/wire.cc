@@ -32,10 +32,10 @@ Status SkipValue(ByteReader* r) {
   return Status::Internal("unreachable");
 }
 
-/// Parse the batch header (magic, version, src, dst, entry count) —
-/// shared by DecodeBatch and CountBatchTuples so the grammar cannot
-/// drift between them.
-Status ReadBatchHeader(ByteReader* r, NodeIndex* src, NodeIndex* dst,
+/// Parse the batch header (magic, version, routing fields, entry count) —
+/// shared by DecodeBatch, CountBatchTuples, and PeekBatchRouting so the
+/// grammar cannot drift between them.
+Status ReadBatchHeader(ByteReader* r, BatchRouting* routing,
                        uint64_t* num_entries) {
   SB_ASSIGN_OR_RETURN(uint8_t m1, r->GetU8());
   SB_ASSIGN_OR_RETURN(uint8_t m2, r->GetU8());
@@ -47,8 +47,11 @@ Status ReadBatchHeader(ByteReader* r, NodeIndex* src, NodeIndex* dst,
     return Status::InvalidArgument("unsupported wire version " +
                                    std::to_string(version));
   }
-  SB_ASSIGN_OR_RETURN(*src, r->GetU32());
-  SB_ASSIGN_OR_RETURN(*dst, r->GetU32());
+  SB_ASSIGN_OR_RETURN(routing->src, r->GetU32());
+  SB_ASSIGN_OR_RETURN(routing->dst, r->GetU32());
+  SB_ASSIGN_OR_RETURN(routing->origin, r->GetU32());
+  SB_ASSIGN_OR_RETURN(routing->route_shard, r->GetU32());
+  SB_ASSIGN_OR_RETURN(routing->map_epoch, r->GetU64());
   SB_ASSIGN_OR_RETURN(*num_entries, r->GetVarint());
   if (*num_entries > 1 << 20) {
     return Status::InvalidArgument("batch too large on wire");
@@ -148,12 +151,26 @@ Result<Bytes> EncodeBatch(const WireBatch& batch,
   w.PutU16(kWireVersion);
   w.PutU32(batch.src);
   w.PutU32(batch.dst);
+  w.PutU32(batch.origin);
+  w.PutU32(batch.route_shard);
+  w.PutU64(batch.map_epoch);
   w.PutVarint(batch.entries.size());
   for (const auto& entry : batch.entries) {
+    const bool handoff = entry.kind == WireEntryKind::kHandoff;
+    if (handoff && (entry.supports.size() != entry.tuples.size() ||
+                    entry.base_flags.size() != entry.tuples.size())) {
+      return Status::InvalidArgument(
+          "handoff entry needs one support/base flag per tuple");
+    }
     w.PutLengthPrefixedString(entry.pred);
+    w.PutU8(static_cast<uint8_t>(entry.kind));
     w.PutVarint(entry.tuples.size());
-    for (const auto& t : entry.tuples) {
-      SB_RETURN_IF_ERROR(SerializeTuple(&w, t, catalog));
+    for (size_t i = 0; i < entry.tuples.size(); ++i) {
+      SB_RETURN_IF_ERROR(SerializeTuple(&w, entry.tuples[i], catalog));
+      if (handoff) {
+        w.PutVarint(entry.supports[i]);
+        w.PutU8(entry.base_flags[i] ? 1 : 0);
+      }
     }
   }
   return w.Take();
@@ -163,12 +180,23 @@ Result<WireBatch> DecodeBatch(const Bytes& payload,
                               datalog::Catalog* catalog) {
   ByteReader r(payload);
   WireBatch batch;
+  BatchRouting routing;
   uint64_t num_entries = 0;
-  SB_RETURN_IF_ERROR(ReadBatchHeader(&r, &batch.src, &batch.dst,
-                                     &num_entries));
+  SB_RETURN_IF_ERROR(ReadBatchHeader(&r, &routing, &num_entries));
+  batch.src = routing.src;
+  batch.dst = routing.dst;
+  batch.origin = routing.origin;
+  batch.route_shard = routing.route_shard;
+  batch.map_epoch = routing.map_epoch;
   for (uint64_t i = 0; i < num_entries; ++i) {
     WireBatch::Entry entry;
     SB_ASSIGN_OR_RETURN(entry.pred, r.GetLengthPrefixedString());
+    SB_ASSIGN_OR_RETURN(uint8_t kind_byte, r.GetU8());
+    if (kind_byte > static_cast<uint8_t>(WireEntryKind::kHandoff)) {
+      return Status::InvalidArgument("bad entry kind tag on wire");
+    }
+    entry.kind = static_cast<WireEntryKind>(kind_byte);
+    const bool handoff = entry.kind == WireEntryKind::kHandoff;
     SB_ASSIGN_OR_RETURN(uint64_t num_tuples, r.GetVarint());
     if (num_tuples > 1 << 20) {
       return Status::InvalidArgument("entry too large on wire");
@@ -176,6 +204,15 @@ Result<WireBatch> DecodeBatch(const Bytes& payload,
     for (uint64_t j = 0; j < num_tuples; ++j) {
       SB_ASSIGN_OR_RETURN(engine::Tuple t, DeserializeTuple(&r, catalog));
       entry.tuples.push_back(std::move(t));
+      if (handoff) {
+        SB_ASSIGN_OR_RETURN(uint64_t support, r.GetVarint());
+        if (support > 0xFFFFFFFFull) {
+          return Status::InvalidArgument("handoff support count too large");
+        }
+        SB_ASSIGN_OR_RETURN(uint8_t base, r.GetU8());
+        entry.supports.push_back(static_cast<uint32_t>(support));
+        entry.base_flags.push_back(base != 0 ? 1 : 0);
+      }
     }
     batch.entries.push_back(std::move(entry));
   }
@@ -187,13 +224,18 @@ Result<WireBatch> DecodeBatch(const Bytes& payload,
 
 Result<size_t> CountBatchTuples(const Bytes& payload) {
   ByteReader r(payload);
-  NodeIndex src = 0;
-  NodeIndex dst = 0;
+  BatchRouting routing;
   uint64_t num_entries = 0;
-  SB_RETURN_IF_ERROR(ReadBatchHeader(&r, &src, &dst, &num_entries));
+  SB_RETURN_IF_ERROR(ReadBatchHeader(&r, &routing, &num_entries));
   size_t total = 0;
   for (uint64_t i = 0; i < num_entries; ++i) {
     SB_RETURN_IF_ERROR(r.GetLengthPrefixed().status());  // pred name
+    SB_ASSIGN_OR_RETURN(uint8_t kind_byte, r.GetU8());
+    if (kind_byte > static_cast<uint8_t>(WireEntryKind::kHandoff)) {
+      return Status::InvalidArgument("bad entry kind tag on wire");
+    }
+    const bool handoff =
+        static_cast<WireEntryKind>(kind_byte) == WireEntryKind::kHandoff;
     SB_ASSIGN_OR_RETURN(uint64_t num_tuples, r.GetVarint());
     if (num_tuples > 1 << 20) {
       return Status::InvalidArgument("entry too large on wire");
@@ -206,6 +248,10 @@ Result<size_t> CountBatchTuples(const Bytes& payload) {
       for (uint64_t k = 0; k < arity; ++k) {
         SB_RETURN_IF_ERROR(SkipValue(&r));
       }
+      if (handoff) {
+        SB_RETURN_IF_ERROR(r.GetVarint().status());  // support
+        SB_RETURN_IF_ERROR(r.GetU8().status());      // base flag
+      }
     }
     total += num_tuples;
   }
@@ -213,6 +259,14 @@ Result<size_t> CountBatchTuples(const Bytes& payload) {
     return Status::InvalidArgument("trailing bytes after wire batch");
   }
   return total;
+}
+
+Result<BatchRouting> PeekBatchRouting(const Bytes& payload) {
+  ByteReader r(payload);
+  BatchRouting routing;
+  uint64_t num_entries = 0;
+  SB_RETURN_IF_ERROR(ReadBatchHeader(&r, &routing, &num_entries));
+  return routing;
 }
 
 }  // namespace secureblox::net

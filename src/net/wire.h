@@ -6,8 +6,19 @@
 //
 // Batch layout (all integers big-endian, strings/blobs varint-length
 // prefixed):
-//   magic "SB" | version u16 | src u32 | dst u32 | #entries varint
-//   entry: pred name | #tuples varint | tuple: #values varint | values...
+//   magic "SB" | version u16 | src u32 | dst u32 | origin u32
+//     | route_shard u32 | map_epoch u64 | #entries varint
+//   entry: pred name | kind u8 | #tuples varint | tuple: #values varint
+//     | values... [| support varint | base u8  (kind = handoff only)]
+//
+// v2 adds the shard-routing fields and the per-entry kind. `route_shard`
+// is kNoShard for ordinary export batches; placement batches carry the
+// target shard plus the sender's shard-map epoch so a receiver that is no
+// longer (or not yet) the owner can re-route instead of dropping, and
+// `origin` survives forwarding hops (src is rewritten per hop, origin is
+// the staging node). Entry kinds distinguish plain facts from placement
+// deltas (engine/placement.h); handoff rows carry a support count and a
+// base flag per tuple.
 #ifndef SECUREBLOX_NET_WIRE_H_
 #define SECUREBLOX_NET_WIRE_H_
 
@@ -25,7 +36,21 @@ namespace secureblox::net {
 /// Logical node index within a deployment (maps to an address).
 using NodeIndex = uint32_t;
 
-constexpr uint16_t kWireVersion = 1;
+constexpr uint16_t kWireVersion = 2;
+
+/// route_shard value for batches that are not shard-routed.
+constexpr uint32_t kNoShard = 0xFFFFFFFFu;
+
+/// Per-entry payload kind. kFacts is the pre-placement export path
+/// (plain fact insertions); the rest mirror engine::RemoteDelta::Kind.
+enum class WireEntryKind : uint8_t {
+  kFacts = 0,
+  kBaseInsert = 1,
+  kBaseDelete = 2,
+  kSupportAdd = 3,
+  kSupportDrop = 4,
+  kHandoff = 5,
+};
 
 /// Serialize one value (catalog needed for entity labels).
 Status SerializeValue(ByteWriter* w, const datalog::Value& v,
@@ -40,13 +65,24 @@ Status SerializeTuple(ByteWriter* w, const engine::Tuple& t,
 Result<engine::Tuple> DeserializeTuple(ByteReader* r,
                                        datalog::Catalog* catalog);
 
-/// A batch of fact insertions shipped to one node.
+/// A batch of facts or placement deltas shipped to one node.
 struct WireBatch {
   NodeIndex src = 0;
   NodeIndex dst = 0;
+  /// Node that staged the batch (= src until a re-route hop rewrites src).
+  NodeIndex origin = 0;
+  /// Target shard for placement batches, kNoShard for exports.
+  uint32_t route_shard = kNoShard;
+  /// Sender's shard-map epoch when the batch was staged.
+  uint64_t map_epoch = 0;
   struct Entry {
     std::string pred;
+    WireEntryKind kind = WireEntryKind::kFacts;
     std::vector<engine::Tuple> tuples;
+    /// kHandoff only, parallel to `tuples`: derivation-support counts and
+    /// base-fact flags travelling with the snapshot rows.
+    std::vector<uint32_t> supports;
+    std::vector<uint8_t> base_flags;
   };
   std::vector<Entry> entries;
 
@@ -69,6 +105,19 @@ Result<WireBatch> DecodeBatch(const Bytes& payload,
 /// they feed batching accounting (the hint rides outside the seal, so it
 /// is attacker-controlled even when the payload authenticates).
 Result<size_t> CountBatchTuples(const Bytes& payload);
+
+/// Routing fields of an encoded batch, parsed structurally (header only,
+/// no interning, no catalog): the apply loop consults them before full
+/// decode to decide whether a placement batch applies here, forwards to
+/// the current shard owner, or gets rejected.
+struct BatchRouting {
+  NodeIndex src = 0;
+  NodeIndex dst = 0;
+  NodeIndex origin = 0;
+  uint32_t route_shard = kNoShard;
+  uint64_t map_epoch = 0;
+};
+Result<BatchRouting> PeekBatchRouting(const Bytes& payload);
 
 }  // namespace secureblox::net
 

@@ -59,8 +59,10 @@ TEST(WireTest, BatchRoundTrip) {
   batch.dst = 7;
   batch.entries.push_back(
       {"says$reachable",
+       WireEntryKind::kFacts,
        {{p, p, Value::Int(1)}, {p, p, Value::Int(2)}}});
-  batch.entries.push_back({"export", {{p, Value::MakeBlob({1, 2, 3})}}});
+  batch.entries.push_back(
+      {"export", WireEntryKind::kFacts, {{p, Value::MakeBlob({1, 2, 3})}}});
 
   Bytes data = EncodeBatch(batch, catalog).value();
   WireBatch back = DecodeBatch(data, &catalog).value();
@@ -75,7 +77,7 @@ TEST(WireTest, BatchRoundTrip) {
 TEST(WireTest, DecodeRejectsCorruption) {
   Catalog catalog;
   WireBatch batch;
-  batch.entries.push_back({"p", {{Value::Int(7)}}});
+  batch.entries.push_back({"p", WireEntryKind::kFacts, {{Value::Int(7)}}});
   Bytes data = EncodeBatch(batch, catalog).value();
 
   Bytes bad_magic = data;

@@ -261,6 +261,58 @@ TEST(QueryTest, DeleteChurnInvalidatesMemo) {
   EXPECT_GE(qe.stats().warm_hits, 1u);
 }
 
+TEST(QueryTest, AnswerCapEvictsSnapshotsNeverAnswers) {
+  Workspace qws;
+  qws.set_defer_rules(true);
+  Install(&qws, kGraphSchema);
+  ASSERT_TRUE(qws.Apply(LineLinks(6)).ok());
+  QueryEngine qe(&qws);
+  qe.set_answer_cap(2);
+  EXPECT_EQ(qe.answer_cap(), 2u);
+
+  // Five distinct bound patterns against a cap of two.
+  auto goal = [](int i) -> QueryGoal {
+    return {"reachable", {Value::Str("v" + std::to_string(i)), std::nullopt}};
+  };
+  std::vector<std::set<std::string>> first;
+  for (int i = 0; i < 5; ++i) {
+    first.push_back(QueryAnswers(&qe, qws, goal(i)));
+    EXPECT_EQ(first.back(), ExpectedSet(qws, "reachable", goal(i).args))
+        << "v" << i;
+  }
+  EXPECT_EQ(qe.stats().answer_evictions, 3u);
+
+  // The two most recently stored snapshots survive as warm pure reads;
+  // evicted goals miss TryWarm — but the exclusive path still answers
+  // them identically. Eviction moves cold/warm accounting, nothing else.
+  EXPECT_TRUE(qe.TryWarm(goal(4)).has_value());
+  EXPECT_TRUE(qe.TryWarm(goal(3)).has_value());
+  EXPECT_FALSE(qe.TryWarm(goal(0)).has_value());
+  uint64_t warm_before = qe.stats().warm_hits;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(QueryAnswers(&qe, qws, goal(i)), first[i]) << "v" << i;
+  }
+  EXPECT_GE(qe.stats().answer_evictions, 6u);  // churned through the cap
+  EXPECT_EQ(qe.stats().warm_hits, warm_before);  // all five went cold
+
+  // Re-storing an already-cached goal refreshes its recency instead of
+  // duplicating it: cap 2, repeat v4 then add v0 -> v3 evicted, v4 kept.
+  QueryAnswers(&qe, qws, goal(4));
+  QueryAnswers(&qe, qws, goal(3));
+  QueryAnswers(&qe, qws, goal(4));
+  QueryAnswers(&qe, qws, goal(0));
+  EXPECT_TRUE(qe.TryWarm(goal(4)).has_value());
+  EXPECT_TRUE(qe.TryWarm(goal(0)).has_value());
+  EXPECT_FALSE(qe.TryWarm(goal(3)).has_value());
+
+  // Lifting the cap restores unbounded memoization.
+  qe.set_answer_cap(0);
+  for (int i = 0; i < 5; ++i) QueryAnswers(&qe, qws, goal(i));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(qe.TryWarm(goal(i)).has_value()) << "v" << i;
+  }
+}
+
 TEST(QueryTest, InstallAfterQueriesReconciles) {
   const char* schema = R"(
 node(X) -> .
